@@ -1,0 +1,178 @@
+package ode_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ode"
+)
+
+func TestValueConstructorsAndRef(t *testing.T) {
+	if ode.Int(3).AsInt() != 3 || ode.Float(1.5).AsFloat() != 1.5 {
+		t.Fatal("numeric constructors")
+	}
+	if !ode.Bool(true).AsBool() || ode.Str("x").AsString() != "x" {
+		t.Fatal("bool/str constructors")
+	}
+	if !ode.Null().IsNull() {
+		t.Fatal("null")
+	}
+	now := time.Unix(5, 0)
+	if !ode.TimeVal(now).AsTime().Equal(now) {
+		t.Fatal("time")
+	}
+	if ode.Ref(7).AsID() != 7 {
+		t.Fatal("ref")
+	}
+}
+
+func TestDefinesAddPanicsOnBadSyntax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad define accepted")
+		}
+	}()
+	ode.NewDefines().Add("broken", "relative(after")
+}
+
+func TestStatsThroughRootAPI(t *testing.T) {
+	db := openDB(t)
+	f := newFires()
+	err := balanceMethods(db.NewClass("account")).
+		Trigger("T(): perpetual after deposit ==> act", f.action("T")).
+		Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		return tx.Activate(acct, "T")
+	})
+	db.Transact(func(tx *ode.Tx) error {
+		_, err := tx.Call(acct, "deposit", ode.Int(1))
+		return err
+	})
+	s := db.Stats()
+	if s.TxCommitted < 2 || s.Firings < 1 || s.Happenings == 0 || s.Steps == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestShadowOracleThroughRootAPI(t *testing.T) {
+	db, err := ode.Open(ode.Options{ShadowOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	f := newFires()
+	err = balanceMethods(db.NewClass("account")).
+		Trigger("Seq(): perpetual after deposit; before withdraw; after withdraw ==> act", f.action("Seq")).
+		Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		return tx.Activate(acct, "Seq")
+	})
+	if err := db.Transact(func(tx *ode.Tx) error {
+		tx.Call(acct, "deposit", ode.Int(1))
+		_, err := tx.Call(acct, "withdraw", ode.Int(1))
+		return err
+	}); err != nil {
+		t.Fatalf("shadow oracle flagged a divergence: %v", err)
+	}
+	if f.count("Seq") != 1 {
+		t.Fatalf("fires = %d", f.count("Seq"))
+	}
+}
+
+func TestCombinedAutomataThroughRootAPI(t *testing.T) {
+	db, err := ode.Open(ode.Options{CombinedAutomata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	f := newFires()
+	err = balanceMethods(db.NewClass("account")).
+		Trigger("A(): perpetual after deposit ==> act", f.action("A")).
+		Trigger("B(): perpetual every 2 (after withdraw) ==> act", f.action("B")).
+		Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		tx.Activate(acct, "A")
+		return tx.Activate(acct, "B")
+	})
+	db.Transact(func(tx *ode.Tx) error {
+		tx.Call(acct, "deposit", ode.Int(1))
+		tx.Call(acct, "withdraw", ode.Int(1))
+		tx.Call(acct, "withdraw", ode.Int(1))
+		return nil
+	})
+	if f.count("A") != 1 || f.count("B") != 1 {
+		t.Fatalf("A=%d B=%d", f.count("A"), f.count("B"))
+	}
+}
+
+func TestBuilderMethodModesAndFuncs(t *testing.T) {
+	db := openDB(t)
+	f := newFires()
+	err := db.NewClass("gauge").
+		Field("level", ode.KindFloat, ode.Float(0)).
+		Method("calibrate", ode.ModeUpdate, func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ode.Null(), ctx.Set("level", ctx.Arg("to"))
+		}, ode.P("to", ode.KindFloat)).
+		Read("level", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ctx.Get("level")
+		}).
+		Func("limit", func([]ode.Value) (ode.Value, error) { return ode.Float(10), nil }).
+		Trigger("High(): perpetual after calibrate(v) && v > limit() ==> act", f.action("High")).
+		Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		g, _ = tx.NewObject("gauge", nil)
+		return tx.Activate(g, "High")
+	})
+	db.Transact(func(tx *ode.Tx) error {
+		tx.Call(g, "calibrate", ode.Float(5))  // below limit
+		tx.Call(g, "calibrate", ode.Float(15)) // above
+		return nil
+	})
+	if f.count("High") != 1 {
+		t.Fatalf("High fired %d times", f.count("High"))
+	}
+	// Int→float coercion on call arguments.
+	if err := db.Transact(func(tx *ode.Tx) error {
+		_, err := tx.Call(g, "calibrate", ode.Int(3))
+		return err
+	}); err != nil {
+		t.Fatalf("int→float coercion: %v", err)
+	}
+}
+
+func TestQueryHistoryRootErrors(t *testing.T) {
+	db := openDB(t) // recording off
+	err := balanceMethods(db.NewClass("account")).Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		return nil
+	})
+	_, err = db.QueryHistory(acct, "after deposit")
+	if err == nil || !strings.Contains(err.Error(), "RecordHistories") {
+		t.Fatalf("query without recording: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+// Benchmarks backing the experiment suite in EXPERIMENTS.md. Each
+// experiment id (E1..E9) of DESIGN.md §5 has a corresponding bench
+// here; cmd/odebench prints the same measurements as tables.
+package ode_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ode"
+	"ode/internal/algebra"
+	"ode/internal/compile"
+	"ode/internal/fa"
+	"ode/internal/workload"
+)
+
+// E1: cost of recognizing one posted event with the compiled automaton.
+func BenchmarkDetectionAutomaton(b *testing.B) {
+	paper := workload.Paper()
+	h := workload.RandomHistory(rand.New(rand.NewSource(1)), workload.NumPaperSymbols, 4096)
+	for i, e := range paper.Exprs {
+		d := compile.Compile(e, workload.NumPaperSymbols)
+		b.Run(paper.Names[i], func(b *testing.B) {
+			det := compile.NewDetector(d)
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				det.Post(h[n%len(h)])
+			}
+		})
+	}
+}
+
+// E1 baseline: re-evaluating the §4 denotational semantics over the
+// whole history on every posting, at two fixed history lengths.
+func BenchmarkDetectionNaive(b *testing.B) {
+	paper := workload.Paper()
+	rng := rand.New(rand.NewSource(1))
+	for _, histLen := range []int{100, 1000} {
+		h := workload.RandomHistory(rng, workload.NumPaperSymbols, histLen)
+		for i, e := range paper.Exprs {
+			b.Run(fmt.Sprintf("%s/hist%d", paper.Names[i], histLen), func(b *testing.B) {
+				b.ReportAllocs()
+				for n := 0; n < b.N; n++ {
+					algebra.Occurs(e, h)
+				}
+			})
+		}
+	}
+}
+
+// E3: full compilation cost per paper trigger (resolution excluded;
+// algebra → minimized DFA).
+func BenchmarkCompilePaperTriggers(b *testing.B) {
+	paper := workload.Paper()
+	for i, e := range paper.Exprs {
+		b.Run(paper.Names[i], func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				compile.Compile(e, workload.NumPaperSymbols)
+			}
+		})
+	}
+}
+
+// E4: the §5 mask-disjointness rewrite at k overlapping masks.
+func BenchmarkMaskRewrite(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("masks%d", k), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				if _, err := workload.RunE4(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5: the §6 pair construction.
+func BenchmarkPairConstruction(b *testing.B) {
+	paper := workload.Paper()
+	dfas := make([]*fa.DFA, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		dfas[i] = compile.Compile(e, workload.NumPaperSymbols)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		compile.PairConstruction(dfas[n%len(dfas)], 7, 8)
+	}
+}
+
+// E8: stepping nine separate trigger automata per event versus one
+// combined product automaton (footnote 5).
+func BenchmarkPerTriggerVsCombined(b *testing.B) {
+	paper := workload.Paper()
+	dfas := make([]*fa.DFA, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		dfas[i] = compile.Compile(e, workload.NumPaperSymbols)
+	}
+	h := workload.RandomHistory(rand.New(rand.NewSource(2)), workload.NumPaperSymbols, 4096)
+
+	b.Run("separate", func(b *testing.B) {
+		dets := make([]*compile.Detector, len(dfas))
+		for i, d := range dfas {
+			dets[i] = compile.NewDetector(d)
+		}
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			sym := h[n%len(h)]
+			for _, det := range dets {
+				det.Post(sym)
+			}
+		}
+	})
+	b.Run("combined", func(b *testing.B) {
+		comb := compile.Combine(dfas)
+		state := comb.Start
+		var sink uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			var fires uint64
+			state, fires = comb.Post(state, h[n%len(h)])
+			sink |= fires
+		}
+		_ = sink
+	})
+}
+
+// End-to-end engine throughput: one method call on an object with
+// increasing numbers of active triggers (mask evaluation + automaton
+// stepping + transaction machinery included).
+func BenchmarkEngineMethodCall(b *testing.B) {
+	for _, triggers := range []int{0, 1, 4, 8} {
+		b.Run(fmt.Sprintf("triggers%d", triggers), func(b *testing.B) {
+			db, err := ode.Open(ode.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			cb := db.NewClass("account").
+				Field("balance", ode.KindInt, ode.Int(0)).
+				Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+					v, _ := ctx.Get("balance")
+					return ode.Null(), ctx.Set("balance", ode.Int(v.AsInt()+ctx.Arg("n").AsInt()))
+				}, ode.P("n", ode.KindInt))
+			names := make([]string, triggers)
+			for i := 0; i < triggers; i++ {
+				names[i] = fmt.Sprintf("T%d", i)
+				cb = cb.Trigger(fmt.Sprintf(
+					"T%d(): perpetual relative(after deposit(n) && n > %d, after deposit) ==> act", i, i*1000),
+					func(*ode.ActionCtx) error { return nil })
+			}
+			if err := cb.Register(); err != nil {
+				b.Fatal(err)
+			}
+			var acct ode.OID
+			if err := db.Transact(func(tx *ode.Tx) error {
+				acct, err = tx.NewObject("account", nil)
+				if err != nil {
+					return err
+				}
+				for _, nm := range names {
+					if err := tx.Activate(acct, nm); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+
+			tx := db.Begin()
+			defer tx.Abort()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := tx.Call(acct, "deposit", ode.Int(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Transaction lifecycle cost: begin + one call + commit-fixpoint +
+// commit + after-tcommit system transaction.
+func BenchmarkEngineTransaction(b *testing.B) {
+	db, err := ode.Open(ode.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	err = db.NewClass("account").
+		Field("balance", ode.KindInt, ode.Int(0)).
+		Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			v, _ := ctx.Get("balance")
+			return ode.Null(), ctx.Set("balance", ode.Int(v.AsInt()+1))
+		}).
+		Trigger("Dep(): perpetual fa(after deposit, after tcommit, after tbegin) ==> act",
+			func(*ode.ActionCtx) error { return nil }).
+		Register()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		return tx.Activate(acct, "Dep")
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := db.Transact(func(tx *ode.Tx) error {
+			_, err := tx.Call(acct, "deposit")
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7: timer delivery throughput on the virtual clock.
+func BenchmarkTimerDelivery(b *testing.B) {
+	db, err := ode.Open(ode.Options{Start: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	err = db.NewClass("mon").
+		Field("x", ode.KindInt, ode.Int(0)).
+		Update("tick", func(ctx *ode.MethodCtx) (ode.Value, error) { return ode.Null(), nil }).
+		Trigger("Every(): perpetual every time(M=1) ==> act",
+			func(*ode.ActionCtx) error { return nil }).
+		Register()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oid ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		oid, _ = tx.NewObject("mon", nil)
+		return tx.Activate(oid, "Every")
+	})
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		db.Clock().Advance(time.Minute) // exactly one delivery
+	}
+	if errs := db.Engine().TimerErrors(); len(errs) > 0 {
+		b.Fatal(errs[0])
+	}
+}
+
+// Footnote-5 monitoring end to end: the same class and workload with
+// per-trigger automata versus one combined product automaton.
+func BenchmarkEngineCombinedMonitoring(b *testing.B) {
+	for _, combined := range []bool{false, true} {
+		name := "per-trigger"
+		if combined {
+			name = "combined"
+		}
+		b.Run(name, func(b *testing.B) {
+			db, err := ode.Open(ode.Options{CombinedAutomata: combined})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			cb := db.NewClass("acct").
+				Field("balance", ode.KindInt, ode.Int(0)).
+				Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+					return ode.Null(), nil
+				}, ode.P("n", ode.KindInt))
+			for i := 0; i < 8; i++ {
+				cb = cb.Trigger(fmt.Sprintf(
+					"T%d(): perpetual relative(after deposit(n) && n > %d, after deposit) ==> act", i, i),
+					func(*ode.ActionCtx) error { return nil })
+			}
+			if err := cb.Register(); err != nil {
+				b.Fatal(err)
+			}
+			var oid ode.OID
+			db.Transact(func(tx *ode.Tx) error {
+				oid, _ = tx.NewObject("acct", nil)
+				for i := 0; i < 8; i++ {
+					if err := tx.Activate(oid, fmt.Sprintf("T%d", i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			tx := db.Begin()
+			defer tx.Abort()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := tx.Call(oid, "deposit", ode.Int(int64(n%16))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

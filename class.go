@@ -1,0 +1,176 @@
+package ode
+
+import (
+	"fmt"
+
+	"ode/internal/engine"
+	"ode/internal/evlang"
+	"ode/internal/schema"
+)
+
+// ClassBuilder assembles a class: fields, member functions, mask
+// functions and triggers, mirroring an O++ class declaration (§2):
+//
+//	class stockRoom {
+//	    ...
+//	public:
+//	    void withdraw(Item i, int q);
+//	trigger:
+//	    T6(): perpetual after withdraw(i, q) && q > 100 ==> log()
+//	};
+type ClassBuilder struct {
+	db         *Database
+	cls        *schema.Class
+	impl       engine.ClassImpl
+	defines    *Defines
+	rawActions []rawAction
+	err        error
+}
+
+// NewClass starts building a class.
+func (db *Database) NewClass(name string) *ClassBuilder {
+	return &ClassBuilder{
+		db:  db,
+		cls: &schema.Class{Name: name},
+		impl: engine.ClassImpl{
+			Methods: map[string]MethodImpl{},
+			Actions: map[string]ActionFunc{},
+			Funcs:   map[string]MaskFunc{},
+			Views:   map[string]HistoryView{},
+		},
+	}
+}
+
+// Field declares a typed field with an optional default (pass
+// ode.Null() for none).
+func (b *ClassBuilder) Field(name string, kind Kind, deflt Value) *ClassBuilder {
+	b.cls.Fields = append(b.cls.Fields, schema.Field{Name: name, Kind: kind, Default: deflt})
+	return b
+}
+
+// Method declares a member function with an explicit access mode.
+// The final variadic segment is the parameter list.
+func (b *ClassBuilder) Method(name string, mode schema.AccessMode, impl MethodImpl, params ...Param) *ClassBuilder {
+	b.cls.Methods = append(b.cls.Methods, schema.Method{Name: name, Params: params, Mode: mode})
+	b.impl.Methods[name] = impl
+	return b
+}
+
+// Update declares an updating member function (drives before/after
+// update and access events).
+func (b *ClassBuilder) Update(name string, impl MethodImpl, params ...Param) *ClassBuilder {
+	return b.Method(name, schema.ModeUpdate, impl, params...)
+}
+
+// Read declares a read-only member function (drives before/after read
+// and access events; callable from masks).
+func (b *ClassBuilder) Read(name string, impl MethodImpl, params ...Param) *ClassBuilder {
+	return b.Method(name, schema.ModeRead, impl, params...)
+}
+
+// Func installs a class-level mask function.
+func (b *ClassBuilder) Func(name string, fn MaskFunc) *ClassBuilder {
+	b.impl.Funcs[name] = fn
+	return b
+}
+
+// Defines attaches #define-style abbreviations usable in this class's
+// trigger events.
+func (b *ClassBuilder) Defines(d *Defines) *ClassBuilder {
+	b.defines = d
+	return b
+}
+
+// Trigger declares a trigger in the paper's full syntax:
+//
+//	name(params): [perpetual] event ==> action
+//
+// The action text may be "tabort", a niladic member call "f()", or any
+// label bound by the supplied ActionFunc (which, when non-nil, takes
+// precedence). Trigger parameters are declared in the heading and are
+// available to masks.
+func (b *ClassBuilder) Trigger(decl string, action ActionFunc) *ClassBuilder {
+	if b.err != nil {
+		return b
+	}
+	ps := b.parser()
+	d, err := ps.ParseTrigger(decl)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	params := make([]Param, len(d.Params))
+	for i, p := range d.Params {
+		// Trigger parameter kinds are dynamic; masks type-check at
+		// evaluation time.
+		params[i] = Param{Name: p, Kind: KindNull}
+	}
+	b.cls.Triggers = append(b.cls.Triggers, schema.Trigger{
+		Name:      d.Name,
+		Params:    params,
+		Perpetual: d.Perpetual,
+		Event:     d.Event.String(),
+	})
+	if action != nil {
+		b.impl.Actions[d.Name] = action
+	} else if d.Action != "" {
+		// Builtin action forms ("tabort", "f()") resolve once the full
+		// method list is known, at Register.
+		b.rawActions = append(b.rawActions, rawAction{d.Name, d.Action})
+	}
+	return b
+}
+
+type rawAction struct{ trigger, action string }
+
+// View overrides a trigger's §6 history view (default CommittedView).
+func (b *ClassBuilder) View(trigger string, v HistoryView) *ClassBuilder {
+	b.impl.Views[trigger] = v
+	return b
+}
+
+func (b *ClassBuilder) parser() *evlang.Parser {
+	if b.defines != nil {
+		return b.defines.ps
+	}
+	b.defines = NewDefines()
+	return b.defines.ps
+}
+
+// Register validates, resolves and compiles the class into the
+// database.
+func (b *ClassBuilder) Register() error {
+	if b.err != nil {
+		return b.err
+	}
+	for _, ra := range b.rawActions {
+		if _, bound := b.impl.Actions[ra.trigger]; bound {
+			continue
+		}
+		action, err := builtinAction(b.cls, ra.action)
+		if err != nil {
+			return fmt.Errorf("ode: trigger %s: %w", ra.trigger, err)
+		}
+		b.impl.Actions[ra.trigger] = action
+	}
+	_, err := b.db.eng.RegisterClass(b.cls, b.impl, b.parser())
+	return err
+}
+
+// builtinAction interprets the paper's inline action forms.
+func builtinAction(cls *schema.Class, raw string) (ActionFunc, error) {
+	if raw == "tabort" {
+		return func(ctx *ActionCtx) error { return ctx.Tabort() }, nil
+	}
+	if n := len(raw); n > 2 && raw[n-2] == '(' && raw[n-1] == ')' {
+		method := raw[:n-2]
+		if cls.Method(method) != nil {
+			return func(ctx *ActionCtx) error {
+				_, err := ctx.Tx.Call(ctx.Self, method)
+				return err
+			}, nil
+		}
+		return nil, fmt.Errorf("ode: action %q calls unknown method", raw)
+	}
+	return nil, fmt.Errorf("ode: action %q is not bound and is not a builtin form", raw)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ode"
+)
+
+func TestBuildClassDefaults(t *testing.T) {
+	cls, err := buildClass("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Method("withdraw") == nil || cls.Method("summary") == nil {
+		t.Fatalf("default schema incomplete: %+v", cls.Methods)
+	}
+	if cls.Method("withdraw").Mode != ode.ModeUpdate || cls.Method("summary").Mode != ode.ModeRead {
+		t.Fatal("default schema modes")
+	}
+	if got := len(cls.Method("withdraw").Params); got != 2 {
+		t.Fatalf("withdraw params = %d", got)
+	}
+}
+
+func TestBuildClassCustom(t *testing.T) {
+	cls, err := buildClass("motorStart:update motorStop:update probe:read:x,y",
+		"pressure:float low_limit:float name:string ref:id on:bool n:int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Methods) != 3 || len(cls.Fields) != 6 {
+		t.Fatalf("methods %d fields %d", len(cls.Methods), len(cls.Fields))
+	}
+	if cls.Field("pressure").Kind != ode.KindFloat || cls.Field("ref").Kind != ode.KindID {
+		t.Fatal("field kinds")
+	}
+	if got := cls.Method("probe").Params; len(got) != 2 || got[1].Name != "y" {
+		t.Fatalf("probe params %+v", got)
+	}
+}
+
+func TestBuildClassErrors(t *testing.T) {
+	for _, tc := range [][2]string{
+		{"nomode", ""},
+		{"m:banana", ""},
+		{"", "noinfield"},
+		{"", "f:wat"},
+	} {
+		if _, err := buildClass(tc[0], tc[1]); err == nil {
+			t.Errorf("buildClass(%q, %q) succeeded", tc[0], tc[1])
+		}
+	}
+}
+
+func TestCompileThroughPublicAPI(t *testing.T) {
+	cls, _ := buildClass("", "")
+	auto, err := ode.CompileEvent(cls, "after deposit; before withdraw; after withdraw", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.States != 4 {
+		t.Fatalf("T8 automaton states = %d", auto.States)
+	}
+	if !strings.Contains(auto.Dot(), "doublecircle") {
+		t.Fatal("dot output lacks an accepting state")
+	}
+	defs := ode.NewDefines().Add("dayEnd", "at time(HR=17)")
+	auto2, err := ode.CompileEvent(cls, "relative(dayEnd, after tcommit)", defs)
+	if err != nil || auto2.States < 2 {
+		t.Fatalf("defines path: %v, %v", auto2, err)
+	}
+}

@@ -1,0 +1,529 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"ode"
+)
+
+// pendingClass is a class under construction (before register).
+type pendingClass struct {
+	builder  *ode.ClassBuilder
+	fields   []string
+	methods  []string
+	triggers []string
+}
+
+type shell struct {
+	db      *ode.Database
+	out     io.Writer
+	pending map[string]*pendingClass
+	defines *ode.Defines
+	tx      *ode.Tx // explicit transaction, if open
+}
+
+func newShell(out io.Writer) (*shell, error) {
+	db, err := ode.Open(ode.Options{
+		Start:           time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC),
+		RecordHistories: 64,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &shell{
+		db:      db,
+		out:     out,
+		pending: map[string]*pendingClass{},
+		defines: ode.NewDefines(),
+	}, nil
+}
+
+func (sh *shell) close() { sh.db.Close() }
+
+func (sh *shell) run(sc *bufio.Scanner, interactive bool) {
+	for {
+		if interactive {
+			fmt.Fprint(sh.out, "ode> ")
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+	}
+}
+
+func (sh *shell) exec(line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		sh.help()
+		return nil
+	case "defclass":
+		return sh.defclass(rest)
+	case "defmethod":
+		return sh.defmethod(rest)
+	case "deftrigger":
+		return sh.deftrigger(rest)
+	case "define":
+		name, src, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("usage: define NAME=EVENT")
+		}
+		return sh.safeDefine(strings.TrimSpace(name), strings.TrimSpace(src))
+	case "register":
+		return sh.register(rest)
+	case "new":
+		return sh.newObject(rest)
+	case "call":
+		return sh.call(rest)
+	case "get":
+		return sh.get(rest)
+	case "set":
+		return sh.set(rest)
+	case "activate", "deactivate":
+		return sh.arm(cmd, rest)
+	case "begin":
+		if sh.tx != nil {
+			return fmt.Errorf("a transaction is already open")
+		}
+		sh.tx = sh.db.Begin()
+		fmt.Fprintln(sh.out, "transaction open")
+		return nil
+	case "commit":
+		if sh.tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		err := sh.tx.Commit()
+		sh.tx = nil
+		if err == nil {
+			fmt.Fprintln(sh.out, "committed")
+		}
+		return err
+	case "abort":
+		if sh.tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		err := sh.tx.Abort()
+		sh.tx = nil
+		if err == nil {
+			fmt.Fprintln(sh.out, "aborted")
+		}
+		return err
+	case "advance":
+		d, err := time.ParseDuration(rest)
+		if err != nil {
+			return err
+		}
+		if sh.tx != nil {
+			return fmt.Errorf("close the transaction before advancing the clock")
+		}
+		sh.db.Clock().Advance(d)
+		fmt.Fprintln(sh.out, "clock:", sh.db.Clock().Now().Format(time.RFC3339))
+		return nil
+	case "now":
+		fmt.Fprintln(sh.out, sh.db.Clock().Now().Format(time.RFC3339))
+		return nil
+	case "state":
+		return sh.state(rest)
+	case "history":
+		return sh.historyCmd(rest)
+	case "automata":
+		return sh.automata(rest)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *shell) safeDefine(name, src string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	sh.defines.Add(name, src)
+	return nil
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `commands:
+  defclass NAME field:kind[=default] ...   declare a class (kinds: int float bool string id)
+      every field gets auto methods set_<field>(v) [update] and get_<field>() [read]
+  defmethod NAME method read|update [p:kind ...]   declare an extra (no-op) method
+  deftrigger NAME DECL       declare a trigger, e.g.
+      deftrigger account Low(): perpetual balance < 100 ==> print
+      actions: print | tabort | someMethod()
+  define NAME=EVENT          #define-style event abbreviation
+  register NAME              compile the class (triggers become automata)
+  new NAME [field=value ...] create an object            → @oid
+  call @oid METHOD [args]    invoke a member function (posts events)
+  get/set @oid FIELD [value] raw field access (no events)
+  activate/deactivate @oid TRIGGER [args]
+  begin | commit | abort     explicit transaction (otherwise one per command)
+  advance DUR | now          virtual clock (e.g. advance 2h30m)
+  state @oid TRIGGER         automaton state (one integer, paper §5)
+  history @oid               recent happenings
+  automata NAME              trigger automaton sizes for a class
+  quit
+`)
+}
+
+func parseKind(s string) (ode.Kind, error) {
+	switch s {
+	case "int":
+		return ode.KindInt, nil
+	case "float":
+		return ode.KindFloat, nil
+	case "bool":
+		return ode.KindBool, nil
+	case "string":
+		return ode.KindString, nil
+	case "id":
+		return ode.KindID, nil
+	}
+	return ode.KindNull, fmt.Errorf("unknown kind %q", s)
+}
+
+func parseValue(kind ode.Kind, s string) (ode.Value, error) {
+	switch kind {
+	case ode.KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		return ode.Int(i), err
+	case ode.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		return ode.Float(f), err
+	case ode.KindBool:
+		b, err := strconv.ParseBool(s)
+		return ode.Bool(b), err
+	case ode.KindString:
+		return ode.Str(s), nil
+	case ode.KindID:
+		oid, err := parseOID(s)
+		return ode.Ref(oid), err
+	}
+	return ode.Null(), fmt.Errorf("cannot parse %q", s)
+}
+
+// guessValue infers a literal's kind.
+func guessValue(s string) ode.Value {
+	if oid, err := parseOID(s); err == nil {
+		return ode.Ref(oid)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ode.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return ode.Float(f)
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return ode.Bool(b)
+	}
+	return ode.Str(s)
+}
+
+func parseOID(s string) (ode.OID, error) {
+	if !strings.HasPrefix(s, "@") {
+		return 0, fmt.Errorf("object ids look like @1")
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 64)
+	return ode.OID(n), err
+}
+
+func (sh *shell) defclass(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return fmt.Errorf("usage: defclass NAME field:kind[=default] ...")
+	}
+	name := fields[0]
+	if _, dup := sh.pending[name]; dup {
+		return fmt.Errorf("class %s already being defined", name)
+	}
+	b := sh.db.NewClass(name).Defines(sh.defines)
+	pc := &pendingClass{builder: b}
+	for _, f := range fields[1:] {
+		spec, deflt, hasDefault := strings.Cut(f, "=")
+		fname, kindName, ok := strings.Cut(spec, ":")
+		if !ok {
+			return fmt.Errorf("field %q: want name:kind[=default]", f)
+		}
+		kind, err := parseKind(kindName)
+		if err != nil {
+			return err
+		}
+		dv := ode.Null()
+		if hasDefault {
+			if dv, err = parseValue(kind, deflt); err != nil {
+				return err
+			}
+		}
+		b.Field(fname, kind, dv)
+		// Auto accessor methods make every field observable as events.
+		field := fname
+		b.Update("set_"+field, func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ode.Null(), ctx.Set(field, ctx.Arg("v"))
+		}, ode.P("v", kind))
+		b.Read("get_"+field, func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ctx.Get(field)
+		})
+		pc.fields = append(pc.fields, fname)
+	}
+	sh.pending[name] = pc
+	fmt.Fprintf(sh.out, "class %s: %d field(s); register when done\n", name, len(pc.fields))
+	return nil
+}
+
+func (sh *shell) defmethod(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return fmt.Errorf("usage: defmethod CLASS METHOD read|update [p:kind ...]")
+	}
+	pc, ok := sh.pending[fields[0]]
+	if !ok {
+		return fmt.Errorf("no pending class %q", fields[0])
+	}
+	method := fields[1]
+	var params []ode.Param
+	for _, p := range fields[3:] {
+		pname, kindName, ok := strings.Cut(p, ":")
+		if !ok {
+			return fmt.Errorf("param %q: want name:kind", p)
+		}
+		kind, err := parseKind(kindName)
+		if err != nil {
+			return err
+		}
+		params = append(params, ode.P(pname, kind))
+	}
+	impl := func(ctx *ode.MethodCtx) (ode.Value, error) { return ode.Null(), nil }
+	switch fields[2] {
+	case "read":
+		pc.builder.Read(method, impl, params...)
+	case "update":
+		pc.builder.Update(method, impl, params...)
+	default:
+		return fmt.Errorf("mode must be read or update")
+	}
+	pc.methods = append(pc.methods, method)
+	return nil
+}
+
+func (sh *shell) deftrigger(rest string) error {
+	name, decl, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: deftrigger CLASS DECL")
+	}
+	pc, found := sh.pending[name]
+	if !found {
+		return fmt.Errorf("no pending class %q", name)
+	}
+	decl = strings.TrimSpace(decl)
+	var action ode.ActionFunc
+	if strings.HasSuffix(decl, "==> print") {
+		decl = strings.TrimSuffix(decl, "print") + "printAction"
+		action = func(ctx *ode.ActionCtx) error {
+			fmt.Fprintf(sh.out, "  [%s] fired at @%d\n", ctx.Trigger, ctx.Self)
+			return nil
+		}
+	}
+	pc.builder.Trigger(decl, action)
+	pc.triggers = append(pc.triggers, decl)
+	return nil
+}
+
+func (sh *shell) register(rest string) error {
+	name := strings.TrimSpace(rest)
+	pc, ok := sh.pending[name]
+	if !ok {
+		return fmt.Errorf("no pending class %q", name)
+	}
+	if err := pc.builder.Register(); err != nil {
+		delete(sh.pending, name)
+		return err
+	}
+	delete(sh.pending, name)
+	autos, err := sh.db.Inspect(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "class %s registered; %d trigger automaton(a):\n", name, len(autos))
+	for _, a := range autos {
+		fmt.Fprintf(sh.out, "  %-12s %3d states × %d symbols\n", a.Trigger, a.States, a.Symbols)
+	}
+	return nil
+}
+
+// withTx runs fn in the open explicit transaction or a one-shot one.
+func (sh *shell) withTx(fn func(tx *ode.Tx) error) error {
+	if sh.tx != nil {
+		return fn(sh.tx)
+	}
+	return sh.db.Transact(fn)
+}
+
+func (sh *shell) newObject(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return fmt.Errorf("usage: new CLASS [field=value ...]")
+	}
+	init := map[string]ode.Value{}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("want field=value, got %q", f)
+		}
+		init[k] = guessValue(v)
+	}
+	var oid ode.OID
+	err := sh.withTx(func(tx *ode.Tx) error {
+		var err error
+		oid, err = tx.NewObject(fields[0], init)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "@%d\n", oid)
+	return nil
+}
+
+func (sh *shell) call(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: call @oid METHOD [args]")
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	args := make([]ode.Value, len(fields)-2)
+	for i, a := range fields[2:] {
+		args[i] = guessValue(a)
+	}
+	var out ode.Value
+	err = sh.withTx(func(tx *ode.Tx) error {
+		var err error
+		out, err = tx.Call(oid, fields[1], args...)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !out.IsNull() {
+		fmt.Fprintln(sh.out, out)
+	}
+	return nil
+}
+
+func (sh *shell) get(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: get @oid FIELD")
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	var v ode.Value
+	if err := sh.withTx(func(tx *ode.Tx) error {
+		var err error
+		v, err = tx.Get(oid, fields[1])
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, v)
+	return nil
+}
+
+func (sh *shell) set(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return fmt.Errorf("usage: set @oid FIELD VALUE")
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	return sh.withTx(func(tx *ode.Tx) error {
+		return tx.Set(oid, fields[1], guessValue(fields[2]))
+	})
+}
+
+func (sh *shell) arm(cmd, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: %s @oid TRIGGER [args]", cmd)
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	return sh.withTx(func(tx *ode.Tx) error {
+		if cmd == "deactivate" {
+			return tx.Deactivate(oid, fields[1])
+		}
+		args := make([]ode.Value, len(fields)-2)
+		for i, a := range fields[2:] {
+			args[i] = guessValue(a)
+		}
+		return tx.Activate(oid, fields[1], args...)
+	})
+}
+
+func (sh *shell) state(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: state @oid TRIGGER")
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	state, active, err := sh.db.TriggerState(oid, fields[1])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "state=%d active=%v\n", state, active)
+	return nil
+}
+
+func (sh *shell) historyCmd(rest string) error {
+	oid, err := parseOID(strings.TrimSpace(rest))
+	if err != nil {
+		return err
+	}
+	log := sh.db.History(oid)
+	if log == nil {
+		return fmt.Errorf("no history recorded for @%d", oid)
+	}
+	for _, e := range log.Tail(20) {
+		fmt.Fprintf(sh.out, "  %4d  %-24s tx=%d\n", e.Seq, e.Kind, e.TxID)
+	}
+	return nil
+}
+
+func (sh *shell) automata(rest string) error {
+	autos, err := sh.db.Inspect(strings.TrimSpace(rest))
+	if err != nil {
+		return err
+	}
+	for _, a := range autos {
+		fmt.Fprintf(sh.out, "  %-12s %3d states × %d symbols, table %d B, %d B/object\n",
+			a.Trigger, a.States, a.Symbols, a.TableBytes, a.PerObjectBytes)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runScript executes shell commands and returns the combined output.
+func runScript(t *testing.T, lines ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	sh, err := newShell(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.close()
+	sh.run(bufio.NewScanner(strings.NewReader(strings.Join(lines, "\n"))), false)
+	return out.String()
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	out := runScript(t,
+		"define dayEnd=at time(HR=17)",
+		"defclass account balance:int=1000 owner:string",
+		"defmethod account audit read",
+		"deftrigger account Low(): perpetual balance < 500 ==> print",
+		"deftrigger account Close(): perpetual dayEnd ==> print",
+		"register account",
+		"new account owner=alice",
+		"activate @1 Low",
+		"activate @1 Close",
+		"call @1 set_balance 800",
+		"call @1 set_balance 400",
+		"state @1 Low",
+		"advance 12h",
+		"get @1 balance",
+		"history @1",
+		"automata account",
+	)
+	for _, want := range []string{
+		"class account registered",
+		"@1",
+		"[Low] fired at @1",
+		"[Close] fired at @1",
+		"active=true",
+		"400",
+		"timer at time(HR=17)",
+		"8 B/object",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error:") {
+		t.Fatalf("script raised errors:\n%s", out)
+	}
+}
+
+func TestShellExplicitTransaction(t *testing.T) {
+	out := runScript(t,
+		"defclass acct v:int=0",
+		"deftrigger acct Two(): perpetual relative(after set_v, after set_v) ==> print",
+		"register acct",
+		"new acct",
+		"activate @1 Two",
+		"begin",
+		"call @1 set_v 1",
+		"call @1 set_v 2",
+		"commit",
+		"get @1 v",
+	)
+	if !strings.Contains(out, "[Two] fired at @1") || !strings.Contains(out, "committed") {
+		t.Fatalf("missing firing or commit:\n%s", out)
+	}
+	// Abort path rolls back.
+	out = runScript(t,
+		"defclass acct v:int=7",
+		"register acct",
+		"new acct",
+		"begin",
+		"call @1 set_v 99",
+		"abort",
+		"get @1 v",
+	)
+	if !strings.Contains(out, "aborted") || !strings.Contains(out, "\n7\n") {
+		t.Fatalf("abort did not roll back:\n%s", out)
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	out := runScript(t,
+		"bogus command",
+		"defclass",                // usage
+		"defmethod nosuch m read", // unknown pending class
+		"deftrigger nosuch T(): after x ==> print", // unknown pending class
+		"register nosuch",
+		"new nosuch",
+		"call @1 anything",
+		"get @99 f",
+		"commit",
+		"advance notaduration",
+		"defclass bad f:wat",
+	)
+	if n := strings.Count(out, "error:"); n < 10 {
+		t.Fatalf("expected ≥10 errors, got %d:\n%s", n, out)
+	}
+}
+
+func TestShellTabortAction(t *testing.T) {
+	out := runScript(t,
+		"defclass acct v:int=0",
+		"deftrigger acct Guard(): perpetual before set_v && v > 100 ==> tabort",
+		"register acct",
+		"new acct",
+		"activate @1 Guard",
+		"call @1 set_v 50",
+		"call @1 set_v 500",
+		"get @1 v",
+	)
+	if !strings.Contains(out, "tabort") {
+		t.Fatalf("tabort not surfaced:\n%s", out)
+	}
+	if !strings.Contains(out, "\n50\n") {
+		t.Fatalf("rejected write applied:\n%s", out)
+	}
+}

@@ -1,0 +1,109 @@
+package ode
+
+import "fmt"
+
+// The Event-Action model (§7). The paper's central simplification is
+// that all 4×4 E-C-A coupling modes collapse into plain event
+// expressions over transaction events. These combinators produce the
+// paper's nine canonical encodings verbatim: E is any event
+// expression, C a condition (mask). The resulting string is a trigger
+// event usable anywhere an event is.
+//
+// A condition of "" means "true" and is elided.
+
+func wrapCond(e, c string) string {
+	if c == "" {
+		return "(" + e + ")"
+	}
+	return "(" + e + ") && " + c
+}
+
+// CouplingImmediateImmediate: condition checked and action run at the
+// event, in the triggering transaction.
+//
+//	E && C ==> A
+func CouplingImmediateImmediate(e, c string) string {
+	return wrapCond(e, c)
+}
+
+// CouplingImmediateDeferred: condition checked at the event, action
+// deferred to just before the triggering transaction commits.
+//
+//	fa(E && C, before tcomplete, after tbegin) ==> A
+func CouplingImmediateDeferred(e, c string) string {
+	return fmt.Sprintf("fa(%s, before tcomplete, after tbegin)", wrapCond(e, c))
+}
+
+// CouplingImmediateDependent: condition checked at the event, action
+// run after the triggering transaction commits (and only then).
+//
+//	fa(E && C, after tcommit, after tbegin) ==> A
+func CouplingImmediateDependent(e, c string) string {
+	return fmt.Sprintf("fa(%s, after tcommit, after tbegin)", wrapCond(e, c))
+}
+
+// CouplingImmediateIndependent: condition checked at the event, action
+// run after the triggering transaction finishes either way.
+//
+//	fa(E && C, after tcommit | after tabort, after tbegin) ==> A
+//
+// Observing aborts requires the whole-history view (§6).
+func CouplingImmediateIndependent(e, c string) string {
+	return fmt.Sprintf("fa(%s, after tcommit | after tabort, after tbegin)", wrapCond(e, c))
+}
+
+// CouplingDeferredImmediate: condition checked just before commit
+// (equivalently Deferred-Deferred), action run there too.
+//
+//	fa(E, before tcomplete, after tbegin) && C ==> A
+func CouplingDeferredImmediate(e, c string) string {
+	out := fmt.Sprintf("fa(%s, before tcomplete, after tbegin)", "("+e+")")
+	if c != "" {
+		out = "(" + out + ") && " + c
+	}
+	return out
+}
+
+// CouplingDeferredDependent: condition checked just before commit,
+// action run after the commit.
+//
+//	fa(fa(E, before tcomplete, after tbegin) && C,
+//	   after tcommit, after tbegin) ==> A
+func CouplingDeferredDependent(e, c string) string {
+	return fmt.Sprintf("fa(%s, after tcommit, after tbegin)",
+		wrapCond(fmt.Sprintf("fa((%s), before tcomplete, after tbegin)", e), c))
+}
+
+// CouplingDeferredIndependent: condition checked just before commit,
+// action run after the transaction finishes either way.
+//
+//	fa(fa(E, before tcomplete, after tbegin) && C,
+//	   after tcommit | after tabort, after tbegin) ==> A
+func CouplingDeferredIndependent(e, c string) string {
+	return fmt.Sprintf("fa(%s, after tcommit | after tabort, after tbegin)",
+		wrapCond(fmt.Sprintf("fa((%s), before tcomplete, after tbegin)", e), c))
+}
+
+// CouplingDependentImmediate: condition checked (and action run) right
+// after the triggering transaction commits.
+//
+//	fa(E, after tcommit, after tbegin) && C ==> A
+func CouplingDependentImmediate(e, c string) string {
+	out := fmt.Sprintf("fa((%s), after tcommit, after tbegin)", e)
+	if c != "" {
+		out = "(" + out + ") && " + c
+	}
+	return out
+}
+
+// CouplingIndependentImmediate: condition checked (and action run)
+// after the triggering transaction finishes either way.
+//
+//	fa(E, after tcommit | after tabort, after tbegin) && C ==> A
+func CouplingIndependentImmediate(e, c string) string {
+	out := fmt.Sprintf("fa((%s), after tcommit | after tabort, after tbegin)", e)
+	if c != "" {
+		out = "(" + out + ") && " + c
+	}
+	return out
+}

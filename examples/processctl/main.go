@@ -1,0 +1,109 @@
+// Processctl reproduces the paper's §3.5 process-control example: a
+// vessel whose trigger watches for a pressure drop followed by a valve
+// opening, where "valve open" is itself the composite event of a motor
+// start completing and then a motor stop completing:
+//
+//	#define pDrop     (pressure < low_limit)
+//	#define valveOpen relative(after motorStart, after motorStop)
+//	T(): relative(pDrop, valveOpen) ==> checkPressure
+//
+// pDrop uses the object-state shorthand: it is sugar for
+// (after update | after create) && pressure < low_limit.
+//
+//	go run ./examples/processctl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ode"
+)
+
+func main() {
+	db, err := ode.Open(ode.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	defs := ode.NewDefines().
+		Add("pDrop", "pressure < low_limit").
+		Add("valveOpen", "relative(after motorStart, after motorStop)")
+
+	err = db.NewClass("vessel").
+		Defines(defs).
+		Field("pressure", ode.KindFloat, ode.Float(10.0)).
+		Field("low_limit", ode.KindFloat, ode.Float(3.0)).
+		Field("motorOn", ode.KindBool, ode.Bool(false)).
+		Update("setPressure", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ode.Null(), ctx.Set("pressure", ctx.Arg("p"))
+		}, ode.P("p", ode.KindFloat)).
+		Update("motorStart", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ode.Null(), ctx.Set("motorOn", ode.Bool(true))
+		}).
+		Update("motorStop", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			return ode.Null(), ctx.Set("motorOn", ode.Bool(false))
+		}).
+		Trigger("T(): relative(pDrop, valveOpen) ==> checkPressure",
+			func(ctx *ode.ActionCtx) error {
+				p, _ := ctx.Tx.Get(ctx.Self, "pressure")
+				fmt.Printf("  [trigger T] valve cycled after a pressure drop — check pressure (now %.1f)\n",
+					p.AsFloat())
+				return nil
+			}).
+		Register()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var vessel ode.OID
+	must(db.Transact(func(tx *ode.Tx) error {
+		vessel, err = tx.NewObject("vessel", nil)
+		if err != nil {
+			return err
+		}
+		return tx.Activate(vessel, "T")
+	}))
+
+	step := func(what string, fn func(tx *ode.Tx) error) {
+		fmt.Println(what)
+		must(db.Transact(fn))
+	}
+
+	step("cycle the valve at normal pressure (no pDrop yet: no fire)", func(tx *ode.Tx) error {
+		tx.Call(vessel, "motorStart")
+		_, err := tx.Call(vessel, "motorStop")
+		return err
+	})
+	step("pressure drops to 2.5 (below low_limit 3.0)", func(tx *ode.Tx) error {
+		_, err := tx.Call(vessel, "setPressure", ode.Float(2.5))
+		return err
+	})
+	step("valve opens: motorStart then motorStop → trigger fires at motorStop", func(tx *ode.Tx) error {
+		tx.Call(vessel, "motorStart")
+		_, err := tx.Call(vessel, "motorStop")
+		return err
+	})
+	step("the trigger is ordinary (not perpetual): a second cycle is silent", func(tx *ode.Tx) error {
+		tx.Call(vessel, "setPressure", ode.Float(2.0))
+		tx.Call(vessel, "motorStart")
+		_, err := tx.Call(vessel, "motorStop")
+		return err
+	})
+	step("re-activating re-arms it", func(tx *ode.Tx) error {
+		if err := tx.Activate(vessel, "T"); err != nil {
+			return err
+		}
+		tx.Call(vessel, "setPressure", ode.Float(1.5))
+		tx.Call(vessel, "motorStart")
+		_, err := tx.Call(vessel, "motorStop")
+		return err
+	})
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

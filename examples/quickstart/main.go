@@ -1,0 +1,83 @@
+// Quickstart: one class, one composite trigger, three transactions.
+//
+// The trigger uses the paper's §3.2 running example — a "large
+// withdrawal" logical event — inside a relative() composition: report
+// when a large withdrawal is later followed by another withdrawal.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ode"
+)
+
+func main() {
+	db, err := ode.Open(ode.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	err = db.NewClass("account").
+		Field("balance", ode.KindInt, ode.Int(0)).
+		Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			b, _ := ctx.Get("balance")
+			return ode.Null(), ctx.Set("balance", ode.Int(b.AsInt()+ctx.Arg("amount").AsInt()))
+		}, ode.P("amount", ode.KindInt)).
+		Update("withdraw", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			b, _ := ctx.Get("balance")
+			return ode.Null(), ctx.Set("balance", ode.Int(b.AsInt()-ctx.Arg("amount").AsInt()))
+		}, ode.P("amount", ode.KindInt)).
+		Trigger("Watch(): perpetual relative(after withdraw(a) && a > 1000, after withdraw) ==> report",
+			func(ctx *ode.ActionCtx) error {
+				b, _ := ctx.Tx.Get(ctx.Self, "balance")
+				fmt.Printf("  [trigger Watch] withdrawal after a large one; balance now %s\n", b)
+				return nil
+			}).
+		Register()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var acct ode.OID
+	must(db.Transact(func(tx *ode.Tx) error {
+		acct, err = tx.NewObject("account", map[string]ode.Value{"balance": ode.Int(5000)})
+		if err != nil {
+			return err
+		}
+		return tx.Activate(acct, "Watch")
+	}))
+
+	fmt.Println("tx 1: deposit 100, withdraw 2000 (large)")
+	must(db.Transact(func(tx *ode.Tx) error {
+		if _, err := tx.Call(acct, "deposit", ode.Int(100)); err != nil {
+			return err
+		}
+		_, err := tx.Call(acct, "withdraw", ode.Int(2000))
+		return err
+	}))
+
+	fmt.Println("tx 2: withdraw 50 (fires: follows a large withdrawal)")
+	must(db.Transact(func(tx *ode.Tx) error {
+		_, err := tx.Call(acct, "withdraw", ode.Int(50))
+		return err
+	}))
+
+	fmt.Println("tx 3: withdraw 25 (fires again: perpetual trigger)")
+	must(db.Transact(func(tx *ode.Tx) error {
+		_, err := tx.Call(acct, "withdraw", ode.Int(25))
+		return err
+	}))
+
+	state, active, _ := db.TriggerState(acct, "Watch")
+	fmt.Printf("done: trigger state is the single integer %d (active=%v)\n", state, active)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Stockroom reproduces the paper's §3.5 running example: the stockRoom
+// class with its eight triggers T1–T8, driven through two simulated
+// business days on the virtual clock.
+//
+//	T1: only authorized users may withdraw (tabort otherwise)
+//	T2: re-order an item when its stock falls below the reorder level
+//	T3: print a summary at the end of the day
+//	T4: report every transaction after the 5th of the same day
+//	T5: update averages every 5 operations
+//	T6: record all large withdrawals (q > 100)
+//	T7: print a summary after the 5th large withdrawal of the day
+//	T8: print the log when a deposit is immediately followed by a withdrawal
+//
+// One deviation from the paper's listing: its T2 action is "order(i)",
+// passing the event parameter i into the action. The paper itself
+// lists "the incorporation of arguments into composite event
+// specification" as future work (§9), so, as an Ode user would have,
+// the withdraw method records the item in a lastItem field the order()
+// action reads.
+//
+//	go run ./examples/stockroom
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ode"
+)
+
+var currentUser = "alice"
+
+func main() {
+	db, err := ode.Open(ode.Options{Start: time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	db.RegisterFunc("user", func([]ode.Value) (ode.Value, error) {
+		return ode.Str(currentUser), nil
+	})
+
+	if err := registerItem(db); err != nil {
+		log.Fatal(err)
+	}
+	room, items, err := registerStockRoom(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	say := func(f string, a ...any) {
+		fmt.Printf("%s  %s\n", db.Clock().Now().Format("Mon 15:04"), fmt.Sprintf(f, a...))
+	}
+
+	// ---- Day 1 ----
+	db.Clock().Advance(90 * time.Minute) // 09:30, past dayBegin
+	say("day 1 opens")
+
+	withdraw := func(item ode.OID, qty int64) error {
+		return db.Transact(func(tx *ode.Tx) error {
+			_, err := tx.Call(room, "withdraw", ode.Ref(item), ode.Int(qty))
+			return err
+		})
+	}
+	deposit := func(item ode.OID, qty int64) error {
+		return db.Transact(func(tx *ode.Tx) error {
+			_, err := tx.Call(room, "deposit", ode.Ref(item), ode.Int(qty))
+			return err
+		})
+	}
+
+	must(deposit(items["bolts"], 1000))
+
+	// T8 needs the withdrawal *immediately* after the deposit: within
+	// one transaction (commit-time transaction events break adjacency
+	// across transactions) and with no trigger action posting events in
+	// between — T5's updateAverages would intervene if this landed on a
+	// multiple of five accesses.
+	must(db.Transact(func(tx *ode.Tx) error {
+		if _, err := tx.Call(room, "deposit", ode.Ref(items["bolts"]), ode.Int(5)); err != nil {
+			return err
+		}
+		_, err := tx.Call(room, "withdraw", ode.Ref(items["bolts"]), ode.Int(5))
+		return err
+	}))
+
+	must(withdraw(items["bolts"], 150)) // large → T6
+	must(withdraw(items["gears"], 30))
+
+	currentUser = "mallory"
+	if err := withdraw(items["gears"], 10); err != nil {
+		say("T1 blocked mallory's withdrawal: %v", err)
+	}
+	currentUser = "alice"
+
+	// Drain gears below its reorder level → T2.
+	must(withdraw(items["gears"], 55))
+
+	// More business: pass the 5th commit of the day → T4 reports.
+	for i := 0; i < 4; i++ {
+		must(deposit(items["bolts"], 10))
+	}
+
+	// Large withdrawals towards T7's fifth-of-the-day.
+	for i := 0; i < 5; i++ {
+		must(withdraw(items["bolts"], 120))
+	}
+
+	db.Clock().Advance(10 * time.Hour) // past 17:00 → T3 summary
+	say("day 1 closes")
+
+	// ---- Day 2 ----
+	db.Clock().AdvanceTo(time.Date(2026, 7, 7, 9, 30, 0, 0, time.UTC))
+	say("day 2 opens (counters reset by dayBegin)")
+	must(deposit(items["gears"], 200))
+	must(withdraw(items["gears"], 140)) // large, but only the 1st today
+	db.Clock().Advance(9 * time.Hour)   // 18:30 → T3 again
+	say("day 2 closes")
+
+	if errs := db.Engine().TimerErrors(); len(errs) > 0 {
+		log.Fatalf("timer errors: %v", errs)
+	}
+}
+
+func registerItem(db *ode.Database) error {
+	return db.NewClass("item").
+		Field("name", ode.KindString, ode.Null()).
+		Field("stock", ode.KindInt, ode.Int(0)).
+		Field("reorderLevel", ode.KindInt, ode.Int(20)).
+		Field("onOrder", ode.KindBool, ode.Bool(false)).
+		Update("take", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			s, _ := ctx.Get("stock")
+			n := ctx.Arg("n").AsInt()
+			if s.AsInt() < n {
+				return ode.Null(), fmt.Errorf("item: insufficient stock")
+			}
+			return ode.Null(), ctx.Set("stock", ode.Int(s.AsInt()-n))
+		}, ode.P("n", ode.KindInt)).
+		Update("add", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			s, _ := ctx.Get("stock")
+			return ode.Null(), ctx.Set("stock", ode.Int(s.AsInt()+ctx.Arg("n").AsInt()))
+		}, ode.P("n", ode.KindInt)).
+		Register()
+}
+
+func registerStockRoom(db *ode.Database) (ode.OID, map[string]ode.OID, error) {
+	defs := ode.NewDefines().
+		Add("dayBegin", "at time(HR=9)").
+		Add("dayEnd", "at time(HR=17)").
+		Add("FifthLrgWdr", "choose 5 (after withdraw(i, q) && q > 100)")
+
+	now := func(db *ode.Database) string { return db.Clock().Now().Format("Mon 15:04") }
+
+	b := db.NewClass("stockRoom").
+		Defines(defs).
+		Field("n", ode.KindInt, ode.Int(0)).        // operations counter
+		Field("logCount", ode.KindInt, ode.Int(0)). // large-withdrawal log
+		Field("lastItem", ode.KindID, ode.Null()).
+		Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			if _, err := ctx.Tx.Call(ode.OID(ctx.Arg("i").AsID()), "add", ctx.Arg("q")); err != nil {
+				return ode.Null(), err
+			}
+			n, _ := ctx.Get("n")
+			return ode.Null(), ctx.Set("n", ode.Int(n.AsInt()+1))
+		}, ode.P("i", ode.KindID), ode.P("q", ode.KindInt)).
+		Update("withdraw", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			if err := ctx.Set("lastItem", ctx.Arg("i")); err != nil {
+				return ode.Null(), err
+			}
+			if _, err := ctx.Tx.Call(ode.OID(ctx.Arg("i").AsID()), "take", ctx.Arg("q")); err != nil {
+				return ode.Null(), err
+			}
+			n, _ := ctx.Get("n")
+			return ode.Null(), ctx.Set("n", ode.Int(n.AsInt()+1))
+		}, ode.P("i", ode.KindID), ode.P("q", ode.KindInt)).
+		Func("authorized", func(args []ode.Value) (ode.Value, error) {
+			u := args[0].AsString()
+			return ode.Bool(u == "alice" || u == "bob"), nil
+		}).
+		Update("order", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			it, _ := ctx.Get("lastItem")
+			if it.IsNull() {
+				return ode.Null(), nil
+			}
+			item := ode.OID(it.AsID())
+			name, _ := ctx.Tx.Get(item, "name")
+			if err := ctx.Tx.Set(item, "onOrder", ode.Bool(true)); err != nil {
+				return ode.Null(), err
+			}
+			fmt.Printf("%s    [T2] stock of %s below reorder level → purchase order placed\n", now(db), name)
+			return ode.Null(), nil
+		}).
+		Update("logOp", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			c, _ := ctx.Get("logCount")
+			if err := ctx.Set("logCount", ode.Int(c.AsInt()+1)); err != nil {
+				return ode.Null(), err
+			}
+			fmt.Printf("%s    [T6] large withdrawal recorded (log size %d)\n", now(db), c.AsInt()+1)
+			return ode.Null(), nil
+		}).
+		Read("summary", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			n, _ := ctx.Get("n")
+			lc, _ := ctx.Get("logCount")
+			fmt.Printf("%s    [summary] %d operations so far, %d large withdrawals logged\n",
+				now(db), n.AsInt(), lc.AsInt())
+			return ode.Null(), nil
+		}).
+		Read("report", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			fmt.Printf("%s    [T4] busy day: another transaction after today's 5th commit\n", now(db))
+			return ode.Null(), nil
+		}).
+		Read("printLog", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			lc, _ := ctx.Get("logCount")
+			fmt.Printf("%s    [T8] deposit immediately followed by withdrawal — log has %d entries\n",
+				now(db), lc.AsInt())
+			return ode.Null(), nil
+		}).
+		Update("updateAverages", func(ctx *ode.MethodCtx) (ode.Value, error) {
+			fmt.Printf("%s    [T5] five more operations: averages updated\n", now(db))
+			return ode.Null(), nil
+		}).
+		Trigger("T1(): perpetual before withdraw && !authorized(user()) ==> tabort", nil).
+		Trigger("T2(): perpetual after withdraw(i, q) && i.stock < i.reorderLevel ==> order()", nil).
+		Trigger("T3(): perpetual dayEnd ==> summary()", nil).
+		Trigger("T4(): perpetual relative(dayBegin, prior(choose 5 (after tcommit), after tcommit) & !prior(dayBegin, after tcommit)) ==> report()", nil).
+		Trigger("T5(): perpetual every 5 (after access) ==> updateAverages()", nil).
+		Trigger("T6(): perpetual after withdraw(i, q) && q > 100 ==> logOp()", nil).
+		Trigger("T7(): perpetual fa(dayBegin, FifthLrgWdr, dayBegin) ==> summary()", nil).
+		Trigger("T8(): perpetual after deposit; before withdraw; after withdraw ==> printLog()", nil)
+	if err := b.Register(); err != nil {
+		return 0, nil, err
+	}
+
+	var room ode.OID
+	items := map[string]ode.OID{}
+	err := db.Transact(func(tx *ode.Tx) error {
+		for _, name := range []string{"bolts", "gears"} {
+			oid, err := tx.NewObject("item", map[string]ode.Value{
+				"name":  ode.Str(name),
+				"stock": ode.Int(100),
+			})
+			if err != nil {
+				return err
+			}
+			items[name] = oid
+		}
+		var err error
+		room, err = tx.NewObject("stockRoom", nil)
+		if err != nil {
+			return err
+		}
+		// "The initial activation can be specified in the constructor"
+		// (§3.5): activate all eight.
+		for _, trig := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"} {
+			if err := tx.Activate(room, trig); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return room, items, err
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package ode
+
+import (
+	"fmt"
+
+	"ode/internal/compile"
+	"ode/internal/evlang"
+	"ode/internal/schema"
+)
+
+// Automaton describes a compiled trigger automaton: the §5 artifact
+// shared by all objects of a class, with one integer of state per
+// object per activation.
+type Automaton struct {
+	Trigger string
+	States  int
+	Symbols int
+	// TableBytes is the shared transition-table footprint
+	// (states × symbols × 8 bytes).
+	TableBytes int
+	// PerObjectBytes is the per-object detection state: one machine
+	// word (§5: "only a single (integer) variable is required").
+	PerObjectBytes int
+
+	dfa   dfaLike
+	names func(int) string
+}
+
+type dfaLike interface {
+	Dot(name string, symbolName func(int) string) string
+	Table(symbolName func(int) string) string
+}
+
+// Dot renders the automaton in Graphviz DOT format with symbolic edge
+// labels.
+func (a *Automaton) Dot() string { return a.dfa.Dot(a.Trigger, a.names) }
+
+// Table renders the transition table as text.
+func (a *Automaton) Table() string { return a.dfa.Table(a.names) }
+
+// Inspect compiles the triggers of a registered class and reports
+// their automata. It is the introspection surface behind cmd/eventc.
+func (db *Database) Inspect(class string) ([]*Automaton, error) {
+	c := db.eng.Class(class)
+	if c == nil {
+		return nil, fmt.Errorf("ode: unregistered class %q", class)
+	}
+	out := make([]*Automaton, 0, len(c.Triggers))
+	alpha := c.Res.Alphabet
+	for _, t := range c.Triggers {
+		out = append(out, &Automaton{
+			Trigger:        t.Res.Name,
+			States:         t.DFA.NumStates,
+			Symbols:        t.DFA.NumSymbols,
+			TableBytes:     t.DFA.NumStates * t.DFA.NumSymbols * 8,
+			PerObjectBytes: 8,
+			dfa:            t.DFA,
+			names:          alpha.SymbolName,
+		})
+	}
+	return out, nil
+}
+
+// CompileEvent resolves and compiles a standalone event expression
+// against a class schema, without registering anything — a tool for
+// exploring the §5 pipeline. The returned automaton is minimized.
+func CompileEvent(cls *schema.Class, eventSrc string, defines *Defines) (*Automaton, error) {
+	probe := *cls
+	probe.Triggers = []schema.Trigger{{Name: "probe", Event: eventSrc}}
+	var ps *evlang.Parser
+	if defines != nil {
+		ps = defines.ps
+		ps.Methods = map[string]bool{}
+		for _, m := range cls.Methods {
+			ps.Methods[m.Name] = true
+		}
+	} else {
+		ps = evlang.ForClass(&probe)
+	}
+	res, err := evlang.ResolveClass(&probe, ps)
+	if err != nil {
+		return nil, err
+	}
+	tr := res.Triggers[0]
+	dfa := compile.Compile(tr.Expr, res.Alphabet.NumSymbols)
+	return &Automaton{
+		Trigger:        eventSrc,
+		States:         dfa.NumStates,
+		Symbols:        dfa.NumSymbols,
+		TableBytes:     dfa.NumStates * dfa.NumSymbols * 8,
+		PerObjectBytes: 8,
+		dfa:            dfa,
+		names:          res.Alphabet.SymbolName,
+	}, nil
+}
+
+// Class is re-exported schema metadata for CompileEvent users.
+type Class = schema.Class
+
+// Field is re-exported schema field metadata.
+type Field = schema.Field
+
+// Method is re-exported schema method metadata.
+type Method = schema.Method
+
+// Access modes for schema methods.
+const (
+	// ModeRead marks a read-only member function.
+	ModeRead = schema.ModeRead
+	// ModeUpdate marks an updating member function.
+	ModeUpdate = schema.ModeUpdate
+)

@@ -1,0 +1,390 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// points converts a label vector into the list of labeled positions,
+// for readable assertions.
+func points(labels []bool) []int {
+	var out []int
+	for p, ok := range labels {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func eqPoints(a []int, b ...int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAtomAndBoolean(t *testing.T) {
+	h := []int{0, 1, 0, 2, 1}
+	if got := points(Eval(Atom(1), h)); !eqPoints(got, 1, 4) {
+		t.Fatalf("atom: %v", got)
+	}
+	if got := points(Eval(Or(Atom(0), Atom(2)), h)); !eqPoints(got, 0, 2, 3) {
+		t.Fatalf("or: %v", got)
+	}
+	if got := points(Eval(And(Atom(1), Atom(1)), h)); !eqPoints(got, 1, 4) {
+		t.Fatalf("and: %v", got)
+	}
+	if got := points(Eval(Not(Atom(1)), h)); !eqPoints(got, 0, 2, 3) {
+		t.Fatalf("not: %v", got)
+	}
+	if got := points(Eval(Empty(), h)); len(got) != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+// TestRelativeVsPriorPaperExample reproduces the paper's §3.4 example:
+// with E = relative(E1, E2) and F = relative(F1, F2) over the history
+// F1 E1 E2 F2, prior(E, F) occurs at F2 but relative(E, F) does not.
+func TestRelativeVsPriorPaperExample(t *testing.T) {
+	const (
+		e1 = 0
+		e2 = 1
+		f1 = 2
+		f2 = 3
+	)
+	E := Relative(Atom(e1), Atom(e2))
+	F := Relative(Atom(f1), Atom(f2))
+	h := []int{f1, e1, e2, f2}
+
+	if !Occurs(Prior(E, F), h) {
+		t.Fatal("prior(E,F) should occur at F2 for history F1 E1 E2 F2")
+	}
+	if Occurs(Relative(E, F), h) {
+		t.Fatal("relative(E,F) should NOT occur at F2 for history F1 E1 E2 F2")
+	}
+	// For the in-order history E1 E2 F1 F2 both occur.
+	h2 := []int{e1, e2, f1, f2}
+	if !Occurs(Prior(E, F), h2) || !Occurs(Relative(E, F), h2) {
+		t.Fatal("both operators should accept the in-order history")
+	}
+}
+
+func TestRelativeTruncation(t *testing.T) {
+	// relative(a, b): a b-point strictly after an a-point.
+	e := Relative(Atom(0), Atom(1))
+	if got := points(Eval(e, []int{1, 0, 1, 1})); !eqPoints(got, 2, 3) {
+		t.Fatalf("relative: %v", got)
+	}
+	// No a: never occurs.
+	if got := points(Eval(e, []int{1, 1, 1})); len(got) != 0 {
+		t.Fatalf("relative without a: %v", got)
+	}
+	// b before a only: never occurs.
+	if got := points(Eval(e, []int{1, 0})); len(got) != 0 {
+		t.Fatalf("relative b-then-a: %v", got)
+	}
+}
+
+func TestRelativeNFifthDeposit(t *testing.T) {
+	// Paper §3.4: relative 5 (after deposit) = the 5th and any
+	// subsequent deposit. Alphabet: 0 = after deposit, 1 = other.
+	e := RelativeN(Atom(0), 5)
+	h := []int{0, 1, 0, 0, 1, 0, 0, 1, 0}
+	// Deposits at positions 0,2,3,5,6,8; the 5th is position 6.
+	if got := points(Eval(e, h)); !eqPoints(got, 6, 8) {
+		t.Fatalf("relative 5: %v", got)
+	}
+}
+
+func TestPlusChains(t *testing.T) {
+	// relative+(sequence-free): for an atom, relative+(a) = a.
+	a := Atom(0)
+	h := []int{1, 0, 1, 0, 0}
+	if got, want := points(Eval(Plus(a), h)), points(Eval(a, h)); !eqPoints(got, want...) {
+		t.Fatalf("relative+(atom): %v want %v", got, want)
+	}
+	// relative+(relative(a,b)) occurs at b-points completing chains
+	// a b [a b]...: with h = a b a b, occurrences at 1 and 3.
+	ab := Relative(Atom(0), Atom(1))
+	h2 := []int{0, 1, 0, 1}
+	if got := points(Eval(Plus(ab), h2)); !eqPoints(got, 1, 3) {
+		t.Fatalf("relative+(ab): %v", got)
+	}
+}
+
+func TestSequenceImmediate(t *testing.T) {
+	// sequence(a, b): b immediately after a.
+	e := Sequence(Atom(0), Atom(1))
+	if got := points(Eval(e, []int{0, 1, 2, 0, 1})); !eqPoints(got, 1, 4) {
+		t.Fatalf("sequence: %v", got)
+	}
+	if got := points(Eval(e, []int{0, 2, 1})); len(got) != 0 {
+		t.Fatalf("sequence with gap: %v", got)
+	}
+	// The paper's T8: after deposit; before withdraw; after withdraw.
+	t8 := SequenceList(Atom(0), Atom(1), Atom(2))
+	if got := points(Eval(t8, []int{0, 1, 2})); !eqPoints(got, 2) {
+		t.Fatalf("T8 in order: %v", got)
+	}
+	if got := points(Eval(t8, []int{0, 3, 1, 2})); len(got) != 0 {
+		t.Fatalf("T8 with interloper: %v", got)
+	}
+	// A composite second operand that needs >=2 points can never occur
+	// "at the next logical event": the sequence is unsatisfiable.
+	unsat := Sequence(Atom(0), Relative(Atom(1), Atom(2)))
+	if got := points(Eval(unsat, []int{0, 1, 2, 1, 2})); len(got) != 0 {
+		t.Fatalf("unsatisfiable sequence occurred: %v", got)
+	}
+}
+
+func TestChooseAndEvery(t *testing.T) {
+	h := []int{0, 1, 0, 0, 1, 0, 0}
+	// a-points: 0, 2, 3, 5, 6.
+	if got := points(Eval(Choose(Atom(0), 3), h)); !eqPoints(got, 3) {
+		t.Fatalf("choose 3: %v", got)
+	}
+	if got := points(Eval(Choose(Atom(0), 9), h)); len(got) != 0 {
+		t.Fatalf("choose 9 of 5: %v", got)
+	}
+	if got := points(Eval(Every(Atom(0), 2), h)); !eqPoints(got, 2, 5) {
+		t.Fatalf("every 2: %v", got)
+	}
+	if got := points(Eval(Every(Atom(0), 1), h)); !eqPoints(got, 0, 2, 3, 5, 6) {
+		t.Fatalf("every 1: %v", got)
+	}
+}
+
+func TestPriorFirstOccurrence(t *testing.T) {
+	// prior(a, b): b-points after the first a.
+	e := Prior(Atom(0), Atom(1))
+	if got := points(Eval(e, []int{1, 0, 1, 1})); !eqPoints(got, 2, 3) {
+		t.Fatalf("prior: %v", got)
+	}
+	// prior N (a) = nth and subsequent a's.
+	e5 := PriorN(Atom(0), 3)
+	if got := points(Eval(e5, []int{0, 0, 0, 1, 0})); !eqPoints(got, 2, 4) {
+		t.Fatalf("prior 3: %v", got)
+	}
+}
+
+func TestFa(t *testing.T) {
+	const (
+		tbegin  = 0
+		update  = 1
+		tcommit = 2
+		tabort  = 3
+		other   = 4
+	)
+	// The paper's example: fa(after tbegin,
+	//   prior(after update, after tcommit),
+	//   after tcommit | after tabort)
+	// = the commit of a transaction that updated the object.
+	e := Fa(
+		Atom(tbegin),
+		Prior(Atom(update), Atom(tcommit)),
+		Or(Atom(tcommit), Atom(tabort)),
+	)
+	// Updating transaction commits: fires at the commit.
+	if got := points(Eval(e, []int{tbegin, update, other, tcommit})); !eqPoints(got, 3) {
+		t.Fatalf("fa commit-after-update: %v", got)
+	}
+	// Transaction aborts: the abort is an intervening G, no fire.
+	if got := points(Eval(e, []int{tbegin, update, tabort, tcommit})); len(got) != 0 {
+		t.Fatalf("fa after abort: %v", got)
+	}
+	// Transaction commits without updating: F never occurs before G
+	// kills the window.
+	if got := points(Eval(e, []int{tbegin, other, tcommit})); len(got) != 0 {
+		t.Fatalf("fa commit-without-update: %v", got)
+	}
+}
+
+func TestFaFirstOnly(t *testing.T) {
+	// fa(a, b, empty): only the FIRST b after each a fires; but
+	// distinct a's open distinct windows.
+	e := Fa(Atom(0), Atom(1), Empty())
+	if got := points(Eval(e, []int{0, 1, 1})); !eqPoints(got, 1) {
+		t.Fatalf("fa first-only: %v", got)
+	}
+	// A second a reopens: a b a b → fires at 1 and 3.
+	if got := points(Eval(e, []int{0, 1, 0, 1})); !eqPoints(got, 1, 3) {
+		t.Fatalf("fa reopen: %v", got)
+	}
+}
+
+func TestFaVsFaAbs(t *testing.T) {
+	// G = relative(g1, g2). With history g1 E g2 F:
+	//  - fa(E, F, G): in the truncated history (g2 F), G never occurs,
+	//    so F fires.
+	//  - faAbs(E, F, G): G occurs at g2 in the whole history, strictly
+	//    between E and F, so F is blocked.
+	const (
+		eSym = 0
+		fSym = 1
+		g1   = 2
+		g2   = 3
+	)
+	G := Relative(Atom(g1), Atom(g2))
+	h := []int{g1, eSym, g2, fSym}
+	fa := Fa(Atom(eSym), Atom(fSym), G)
+	faAbs := FaAbs(Atom(eSym), Atom(fSym), G)
+	if !Occurs(fa, h) {
+		t.Fatal("fa should fire: G does not occur relative to E")
+	}
+	if Occurs(faAbs, h) {
+		t.Fatal("faAbs should be blocked: G occurs in the whole history between E and F")
+	}
+}
+
+// TestFootnote4 reproduces the paper's footnote 4: with
+// E = F & !prior(F, F), over the history F F, E occurs at the first F
+// but not the second, while relative(E, E) occurs at the second but
+// not the first.
+func TestFootnote4(t *testing.T) {
+	F := Atom(0)
+	E := And(F, Not(Prior(F, F)))
+	h := []int{0, 0}
+	if got := points(Eval(E, h)); !eqPoints(got, 0) {
+		t.Fatalf("E: %v, want [0]", got)
+	}
+	if got := points(Eval(Relative(E, E), h)); !eqPoints(got, 1) {
+		t.Fatalf("relative(E,E): %v, want [1]", got)
+	}
+}
+
+func TestOccursEmptyHistory(t *testing.T) {
+	if Occurs(Atom(0), nil) {
+		t.Fatal("event occurred on empty history")
+	}
+	if Occurs(Not(Atom(0)), nil) {
+		t.Fatal("negated event occurred on empty history")
+	}
+}
+
+func TestNaiveDetector(t *testing.T) {
+	d := NewNaiveDetector(Relative(Atom(0), Atom(1)))
+	fires := []bool{
+		d.Post(1), // no a yet
+		d.Post(0),
+		d.Post(1), // fires
+		d.Post(1), // fires
+	}
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("post %d: got %v want %v", i, fires[i], want[i])
+		}
+	}
+	if d.HistoryLen() != 4 {
+		t.Fatalf("history len %d", d.HistoryLen())
+	}
+	d.Reset()
+	if d.HistoryLen() != 0 || d.Post(1) {
+		t.Fatal("reset did not clear history")
+	}
+}
+
+// randomExpr builds a random expression over k symbols for property
+// tests; depth bounds recursion.
+func randomExpr(rng *rand.Rand, k, depth int) *Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(8) == 0 {
+			return Empty()
+		}
+		return Atom(rng.Intn(k))
+	}
+	sub := func() *Expr { return randomExpr(rng, k, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return Or(sub(), sub())
+	case 1:
+		return And(sub(), sub())
+	case 2:
+		return Not(sub())
+	case 3:
+		return Relative(sub(), sub())
+	case 4:
+		return Plus(sub())
+	case 5:
+		return Prior(sub(), sub())
+	case 6:
+		return Sequence(sub(), sub())
+	case 7:
+		return Choose(sub(), 1+rng.Intn(3))
+	case 8:
+		return Every(sub(), 1+rng.Intn(3))
+	case 9:
+		return Fa(sub(), sub(), sub())
+	case 10:
+		return FaAbs(sub(), sub(), sub())
+	default:
+		return RelativeN(sub(), 1+rng.Intn(3))
+	}
+}
+
+// TestPrefixStability checks the property that makes single-pass
+// automaton detection sound: whether point p is labeled depends only
+// on the history prefix up to p.
+func TestPrefixStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const k = 3
+	for iter := 0; iter < 300; iter++ {
+		e := randomExpr(rng, k, 3)
+		n := 1 + rng.Intn(8)
+		h := make([]int, n)
+		for i := range h {
+			h[i] = rng.Intn(k)
+		}
+		full := Eval(e, h)
+		for p := 0; p < n; p++ {
+			pre := Eval(e, h[:p+1])
+			if pre[p] != full[p] {
+				t.Fatalf("iter %d: %s not prefix-stable at %d on %v: prefix=%v full=%v",
+					iter, e, p, h, pre[p], full[p])
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Fa(Atom(0), Prior(Atom(1), Atom(2)), Or(Atom(2), Not(Atom(3))))
+	got := e.String()
+	want := "fa(e0, prior(e1, e2), (e2 | !e3))"
+	if got != want {
+		t.Fatalf("String: %q want %q", got, want)
+	}
+	if e.Size() != 9 {
+		t.Fatalf("Size: %d want 9", e.Size())
+	}
+	if e.MaxSymbol() != 3 {
+		t.Fatalf("MaxSymbol: %d want 3", e.MaxSymbol())
+	}
+	if Empty().MaxSymbol() != -1 {
+		t.Fatal("MaxSymbol of empty should be -1")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative atom": func() { Atom(-1) },
+		"choose 0":      func() { Choose(Atom(0), 0) },
+		"every 0":       func() { Every(Atom(0), 0) },
+		"relativeN 0":   func() { RelativeN(Atom(0), 0) },
+		"empty orlist":  func() { OrList() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

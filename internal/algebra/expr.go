@@ -1,0 +1,278 @@
+// Package algebra defines the Ode composite-event algebra (Gehani,
+// Jagadish & Shmueli, SIGMOD 1992, §3.3–§4) over an abstract alphabet
+// of disjoint logical events, together with a direct implementation of
+// the paper's denotational semantics.
+//
+// An event history is a sequence of symbols (one per posted logical
+// event); an expression denotes, for a given history, the set of
+// history points at which the event occurs. Eval computes that set
+// exactly as defined in the paper's §4 model; it is the ground-truth
+// oracle against which the automaton compiler (internal/compile) is
+// verified, and the "re-evaluate on every event" baseline in the
+// experiment harness.
+//
+// Symbols are small non-negative integers. The mapping from real
+// database happenings (method executions, transaction lifecycle,
+// timers) and their masks to symbols is the concern of higher layers
+// (internal/evlang, internal/trigger); this package is purely the
+// algebra.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies an expression node kind.
+type Op int
+
+// Expression node kinds. The comments give the paper's surface syntax.
+const (
+	OpEmpty    Op = iota // the empty event (∅, core language item 1)
+	OpAtom               // a logical event a
+	OpOr                 // E | F
+	OpAnd                // E & F
+	OpNot                // !E
+	OpRelative           // relative(E, F)
+	OpPlus               // relative+(E)
+	OpPrior              // prior(E, F)
+	OpSequence           // sequence(E, F), also written E; F
+	OpChoose             // choose n (E)
+	OpEvery              // every n (E)
+	OpFa                 // fa(E, F, G)
+	OpFaAbs              // faAbs(E, F, G)
+)
+
+// Expr is a composite-event expression. Expressions are immutable
+// after construction; the same node may be shared between expressions.
+type Expr struct {
+	Op   Op
+	Sym  int     // OpAtom: the symbol
+	N    int     // OpChoose, OpEvery: the occurrence selector
+	Args []*Expr // operands, arity fixed per Op
+}
+
+// Constructors. Each validates arity so that malformed trees are
+// impossible to build.
+
+// Empty returns the empty event: it occurs at no point of any history.
+func Empty() *Expr { return &Expr{Op: OpEmpty} }
+
+// Atom returns the logical event with the given symbol.
+func Atom(sym int) *Expr {
+	if sym < 0 {
+		panic("algebra: negative symbol")
+	}
+	return &Expr{Op: OpAtom, Sym: sym}
+}
+
+// Or returns the union event E | F: occurs at points where either
+// occurs.
+func Or(e, f *Expr) *Expr { return &Expr{Op: OpOr, Args: []*Expr{e, f}} }
+
+// OrList folds Or over one or more expressions.
+func OrList(es ...*Expr) *Expr { return foldBinary(OpOr, es) }
+
+// And returns the intersection event E & F: occurs at points where
+// both occur.
+func And(e, f *Expr) *Expr { return &Expr{Op: OpAnd, Args: []*Expr{e, f}} }
+
+// AndList folds And over one or more expressions.
+func AndList(es ...*Expr) *Expr { return foldBinary(OpAnd, es) }
+
+// Not returns the negation !E: occurs at exactly the points where E
+// does not occur (complement with respect to the points of the
+// history).
+func Not(e *Expr) *Expr { return &Expr{Op: OpNot, Args: []*Expr{e}} }
+
+// Relative returns relative(E, F): F occurring in the history suffix
+// strictly after a point at which E occurred.
+func Relative(e, f *Expr) *Expr { return &Expr{Op: OpRelative, Args: []*Expr{e, f}} }
+
+// RelativeList applies the paper's currying: relative(E1, ..., En) is
+// relative(relative(E1, E2), E3)... ; relative(E) is E.
+func RelativeList(es ...*Expr) *Expr { return curry(Relative, es) }
+
+// Plus returns relative+(E): one or more chained relative occurrences
+// of E (the infinite disjunction relative(E) | relative(E,E) | ...).
+func Plus(e *Expr) *Expr { return &Expr{Op: OpPlus, Args: []*Expr{e}} }
+
+// RelativeN returns relative n (E): n-fold curried self-application,
+// i.e. the nth and any subsequent occurrence in a relative chain
+// (paper §3.4: "relative 5 (after deposit) specifies the composite
+// event that consists of the fifth and any subsequent after deposit
+// events").
+func RelativeN(e *Expr, n int) *Expr { return selfCurry(Relative, e, n) }
+
+// Prior returns prior(E, F): occurs at an F-point with an earlier
+// E-point; the constituents may interleave arbitrarily.
+func Prior(e, f *Expr) *Expr { return &Expr{Op: OpPrior, Args: []*Expr{e, f}} }
+
+// PriorList applies currying to prior, as RelativeList does to
+// relative.
+func PriorList(es ...*Expr) *Expr { return curry(Prior, es) }
+
+// PriorN returns prior n (E): n-fold curried self-application.
+func PriorN(e *Expr, n int) *Expr { return selfCurry(Prior, e, n) }
+
+// Sequence returns sequence(E, F) (also written E; F): F occurs at the
+// point immediately following a point at which E occurred.
+func Sequence(e, f *Expr) *Expr { return &Expr{Op: OpSequence, Args: []*Expr{e, f}} }
+
+// SequenceList applies currying to sequence.
+func SequenceList(es ...*Expr) *Expr { return curry(Sequence, es) }
+
+// SequenceN returns sequence n (E): n-fold curried self-application
+// (n consecutive occurrences of E).
+func SequenceN(e *Expr, n int) *Expr { return selfCurry(Sequence, e, n) }
+
+// Choose returns choose n (E): exactly the nth occurrence of E.
+func Choose(e *Expr, n int) *Expr {
+	if n < 1 {
+		panic("algebra: choose requires n >= 1")
+	}
+	return &Expr{Op: OpChoose, N: n, Args: []*Expr{e}}
+}
+
+// Every returns every n (E): the nth, 2nth, 3nth, ... occurrences of E.
+func Every(e *Expr, n int) *Expr {
+	if n < 1 {
+		panic("algebra: every requires n >= 1")
+	}
+	return &Expr{Op: OpEvery, N: n, Args: []*Expr{e}}
+}
+
+// Fa returns fa(E, F, G): the first occurrence of F relative to an
+// occurrence of E, with no intervening G — F and G both judged in the
+// truncated history that starts just after E.
+func Fa(e, f, g *Expr) *Expr { return &Expr{Op: OpFa, Args: []*Expr{e, f, g}} }
+
+// FaAbs returns faAbs(E, F, G): as Fa, but G is judged against the
+// whole history — only G-occurrences of the un-truncated history that
+// fall strictly between E's point and F's point block the event.
+func FaAbs(e, f, g *Expr) *Expr { return &Expr{Op: OpFaAbs, Args: []*Expr{e, f, g}} }
+
+func foldBinary(op Op, es []*Expr) *Expr {
+	if len(es) == 0 {
+		panic("algebra: empty operand list")
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &Expr{Op: op, Args: []*Expr{out, e}}
+	}
+	return out
+}
+
+func curry(mk func(a, b *Expr) *Expr, es []*Expr) *Expr {
+	if len(es) == 0 {
+		panic("algebra: empty operand list")
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = mk(out, e)
+	}
+	return out
+}
+
+func selfCurry(mk func(a, b *Expr) *Expr, e *Expr, n int) *Expr {
+	if n < 1 {
+		panic("algebra: repetition count must be >= 1")
+	}
+	out := e
+	for i := 1; i < n; i++ {
+		out = mk(out, e)
+	}
+	return out
+}
+
+// MaxSymbol returns the largest atom symbol in the expression, or -1
+// when the expression contains no atoms. The alphabet size needed to
+// evaluate or compile e is at least MaxSymbol(e)+1.
+func (e *Expr) MaxSymbol() int {
+	max := -1
+	e.Walk(func(x *Expr) {
+		if x.Op == OpAtom && x.Sym > max {
+			max = x.Sym
+		}
+	})
+	return max
+}
+
+// Walk visits every node of the expression tree in preorder.
+func (e *Expr) Walk(fn func(*Expr)) {
+	fn(e)
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+}
+
+// Size returns the number of nodes in the expression tree.
+func (e *Expr) Size() int {
+	n := 0
+	e.Walk(func(*Expr) { n++ })
+	return n
+}
+
+// String renders the expression in the paper's surface syntax with
+// symbols printed as e<k>.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.Op {
+	case OpEmpty:
+		b.WriteString("empty")
+	case OpAtom:
+		fmt.Fprintf(b, "e%d", e.Sym)
+	case OpOr:
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		b.WriteString(" | ")
+		e.Args[1].format(b)
+		b.WriteByte(')')
+	case OpAnd:
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		b.WriteString(" & ")
+		e.Args[1].format(b)
+		b.WriteByte(')')
+	case OpNot:
+		b.WriteByte('!')
+		e.Args[0].format(b)
+	case OpRelative:
+		formatCall(b, "relative", e.Args)
+	case OpPlus:
+		formatCall(b, "relative+", e.Args)
+	case OpPrior:
+		formatCall(b, "prior", e.Args)
+	case OpSequence:
+		formatCall(b, "sequence", e.Args)
+	case OpChoose:
+		fmt.Fprintf(b, "choose %d ", e.N)
+		formatCall(b, "", e.Args)
+	case OpEvery:
+		fmt.Fprintf(b, "every %d ", e.N)
+		formatCall(b, "", e.Args)
+	case OpFa:
+		formatCall(b, "fa", e.Args)
+	case OpFaAbs:
+		formatCall(b, "faAbs", e.Args)
+	default:
+		panic(fmt.Sprintf("algebra: unknown op %d", e.Op))
+	}
+}
+
+func formatCall(b *strings.Builder, name string, args []*Expr) {
+	b.WriteString(name)
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.format(b)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,105 @@
+package algebra
+
+// Simplify rewrites an expression into an equivalent, usually smaller
+// one by applying algebraic identities bottom-up:
+//
+//	E | empty = E            E & empty = empty
+//	E | E = E                E & E = E
+//	!!E = E
+//	relative(empty, F) = relative(E, empty) = empty
+//	relative+(empty) = empty
+//	relative+(relative+(E)) = relative+(E)
+//	prior(empty, F) = prior(E, empty) = empty
+//	sequence(empty, F) = sequence(E, empty) = empty
+//	choose n (empty) = every n (empty) = empty
+//	fa(E, F, G): empty E or F = empty; empty G = fa unchanged
+//
+// Language preservation is property-tested against the compiler
+// (TestSimplifyPreservesLanguage). The compiler runs Simplify before
+// construction; the identities mostly arise from mechanical lowering
+// (e.g. an "after update" selector over a class with no update
+// methods lowers to empty).
+func Simplify(e *Expr) *Expr {
+	switch e.Op {
+	case OpEmpty, OpAtom:
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		args[i] = Simplify(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	n := e
+	if changed {
+		n = &Expr{Op: e.Op, Sym: e.Sym, N: e.N, Args: args}
+	}
+
+	isEmpty := func(x *Expr) bool { return x.Op == OpEmpty }
+	switch n.Op {
+	case OpOr:
+		switch {
+		case isEmpty(args[0]):
+			return args[1]
+		case isEmpty(args[1]):
+			return args[0]
+		case equal(args[0], args[1]):
+			return args[0]
+		}
+	case OpAnd:
+		switch {
+		case isEmpty(args[0]) || isEmpty(args[1]):
+			return Empty()
+		case equal(args[0], args[1]):
+			return args[0]
+		}
+	case OpNot:
+		if args[0].Op == OpNot {
+			return args[0].Args[0]
+		}
+	case OpRelative, OpSequence:
+		if isEmpty(args[0]) || isEmpty(args[1]) {
+			return Empty()
+		}
+	case OpPrior:
+		if isEmpty(args[0]) || isEmpty(args[1]) {
+			return Empty()
+		}
+	case OpPlus:
+		if isEmpty(args[0]) {
+			return Empty()
+		}
+		if args[0].Op == OpPlus {
+			return args[0]
+		}
+	case OpChoose, OpEvery:
+		if isEmpty(args[0]) {
+			return Empty()
+		}
+	case OpFa, OpFaAbs:
+		// An unreachable window or an F that never occurs: never fires.
+		// G = empty is fine — it only removes the guard.
+		if isEmpty(args[0]) || isEmpty(args[1]) {
+			return Empty()
+		}
+	}
+	return n
+}
+
+// equal reports structural equality of two expressions.
+func equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a.Op != b.Op || a.Sym != b.Sym || a.N != b.N || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !equal(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomExprWithEmpty biases the generator towards Empty leaves so
+// the identities actually trigger.
+func randomExprWithEmpty(rng *rand.Rand, k, depth int) *Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(3) == 0 {
+			return Empty()
+		}
+		return Atom(rng.Intn(k))
+	}
+	sub := func() *Expr { return randomExprWithEmpty(rng, k, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return Or(sub(), sub())
+	case 1:
+		return And(sub(), sub())
+	case 2:
+		return Not(sub())
+	case 3:
+		return Relative(sub(), sub())
+	case 4:
+		return Plus(sub())
+	case 5:
+		return Prior(sub(), sub())
+	case 6:
+		return Sequence(sub(), sub())
+	case 7:
+		return Choose(sub(), 1+rng.Intn(3))
+	case 8:
+		return Every(sub(), 1+rng.Intn(3))
+	case 9:
+		return Fa(sub(), sub(), sub())
+	case 10:
+		return FaAbs(sub(), sub(), sub())
+	default:
+		return Not(Not(sub()))
+	}
+}
+
+// TestSimplifyPreservesDenotation compares Eval of the original and
+// simplified expressions on random histories — the denotational twin
+// of the compiler-level equivalence check in internal/compile.
+func TestSimplifyPreservesDenotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const k = 3
+	for iter := 0; iter < 500; iter++ {
+		e := randomExprWithEmpty(rng, k, 3)
+		s := Simplify(e)
+		if s.Size() > e.Size() {
+			t.Fatalf("Simplify grew %s (%d) to %s (%d)", e, e.Size(), s, s.Size())
+		}
+		n := 1 + rng.Intn(8)
+		h := make([]int, n)
+		for i := range h {
+			h[i] = rng.Intn(k)
+		}
+		want := Eval(e, h)
+		got := Eval(s, h)
+		for p := range want {
+			if want[p] != got[p] {
+				t.Fatalf("simplification changed semantics of %s → %s at point %d of %v",
+					e, s, p, h)
+			}
+		}
+	}
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	a, b := Atom(0), Atom(1)
+	cases := []struct {
+		in   *Expr
+		want string
+	}{
+		{Or(a, Empty()), "e0"},
+		{Or(Empty(), b), "e1"},
+		{And(a, Empty()), "empty"},
+		{And(a, a), "e0"},
+		{Or(a, a), "e0"},
+		{Not(Not(a)), "e0"},
+		{Relative(Empty(), b), "empty"},
+		{Relative(a, Empty()), "empty"},
+		{Sequence(Empty(), b), "empty"},
+		{Prior(a, Empty()), "empty"},
+		{Plus(Empty()), "empty"},
+		{Plus(Plus(a)), "relative+(e0)"},
+		{Choose(Empty(), 3), "empty"},
+		{Every(Empty(), 2), "empty"},
+		{Fa(Empty(), a, b), "empty"},
+		{Fa(a, Empty(), b), "empty"},
+		{Fa(a, b, Empty()), "fa(e0, e1, empty)"},
+		// Nested: inner simplification enables the outer rule.
+		{Or(And(a, Empty()), b), "e1"},
+		{Not(Not(Or(a, Empty()))), "e0"},
+	}
+	for _, tc := range cases {
+		if got := Simplify(tc.in).String(); got != tc.want {
+			t.Errorf("Simplify(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 200; i++ {
+		e := randomExprWithEmpty(rng, 3, 3)
+		s := Simplify(e)
+		ss := Simplify(s)
+		if !equal(s, ss) {
+			t.Fatalf("Simplify not idempotent: %s → %s → %s", e, s, ss)
+		}
+	}
+}
+
+func TestSimplifyLeavesAtomsAlone(t *testing.T) {
+	a := Atom(2)
+	if Simplify(a) != a {
+		t.Fatal("atom rewritten")
+	}
+	if Simplify(Empty()).Op != OpEmpty {
+		t.Fatal("empty rewritten")
+	}
+}
+
+func TestStructuralEqual(t *testing.T) {
+	a := Relative(Atom(0), Choose(Atom(1), 2))
+	b := Relative(Atom(0), Choose(Atom(1), 2))
+	if !equal(a, b) {
+		t.Fatal("structurally equal trees reported different")
+	}
+	if equal(a, Relative(Atom(0), Choose(Atom(1), 3))) {
+		t.Fatal("different N reported equal")
+	}
+	if equal(a, Atom(0)) {
+		t.Fatal("different shapes reported equal")
+	}
+}

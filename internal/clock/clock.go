@@ -1,0 +1,186 @@
+// Package clock provides the time substrate for Ode time events
+// (paper §3.1 item 3):
+//
+//	at    time-specification
+//	every time-period
+//	after time-period
+//
+// A virtual clock makes time-event behaviour deterministic: tests and
+// examples advance it explicitly, and every due timer fires in
+// timestamp order during the advance. The paper's footnote 1
+// observation — that timed triggers are subsumed by composite events —
+// is exercised by posting timer firings as ordinary logical events.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the engine's view of time.
+type Clock interface {
+	Now() time.Time
+}
+
+// TimerID identifies a scheduled timer.
+type TimerID uint64
+
+// Virtual is a manually advanced clock with a timer queue.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	nextID TimerID
+	timers timerHeap
+	index  map[TimerID]*timer
+}
+
+type timer struct {
+	id     TimerID
+	at     time.Time
+	period time.Duration // 0 → one-shot
+	fn     func(time.Time)
+	heapIx int
+}
+
+// NewVirtual returns a virtual clock positioned at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start, index: map[TimerID]*timer{}}
+}
+
+// Now returns the current virtual time.
+func (c *Virtual) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// At schedules fn once at the absolute time at. A time in the past
+// fires on the next Advance.
+func (c *Virtual) At(at time.Time, fn func(time.Time)) TimerID {
+	return c.schedule(at, 0, fn)
+}
+
+// After schedules fn once, d from now.
+func (c *Virtual) After(d time.Duration, fn func(time.Time)) TimerID {
+	c.mu.Lock()
+	at := c.now.Add(d)
+	c.mu.Unlock()
+	return c.schedule(at, 0, fn)
+}
+
+// Every schedules fn every period, first firing one period from now.
+// The period must be positive.
+func (c *Virtual) Every(period time.Duration, fn func(time.Time)) TimerID {
+	if period <= 0 {
+		panic("clock: non-positive period")
+	}
+	c.mu.Lock()
+	at := c.now.Add(period)
+	c.mu.Unlock()
+	return c.schedule(at, period, fn)
+}
+
+func (c *Virtual) schedule(at time.Time, period time.Duration, fn func(time.Time)) TimerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	t := &timer{id: c.nextID, at: at, period: period, fn: fn}
+	heap.Push(&c.timers, t)
+	c.index[t.id] = t
+	return t.id
+}
+
+// Cancel removes a pending timer; cancelling an unknown or already-
+// fired one-shot timer is a no-op.
+func (c *Virtual) Cancel(id TimerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.index[id]; ok {
+		heap.Remove(&c.timers, t.heapIx)
+		delete(c.index, id)
+	}
+}
+
+// Pending returns the number of scheduled timers.
+func (c *Virtual) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// Advance moves the clock forward by d, firing every timer that
+// becomes due, in timestamp order (ties in registration order).
+// Periodic timers fire once per elapsed period. Callbacks run without
+// the clock lock held, so they may schedule or cancel timers; timers
+// they schedule within the advanced window also fire.
+func (c *Virtual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	c.mu.Lock()
+	deadline := c.now.Add(d)
+	for {
+		if len(c.timers) == 0 || c.timers[0].at.After(deadline) {
+			break
+		}
+		t := heap.Pop(&c.timers).(*timer)
+		if t.at.After(c.now) {
+			c.now = t.at
+		}
+		fireAt := c.now
+		if t.period > 0 {
+			t.at = t.at.Add(t.period)
+			heap.Push(&c.timers, t)
+		} else {
+			delete(c.index, t.id)
+		}
+		c.mu.Unlock()
+		t.fn(fireAt)
+		c.mu.Lock()
+	}
+	if deadline.After(c.now) {
+		c.now = deadline
+	}
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to the absolute time t (a no-op when t is
+// not in the future).
+func (c *Virtual) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	now := c.now
+	c.mu.Unlock()
+	if t.After(now) {
+		c.Advance(t.Sub(now))
+	}
+}
+
+// timerHeap orders by due time, then registration order.
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].id < h[j].id
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIx = i
+	h[j].heapIx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.heapIx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

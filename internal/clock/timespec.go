@@ -1,0 +1,174 @@
+package clock
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TimeSpec is the paper's time format (§3.1):
+//
+//	time(YR=year, MO=month, DAY=day, HR=hour, M=minute, SEC=seconds, MS=milliseconds)
+//
+// "with any of these items possibly being omitted". Omitted fields are
+// -1. Used as an `at` specification, omitted high-order fields make
+// the event recur (time(HR=17) fires daily at 17:00); used as a
+// period, the fields add up to a duration.
+type TimeSpec struct {
+	Year, Month, Day, Hour, Min, Sec, Ms int
+}
+
+// EmptyTimeSpec returns a TimeSpec with every field unspecified.
+func EmptyTimeSpec() TimeSpec {
+	return TimeSpec{Year: -1, Month: -1, Day: -1, Hour: -1, Min: -1, Sec: -1, Ms: -1}
+}
+
+// IsZeroPeriod reports whether the spec, read as a period, is zero.
+func (ts TimeSpec) IsZeroPeriod() bool { return ts.Period() == 0 }
+
+// Period reads the spec as a time period for `every` and `after`
+// (paper §3.1). Months count as 30 days and years as 365 days; the
+// approximation is documented behaviour, matching the spec's use for
+// relative delays.
+func (ts TimeSpec) Period() time.Duration {
+	var d time.Duration
+	f := func(v int, unit time.Duration) {
+		if v > 0 {
+			d += time.Duration(v) * unit
+		}
+	}
+	f(ts.Year, 365*24*time.Hour)
+	f(ts.Month, 30*24*time.Hour)
+	f(ts.Day, 24*time.Hour)
+	f(ts.Hour, time.Hour)
+	f(ts.Min, time.Minute)
+	f(ts.Sec, time.Second)
+	f(ts.Ms, time.Millisecond)
+	return d
+}
+
+// NextMatch returns the earliest instant strictly after t whose
+// calendar fields match every specified field, in t's location. ok is
+// false when no such instant exists within a ten-year search horizon
+// (e.g. YR of the past, or an impossible DAY for the specified MO).
+func (ts TimeSpec) NextMatch(t time.Time) (next time.Time, ok bool) {
+	// Fields finer than the finest specified one are pinned to their
+	// floor (0, or 1 for day/month): time(HR=17) means 17:00:00.000
+	// daily, not any instant within hour 17. Coarser unspecified
+	// fields remain wildcards — that is what makes the spec recur.
+	ts = ts.normalized()
+	loc := t.Location()
+	cur := t.Add(time.Millisecond).Truncate(time.Millisecond)
+	horizon := t.Year() + 10
+
+	for guard := 0; guard < 100000; guard++ {
+		if cur.Year() > horizon {
+			return time.Time{}, false
+		}
+		if ts.Year >= 0 {
+			switch {
+			case cur.Year() < ts.Year:
+				cur = time.Date(ts.Year, 1, 1, 0, 0, 0, 0, loc)
+			case cur.Year() > ts.Year:
+				return time.Time{}, false
+			}
+		}
+		if ts.Month >= 1 && int(cur.Month()) != ts.Month {
+			y := cur.Year()
+			if int(cur.Month()) > ts.Month {
+				y++
+			}
+			cur = time.Date(y, time.Month(ts.Month), 1, 0, 0, 0, 0, loc)
+			continue // re-verify year
+		}
+		if ts.Day >= 1 && cur.Day() != ts.Day {
+			if cur.Day() > ts.Day {
+				// First of next month.
+				cur = time.Date(cur.Year(), cur.Month()+1, 1, 0, 0, 0, 0, loc)
+			} else {
+				cand := time.Date(cur.Year(), cur.Month(), ts.Day, 0, 0, 0, 0, loc)
+				if cand.Day() != ts.Day {
+					// Day overflows this month (e.g. Feb 30): skip the month.
+					cur = time.Date(cur.Year(), cur.Month()+1, 1, 0, 0, 0, 0, loc)
+				} else {
+					cur = cand
+				}
+			}
+			continue // re-verify month/year
+		}
+		if ts.Hour >= 0 && cur.Hour() != ts.Hour {
+			if cur.Hour() > ts.Hour {
+				cur = time.Date(cur.Year(), cur.Month(), cur.Day()+1, 0, 0, 0, 0, loc)
+			} else {
+				cur = time.Date(cur.Year(), cur.Month(), cur.Day(), ts.Hour, 0, 0, 0, loc)
+			}
+			continue
+		}
+		if ts.Min >= 0 && cur.Minute() != ts.Min {
+			if cur.Minute() > ts.Min {
+				cur = cur.Truncate(time.Hour).Add(time.Hour)
+			} else {
+				cur = cur.Truncate(time.Hour).Add(time.Duration(ts.Min) * time.Minute)
+			}
+			continue
+		}
+		if ts.Sec >= 0 && cur.Second() != ts.Sec {
+			if cur.Second() > ts.Sec {
+				cur = cur.Truncate(time.Minute).Add(time.Minute)
+			} else {
+				cur = cur.Truncate(time.Minute).Add(time.Duration(ts.Sec) * time.Second)
+			}
+			continue
+		}
+		if ts.Ms >= 0 {
+			ms := cur.Nanosecond() / int(time.Millisecond)
+			if ms != ts.Ms {
+				if ms > ts.Ms {
+					cur = cur.Truncate(time.Second).Add(time.Second)
+				} else {
+					cur = cur.Truncate(time.Second).Add(time.Duration(ts.Ms) * time.Millisecond)
+				}
+				continue
+			}
+		}
+		return cur, true
+	}
+	return time.Time{}, false
+}
+
+// normalized pins unspecified fields finer than the finest specified
+// field to their floor value.
+func (ts TimeSpec) normalized() TimeSpec {
+	fields := []*int{&ts.Year, &ts.Month, &ts.Day, &ts.Hour, &ts.Min, &ts.Sec, &ts.Ms}
+	floors := []int{0, 1, 1, 0, 0, 0, 0}
+	finest := -1
+	for i, f := range fields {
+		if *f >= 0 {
+			finest = i
+		}
+	}
+	for i := finest + 1; i < len(fields); i++ {
+		if *fields[i] < 0 {
+			*fields[i] = floors[i]
+		}
+	}
+	return ts
+}
+
+// String renders the spec in the paper's syntax.
+func (ts TimeSpec) String() string {
+	var parts []string
+	add := func(name string, v int) {
+		if v >= 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("YR", ts.Year)
+	add("MO", ts.Month)
+	add("DAY", ts.Day)
+	add("HR", ts.Hour)
+	add("M", ts.Min)
+	add("SEC", ts.Sec)
+	add("MS", ts.Ms)
+	return "time(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,44 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/fa"
+)
+
+// TestAblationNoIntermediateMinEquivalent checks the ablation entry
+// point preserves the language exactly and never yields a smaller
+// final automaton (both end minimized, so they must be identical in
+// size).
+func TestAblationNoIntermediateMinEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		e := randomExpr(rng, 3, 3)
+		withMin := Compile(e, 3)
+		without := CompileNoIntermediateMin(e, 3)
+		if !fa.Equivalent(withMin, without) {
+			t.Fatalf("ablation changed the language of %s; witness %v",
+				e, fa.Distinguish(withMin, without))
+		}
+		if withMin.NumStates != without.NumStates {
+			t.Fatalf("final sizes differ for %s: %d vs %d",
+				e, withMin.NumStates, without.NumStates)
+		}
+	}
+}
+
+func BenchmarkCompileAblation(b *testing.B) {
+	b.Run("with-intermediate-min", func(b *testing.B) {
+		r := rand.New(rand.NewSource(23))
+		for n := 0; n < b.N; n++ {
+			Compile(randomExpr(r, 3, 3), 3)
+		}
+	})
+	b.Run("without-intermediate-min", func(b *testing.B) {
+		r := rand.New(rand.NewSource(23))
+		for n := 0; n < b.N; n++ {
+			CompileNoIntermediateMin(randomExpr(r, 3, 3), 3)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package compile
+
+import "ode/internal/fa"
+
+// Combined is a single product automaton that tracks every trigger of
+// a class at once — the optimization sketched in the paper's footnote
+// 5 ("In many cases such automata may be combined into one, resulting
+// in a more efficient monitoring"). One transition per posted event
+// advances all triggers; Fire reports, per state, the set of triggers
+// whose event has just occurred.
+type Combined struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Trans      []int
+	Fire       []uint64 // bitmask of accepting triggers per state
+	Triggers   int
+}
+
+// Combine builds the product of up to 64 trigger DFAs over a shared
+// alphabet. Only states reachable from the joint start are
+// materialized.
+func Combine(dfas []*fa.DFA) *Combined {
+	if len(dfas) == 0 || len(dfas) > 64 {
+		panic("compile: Combine requires 1..64 automata")
+	}
+	k := dfas[0].NumSymbols
+	for _, d := range dfas[1:] {
+		if d.NumSymbols != k {
+			panic("compile: alphabet mismatch")
+		}
+	}
+
+	type tuple string // states packed as bytes of a string key
+	pack := func(states []int) tuple {
+		b := make([]byte, 4*len(states))
+		for i, s := range states {
+			b[4*i] = byte(s)
+			b[4*i+1] = byte(s >> 8)
+			b[4*i+2] = byte(s >> 16)
+			b[4*i+3] = byte(s >> 24)
+		}
+		return tuple(b)
+	}
+
+	start := make([]int, len(dfas))
+	for i, d := range dfas {
+		start[i] = d.Start
+	}
+
+	index := map[tuple]int{pack(start): 0}
+	order := [][]int{start}
+	var trans [][]int
+	trans = append(trans, make([]int, k))
+
+	for done := 0; done < len(order); done++ {
+		cur := order[done]
+		for sym := 0; sym < k; sym++ {
+			next := make([]int, len(dfas))
+			for i, d := range dfas {
+				next[i] = d.Next(cur[i], sym)
+			}
+			key := pack(next)
+			id, ok := index[key]
+			if !ok {
+				id = len(order)
+				index[key] = id
+				order = append(order, next)
+				trans = append(trans, make([]int, k))
+			}
+			trans[done][sym] = id
+		}
+	}
+
+	c := &Combined{
+		NumStates:  len(order),
+		NumSymbols: k,
+		Start:      0,
+		Trans:      make([]int, len(order)*k),
+		Fire:       make([]uint64, len(order)),
+		Triggers:   len(dfas),
+	}
+	for i, states := range order {
+		copy(c.Trans[i*k:(i+1)*k], trans[i])
+		var mask uint64
+		for j, d := range dfas {
+			if d.Accept[states[j]] {
+				mask |= 1 << j
+			}
+		}
+		c.Fire[i] = mask
+	}
+	return c
+}
+
+// Next returns the successor of state s on symbol a.
+func (c *Combined) Next(s, a int) int { return c.Trans[s*c.NumSymbols+a] }
+
+// Post advances the combined state on sym and returns the new state
+// together with the bitmask of triggers that fire at this point.
+func (c *Combined) Post(state, sym int) (int, uint64) {
+	t := c.Next(state, sym)
+	return t, c.Fire[t]
+}
+
+// Detector runs one compiled automaton incrementally: the §5 runtime.
+// The entire per-object state is the single integer State — the
+// paper's "one word per active trigger per object".
+type Detector struct {
+	DFA   *fa.DFA
+	State int
+}
+
+// NewDetector returns a detector positioned at the automaton's start
+// state (the beginning of the history).
+func NewDetector(d *fa.DFA) *Detector { return &Detector{DFA: d, State: d.Start} }
+
+// Post consumes one history symbol and reports whether the event
+// occurs at this point.
+func (r *Detector) Post(sym int) bool {
+	r.State = r.DFA.Next(r.State, sym)
+	return r.DFA.Accept[r.State]
+}
+
+// Reset rewinds the detector to the beginning of the history.
+func (r *Detector) Reset() { r.State = r.DFA.Start }

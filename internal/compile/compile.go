@@ -1,0 +1,253 @@
+// Package compile translates composite-event expressions
+// (internal/algebra) into minimized deterministic finite automata
+// (internal/fa), implementing §5 of Gehani, Jagadish & Shmueli
+// (SIGMOD 1992): "composite events can alternatively be expressed as
+// regular expressions, [so] their occurrence can be detected using
+// finite automata".
+//
+// The compiled automaton reads the object's event history one symbol
+// at a time and is in an accepting state exactly at the history points
+// where the event occurs. Detection is therefore O(1) per posted
+// event, with one integer of state per object per active trigger.
+//
+// The package also provides the paper's §6 pair construction, which
+// converts an automaton for a committed-transactions-only event
+// expression into one that can run over the whole history (including
+// the operations of aborted transactions), and the footnote-5
+// optimization that combines all of a class's trigger automata into a
+// single product automaton.
+package compile
+
+import (
+	"fmt"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// Compile translates e into a minimized complete DFA over an alphabet
+// of numSymbols symbols. It panics if e mentions a symbol outside the
+// alphabet; use e.MaxSymbol() to size the alphabet.
+//
+// Every operator is compiled bottom-up and the intermediate automaton
+// is minimized at each node, which keeps the subset constructions
+// small in practice.
+func Compile(e *algebra.Expr, numSymbols int) *fa.DFA {
+	if m := e.MaxSymbol(); m >= numSymbols {
+		panic(fmt.Sprintf("compile: expression uses symbol %d, alphabet has %d", m, numSymbols))
+	}
+	// Mechanical lowering produces dead branches (empty selectors,
+	// x|x unions over symbol blocks); pruning them first keeps the
+	// constructions small.
+	return fa.Minimize(compile(algebra.Simplify(e), numSymbols))
+}
+
+// CompileNoIntermediateMin is the ablation of the per-node
+// minimization design choice: operators are composed without
+// minimizing intermediate automata, and only the final result is
+// minimized. The language is identical (the experiment harness checks
+// equivalence); the point is to measure how much the intermediate
+// minimization buys during construction.
+func CompileNoIntermediateMin(e *algebra.Expr, numSymbols int) *fa.DFA {
+	if m := e.MaxSymbol(); m >= numSymbols {
+		panic(fmt.Sprintf("compile: expression uses symbol %d, alphabet has %d", m, numSymbols))
+	}
+	saved := minimizeIntermediates
+	minimizeIntermediates = false
+	defer func() { minimizeIntermediates = saved }()
+	return fa.Minimize(compile(e, numSymbols))
+}
+
+// minimizeIntermediates gates min(); it is toggled only by the
+// single-threaded ablation entry point above.
+var minimizeIntermediates = true
+
+func compile(e *algebra.Expr, k int) *fa.DFA {
+	switch e.Op {
+	case algebra.OpEmpty:
+		return fa.EmptyDFA(k)
+
+	case algebra.OpAtom:
+		// An atomic logical event occurs at exactly the points labeled
+		// with its symbol: L = Σ*a.
+		return fa.LastSymbolDFA(k, e.Sym)
+
+	case algebra.OpOr:
+		return min(fa.Union(compile(e.Args[0], k), compile(e.Args[1], k)))
+
+	case algebra.OpAnd:
+		return min(fa.Intersect(compile(e.Args[0], k), compile(e.Args[1], k)))
+
+	case algebra.OpNot:
+		// Complement with respect to the points of the history: Σ⁺∖L.
+		return min(fa.NegateEvent(compile(e.Args[0], k)))
+
+	case algebra.OpRelative:
+		// relative is concatenation: F's occurrence is detected in the
+		// suffix strictly after an E-point, and event languages are
+		// ε-free, so L(relative(E,F)) = L(E)·L(F).
+		a := fa.FromDFA(compile(e.Args[0], k))
+		b := fa.FromDFA(compile(e.Args[1], k))
+		return min(fa.Determinize(fa.ConcatNFA(a, b)))
+
+	case algebra.OpPlus:
+		a := fa.FromDFA(compile(e.Args[0], k))
+		return min(fa.Determinize(fa.PlusNFA(a)))
+
+	case algebra.OpPrior:
+		// prior(E, F): an F-point strictly after some E-point, with the
+		// other constituents free to interleave: (L(E)·Σ⁺) ∩ L(F).
+		a := fa.FromDFA(compile(e.Args[0], k))
+		anyPlus := fa.FromDFA(fa.NonEmptyUniversalDFA(k))
+		reach := fa.Determinize(fa.ConcatNFA(a, anyPlus))
+		return min(fa.Intersect(reach, compile(e.Args[1], k)))
+
+	case algebra.OpSequence:
+		// sequence(E, F): F occurs at the point immediately after an
+		// E-point, so only the single-symbol words of L(F) matter:
+		// L(E)·(L(F) ∩ Σ).
+		a := fa.FromDFA(compile(e.Args[0], k))
+		f := compile(e.Args[1], k)
+		singles := fa.NewNFA(k)
+		acc := singles.AddState(true)
+		for sym := 0; sym < k; sym++ {
+			if f.Accepts([]int{sym}) {
+				singles.AddEdge(singles.Start, sym, acc)
+			}
+		}
+		return min(fa.Determinize(fa.ConcatNFA(a, singles)))
+
+	case algebra.OpChoose:
+		return fa.ChooseN(compile(e.Args[0], k), e.N)
+
+	case algebra.OpEvery:
+		return fa.EveryN(compile(e.Args[0], k), e.N)
+
+	case algebra.OpFa:
+		// fa(E, F, G): first F after an E-point with no intervening G,
+		// F and G both judged in the truncated history:
+		// L(E) · (min(L(F) ∪ L(G)) ∩ L(F)).
+		cE := fa.FromDFA(compile(e.Args[0], k))
+		cF := compile(e.Args[1], k)
+		cG := compile(e.Args[2], k)
+		window := fa.Intersect(fa.FirstMatch(min(fa.Union(cF, cG))), cF)
+		return min(fa.Determinize(fa.ConcatNFA(cE, fa.FromDFA(window))))
+
+	case algebra.OpFaAbs:
+		return min(compileFaAbs(
+			compile(e.Args[0], k),
+			compile(e.Args[1], k),
+			compile(e.Args[2], k),
+		))
+
+	default:
+		panic("compile: unknown op")
+	}
+}
+
+func min(d *fa.DFA) *fa.DFA {
+	if !minimizeIntermediates {
+		return d
+	}
+	return fa.Minimize(d)
+}
+
+// compileFaAbs builds the automaton for faAbs(E, F, G), where G is
+// judged against the whole history rather than the truncated one. The
+// construction is a two-phase NFA:
+//
+//   - phase 1 runs DFA_E and DFA_G jointly from the beginning of the
+//     history; whenever E accepts, an ε-branch opens a phase-2 window
+//     that inherits the live DFA_G state (this is what makes G
+//     "absolute");
+//   - phase 2 runs DFA_F (from its start state) and the inherited
+//     DFA_G jointly. On each symbol, if F accepts the branch moves to
+//     the accepting sink — this is the event point, and only the first
+//     F counts, so the sink has no successors. Otherwise, if G accepts
+//     the branch dies: a G-occurrence strictly between the E-point and
+//     the F-point blocks the window.
+//
+// Phase-1 branches keep running past E-accepts, so every E-point opens
+// its own window, matching the oracle's union over E-points.
+func compileFaAbs(dE, dF, dG *fa.DFA) *fa.DFA {
+	k := dE.NumSymbols
+	n := fa.NewNFA(k)
+
+	type key struct {
+		phase, x, y int
+	}
+	id := map[key]int{}
+	var addState func(kk key) int
+	sink := n.AddState(true)
+
+	var queue []key
+	addState = func(kk key) int {
+		if s, ok := id[kk]; ok {
+			return s
+		}
+		s := n.AddState(false)
+		id[kk] = s
+		queue = append(queue, kk)
+		if kk.phase == 1 && dE.Accept[kk.x] {
+			// This phase-1 state marks an E-point: open a detection
+			// window that starts just after it and inherits the live
+			// DFA_G state. (An E-accept at the very start cannot happen
+			// for ε-free event languages, but the construction stays
+			// correct if it does.)
+			n.AddEps(s, addState(key{2, dF.Start, kk.y}))
+		}
+		return s
+	}
+
+	n.AddEps(n.Start, addState(key{1, dE.Start, dG.Start}))
+
+	for len(queue) > 0 {
+		kk := queue[0]
+		queue = queue[1:]
+		s := id[kk]
+		switch kk.phase {
+		case 1:
+			for a := 0; a < k; a++ {
+				e2 := dE.Next(kk.x, a)
+				g2 := dG.Next(kk.y, a)
+				n.AddEdge(s, a, addState(key{1, e2, g2}))
+			}
+		case 2:
+			for a := 0; a < k; a++ {
+				f2 := dF.Next(kk.x, a)
+				g2 := dG.Next(kk.y, a)
+				switch {
+				case dF.Accept[f2]:
+					// First F in the window: the event occurs here. A
+					// simultaneous G does not block (G must be strictly
+					// prior to the F-point).
+					n.AddEdge(s, a, sink)
+				case dG.Accept[g2]:
+					// G intervened before any F: the branch dies.
+				default:
+					n.AddEdge(s, a, addState(key{2, f2, g2}))
+				}
+			}
+		}
+	}
+	return fa.Determinize(n)
+}
+
+// Stats describes a compiled automaton's size, for the experiment
+// harness (E3) and cmd/eventc.
+type Stats struct {
+	States  int // minimized DFA states
+	Symbols int // alphabet size
+	Bytes   int // transition table footprint: States*Symbols ints
+}
+
+// Measure compiles e and reports size statistics together with the
+// automaton.
+func Measure(e *algebra.Expr, numSymbols int) (*fa.DFA, Stats) {
+	d := Compile(e, numSymbols)
+	return d, Stats{
+		States:  d.NumStates,
+		Symbols: d.NumSymbols,
+		Bytes:   d.NumStates * d.NumSymbols * 8,
+	}
+}

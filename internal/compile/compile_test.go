@@ -1,0 +1,266 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// checkAgainstOracle verifies that the compiled automaton labels every
+// point of h exactly as the denotational semantics does.
+func checkAgainstOracle(t *testing.T, e *algebra.Expr, k int, h []int) {
+	t.Helper()
+	d := Compile(e, k)
+	want := algebra.Eval(e, h)
+	det := NewDetector(d)
+	for p, sym := range h {
+		got := det.Post(sym)
+		if got != want[p] {
+			t.Fatalf("expr %s, history %v, point %d: automaton=%v oracle=%v",
+				e, h, p, got, want[p])
+		}
+	}
+}
+
+func allHistories(k, maxLen int, fn func([]int)) {
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if len(prefix) > 0 {
+			fn(prefix)
+		}
+		if len(prefix) == maxLen {
+			return
+		}
+		for a := 0; a < k; a++ {
+			rec(append(append([]int{}, prefix...), a))
+		}
+	}
+	rec(nil)
+}
+
+func TestCompileAtoms(t *testing.T) {
+	allHistories(2, 5, func(h []int) {
+		checkAgainstOracle(t, algebra.Atom(0), 2, h)
+		checkAgainstOracle(t, algebra.Empty(), 2, h)
+	})
+}
+
+func TestCompileBoolean(t *testing.T) {
+	a, b := algebra.Atom(0), algebra.Atom(1)
+	exprs := []*algebra.Expr{
+		algebra.Or(a, b),
+		algebra.And(a, algebra.Not(b)),
+		algebra.Not(algebra.Not(a)),
+		algebra.Not(algebra.Or(a, b)),
+	}
+	allHistories(3, 4, func(h []int) {
+		for _, e := range exprs {
+			checkAgainstOracle(t, e, 3, h)
+		}
+	})
+}
+
+func TestCompileSequencingOperators(t *testing.T) {
+	a, b, c := algebra.Atom(0), algebra.Atom(1), algebra.Atom(2)
+	exprs := []*algebra.Expr{
+		algebra.Relative(a, b),
+		algebra.Relative(algebra.Relative(a, b), c),
+		algebra.Plus(algebra.Relative(a, b)),
+		algebra.RelativeN(a, 3),
+		algebra.Prior(a, b),
+		algebra.Prior(algebra.Relative(a, b), algebra.Relative(c, b)),
+		algebra.Sequence(a, b),
+		algebra.SequenceList(a, b, c),
+		algebra.Sequence(a, algebra.Relative(b, c)), // unsatisfiable second arm
+	}
+	allHistories(3, 5, func(h []int) {
+		for _, e := range exprs {
+			checkAgainstOracle(t, e, 3, h)
+		}
+	})
+}
+
+func TestCompileCounters(t *testing.T) {
+	a := algebra.Atom(0)
+	exprs := []*algebra.Expr{
+		algebra.Choose(a, 2),
+		algebra.Choose(algebra.Relative(a, algebra.Atom(1)), 2),
+		algebra.Every(a, 2),
+		algebra.Every(algebra.Or(a, algebra.Atom(1)), 3),
+	}
+	allHistories(2, 6, func(h []int) {
+		for _, e := range exprs {
+			checkAgainstOracle(t, e, 2, h)
+		}
+	})
+}
+
+func TestCompileFaOperators(t *testing.T) {
+	a, b, c := algebra.Atom(0), algebra.Atom(1), algebra.Atom(2)
+	exprs := []*algebra.Expr{
+		algebra.Fa(a, b, c),
+		algebra.Fa(a, b, algebra.Empty()),
+		algebra.Fa(a, algebra.Relative(b, c), b),
+		algebra.FaAbs(a, b, c),
+		algebra.FaAbs(a, b, algebra.Relative(c, c)),
+		algebra.FaAbs(a, algebra.Relative(b, c), algebra.Relative(c, b)),
+	}
+	allHistories(3, 5, func(h []int) {
+		for _, e := range exprs {
+			checkAgainstOracle(t, e, 3, h)
+		}
+	})
+}
+
+// TestCompileFaVsFaAbsDiffer pins the semantic difference between the
+// two operators on the paper-style example from the algebra tests.
+func TestCompileFaVsFaAbsDiffer(t *testing.T) {
+	G := algebra.Relative(algebra.Atom(2), algebra.Atom(3))
+	faE := Compile(algebra.Fa(algebra.Atom(0), algebra.Atom(1), G), 4)
+	faAbsE := Compile(algebra.FaAbs(algebra.Atom(0), algebra.Atom(1), G), 4)
+	h := []int{2, 0, 3, 1}
+	if !faE.Accepts(h) {
+		t.Fatal("fa should accept g1 E g2 F")
+	}
+	if faAbsE.Accepts(h) {
+		t.Fatal("faAbs should reject g1 E g2 F")
+	}
+	if fa.Equivalent(faE, faAbsE) {
+		t.Fatal("fa and faAbs compiled to the same language")
+	}
+}
+
+// randomExpr mirrors the generator in the algebra tests.
+func randomExpr(rng *rand.Rand, k, depth int) *algebra.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(10) == 0 {
+			return algebra.Empty()
+		}
+		return algebra.Atom(rng.Intn(k))
+	}
+	sub := func() *algebra.Expr { return randomExpr(rng, k, depth-1) }
+	switch rng.Intn(12) {
+	case 0:
+		return algebra.Or(sub(), sub())
+	case 1:
+		return algebra.And(sub(), sub())
+	case 2:
+		return algebra.Not(sub())
+	case 3:
+		return algebra.Relative(sub(), sub())
+	case 4:
+		return algebra.Plus(sub())
+	case 5:
+		return algebra.Prior(sub(), sub())
+	case 6:
+		return algebra.Sequence(sub(), sub())
+	case 7:
+		return algebra.Choose(sub(), 1+rng.Intn(3))
+	case 8:
+		return algebra.Every(sub(), 1+rng.Intn(3))
+	case 9:
+		return algebra.Fa(sub(), sub(), sub())
+	case 10:
+		return algebra.FaAbs(sub(), sub(), sub())
+	default:
+		return algebra.SequenceN(sub(), 1+rng.Intn(3))
+	}
+}
+
+// TestCompileMatchesOracleRandom is the E3 experiment's core property:
+// for random expressions and random histories, the minimized DFA and
+// the §4 denotational semantics agree at every history point.
+func TestCompileMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	const k = 3
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	for i := 0; i < iters; i++ {
+		e := randomExpr(rng, k, 3)
+		n := 1 + rng.Intn(10)
+		h := make([]int, n)
+		for j := range h {
+			h[j] = rng.Intn(k)
+		}
+		checkAgainstOracle(t, e, k, h)
+	}
+}
+
+// TestCompileMatchesOracleQuick drives the same property through
+// testing/quick's shrink-free generator, as an independent harness.
+func TestCompileMatchesOracleQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const k = 3
+	prop := func(seed int64, raw []byte) bool {
+		exprRng := rand.New(rand.NewSource(seed))
+		e := randomExpr(exprRng, k, 3)
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		h := make([]int, len(raw))
+		for i, b := range raw {
+			h[i] = int(b) % k
+		}
+		d := Compile(e, k)
+		want := algebra.Eval(e, h)
+		det := NewDetector(d)
+		for p, sym := range h {
+			if det.Post(sym) != want[p] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileIdempotentMinimal checks the compiler always returns a
+// minimal automaton (re-minimizing does not shrink it).
+func TestCompileIdempotentMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		e := randomExpr(rng, 3, 3)
+		d := Compile(e, 3)
+		m := fa.Minimize(d)
+		if m.NumStates != d.NumStates {
+			t.Fatalf("compiled automaton for %s not minimal: %d vs %d", e, d.NumStates, m.NumStates)
+		}
+	}
+}
+
+func TestCompilePanicsOnSmallAlphabet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-alphabet symbol")
+		}
+	}()
+	Compile(algebra.Atom(5), 2)
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := Compile(algebra.Relative(algebra.Atom(0), algebra.Atom(1)), 2)
+	det := NewDetector(d)
+	det.Post(0)
+	if !det.Post(1) {
+		t.Fatal("expected occurrence")
+	}
+	det.Reset()
+	if det.Post(1) {
+		t.Fatal("occurrence after reset with no prefix")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	_, s := Measure(algebra.Relative(algebra.Atom(0), algebra.Atom(1)), 2)
+	if s.States < 2 || s.Symbols != 2 || s.Bytes != s.States*s.Symbols*8 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}

@@ -1,0 +1,202 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// The event algebra satisfies a body of laws the paper states or
+// implies; each is checked as DFA language equivalence over randomized
+// sub-expressions. A failure prints a distinguishing history.
+
+const lawSymbols = 3
+
+func lawExpr(rng *rand.Rand) *algebra.Expr {
+	return randomExpr(rng, lawSymbols, 2)
+}
+
+func mustEquiv(t *testing.T, name string, x, y *algebra.Expr) {
+	t.Helper()
+	dx := Compile(x, lawSymbols)
+	dy := Compile(y, lawSymbols)
+	if !fa.Equivalent(dx, dy) {
+		t.Fatalf("%s violated:\n  lhs %s\n  rhs %s\n  distinguishing history %v",
+			name, x, y, fa.Distinguish(dx, dy))
+	}
+}
+
+func mustSubset(t *testing.T, name string, x, y *algebra.Expr) {
+	t.Helper()
+	dx := Compile(x, lawSymbols)
+	dy := Compile(y, lawSymbols)
+	if w, ok := fa.Difference(dx, dy).ShortestAccepted(); ok {
+		t.Fatalf("%s violated: %s ⊄ %s, witness %v", name, x, y, w)
+	}
+}
+
+func TestLawRelativeAssociative(t *testing.T) {
+	// relative is concatenation, so the currying order is immaterial:
+	// relative(relative(a,b),c) ≡ relative(a,relative(b,c)).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		a, b, c := lawExpr(rng), lawExpr(rng), lawExpr(rng)
+		mustEquiv(t, "relative associativity",
+			algebra.Relative(algebra.Relative(a, b), c),
+			algebra.Relative(a, algebra.Relative(b, c)))
+	}
+}
+
+func TestLawBooleanStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		a, b := lawExpr(rng), lawExpr(rng)
+		mustEquiv(t, "| commutativity", algebra.Or(a, b), algebra.Or(b, a))
+		mustEquiv(t, "& commutativity", algebra.And(a, b), algebra.And(b, a))
+		// De Morgan within the point lattice: !(A | B) = !A & !B.
+		mustEquiv(t, "De Morgan",
+			algebra.Not(algebra.Or(a, b)),
+			algebra.And(algebra.Not(a), algebra.Not(b)))
+		// Double negation restores the event.
+		mustEquiv(t, "double negation", algebra.Not(algebra.Not(a)), a)
+	}
+}
+
+func TestLawPlusIdempotentFixpoint(t *testing.T) {
+	// relative+(relative+(E)) ≡ relative+(E): chains of chains are
+	// chains.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		a := lawExpr(rng)
+		mustEquiv(t, "relative+ idempotence",
+			algebra.Plus(algebra.Plus(a)), algebra.Plus(a))
+		// E ⊆ relative+(E) and relative(E,E) ⊆ relative+(E).
+		mustSubset(t, "E ⊆ relative+(E)", a, algebra.Plus(a))
+		mustSubset(t, "relative(E,E) ⊆ relative+(E)",
+			algebra.Relative(a, a), algebra.Plus(a))
+	}
+}
+
+func TestLawCurriedIdentity(t *testing.T) {
+	// The paper defines prior(E) = relative(E) = sequence(E) = E, and
+	// relative 1 (E) = E.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		a := lawExpr(rng)
+		mustEquiv(t, "relative 1 (E) = E", algebra.RelativeN(a, 1), a)
+		mustEquiv(t, "prior 1 (E) = E", algebra.PriorN(a, 1), a)
+		mustEquiv(t, "sequence 1 (E) = E", algebra.SequenceN(a, 1), a)
+		mustEquiv(t, "every 1 (E) = E", algebra.Every(a, 1), a)
+	}
+}
+
+func TestLawPriorPlusCollapses(t *testing.T) {
+	// §3.4: "The events prior+(E) and sequence+(E) are both equivalent
+	// to the event E" — the additional disjuncts prior(E,E),
+	// prior(E,E,E), ... are specializations of E. Checked for the
+	// first few disjuncts: E | prior(E,E) | prior(E,E,E) ≡ E.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		a := lawExpr(rng)
+		union := algebra.OrList(a, algebra.PriorN(a, 2), algebra.PriorN(a, 3))
+		mustEquiv(t, "prior+(E) = E", union, a)
+		unionSeq := algebra.OrList(a, algebra.SequenceN(a, 2), algebra.SequenceN(a, 3))
+		// sequence n (E) for composite E is not generally ⊆ E (the nth
+		// copy must occur at a single point), but for the paper's
+		// claim the union with E still collapses when E is a union of
+		// logical events — check that restricted form.
+		_ = unionSeq
+	}
+	// The logical-event form of the sequence claim.
+	for sym := 0; sym < lawSymbols; sym++ {
+		a := algebra.Atom(sym)
+		union := algebra.OrList(a, algebra.SequenceN(a, 2), algebra.SequenceN(a, 3))
+		mustEquiv(t, "sequence+(E) = E for logical events", union, a)
+	}
+}
+
+func TestLawChooseInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 30; i++ {
+		a := lawExpr(rng)
+		n := 1 + rng.Intn(4)
+		// choose n (E) ⊆ E and every n (E) ⊆ E.
+		mustSubset(t, "choose ⊆ E", algebra.Choose(a, n), a)
+		mustSubset(t, "every ⊆ E", algebra.Every(a, n), a)
+	}
+	// choose n (E) ⊆ relative n (E) holds for logical events (the nth
+	// occurrence completes an n-chain) …
+	for sym := 0; sym < lawSymbols; sym++ {
+		a := algebra.Atom(sym)
+		for n := 1; n <= 4; n++ {
+			mustSubset(t, "choose n ⊆ relative n (atoms)",
+				algebra.Choose(a, n), algebra.RelativeN(a, n))
+		}
+	}
+	// … but NOT for truncation-sensitive composite events — the same
+	// phenomenon as the paper's footnote 4. E = prior(a, !c) occurs at
+	// points of the full history that have an earlier a, yet in a
+	// truncated history the "earlier a" may be gone, so an occurrence
+	// chain cannot be re-established: choose 2 (E) can fire where
+	// relative(E, E) cannot.
+	e := algebra.Prior(algebra.Atom(0), algebra.Not(algebra.Atom(2)))
+	ch := Compile(algebra.Choose(e, 2), lawSymbols)
+	rel := Compile(algebra.RelativeN(e, 2), lawSymbols)
+	if _, ok := fa.Difference(ch, rel).ShortestAccepted(); !ok {
+		t.Fatal("expected footnote-4 style counterexample: choose 2 ⊆ relative 2 for non-monotone E")
+	}
+	if !ch.Accepts([]int{0, 0, 0}) || rel.Accepts([]int{0, 0, 0}) {
+		t.Fatal("the canonical witness [a a a] should separate choose from relative")
+	}
+}
+
+func TestLawFaWithoutGuard(t *testing.T) {
+	// fa(E, F, empty) is the first F strictly after each E — it is
+	// contained in relative(E, F), and equals relative(E, F) minus
+	// later repetitions.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		e, f := lawExpr(rng), lawExpr(rng)
+		mustSubset(t, "fa(E,F,∅) ⊆ relative(E,F)",
+			algebra.Fa(e, f, algebra.Empty()),
+			algebra.Relative(e, f))
+	}
+}
+
+func TestLawFaAbsEqualsFaWhenGuardAtomic(t *testing.T) {
+	// For a guard that is a single logical event, suffix-context and
+	// whole-history-context evaluation coincide (an atom occurs at a
+	// point regardless of truncation), so fa ≡ faAbs.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		e, f := lawExpr(rng), lawExpr(rng)
+		g := algebra.Atom(rng.Intn(lawSymbols))
+		mustEquiv(t, "fa = faAbs for atomic guards",
+			algebra.Fa(e, f, g), algebra.FaAbs(e, f, g))
+	}
+}
+
+func TestLawSequenceViaRelativeAndNot(t *testing.T) {
+	// For logical events a, b: sequence(a, b) = points where b occurs
+	// immediately after a. Equivalent formulation via the core
+	// language: relative(a, b & !relative(anything, anything)) — b at
+	// the first point of the truncated history, i.e. b with no point
+	// of the suffix before it. "first point of a history" is
+	// !prior(any, any) where any = union of all symbols.
+	var anyAtoms []*algebra.Expr
+	for s := 0; s < lawSymbols; s++ {
+		anyAtoms = append(anyAtoms, algebra.Atom(s))
+	}
+	any := algebra.OrList(anyAtoms...)
+	first := algebra.Not(algebra.Prior(any, any)) // points with nothing before them
+	for i := 0; i < lawSymbols; i++ {
+		for j := 0; j < lawSymbols; j++ {
+			a, b := algebra.Atom(i), algebra.Atom(j)
+			mustEquiv(t, "sequence via core operators",
+				algebra.Sequence(a, b),
+				algebra.Relative(a, algebra.And(b, first)))
+		}
+	}
+}

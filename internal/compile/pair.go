@@ -1,0 +1,82 @@
+package compile
+
+import "ode/internal/fa"
+
+// PairConstruction implements the §6 Claim of the paper: given an
+// automaton A for an event expression stated over the operations of
+// committed transactions only, it builds A' which reads the whole
+// history — including the operations of transactions that later abort
+// — and is at every point in the state A would be in over the
+// committed projection of that history.
+//
+// Each A' state is a pair (a, b): a is the state A is "really" in, and
+// b is a checkpoint of A's state taken at the last commit. On
+// tcommitSym, A' moves to (r, r) with r = δ_A(a, tcommit); on
+// tabortSym it rolls back to (b, b), discarding everything the aborted
+// transaction posted (including its tbegin); on every other symbol it
+// moves to (δ_A(a, sym), b).
+//
+// The construction assumes object-level locking (paper §6): the
+// transactions touching one object are serialized, so the checkpoint
+// taken at a commit is also A's state just before the next tbegin.
+// The committed-view expression never mentions tabort, so δ_A on
+// tabortSym is irrelevant and ignored.
+//
+// The result has at most |A|² reachable states; it is minimized before
+// being returned. Acceptance follows the first component: a trigger
+// firing inside a transaction that later aborts is itself undone by
+// that abort, which is exactly the "automaton state as part of the
+// object" semantics of §6.
+func PairConstruction(a *fa.DFA, tcommitSym, tabortSym int) *fa.DFA {
+	if tcommitSym < 0 || tcommitSym >= a.NumSymbols ||
+		tabortSym < 0 || tabortSym >= a.NumSymbols || tcommitSym == tabortSym {
+		panic("compile: bad transaction symbols")
+	}
+	k := a.NumSymbols
+
+	type pair struct{ cur, ckpt int }
+	start := pair{a.Start, a.Start}
+	index := map[pair]int{start: 0}
+	order := []pair{start}
+
+	d := &fa.DFA{NumSymbols: k, Start: 0}
+	var trans [][]int
+	trans = append(trans, make([]int, k))
+
+	get := func(p pair) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := len(order)
+		index[p] = id
+		order = append(order, p)
+		trans = append(trans, make([]int, k))
+		return id
+	}
+
+	for done := 0; done < len(order); done++ {
+		p := order[done]
+		for sym := 0; sym < k; sym++ {
+			var q pair
+			switch sym {
+			case tcommitSym:
+				r := a.Next(p.cur, sym)
+				q = pair{r, r}
+			case tabortSym:
+				q = pair{p.ckpt, p.ckpt}
+			default:
+				q = pair{a.Next(p.cur, sym), p.ckpt}
+			}
+			trans[done][sym] = get(q)
+		}
+	}
+
+	d.NumStates = len(order)
+	d.Trans = make([]int, len(order)*k)
+	d.Accept = make([]bool, len(order))
+	for i, p := range order {
+		d.Accept[i] = a.Accept[p.cur]
+		copy(d.Trans[i*k:(i+1)*k], trans[i])
+	}
+	return fa.Minimize(d)
+}

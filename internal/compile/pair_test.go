@@ -1,0 +1,246 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// The pair-construction tests model an object's whole history as a
+// sequence of serialized transactions (object-level locking, §6), each
+// contributing: tbegin, some operation symbols, then tcommit or
+// tabort. The committed projection keeps only the symbols of
+// transactions that commit (tabort symbols of aborted transactions and
+// everything they posted disappear).
+
+const (
+	symTbegin  = 0
+	symTcommit = 1
+	symTabort  = 2
+	symUpdate  = 3
+	symRead    = 4
+	numTxSyms  = 5
+)
+
+type txRecord struct {
+	ops    []int // operation symbols between tbegin and the outcome
+	commit bool
+}
+
+// flatten renders the schedule as the whole history (including aborted
+// transactions' operations).
+func flatten(txs []txRecord) []int {
+	var h []int
+	for _, tx := range txs {
+		h = append(h, symTbegin)
+		h = append(h, tx.ops...)
+		if tx.commit {
+			h = append(h, symTcommit)
+		} else {
+			h = append(h, symTabort)
+		}
+	}
+	return h
+}
+
+// committedProjection renders only the committed transactions'
+// symbols, including their tbegin and tcommit events.
+func committedProjection(txs []txRecord) []int {
+	var h []int
+	for _, tx := range txs {
+		if !tx.commit {
+			continue
+		}
+		h = append(h, symTbegin)
+		h = append(h, tx.ops...)
+		h = append(h, symTcommit)
+	}
+	return h
+}
+
+func randomSchedule(rng *rand.Rand, maxTx int) []txRecord {
+	n := 1 + rng.Intn(maxTx)
+	txs := make([]txRecord, n)
+	for i := range txs {
+		ops := make([]int, rng.Intn(4))
+		for j := range ops {
+			ops[j] = symUpdate + rng.Intn(2)
+		}
+		txs[i] = txRecord{ops: ops, commit: rng.Intn(3) > 0}
+	}
+	return txs
+}
+
+// TestPairConstructionClaim verifies the paper's §6 Claim: A' run over
+// the whole history finishes in the same acceptance condition as A run
+// over the committed projection — for every prefix of the history that
+// ends at a transaction boundary.
+func TestPairConstructionClaim(t *testing.T) {
+	// Committed-view expressions (no tabort — §6 committed view never
+	// sees aborts).
+	exprs := []*algebra.Expr{
+		// Commit of a transaction that updated the object.
+		algebra.Fa(
+			algebra.Atom(symTbegin),
+			algebra.Prior(algebra.Atom(symUpdate), algebra.Atom(symTcommit)),
+			algebra.Atom(symTcommit),
+		),
+		// The 3rd committed transaction.
+		algebra.Choose(algebra.Atom(symTcommit), 3),
+		// Every 2nd committed update.
+		algebra.Every(algebra.Atom(symUpdate), 2),
+		// A read with a prior update (committed view).
+		algebra.Prior(algebra.Atom(symUpdate), algebra.Atom(symRead)),
+		// Update immediately followed by read within committed history.
+		algebra.Sequence(algebra.Atom(symUpdate), algebra.Atom(symRead)),
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	for _, e := range exprs {
+		a := Compile(e, numTxSyms)
+		ap := PairConstruction(a, symTcommit, symTabort)
+		for iter := 0; iter < 200; iter++ {
+			txs := randomSchedule(rng, 6)
+			whole := flatten(txs)
+			// Walk transaction by transaction, comparing at boundaries.
+			apState := ap.Start
+			var committedSoFar []txRecord
+			for _, tx := range txs {
+				seg := []int{symTbegin}
+				seg = append(seg, tx.ops...)
+				if tx.commit {
+					seg = append(seg, symTcommit)
+				} else {
+					seg = append(seg, symTabort)
+				}
+				apState = ap.Run(apState, seg)
+				if tx.commit {
+					committedSoFar = append(committedSoFar, tx)
+				}
+				wantState := a.Run(a.Start, committedProjection(committedSoFar))
+				if ap.Accept[apState] != a.Accept[wantState] {
+					t.Fatalf("expr %s schedule %v: at boundary A' accept=%v, A over committed=%v",
+						e, whole, ap.Accept[apState], a.Accept[wantState])
+				}
+			}
+		}
+	}
+}
+
+// TestPairConstructionMidTransaction verifies that within a
+// transaction, A' tracks A over (committed prefix + current
+// transaction's own events): the trigger may fire mid-transaction, and
+// an abort undoes it along with the rest of the transaction.
+func TestPairConstructionMidTransaction(t *testing.T) {
+	e := algebra.Prior(algebra.Atom(symUpdate), algebra.Atom(symRead))
+	a := Compile(e, numTxSyms)
+	ap := PairConstruction(a, symTcommit, symTabort)
+
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 300; iter++ {
+		txs := randomSchedule(rng, 5)
+		apState := ap.Start
+		var committed []int
+		for _, tx := range txs {
+			segment := append([]int{symTbegin}, tx.ops...)
+			// Step through the transaction symbol by symbol.
+			inFlight := []int{}
+			for _, sym := range segment {
+				inFlight = append(inFlight, sym)
+				apState = ap.Next(apState, sym)
+				view := append(append([]int{}, committed...), inFlight...)
+				want := a.Accept[a.Run(a.Start, view)]
+				if ap.Accept[apState] != want {
+					t.Fatalf("iter %d: mid-tx divergence on view %v", iter, view)
+				}
+			}
+			if tx.commit {
+				apState = ap.Next(apState, symTcommit)
+				committed = append(committed, segment...)
+				committed = append(committed, symTcommit)
+			} else {
+				apState = ap.Next(apState, symTabort)
+			}
+			want := a.Accept[a.Run(a.Start, committed)]
+			if ap.Accept[apState] != want {
+				t.Fatalf("iter %d: boundary divergence", iter)
+			}
+		}
+	}
+}
+
+// TestPairConstructionStateBound checks the Claim's cost: |A'| is at
+// most |A|² (plus nothing — minimization can only shrink it).
+func TestPairConstructionStateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		e := randomExpr(rng, numTxSyms, 2)
+		a := Compile(e, numTxSyms)
+		ap := PairConstruction(a, symTcommit, symTabort)
+		if ap.NumStates > a.NumStates*a.NumStates+1 {
+			t.Fatalf("pair construction exceeded the squaring bound: %d from %d states",
+				ap.NumStates, a.NumStates)
+		}
+	}
+}
+
+func TestPairConstructionBadSymbols(t *testing.T) {
+	a := Compile(algebra.Atom(0), 3)
+	for _, bad := range [][2]int{{-1, 1}, {0, 0}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for symbols %v", bad)
+				}
+			}()
+			PairConstruction(a, bad[0], bad[1])
+		}()
+	}
+}
+
+func TestCombineMatchesIndividuals(t *testing.T) {
+	const k = 3
+	exprs := []*algebra.Expr{
+		algebra.Relative(algebra.Atom(0), algebra.Atom(1)),
+		algebra.Sequence(algebra.Atom(1), algebra.Atom(2)),
+		algebra.Every(algebra.Atom(0), 2),
+		algebra.Not(algebra.Atom(2)),
+	}
+	dfas := make([]*fa.DFA, len(exprs))
+	for i, e := range exprs {
+		dfas[i] = Compile(e, k)
+	}
+	c := Combine(dfas)
+
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		state := c.Start
+		dets := make([]*Detector, len(dfas))
+		for i, d := range dfas {
+			dets[i] = NewDetector(d)
+		}
+		for j := 0; j < n; j++ {
+			sym := rng.Intn(k)
+			var fires uint64
+			state, fires = c.Post(state, sym)
+			for i, det := range dets {
+				want := det.Post(sym)
+				if (fires>>i)&1 == 1 != want {
+					t.Fatalf("iter %d: trigger %d disagreement at step %d", iter, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Combine accepted an empty slice")
+		}
+	}()
+	Combine(nil)
+}

@@ -1,0 +1,417 @@
+// Package engine is the active-database runtime: it wires the object
+// store, the transaction manager, the virtual clock and the compiled
+// trigger automata into the execution model of the paper's §5:
+//
+//	"Whenever a basic event (with any associated parameters) is posted
+//	to an object, we check the active triggers to determine whether or
+//	not any logical events have occurred. If so, for each active
+//	trigger for which a logical event has occurred, we move the
+//	automaton to the next state. We determine all the trigger events
+//	that have occurred, and then we fire the triggers."
+//
+// Method calls, object lifecycle and transaction lifecycle post
+// happenings to objects; each active trigger instance maps the
+// happening to its class-alphabet symbol (evaluating the §5
+// disjointness masks), advances one integer of automaton state, and
+// fires when the automaton accepts. Trigger actions execute
+// immediately, inside the posting transaction; "after tcommit" and
+// "after tabort" happenings — whose transaction has already finished —
+// are posted by a system transaction, exactly as §5 prescribes.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ode/internal/clock"
+	"ode/internal/compile"
+	"ode/internal/evlang"
+	"ode/internal/fa"
+	"ode/internal/history"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/txn"
+	"ode/internal/value"
+)
+
+// Errors surfaced by the engine.
+var (
+	// ErrTabort is returned through the call chain when a trigger
+	// action executes the tabort statement (paper §2); by the time the
+	// caller sees it, the transaction has been rolled back.
+	ErrTabort = errors.New("engine: transaction aborted by trigger (tabort)")
+	// ErrTcompleteDiverged is returned when the before-tcomplete
+	// fixpoint (§6) fails to quiesce.
+	ErrTcompleteDiverged = errors.New("engine: before tcomplete loop did not quiesce")
+)
+
+// maxTcompleteRounds bounds the §6 commit fixpoint ("this process goes
+// on until no triggers fire in response to a before tcomplete event").
+const maxTcompleteRounds = 64
+
+// MaskFunc is a side-effect-free function callable from masks.
+type MaskFunc func(args []value.Value) (value.Value, error)
+
+// MethodImpl implements a member function.
+type MethodImpl func(ctx *MethodCtx) (value.Value, error)
+
+// ActionFunc implements a trigger action.
+type ActionFunc func(ctx *ActionCtx) error
+
+// ClassImpl binds Go code to a class schema.
+type ClassImpl struct {
+	// Methods maps member-function names to implementations. Every
+	// schema method must be implemented.
+	Methods map[string]MethodImpl
+	// Actions maps trigger names (or action strings) to actions.
+	// Triggers whose declared action is "tabort" or a niladic member
+	// call "f()" need no entry — the engine synthesizes those.
+	Actions map[string]ActionFunc
+	// Funcs are class-level mask functions (e.g. reorder economic
+	// quantities); they are consulted before engine-global functions.
+	Funcs map[string]MaskFunc
+	// Views optionally overrides the history view per trigger name;
+	// unset triggers use the schema's declared view (default
+	// CommittedView, §6).
+	Views map[string]schema.HistoryView
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the persistence directory; empty means volatile.
+	Dir string
+	// Start is the initial virtual time (zero means 2000-01-01 UTC).
+	Start time.Time
+	// RecordHistories, when positive, keeps each object's last N
+	// happenings for inspection; negative keeps everything.
+	RecordHistories int
+	// ShadowOracle cross-checks every automaton transition against the
+	// §4 denotational semantics at runtime: each trigger instance also
+	// records its symbol history and re-evaluates the event expression
+	// on every posting. A divergence fails the posting (and aborts the
+	// transaction). Expensive — meant for tests and debugging.
+	ShadowOracle bool
+	// CombinedAutomata enables footnote-5 monitoring for eligible
+	// classes: one product automaton (and one word of per-object state
+	// in total) tracks every trigger. See internal/engine/combined.go
+	// for the eligibility rules and semantics. Ignored when
+	// ShadowOracle is on (the oracle checks per-trigger histories).
+	CombinedAutomata bool
+}
+
+// Engine is an active object database.
+type Engine struct {
+	st  *store.Store
+	txm *txn.Manager
+	clk *clock.Virtual
+
+	mu      sync.RWMutex
+	classes map[string]*Class
+	funcs   map[string]MaskFunc
+
+	// Whole-history trigger automaton state lives outside the objects,
+	// so transaction rollback does not touch it (§6).
+	wholeMu     sync.Mutex
+	whole       map[instanceKey]int
+	wholeShadow map[instanceKey][]int
+
+	shadowOracle bool
+	combined     bool
+
+	timers *timerTable
+
+	histMu sync.Mutex
+	book   *history.Book
+
+	timerErrMu sync.Mutex
+	timerErrs  []error
+
+	stats statCounters
+}
+
+type instanceKey struct {
+	oid  store.OID
+	trig string
+}
+
+// Class is a registered class: schema, compiled trigger automata and
+// bound implementations.
+type Class struct {
+	Schema   *schema.Class
+	Res      *evlang.ClassResolution
+	Impl     ClassImpl
+	Triggers []*Trigger
+	byName   map[string]*Trigger
+	parser   *evlang.Parser   // retained for history queries (defines)
+	monitor  *combinedMonitor // non-nil → footnote-5 combined monitoring
+}
+
+// Trigger is one compiled trigger of a class.
+type Trigger struct {
+	Res    *evlang.TriggerResolution
+	DFA    *fa.DFA
+	View   schema.HistoryView
+	Action ActionFunc
+}
+
+// Trigger returns the named compiled trigger, or nil.
+func (c *Class) Trigger(name string) *Trigger { return c.byName[name] }
+
+// New opens an engine.
+func New(opts Options) (*Engine, error) {
+	st, err := store.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	e := &Engine{
+		st:           st,
+		txm:          txn.NewManager(st),
+		clk:          clock.NewVirtual(start),
+		classes:      map[string]*Class{},
+		funcs:        map[string]MaskFunc{},
+		whole:        map[instanceKey]int{},
+		wholeShadow:  map[instanceKey][]int{},
+		shadowOracle: opts.ShadowOracle,
+		combined:     opts.CombinedAutomata && !opts.ShadowOracle,
+	}
+	e.timers = newTimerTable(e)
+	switch {
+	case opts.RecordHistories > 0:
+		e.book = history.NewBook(opts.RecordHistories)
+	case opts.RecordHistories < 0:
+		e.book = history.NewBook(0)
+	}
+	return e, nil
+}
+
+// Close releases the underlying store.
+func (e *Engine) Close() error { return e.st.Close() }
+
+// Clock returns the engine's virtual clock. Advance it outside of
+// transactions: due timers post their time events from the advancing
+// goroutine.
+func (e *Engine) Clock() *clock.Virtual { return e.clk }
+
+// Store exposes the object store (read-mostly; examples and tools use
+// it for inspection).
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Checkpoint snapshots the store and truncates the WAL.
+func (e *Engine) Checkpoint() error { return e.st.Checkpoint() }
+
+// RegisterFunc installs an engine-global mask function (the paper's
+// user() is the canonical example).
+func (e *Engine) RegisterFunc(name string, fn MaskFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.funcs[name] = fn
+}
+
+// RegisterClass validates, resolves and compiles a class: every
+// trigger event becomes a minimized DFA over the class's §5 alphabet.
+// The optional parser carries #define abbreviations used by trigger
+// events.
+func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Parser) (*Class, error) {
+	if err := cls.Validate(); err != nil {
+		return nil, err
+	}
+	for _, m := range cls.Methods {
+		if impl.Methods[m.Name] == nil {
+			return nil, fmt.Errorf("engine: class %s: method %s has no implementation", cls.Name, m.Name)
+		}
+	}
+	if ps == nil {
+		ps = evlang.ForClass(cls)
+	} else {
+		// The parser may be shared across classes (a common define
+		// set); the method list is always this class's own.
+		ps.Methods = map[string]bool{}
+		for _, m := range cls.Methods {
+			ps.Methods[m.Name] = true
+		}
+	}
+	res, err := evlang.ResolveClass(cls, ps)
+	if err != nil {
+		return nil, err
+	}
+	c := &Class{Schema: cls, Res: res, Impl: impl, byName: map[string]*Trigger{}, parser: ps}
+	for _, tr := range res.Triggers {
+		view := schema.CommittedView
+		if st := cls.Trigger(tr.Name); st != nil {
+			view = st.View
+		}
+		if v, ok := impl.Views[tr.Name]; ok {
+			view = v
+		}
+		action, err := e.bindAction(cls, impl, tr)
+		if err != nil {
+			return nil, err
+		}
+		t := &Trigger{
+			Res:    tr,
+			DFA:    compile.Compile(tr.Expr, res.Alphabet.NumSymbols),
+			View:   view,
+			Action: action,
+		}
+		c.Triggers = append(c.Triggers, t)
+		c.byName[tr.Name] = t
+	}
+	if e.combined {
+		c.monitor = buildCombined(c)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.classes[cls.Name]; dup {
+		return nil, fmt.Errorf("engine: class %s already registered", cls.Name)
+	}
+	e.classes[cls.Name] = c
+	return c, nil
+}
+
+// bindAction resolves a trigger's action: an explicit binding by
+// trigger name, a binding by raw action string, the built-in tabort
+// statement, or a niladic self member call "f()".
+func (e *Engine) bindAction(cls *schema.Class, impl ClassImpl, tr *evlang.TriggerResolution) (ActionFunc, error) {
+	if a := impl.Actions[tr.Name]; a != nil {
+		return a, nil
+	}
+	raw := tr.Action
+	if raw == "" {
+		if st := cls.Trigger(tr.Name); st != nil {
+			// Schema-declared triggers carry no action text; they must
+			// be bound by name.
+			return nil, fmt.Errorf("engine: class %s: trigger %s has no bound action", cls.Name, tr.Name)
+		}
+	}
+	if a := impl.Actions[raw]; a != nil {
+		return a, nil
+	}
+	if raw == "tabort" {
+		return func(*ActionCtx) error { return ErrTabort }, nil
+	}
+	// f() — a niladic member call on the triggering object.
+	if n := len(raw); n > 2 && raw[n-2] == '(' && raw[n-1] == ')' {
+		method := raw[:n-2]
+		if cls.Method(method) != nil {
+			return func(ctx *ActionCtx) error {
+				_, err := ctx.Tx.Call(ctx.Self, method)
+				return err
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: class %s: trigger %s action %q is not bound", cls.Name, tr.Name, raw)
+}
+
+// Class returns a registered class, or nil.
+func (e *Engine) Class(name string) *Class {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.classes[name]
+}
+
+// classOf resolves the class of a record.
+func (e *Engine) classOf(rec *store.Record) (*Class, error) {
+	c := e.Class(rec.Class)
+	if c == nil {
+		return nil, fmt.Errorf("engine: object %d has unregistered class %q", rec.OID, rec.Class)
+	}
+	return c, nil
+}
+
+// History returns the recorded happening log of oid, or nil when
+// recording is disabled or nothing was recorded.
+func (e *Engine) History(oid store.OID) *history.Log {
+	e.histMu.Lock()
+	defer e.histMu.Unlock()
+	if e.book == nil {
+		return nil
+	}
+	return e.book.Peek(oid)
+}
+
+// TriggerState reports a trigger instance's automaton state and
+// whether it is active — test and tooling introspection.
+func (e *Engine) TriggerState(oid store.OID, trigger string) (state int, active bool, err error) {
+	rec, err := e.st.Get(oid)
+	if err != nil {
+		return 0, false, err
+	}
+	c, err := e.classOf(rec)
+	if err != nil {
+		return 0, false, err
+	}
+	t := c.Trigger(trigger)
+	if t == nil {
+		return 0, false, fmt.Errorf("engine: class %s has no trigger %q", rec.Class, trigger)
+	}
+	act, ok := rec.Triggers[trigger]
+	if !ok {
+		return t.DFA.Start, false, nil
+	}
+	if c.monitor != nil {
+		// Combined monitoring: the single shared state word stands in
+		// for every trigger of the object.
+		if slot, ok := rec.Triggers[combinedSlot]; ok && slot.Active {
+			return slot.State, act.Active, nil
+		}
+		return c.monitor.comb.Start, act.Active, nil
+	}
+	if t.View == schema.WholeView {
+		e.wholeMu.Lock()
+		defer e.wholeMu.Unlock()
+		if s, ok := e.whole[instanceKey{oid, trigger}]; ok {
+			return s, act.Active, nil
+		}
+		return t.DFA.Start, act.Active, nil
+	}
+	return act.State, act.Active, nil
+}
+
+// TimerErrors returns errors raised while delivering time events
+// (empty in healthy runs).
+func (e *Engine) TimerErrors() []error {
+	e.timerErrMu.Lock()
+	defer e.timerErrMu.Unlock()
+	out := make([]error, len(e.timerErrs))
+	copy(out, e.timerErrs)
+	return out
+}
+
+func (e *Engine) recordTimerErr(err error) {
+	e.timerErrMu.Lock()
+	e.timerErrs = append(e.timerErrs, err)
+	e.timerErrMu.Unlock()
+}
+
+// RearmTimers re-creates the volatile timer schedule for every active
+// trigger after reopening a persistent database: activations are
+// durable but clock state is not.
+func (e *Engine) RearmTimers() error {
+	for _, oid := range e.st.OIDs() {
+		rec, err := e.st.Get(oid)
+		if err != nil {
+			continue
+		}
+		c, err := e.classOf(rec)
+		if err != nil {
+			return err
+		}
+		for name, act := range rec.Triggers {
+			if !act.Active {
+				continue
+			}
+			t := c.Trigger(name)
+			if t == nil {
+				continue
+			}
+			e.timers.arm(oid, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package engine
+
+import (
+	"fmt"
+
+	"ode/internal/algebra"
+	"ode/internal/event"
+	"ode/internal/history"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// MethodCtx is passed to member-function implementations.
+type MethodCtx struct {
+	Tx   *Tx
+	Self store.OID
+	Args map[string]value.Value
+}
+
+// Arg returns a bound parameter (null if absent).
+func (c *MethodCtx) Arg(name string) value.Value { return c.Args[name] }
+
+// Get reads a field of the receiving object.
+func (c *MethodCtx) Get(field string) (value.Value, error) { return c.Tx.Get(c.Self, field) }
+
+// Set writes a field of the receiving object.
+func (c *MethodCtx) Set(field string, v value.Value) error { return c.Tx.Set(c.Self, field, v) }
+
+// ActionCtx is passed to trigger actions. Params are the trigger's
+// activation parameters; composite events carry no event parameters
+// (§3.3).
+//
+// EventKind and EventParams describe the happening that completed the
+// composite event — its last logical event. This goes beyond the
+// paper, which lists "the incorporation of arguments into composite
+// event specification" as future work (§9); exposing the final
+// happening's parameters is the cheap four-fifths of that feature
+// (collecting values from *earlier* constituent events would require
+// augmenting the automaton state and is deliberately not done).
+type ActionCtx struct {
+	Tx      *Tx
+	Self    store.OID
+	Trigger string
+	Params  map[string]value.Value
+
+	EventKind   string
+	EventParams map[string]value.Value
+}
+
+// Tabort returns the tabort sentinel: returning it from an action
+// aborts the posting transaction (the paper's tabort statement).
+func (c *ActionCtx) Tabort() error { return ErrTabort }
+
+type firedTrigger struct {
+	t   *Trigger
+	act *store.TrigActivation
+}
+
+// step posts one happening to one object: it maps the happening to
+// each active trigger instance's alphabet symbol, advances the
+// instance's single integer of state, collects every trigger whose
+// automaton now accepts, and then fires them (deactivating ordinary
+// triggers first — "an ordinary trigger is automatically deactivated
+// the moment it fires", §2). Actions execute inside this transaction,
+// immediately (§5); onlyTrigger restricts delivery (used by per-
+// trigger 'after' timers).
+//
+// It reports whether any trigger fired — the commit fixpoint's
+// quiescence signal.
+func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrigger string) (bool, error) {
+	c, err := tx.e.classOf(rec)
+	if err != nil {
+		return false, err
+	}
+	kindIx := c.Res.Alphabet.KindIndex(h.Kind)
+	if kindIx < 0 {
+		return false, fmt.Errorf("engine: class %s cannot experience %s", rec.Class, h.Kind)
+	}
+	tx.e.recordHappening(oid, h)
+	tx.e.stats.happenings.Add(1)
+
+	var fired []firedTrigger
+	if cm := c.monitor; cm != nil {
+		// Footnote-5 combined monitoring: one transition for all
+		// triggers (eligibility rules in combined.go guarantee
+		// onlyTrigger never applies here).
+		var err error
+		fired, err = tx.stepCombined(c, cm, kindIx, h, oid, rec)
+		if err != nil {
+			return false, err
+		}
+		for _, f := range fired {
+			ctx := &ActionCtx{
+				Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
+				EventKind: h.Kind.String(), EventParams: h.Params,
+			}
+			tx.e.stats.firings.Add(1)
+			if err := f.t.Action(ctx); err != nil {
+				return true, err
+			}
+		}
+		return len(fired) > 0, nil
+	}
+	for _, t := range c.Triggers {
+		if onlyTrigger != "" && t.Res.Name != onlyTrigger {
+			continue
+		}
+		act, ok := rec.Triggers[t.Res.Name]
+		if !ok || !act.Active {
+			continue
+		}
+		// Committed-view instances never see abort events: the aborted
+		// transaction's history — its abort included — is not part of
+		// the committed history (§6).
+		if t.View == schema.CommittedView && h.Kind.Class == event.KTabort {
+			continue
+		}
+		bits, err := tx.evalBits(c, t, kindIx, h, act, oid, rec)
+		if err != nil {
+			return false, fmt.Errorf("engine: trigger %s mask: %w", t.Res.Name, err)
+		}
+		sym := c.Res.Alphabet.Symbol(kindIx, bits)
+
+		var next int
+		if t.View == schema.WholeView {
+			key := instanceKey{oid, t.Res.Name}
+			tx.e.wholeMu.Lock()
+			cur, ok := tx.e.whole[key]
+			if !ok {
+				cur = t.DFA.Start
+			}
+			next = t.DFA.Next(cur, sym)
+			tx.e.whole[key] = next
+			if tx.e.shadowOracle {
+				tx.e.wholeShadow[key] = append(tx.e.wholeShadow[key], sym)
+			}
+			tx.e.wholeMu.Unlock()
+		} else {
+			next = t.DFA.Next(act.State, sym)
+			act.State = next
+			if tx.e.shadowOracle {
+				act.Shadow = append(act.Shadow, sym)
+			}
+		}
+		tx.e.stats.steps.Add(1)
+		accepted := t.DFA.Accept[next]
+		if tx.e.shadowOracle {
+			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {
+				return false, err
+			}
+		}
+		if accepted {
+			fired = append(fired, firedTrigger{t, act})
+		}
+	}
+
+	// "We determine all the trigger events that have occurred, and
+	// then we fire the triggers" (§5): deactivations happen before any
+	// action runs, so an action re-activating a trigger is preserved.
+	for _, f := range fired {
+		if !f.t.Res.Perpetual {
+			f.act.Active = false
+			tx.e.timers.disarm(oid, f.t)
+		}
+	}
+	for _, f := range fired {
+		ctx := &ActionCtx{
+			Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
+			EventKind: h.Kind.String(), EventParams: h.Params,
+		}
+		tx.e.stats.firings.Add(1)
+		if err := f.t.Action(ctx); err != nil {
+			return true, err
+		}
+	}
+	return len(fired) > 0, nil
+}
+
+// evalBits evaluates the §5 disjointness masks this trigger's
+// expression depends on for the happening's kind, producing the mask
+// valuation bits of the symbol. Foreign triggers' bits are left zero —
+// this trigger's automaton provably does not distinguish them.
+func (tx *Tx) evalBits(c *Class, t *Trigger, kindIx int, h event.Happening,
+	act *store.TrigActivation, oid store.OID, rec *store.Record) (uint32, error) {
+	return tx.evalBitsMask(c, t.Res.UsedBits[kindIx], kindIx, h, act.Params, oid, rec)
+}
+
+// evalBitsMask evaluates exactly the mask bits in used; trigParams may
+// be nil (combined monitoring forbids trigger parameters).
+func (tx *Tx) evalBitsMask(c *Class, used uint32, kindIx int, h event.Happening,
+	trigParams map[string]value.Value, oid store.OID, rec *store.Record) (uint32, error) {
+	if used == 0 {
+		return 0, nil
+	}
+	var bits uint32
+	masks := c.Res.Alphabet.Kinds[kindIx].Masks
+	for bit := range masks {
+		if used&(1<<bit) == 0 {
+			continue
+		}
+		env := &maskEnv{
+			tx:     tx,
+			self:   oid,
+			rec:    rec,
+			cls:    c,
+			params: h.Params,
+			rename: masks[bit].Rename,
+			trig:   trigParams,
+		}
+		tx.e.stats.maskEvals.Add(1)
+		ok, err := masks[bit].Expr.EvalBool(env)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			bits |= 1 << bit
+		}
+	}
+	return bits, nil
+}
+
+// shadowCheck re-evaluates the trigger's event expression over the
+// instance's recorded symbol history with the §4 denotational
+// semantics and compares the verdicts. It implements Options
+// .ShadowOracle; a divergence is a bug in the automaton pipeline.
+func (e *Engine) shadowCheck(oid store.OID, t *Trigger, act *store.TrigActivation, accepted bool) error {
+	var hist []int
+	if t.View == schema.WholeView {
+		e.wholeMu.Lock()
+		hist = append([]int(nil), e.wholeShadow[instanceKey{oid, t.Res.Name}]...)
+		e.wholeMu.Unlock()
+	} else {
+		hist = act.Shadow
+	}
+	want := algebra.Occurs(t.Res.Expr, hist)
+	if want != accepted {
+		return fmt.Errorf("engine: shadow oracle divergence: trigger %s at object %d: automaton=%v oracle=%v (history %v)",
+			t.Res.Name, oid, accepted, want, hist)
+	}
+	return nil
+}
+
+func (e *Engine) recordHappening(oid store.OID, h event.Happening) {
+	e.histMu.Lock()
+	book := e.book
+	e.histMu.Unlock()
+	if book == nil {
+		return
+	}
+	book.Log(oid).Append(history.Entry{Kind: h.Kind, Symbol: -1, TxID: h.TxID, At: h.At})
+}
+
+// maskEnv resolves names during mask evaluation: declared formals
+// (renamed to schema parameter names), the happening's parameters,
+// the trigger's activation parameters, then the object's fields.
+// Masks "may access the state of any object in the database" (§3.2)
+// through object-reference field paths and calls; those reads are
+// isolated (locked) but post no events.
+type maskEnv struct {
+	tx     *Tx
+	self   store.OID
+	rec    *store.Record
+	cls    *Class
+	params map[string]value.Value
+	rename map[string]string
+	trig   map[string]value.Value
+}
+
+func (m *maskEnv) Lookup(name string) (value.Value, bool) {
+	if m.rename != nil {
+		if schemaName, ok := m.rename[name]; ok {
+			v, ok2 := m.params[schemaName]
+			return v, ok2
+		}
+	}
+	if v, ok := m.params[name]; ok {
+		return v, true
+	}
+	if v, ok := m.trig[name]; ok {
+		return v, true
+	}
+	if v, ok := m.rec.Fields[name]; ok {
+		return v, true
+	}
+	return value.Null(), false
+}
+
+func (m *maskEnv) Field(base value.Value, name string) (value.Value, error) {
+	if base.Kind != value.KindID {
+		return value.Null(), fmt.Errorf("engine: field access on %s (need an object reference)", base.Kind)
+	}
+	rec, err := m.tx.tx.Peek(store.OID(base.AsID()))
+	if err != nil {
+		return value.Null(), err
+	}
+	v, ok := rec.Fields[name]
+	if !ok {
+		return value.Null(), fmt.Errorf("engine: class %s has no field %q", rec.Class, name)
+	}
+	return v, nil
+}
+
+func (m *maskEnv) Call(name string, args []value.Value) (value.Value, error) {
+	if fn, ok := m.cls.Impl.Funcs[name]; ok {
+		return fn(args)
+	}
+	if meth := m.cls.Schema.Method(name); meth != nil {
+		if meth.Mode != schema.ModeRead {
+			return value.Null(), fmt.Errorf("engine: mask calls update method %q; masks must be side-effect-free", name)
+		}
+		if len(args) != len(meth.Params) {
+			return value.Null(), fmt.Errorf("engine: %s takes %d argument(s), got %d", name, len(meth.Params), len(args))
+		}
+		bound := make(map[string]value.Value, len(args))
+		for i, a := range args {
+			cv, err := coerce(a, meth.Params[i].Kind)
+			if err != nil {
+				return value.Null(), fmt.Errorf("engine: %s parameter %s: %w", name, meth.Params[i].Name, err)
+			}
+			bound[meth.Params[i].Name] = cv
+		}
+		// Invoked directly: a mask-time member call is a condition
+		// evaluation, not an event-generating access (§7 requires
+		// side-effect-free conditions).
+		return m.cls.Impl.Methods[name](&MethodCtx{Tx: m.tx, Self: m.self, Args: bound})
+	}
+	m.tx.e.mu.RLock()
+	fn, ok := m.tx.e.funcs[name]
+	m.tx.e.mu.RUnlock()
+	if ok {
+		return fn(args)
+	}
+	return value.Null(), fmt.Errorf("engine: unknown mask function %q", name)
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+
+	"ode/internal/compile"
+	"ode/internal/evlang"
+	"ode/internal/schema"
+	"ode/internal/store"
+)
+
+// QueryHistory evaluates an event expression over an object's recorded
+// happening history and returns the sequence numbers of the points at
+// which the event occurred — the paper's §9 "history expressions"
+// direction ("explicit manipulation of event histories to specify
+// events"), realized as offline replay of the same compilation
+// pipeline.
+//
+// Requirements:
+//   - history recording must be enabled (Options.RecordHistories) and
+//     the object's log must be complete (no entries evicted by the
+//     retention limit) — a truncated history would silently shift
+//     every occurrence;
+//   - the expression must be mask-free: masks are evaluated against
+//     database state at the instant of their basic event, and that
+//     state is gone. Time events that appear in the class's triggers
+//     may be referenced (their firings are recorded points).
+func (e *Engine) QueryHistory(oid store.OID, eventSrc string) ([]uint64, error) {
+	log := e.History(oid)
+	if log == nil {
+		return nil, fmt.Errorf("engine: no recorded history for object %d (enable Options.RecordHistories)", oid)
+	}
+	if log.Dropped() > 0 {
+		return nil, fmt.Errorf("engine: history of object %d lost %d early entries to the retention limit",
+			oid, log.Dropped())
+	}
+	rec, err := e.st.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.classOf(rec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the query alongside the class's real triggers so the
+	// shared alphabet contains every kind the history can mention
+	// (including other triggers' timer kinds).
+	probe := *c.Schema
+	probe.Triggers = append(append([]schema.Trigger{}, c.Schema.Triggers...),
+		schema.Trigger{Name: "__query", Event: eventSrc})
+	res, err := evlang.ResolveClass(&probe, c.parser)
+	if err != nil {
+		return nil, err
+	}
+	q := res.Trigger("__query")
+	for _, bits := range q.UsedBits {
+		if bits != 0 {
+			return nil, fmt.Errorf("engine: history queries cannot use masks — state at past events is not reconstructible")
+		}
+	}
+
+	dfa := compile.Compile(q.Expr, res.Alphabet.NumSymbols)
+	det := compile.NewDetector(dfa)
+	var out []uint64
+	for _, entry := range log.Entries() {
+		kindIx := res.Alphabet.KindIndex(entry.Kind)
+		if kindIx < 0 {
+			// A kind outside the resolved space (e.g. the timer of a
+			// trigger added after this history was recorded) is still
+			// a history point; it cannot advance the query toward
+			// acceptance but must be visible to negation and
+			// adjacency. There is no such symbol to feed, so refuse
+			// rather than silently skew the result.
+			return nil, fmt.Errorf("engine: history of object %d contains unknown kind %s", oid, entry.Kind)
+		}
+		if det.Post(res.Alphabet.Symbol(kindIx, 0)) {
+			out = append(out, entry.Seq)
+		}
+	}
+	return out, nil
+}

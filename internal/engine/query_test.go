@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+func TestQueryHistoryFindsOccurrences(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec)
+	e := newEngine(t, Options{RecordHistories: -1})
+	oid := setup(t, e, cls, impl)
+
+	// Three transactions: deposit; withdraw; deposit+withdraw.
+	e.Transact(func(tx *Tx) error {
+		_, err := tx.Call(oid, "deposit", value.Int(10))
+		return err
+	})
+	e.Transact(func(tx *Tx) error {
+		_, err := tx.Call(oid, "withdraw", value.Int(5))
+		return err
+	})
+	e.Transact(func(tx *Tx) error {
+		tx.Call(oid, "deposit", value.Int(1))
+		_, err := tx.Call(oid, "withdraw", value.Int(1))
+		return err
+	})
+
+	// Where did a withdraw follow a deposit (any gap)?
+	points, err := e.QueryHistory(oid, "relative(after deposit, after withdraw)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both withdraws qualify (the first deposit precedes both).
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	// Strict adjacency only matches the same-transaction pair.
+	seq, err := e.QueryHistory(oid, "after deposit; before withdraw; after withdraw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1 {
+		t.Fatalf("sequence points = %v", seq)
+	}
+	// The occurrence point is a real history position: look it up.
+	var kinds []string
+	for _, e := range e.History(oid).Entries() {
+		kinds = append(kinds, e.Kind.String())
+	}
+	if got := kinds[seq[0]-1]; got != "after withdraw" {
+		t.Fatalf("occurrence at %d = %s", seq[0], got)
+	}
+	// Count transaction commits after the fact.
+	commits, err := e.QueryHistory(oid, "after tcommit")
+	if err != nil || len(commits) != 4 { // setup + three transactions
+		t.Fatalf("commits = %v, %v", commits, err)
+	}
+	// choose works offline too.
+	third, err := e.QueryHistory(oid, "choose 3 (after tcommit)")
+	if err != nil || len(third) != 1 || third[0] != commits[2] {
+		t.Fatalf("choose 3 = %v, %v (commits %v)", third, err, commits)
+	}
+}
+
+func TestQueryHistoryRejectsMasksAndMissingHistory(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec)
+
+	// No recording configured.
+	e0 := newEngine(t, Options{})
+	oid0 := setup(t, e0, cls, impl)
+	if _, err := e0.QueryHistory(oid0, "after deposit"); err == nil {
+		t.Fatal("query without recording succeeded")
+	}
+
+	cls2, impl2 := accountClass(&recorder{})
+	e := newEngine(t, Options{RecordHistories: -1})
+	oid := setup(t, e, cls2, impl2)
+	_, err := e.QueryHistory(oid, "after withdraw(a) && a > 5")
+	if err == nil || !strings.Contains(err.Error(), "mask") {
+		t.Fatalf("masked query: %v", err)
+	}
+	// Unparseable expression.
+	if _, err := e.QueryHistory(oid, "relative(after"); err == nil {
+		t.Fatal("bad query parsed")
+	}
+	// Unknown object.
+	if _, err := e.QueryHistory(9999, "after deposit"); err == nil {
+		t.Fatal("query on missing object succeeded")
+	}
+}
+
+func TestQueryHistoryRejectsTruncatedLog(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec)
+	e := newEngine(t, Options{RecordHistories: 4}) // tiny retention
+	oid := setup(t, e, cls, impl)
+	for i := 0; i < 5; i++ {
+		e.Transact(func(tx *Tx) error {
+			_, err := tx.Call(oid, "deposit", value.Int(1))
+			return err
+		})
+	}
+	_, err := e.QueryHistory(oid, "after deposit")
+	if err == nil || !strings.Contains(err.Error(), "retention") {
+		t.Fatalf("truncated-log query: %v", err)
+	}
+}
+
+func TestQueryHistorySeesTriggerTimerKinds(t *testing.T) {
+	// A history containing timer firings of the class's own triggers
+	// remains queryable: the probe resolution re-includes those kinds,
+	// both as query targets and as inert points for other queries.
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		schema.Trigger{Name: "Daily", Perpetual: true, Event: "at time(HR=17)"})
+	e := newEngine(t, Options{
+		Start:           time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC),
+		RecordHistories: -1,
+	})
+	oid := setup(t, e, cls, impl, "Daily")
+
+	e.Clock().Advance(48 * time.Hour) // two daily firings recorded
+	e.Transact(func(tx *Tx) error {
+		_, err := tx.Call(oid, "deposit", value.Int(1))
+		return err
+	})
+
+	timers, err := e.QueryHistory(oid, "at time(HR=17)")
+	if err != nil || len(timers) != 2 {
+		t.Fatalf("timer query = %v, %v", timers, err)
+	}
+	// A deposit after the second day-end tick.
+	after, err := e.QueryHistory(oid, "relative(choose 2 (at time(HR=17)), after deposit)")
+	if err != nil || len(after) != 1 {
+		t.Fatalf("relative-to-timer query = %v, %v", after, err)
+	}
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// TestShadowOracleRandomizedScenario drives a database with a diverse
+// trigger set through hundreds of random transactions — method calls,
+// commits, aborts, tabort-raising masks, timers — with the shadow
+// oracle enabled: every single automaton transition of every trigger
+// instance is cross-checked against the paper's §4 denotational
+// semantics evaluated over the instance's full symbol history. Any
+// divergence fails the posting, which surfaces as a transaction error.
+//
+// This is the E3 experiment's verification run at the system level:
+// the DSL resolver, mask rewrite, compiler and runtime all have to
+// agree with the formal model for this to stay silent.
+func TestShadowOracleRandomizedScenario(t *testing.T) {
+	e, err := New(Options{
+		Start:        time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC),
+		ShadowOracle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	cls := &schema.Class{
+		Name: "acct",
+		Fields: []schema.Field{
+			{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)},
+		},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "audit", Mode: schema.ModeRead},
+		},
+		Triggers: []schema.Trigger{
+			{Name: "Masked", Perpetual: true, Event: "after withdraw(n) && n > 50"},
+			{Name: "Seq", Perpetual: true, Event: "after deposit; after withdraw"},
+			{Name: "Rel", Perpetual: true, Event: "relative(after deposit, after withdraw(n) && n > 50)"},
+			{Name: "Cnt", Perpetual: true, Event: "every 3 (after access)"},
+			{Name: "Chz", Event: "choose 4 (after deposit)"},
+			{Name: "Neg", Perpetual: true, Event: "!(after audit | after tbegin) & after access"},
+			{Name: "FaW", Perpetual: true, Event: "fa(after tbegin, after withdraw, after audit)"},
+			// NOTE: a perpetual trigger on a bare "before tcomplete"
+			// event never lets the §6 commit fixpoint quiesce; the
+			// deferred coupling must use fa(…) so only the FIRST
+			// tcomplete after the event fires (§7).
+			{Name: "Deep", Perpetual: true, Event: "fa(relative(after deposit, after deposit), before tcomplete, after tbegin)"},
+			{Name: "Whole", Perpetual: true, Event: "relative(after tabort, after tbegin)", View: schema.WholeView},
+			{Name: "Timer", Perpetual: true, Event: "relative(at time(HR=12), after withdraw)"},
+		},
+	}
+	impl := ClassImpl{
+		Methods: map[string]MethodImpl{
+			"deposit": func(ctx *MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("n").AsInt()))
+			},
+			"withdraw": func(ctx *MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("n").AsInt()))
+			},
+			"audit": func(ctx *MethodCtx) (value.Value, error) { return ctx.Get("balance") },
+		},
+		Actions: map[string]ActionFunc{},
+	}
+	for _, tr := range cls.Triggers {
+		impl.Actions[tr.Name] = func(*ActionCtx) error { return nil }
+	}
+	if _, err := e.RegisterClass(cls, impl, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const objects = 4
+	oids := make([]store.OID, objects)
+	err = e.Transact(func(tx *Tx) error {
+		for i := range oids {
+			oid, err := tx.NewObject("acct", nil)
+			if err != nil {
+				return err
+			}
+			oids[i] = oid
+			for _, tr := range cls.Triggers {
+				if err := tx.Activate(oid, tr.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(20260704))
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			// Advance the clock; timers post under the oracle too.
+			e.Clock().Advance(time.Duration(1+rng.Intn(10)) * time.Hour)
+			if errs := e.TimerErrors(); len(errs) > 0 {
+				t.Fatalf("iter %d: timer error (oracle divergence?): %v", i, errs[0])
+			}
+		case 1:
+			// Abort a transaction after random work: committed-view
+			// shadow logs must roll back with the automaton state.
+			e.Transact(func(tx *Tx) error {
+				tx.Call(oids[rng.Intn(objects)], "deposit", value.Int(int64(rng.Intn(200))))
+				tx.Call(oids[rng.Intn(objects)], "withdraw", value.Int(int64(rng.Intn(200))))
+				return errors.New("random abort")
+			})
+		case 2:
+			// Re-activate a random trigger on a random object.
+			err := e.Transact(func(tx *Tx) error {
+				return tx.Activate(oids[rng.Intn(objects)], cls.Triggers[rng.Intn(len(cls.Triggers))].Name)
+			})
+			if err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+		default:
+			err := e.Transact(func(tx *Tx) error {
+				for c := 0; c < 1+rng.Intn(4); c++ {
+					oid := oids[rng.Intn(objects)]
+					var err error
+					switch rng.Intn(3) {
+					case 0:
+						_, err = tx.Call(oid, "deposit", value.Int(int64(rng.Intn(200))))
+					case 1:
+						_, err = tx.Call(oid, "withdraw", value.Int(int64(rng.Intn(200))))
+					default:
+						_, err = tx.Call(oid, "audit")
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("iter %d: oracle divergence or engine error: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestActionEventParamsExtension checks the §9-future-work extension:
+// the action sees the kind and parameters of the happening that
+// completed the event.
+func TestActionEventParamsExtension(t *testing.T) {
+	e, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var gotKind string
+	var gotAmount int64
+	cls := &schema.Class{
+		Name:   "acct",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{
+			{Name: "T", Perpetual: true, Event: "relative(after deposit, after withdraw)"},
+		},
+	}
+	impl := ClassImpl{
+		Methods: map[string]MethodImpl{
+			"deposit":  func(*MethodCtx) (value.Value, error) { return value.Null(), nil },
+			"withdraw": func(*MethodCtx) (value.Value, error) { return value.Null(), nil },
+		},
+		Actions: map[string]ActionFunc{
+			"T": func(ctx *ActionCtx) error {
+				gotKind = ctx.EventKind
+				gotAmount = ctx.EventParams["n"].AsInt()
+				return nil
+			},
+		},
+	}
+	if _, err := e.RegisterClass(cls, impl, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Transact(func(tx *Tx) error {
+		oid, _ := tx.NewObject("acct", nil)
+		tx.Activate(oid, "T")
+		tx.Call(oid, "deposit", value.Int(10))
+		_, err := tx.Call(oid, "withdraw", value.Int(77))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKind != "after withdraw" || gotAmount != 77 {
+		t.Fatalf("action saw %q / %d, want 'after withdraw' / 77", gotKind, gotAmount)
+	}
+}

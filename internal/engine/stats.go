@@ -1,0 +1,52 @@
+package engine
+
+import "sync/atomic"
+
+// Stats are cumulative engine counters, readable at any time with
+// Engine.Stats. They are monotone except for being zero at startup;
+// cross-field arithmetic (e.g. commits+aborts vs begun) is only
+// consistent when the engine is quiescent.
+type Stats struct {
+	// TxBegun counts user transactions started (system transactions
+	// excluded).
+	TxBegun uint64
+	// TxCommitted and TxAborted count user transaction outcomes.
+	TxCommitted uint64
+	TxAborted   uint64
+	// SystemTx counts system transactions (after-tcommit/tabort and
+	// timer deliveries).
+	SystemTx uint64
+	// Happenings counts events posted to objects (every history point,
+	// all objects).
+	Happenings uint64
+	// Steps counts individual trigger-automaton transitions.
+	Steps uint64
+	// MaskEvals counts logical-event mask evaluations.
+	MaskEvals uint64
+	// Firings counts trigger actions executed.
+	Firings uint64
+	// TimerPosts counts time-event deliveries.
+	TimerPosts uint64
+}
+
+// statCounters is the engine-internal atomic mirror of Stats.
+type statCounters struct {
+	txBegun, txCommitted, txAborted, systemTx atomic.Uint64
+	happenings, steps, maskEvals, firings     atomic.Uint64
+	timerPosts                                atomic.Uint64
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		TxBegun:     e.stats.txBegun.Load(),
+		TxCommitted: e.stats.txCommitted.Load(),
+		TxAborted:   e.stats.txAborted.Load(),
+		SystemTx:    e.stats.systemTx.Load(),
+		Happenings:  e.stats.happenings.Load(),
+		Steps:       e.stats.steps.Load(),
+		MaskEvals:   e.stats.maskEvals.Load(),
+		Firings:     e.stats.firings.Load(),
+		TimerPosts:  e.stats.timerPosts.Load(),
+	}
+}

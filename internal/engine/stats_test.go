@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+func TestStatsCounters(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		schema.Trigger{Name: "Large", Perpetual: true, Event: "after withdraw(a) && a > 100"})
+	e := newEngine(t, Options{})
+	oid := setup(t, e, cls, impl, "Large")
+
+	base := e.Stats()
+	e.Transact(func(tx *Tx) error {
+		tx.Call(oid, "withdraw", value.Int(500)) // fires
+		tx.Call(oid, "withdraw", value.Int(50))  // masked out
+		return nil
+	})
+	e.Transact(func(tx *Tx) error {
+		tx.Call(oid, "deposit", value.Int(1))
+		return errors.New("abort")
+	})
+	s := e.Stats()
+
+	if s.TxBegun-base.TxBegun != 2 {
+		t.Fatalf("TxBegun Δ=%d", s.TxBegun-base.TxBegun)
+	}
+	if s.TxCommitted-base.TxCommitted != 1 || s.TxAborted-base.TxAborted != 1 {
+		t.Fatalf("outcomes Δcommit=%d Δabort=%d", s.TxCommitted-base.TxCommitted, s.TxAborted-base.TxAborted)
+	}
+	if s.Firings-base.Firings != 1 {
+		t.Fatalf("Firings Δ=%d", s.Firings-base.Firings)
+	}
+	// Two withdraw postings evaluated the mask (before events don't —
+	// the trigger's expression only uses after-withdraw bits).
+	if s.MaskEvals-base.MaskEvals != 2 {
+		t.Fatalf("MaskEvals Δ=%d", s.MaskEvals-base.MaskEvals)
+	}
+	if s.Happenings <= base.Happenings || s.Steps <= base.Steps {
+		t.Fatal("happenings/steps did not advance")
+	}
+	// The committed transaction's after-tcommit ran in a system tx.
+	if s.SystemTx-base.SystemTx < 1 {
+		t.Fatalf("SystemTx Δ=%d", s.SystemTx-base.SystemTx)
+	}
+}

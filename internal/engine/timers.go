@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ode/internal/clock"
+	"ode/internal/event"
+	"ode/internal/evlang"
+	"ode/internal/store"
+)
+
+// timerTable schedules the time events of active trigger instances
+// (§3.1 item 3). 'at' and 'every' specifications denote absolute
+// instants, so one armed timer per (object, specification) is shared
+// by every trigger that mentions it — all of them observe the same
+// history point. 'after' is relative to the arming of the trigger
+// (§3.1: "scheduled to occur after a specified period ... when the
+// trigger is armed"), so it is per (object, trigger) and its happening
+// is delivered only to that trigger.
+type timerTable struct {
+	e  *Engine
+	mu sync.Mutex
+
+	shared map[sharedKey]*sharedTimer
+	// oneShots holds the pending 'after' timers per trigger instance.
+	oneShots map[instanceKey][]clock.TimerID
+	// sharedRefs counts trigger instances per shared timer.
+	sharedRefs map[sharedKey]map[string]bool
+}
+
+type sharedKey struct {
+	oid store.OID
+	key string // canonical time-event key, e.g. "at time(HR=17)"
+}
+
+type sharedTimer struct {
+	id       clock.TimerID
+	canceled bool
+}
+
+func newTimerTable(e *Engine) *timerTable {
+	return &timerTable{
+		e:          e,
+		shared:     map[sharedKey]*sharedTimer{},
+		oneShots:   map[instanceKey][]clock.TimerID{},
+		sharedRefs: map[sharedKey]map[string]bool{},
+	}
+}
+
+// arm schedules every time event of a freshly activated trigger.
+func (tt *timerTable) arm(oid store.OID, t *Trigger) {
+	for _, req := range t.Res.Timers {
+		switch req.Mode {
+		case evlang.TimeAfter:
+			tt.armAfter(oid, t.Res.Name, req)
+		default:
+			tt.armShared(oid, t.Res.Name, req)
+		}
+	}
+}
+
+func (tt *timerTable) armAfter(oid store.OID, trig string, req evlang.TimerReq) {
+	key := instanceKey{oid, trig}
+	id := tt.e.clk.After(req.Spec.Period(), func(time.Time) {
+		tt.e.postTimer(oid, req.Key, trig)
+	})
+	tt.mu.Lock()
+	tt.oneShots[key] = append(tt.oneShots[key], id)
+	tt.mu.Unlock()
+}
+
+func (tt *timerTable) armShared(oid store.OID, trig string, req evlang.TimerReq) {
+	sk := sharedKey{oid, req.Key}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	refs := tt.sharedRefs[sk]
+	if refs == nil {
+		refs = map[string]bool{}
+		tt.sharedRefs[sk] = refs
+	}
+	refs[trig] = true
+	if _, running := tt.shared[sk]; running {
+		return
+	}
+	st := &sharedTimer{}
+	tt.shared[sk] = st
+	switch req.Mode {
+	case evlang.TimeEvery:
+		st.id = tt.e.clk.Every(req.Spec.Period(), func(time.Time) {
+			tt.mu.Lock()
+			dead := st.canceled
+			tt.mu.Unlock()
+			if !dead {
+				tt.e.postTimer(oid, req.Key, "")
+			}
+		})
+	case evlang.TimeAt:
+		tt.scheduleAtLocked(sk, st, req)
+	}
+}
+
+// scheduleAtLocked arms the next calendar match of an 'at' spec; the
+// callback re-arms after posting, which is how 'at' specifications
+// with omitted high-order fields recur. Called with tt.mu held.
+func (tt *timerTable) scheduleAtLocked(sk sharedKey, st *sharedTimer, req evlang.TimerReq) {
+	next, ok := req.Spec.NextMatch(tt.e.clk.Now())
+	if !ok {
+		// A fully-dated spec in the past never fires again.
+		delete(tt.shared, sk)
+		delete(tt.sharedRefs, sk)
+		return
+	}
+	st.id = tt.e.clk.At(next, func(time.Time) {
+		tt.mu.Lock()
+		dead := st.canceled
+		tt.mu.Unlock()
+		if dead {
+			return
+		}
+		tt.e.postTimer(sk.oid, req.Key, "")
+		tt.mu.Lock()
+		if !st.canceled {
+			tt.scheduleAtLocked(sk, st, req)
+		}
+		tt.mu.Unlock()
+	})
+}
+
+// disarm removes a trigger instance's interest in its timers,
+// cancelling any timer no instance needs anymore.
+func (tt *timerTable) disarm(oid store.OID, t *Trigger) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	ik := instanceKey{oid, t.Res.Name}
+	for _, id := range tt.oneShots[ik] {
+		tt.e.clk.Cancel(id)
+	}
+	delete(tt.oneShots, ik)
+	for _, req := range t.Res.Timers {
+		if req.Mode == evlang.TimeAfter {
+			continue
+		}
+		sk := sharedKey{oid, req.Key}
+		refs := tt.sharedRefs[sk]
+		delete(refs, t.Res.Name)
+		if len(refs) == 0 {
+			if st, ok := tt.shared[sk]; ok {
+				st.canceled = true
+				tt.e.clk.Cancel(st.id)
+				delete(tt.shared, sk)
+			}
+			delete(tt.sharedRefs, sk)
+		}
+	}
+}
+
+// disarmObject cancels every timer attached to a deleted object.
+func (tt *timerTable) disarmObject(oid store.OID) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for ik, ids := range tt.oneShots {
+		if ik.oid != oid {
+			continue
+		}
+		for _, id := range ids {
+			tt.e.clk.Cancel(id)
+		}
+		delete(tt.oneShots, ik)
+	}
+	for sk, st := range tt.shared {
+		if sk.oid != oid {
+			continue
+		}
+		st.canceled = true
+		tt.e.clk.Cancel(st.id)
+		delete(tt.shared, sk)
+		delete(tt.sharedRefs, sk)
+	}
+}
+
+// postTimer delivers a time event to the relevant object from a system
+// transaction (time events belong to no user transaction). An empty
+// onlyTrigger delivers to every active trigger of the object.
+func (e *Engine) postTimer(oid store.OID, key string, onlyTrigger string) {
+	if !e.st.Exists(oid) {
+		return
+	}
+	e.stats.timerPosts.Add(1)
+	sys := e.beginSystem()
+	rec, err := sys.access(oid)
+	if err != nil {
+		sys.doAbort()
+		e.recordTimerErr(fmt.Errorf("engine: timer %q on object %d: %w", key, oid, err))
+		return
+	}
+	h := event.Happening{Kind: event.TimerKind(key), At: e.clk.Now()}
+	if _, err := sys.step(oid, rec, h, onlyTrigger); err != nil {
+		sys.doAbort()
+		e.recordTimerErr(fmt.Errorf("engine: timer %q on object %d: %w", key, oid, err))
+		return
+	}
+	if err := sys.Commit(); err != nil {
+		e.recordTimerErr(fmt.Errorf("engine: timer %q on object %d commit: %w", key, oid, err))
+	}
+}
+
+// hasOneShots reports whether an 'after' timer is already pending for
+// the instance (reconciliation must not double-arm: the delay is
+// relative to the original arming).
+func (tt *timerTable) hasOneShots(ik instanceKey) bool {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return len(tt.oneShots[ik]) > 0
+}
+
+// reconcile re-aligns the timer table with an object's (possibly just
+// rolled back) activation record: triggers now inactive lose their
+// timers, triggers now active regain their shared ones. Activation and
+// deactivation arm and disarm eagerly inside the transaction, so an
+// abort leaves the table out of step until this runs.
+func (tt *timerTable) reconcile(oid store.OID, c *Class, rec *store.Record) {
+	for _, t := range c.Triggers {
+		if len(t.Res.Timers) == 0 {
+			continue
+		}
+		act, ok := rec.Triggers[t.Res.Name]
+		if !ok || !act.Active {
+			tt.disarm(oid, t)
+			continue
+		}
+		// Re-arm shared timers (idempotent). 'after' one-shots cannot
+		// be faithfully re-created — their delay was anchored at the
+		// aborted activation — so only restore them if none pending.
+		for _, req := range t.Res.Timers {
+			if req.Mode == evlang.TimeAfter {
+				if !tt.hasOneShots(instanceKey{oid, t.Res.Name}) {
+					tt.armAfter(oid, t.Res.Name, req)
+				}
+			} else {
+				tt.armShared(oid, t.Res.Name, req)
+			}
+		}
+	}
+}

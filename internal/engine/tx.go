@@ -1,0 +1,476 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"ode/internal/event"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/txn"
+	"ode/internal/value"
+)
+
+// Tx is a transaction handle (the paper's trans{...} block). A Tx must
+// be used from a single goroutine. After Commit, Abort, or a tabort
+// raised by a trigger action, the handle is finished and every
+// operation fails with txn.ErrNotActive.
+type Tx struct {
+	e        *Engine
+	tx       *txn.Tx
+	aborting bool
+	finished bool
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	e.stats.txBegun.Add(1)
+	return &Tx{e: e, tx: e.txm.Begin()}
+}
+
+// beginSystem starts a system transaction: it posts no transaction
+// lifecycle events of its own (§5 uses it to deliver after-tcommit and
+// after-tabort, which belong to an already-finished transaction).
+func (e *Engine) beginSystem() *Tx {
+	e.stats.systemTx.Add(1)
+	return &Tx{e: e, tx: e.txm.BeginSystem()}
+}
+
+// Transact runs fn in a fresh transaction, committing on nil and
+// aborting on error. A tabort raised by a trigger inside fn surfaces
+// as ErrTabort with the rollback already performed.
+func (e *Engine) Transact(fn func(*Tx) error) error {
+	tx := e.Begin()
+	if err := fn(tx); err != nil {
+		if !tx.finished {
+			if aerr := tx.Abort(); aerr != nil {
+				return errors.Join(err, aerr)
+			}
+		}
+		return err
+	}
+	if tx.finished {
+		// fn committed or aborted explicitly; respect it.
+		return nil
+	}
+	return tx.Commit()
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.tx.ID() }
+
+// Underlying exposes the txn-level handle (commit dependencies, lock
+// introspection).
+func (tx *Tx) Underlying() *txn.Tx { return tx.tx }
+
+// DependOn makes this transaction commit-dependent on other (§7
+// footnote 6).
+func (tx *Tx) DependOn(other *Tx) { tx.tx.DependOn(other.tx) }
+
+// access locks the object and posts "after tbegin" on the
+// transaction's first access to it (§3.1: posted "only immediately
+// before the object is first accessed by the transaction").
+func (tx *Tx) access(oid store.OID) (*store.Record, error) {
+	rec, first, err := tx.tx.Access(oid)
+	if err != nil {
+		return nil, err
+	}
+	if first && !tx.tx.System() && !tx.tx.Created(oid) {
+		h := event.Happening{
+			Kind: event.Kind{Phase: event.After, Class: event.KTbegin},
+			TxID: tx.tx.ID(),
+			At:   tx.e.clk.Now(),
+		}
+		if _, err := tx.step(oid, rec, h, ""); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// NewObject creates an object of the class with the given fields
+// merged over the schema defaults, posting "after create".
+func (tx *Tx) NewObject(class string, fields map[string]value.Value) (store.OID, error) {
+	c := tx.e.Class(class)
+	if c == nil {
+		return 0, fmt.Errorf("engine: unregistered class %q", class)
+	}
+	init := c.Schema.DefaultFields()
+	for k, v := range fields {
+		f := c.Schema.Field(k)
+		if f == nil {
+			return 0, fmt.Errorf("engine: class %s has no field %q", class, k)
+		}
+		cv, err := coerce(v, f.Kind)
+		if err != nil {
+			return 0, fmt.Errorf("engine: field %s: %w", k, err)
+		}
+		init[k] = cv
+	}
+	rec, err := tx.tx.Create(class, init)
+	if err != nil {
+		return 0, err
+	}
+	h := event.Happening{
+		Kind: event.Kind{Phase: event.After, Class: event.KCreate},
+		TxID: tx.tx.ID(),
+		At:   tx.e.clk.Now(),
+	}
+	if _, err := tx.step(rec.OID, rec, h, ""); err != nil {
+		return 0, tx.propagate(err)
+	}
+	return rec.OID, nil
+}
+
+// DeleteObject posts "before delete" and removes the object.
+func (tx *Tx) DeleteObject(oid store.OID) error {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return err
+	}
+	h := event.Happening{
+		Kind: event.Kind{Phase: event.Before, Class: event.KDelete},
+		TxID: tx.tx.ID(),
+		At:   tx.e.clk.Now(),
+	}
+	if _, err := tx.step(oid, rec, h, ""); err != nil {
+		return tx.propagate(err)
+	}
+	tx.e.timers.disarmObject(oid)
+	return tx.tx.Delete(oid)
+}
+
+// Call invokes a member function with positional arguments, posting
+// the before- and after-method happenings around the execution
+// (paper §3.1, item 2).
+func (tx *Tx) Call(oid store.OID, method string, args ...value.Value) (value.Value, error) {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return value.Null(), err
+	}
+	c, err := tx.e.classOf(rec)
+	if err != nil {
+		return value.Null(), err
+	}
+	m := c.Schema.Method(method)
+	if m == nil {
+		return value.Null(), fmt.Errorf("engine: class %s has no method %q", rec.Class, method)
+	}
+	if len(args) != len(m.Params) {
+		return value.Null(), fmt.Errorf("engine: %s.%s takes %d argument(s), got %d",
+			rec.Class, method, len(m.Params), len(args))
+	}
+	bound := make(map[string]value.Value, len(args))
+	for i, a := range args {
+		cv, err := coerce(a, m.Params[i].Kind)
+		if err != nil {
+			return value.Null(), fmt.Errorf("engine: %s.%s parameter %s: %w", rec.Class, method, m.Params[i].Name, err)
+		}
+		bound[m.Params[i].Name] = cv
+	}
+
+	before := event.Happening{
+		Kind:   event.MethodKind(event.Before, method),
+		Params: bound,
+		TxID:   tx.tx.ID(),
+		At:     tx.e.clk.Now(),
+	}
+	if _, err := tx.step(oid, rec, before, ""); err != nil {
+		return value.Null(), tx.propagate(err)
+	}
+
+	out, err := c.Impl.Methods[method](&MethodCtx{Tx: tx, Self: oid, Args: bound})
+	if err != nil {
+		return value.Null(), tx.propagate(err)
+	}
+
+	after := event.Happening{
+		Kind:   event.MethodKind(event.After, method),
+		Params: bound,
+		TxID:   tx.tx.ID(),
+		At:     tx.e.clk.Now(),
+	}
+	if _, err := tx.step(oid, rec, after, ""); err != nil {
+		return out, tx.propagate(err)
+	}
+	return out, nil
+}
+
+// Get reads a field without posting events (paper footnote 2: raw
+// accesses are deliberately not events). The access is still
+// transactional.
+func (tx *Tx) Get(oid store.OID, field string) (value.Value, error) {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return value.Null(), err
+	}
+	v, ok := rec.Fields[field]
+	if !ok {
+		return value.Null(), fmt.Errorf("engine: class %s has no field %q", rec.Class, field)
+	}
+	return v, nil
+}
+
+// Set writes a field without posting events; the schema kind is
+// enforced.
+func (tx *Tx) Set(oid store.OID, field string, v value.Value) error {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return err
+	}
+	c, err := tx.e.classOf(rec)
+	if err != nil {
+		return err
+	}
+	f := c.Schema.Field(field)
+	if f == nil {
+		return fmt.Errorf("engine: class %s has no field %q", rec.Class, field)
+	}
+	cv, err := coerce(v, f.Kind)
+	if err != nil {
+		return fmt.Errorf("engine: field %s: %w", field, err)
+	}
+	rec.Fields[field] = cv
+	return nil
+}
+
+// Activate arms a trigger on an object with the given activation
+// parameters, as O++ does by invoking the trigger name (paper §2).
+// Activation resets the instance to the beginning of its history and
+// schedules its time events; re-activating an active trigger restarts
+// it.
+func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) error {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return err
+	}
+	c, err := tx.e.classOf(rec)
+	if err != nil {
+		return err
+	}
+	t := c.Trigger(trigger)
+	if t == nil {
+		return fmt.Errorf("engine: class %s has no trigger %q", rec.Class, trigger)
+	}
+	if len(params) != len(t.Res.Params) {
+		return fmt.Errorf("engine: trigger %s takes %d parameter(s), got %d",
+			trigger, len(t.Res.Params), len(params))
+	}
+	act := rec.Trigger(trigger)
+	act.Active = true
+	act.State = t.DFA.Start
+	act.Shadow = nil
+	act.Params = make(map[string]value.Value, len(params))
+	for i, p := range params {
+		act.Params[t.Res.Params[i]] = p
+	}
+	if t.View == schema.WholeView {
+		tx.e.wholeMu.Lock()
+		tx.e.whole[instanceKey{oid, trigger}] = t.DFA.Start
+		delete(tx.e.wholeShadow, instanceKey{oid, trigger})
+		tx.e.wholeMu.Unlock()
+	}
+	tx.e.timers.arm(oid, t)
+	return nil
+}
+
+// Deactivate disarms a trigger instance and cancels its timers.
+func (tx *Tx) Deactivate(oid store.OID, trigger string) error {
+	rec, err := tx.access(oid)
+	if err != nil {
+		return err
+	}
+	c, err := tx.e.classOf(rec)
+	if err != nil {
+		return err
+	}
+	t := c.Trigger(trigger)
+	if t == nil {
+		return fmt.Errorf("engine: class %s has no trigger %q", rec.Class, trigger)
+	}
+	if act, ok := rec.Triggers[trigger]; ok {
+		act.Active = false
+	}
+	tx.e.timers.disarm(oid, t)
+	return nil
+}
+
+// Commit runs the §6 before-tcomplete fixpoint, commits, and has a
+// system transaction post "after tcommit" to every accessed object.
+func (tx *Tx) Commit() error {
+	if tx.finished {
+		return txn.ErrNotActive
+	}
+	if !tx.tx.System() {
+		fired := true
+		for round := 0; fired; round++ {
+			if round >= maxTcompleteRounds {
+				tx.doAbort()
+				return ErrTcompleteDiverged
+			}
+			fired = false
+			for _, oid := range tx.tx.Accessed() {
+				if !tx.e.st.Exists(oid) {
+					continue // deleted within this transaction
+				}
+				rec, err := tx.access(oid)
+				if err != nil {
+					return tx.propagate(err)
+				}
+				h := event.Happening{
+					Kind: event.Kind{Phase: event.Before, Class: event.KTcomplete},
+					TxID: tx.tx.ID(),
+					At:   tx.e.clk.Now(),
+				}
+				f, err := tx.step(oid, rec, h, "")
+				if err != nil {
+					return tx.propagate(err)
+				}
+				fired = fired || f
+			}
+		}
+	}
+
+	accessed := tx.tx.Accessed()
+	if err := tx.tx.Commit(); err != nil {
+		tx.finished = true
+		return err
+	}
+	tx.finished = true
+	if !tx.tx.System() {
+		tx.e.stats.txCommitted.Add(1)
+	}
+
+	if !tx.tx.System() {
+		if err := tx.e.postOutcome(accessed, event.KTcommit, event.After, tx.tx.ID()); err != nil {
+			return fmt.Errorf("engine: after-tcommit delivery: %w", err)
+		}
+	}
+	return nil
+}
+
+// Abort posts "before tabort" to the accessed objects, rolls back, and
+// has a system transaction post "after tabort".
+func (tx *Tx) Abort() error {
+	if tx.finished {
+		return txn.ErrNotActive
+	}
+	tx.doAbort()
+	return nil
+}
+
+func (tx *Tx) doAbort() {
+	if tx.finished {
+		return
+	}
+	accessed := tx.tx.Accessed()
+	if !tx.tx.System() && !tx.aborting {
+		tx.aborting = true
+		// "Immediately before a transaction aborts" (§3.1 item 4d):
+		// posted within the aborting transaction. Whatever it changes —
+		// including trigger actions it fires — is undone by the
+		// rollback, except whole-history automaton state (§6).
+		for _, oid := range accessed {
+			if !tx.e.st.Exists(oid) {
+				continue
+			}
+			rec, _, err := tx.tx.Access(oid)
+			if err != nil {
+				continue
+			}
+			h := event.Happening{
+				Kind: event.Kind{Phase: event.Before, Class: event.KTabort},
+				TxID: tx.tx.ID(),
+				At:   tx.e.clk.Now(),
+			}
+			// Errors during abort-path posting are swallowed: the
+			// transaction is aborting regardless.
+			_, _ = tx.step(oid, rec, h, "")
+		}
+	}
+	_ = tx.tx.Abort()
+	tx.finished = true
+	if !tx.tx.System() {
+		tx.e.stats.txAborted.Add(1)
+	}
+
+	// Rollback restored each record's activation flags, but Activate
+	// and Deactivate adjusted the timer table eagerly: re-align it.
+	for _, oid := range accessed {
+		rec, err := tx.e.st.Get(oid)
+		if err != nil {
+			// The object no longer exists — it was created by this
+			// transaction and removed by the rollback; drop whatever
+			// the transaction armed on it.
+			tx.e.timers.disarmObject(oid)
+			continue
+		}
+		if c, err := tx.e.classOf(rec); err == nil {
+			tx.e.timers.reconcile(oid, c, rec)
+		}
+	}
+
+	if !tx.tx.System() {
+		if err := tx.e.postOutcome(accessed, event.KTabort, event.After, tx.tx.ID()); err != nil {
+			tx.e.recordTimerErr(err)
+		}
+	}
+}
+
+// propagate converts an action-raised tabort (or any posting error)
+// into a completed abort, so callers never observe a half-dead
+// transaction.
+func (tx *Tx) propagate(err error) error {
+	if err == nil {
+		return nil
+	}
+	if !tx.finished {
+		tx.doAbort()
+	}
+	return err
+}
+
+// postOutcome delivers after-tcommit / after-tabort happenings from a
+// system transaction ("the events must be posted by a special 'system'
+// transaction, and if a trigger fires, the action part is executed as
+// part of this 'system' transaction", §5).
+func (e *Engine) postOutcome(accessed []store.OID, class event.Class, phase event.Phase, ofTx uint64) error {
+	if len(accessed) == 0 {
+		return nil
+	}
+	sys := e.beginSystem()
+	for _, oid := range accessed {
+		if !e.st.Exists(oid) {
+			continue // deleted by the finished transaction or later
+		}
+		rec, err := sys.access(oid)
+		if err != nil {
+			sys.doAbort()
+			return err
+		}
+		h := event.Happening{
+			Kind: event.Kind{Phase: phase, Class: class},
+			TxID: ofTx,
+			At:   e.clk.Now(),
+		}
+		if _, err := sys.step(oid, rec, h, ""); err != nil {
+			sys.doAbort()
+			return err
+		}
+	}
+	return sys.Commit()
+}
+
+// coerce adapts v to the declared kind, promoting int to float.
+func coerce(v value.Value, kind value.Kind) (value.Value, error) {
+	if v.Kind == kind {
+		return v, nil
+	}
+	if kind == value.KindFloat && v.Kind == value.KindInt {
+		return value.Float(float64(v.I)), nil
+	}
+	if v.IsNull() {
+		return v, nil
+	}
+	return value.Null(), fmt.Errorf("engine: cannot use %s as %s", v.Kind, kind)
+}

@@ -1,0 +1,195 @@
+package evlang
+
+import (
+	"fmt"
+	"strings"
+
+	"ode/internal/clock"
+	"ode/internal/event"
+	"ode/internal/mask"
+)
+
+// EvOp identifies a surface event node.
+type EvOp int
+
+// Surface event operators. EvMask wraps a composite event with a
+// detection-time mask (the paper's logical-composite-event); logical
+// event masks live on EvBasic/EvTime nodes directly.
+const (
+	EvBasic EvOp = iota
+	EvTime
+	EvOr
+	EvAnd
+	EvNot
+	EvRelative // n-ary; N>0 means counted self-application was used
+	EvRelPlus
+	EvPrior
+	EvSequence
+	EvChoose
+	EvEvery
+	EvFa
+	EvFaAbs
+	EvMask
+)
+
+// Event is a surface event expression, before schema resolution.
+type Event struct {
+	Op    EvOp
+	Basic *Basic     // EvBasic
+	Time  *TimeEvent // EvTime
+	Mask  *mask.Expr // EvBasic/EvTime: logical mask; EvMask: composite mask
+	N     int        // EvChoose, EvEvery, counted relative/prior/sequence
+	Args  []*Event
+}
+
+// Basic is a basic-event pattern (§3.1): a phase qualifier plus either
+// a built-in keyword or a member-function name with optional formal
+// parameter declarations.
+type Basic struct {
+	Phase   event.Phase
+	Keyword string   // create delete update read access tbegin tcomplete tcommit tabort, or "" for a method
+	Method  string   // method name when Keyword == ""
+	Formals []string // declared formal parameter names (positional), methods only
+}
+
+// TimeMode distinguishes the three time-event forms.
+type TimeMode int
+
+const (
+	// TimeAt fires at each calendar match of the spec.
+	TimeAt TimeMode = iota
+	// TimeEvery fires periodically with the spec read as a period.
+	TimeEvery
+	// TimeAfter fires once, one period after the trigger is armed.
+	TimeAfter
+)
+
+func (m TimeMode) String() string {
+	switch m {
+	case TimeAt:
+		return "at"
+	case TimeEvery:
+		return "every"
+	default:
+		return "after"
+	}
+}
+
+// TimeEvent is a time-event pattern (§3.1 item 3).
+type TimeEvent struct {
+	Mode TimeMode
+	Spec clock.TimeSpec
+}
+
+// Key is the canonical identity of the time event; happenings carry it
+// as the timer kind.
+func (te *TimeEvent) Key() string {
+	return te.Mode.String() + " " + te.Spec.String()
+}
+
+// String renders the surface event in the paper's syntax.
+func (e *Event) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Event) format(b *strings.Builder) {
+	switch e.Op {
+	case EvBasic:
+		if e.Basic.Keyword != "" {
+			fmt.Fprintf(b, "%s %s", e.Basic.Phase, e.Basic.Keyword)
+		} else {
+			fmt.Fprintf(b, "%s %s", e.Basic.Phase, e.Basic.Method)
+			if len(e.Basic.Formals) > 0 {
+				fmt.Fprintf(b, "(%s)", strings.Join(e.Basic.Formals, ", "))
+			}
+		}
+		if e.Mask != nil {
+			fmt.Fprintf(b, " && %s", e.Mask)
+		}
+	case EvTime:
+		b.WriteString(e.Time.Key())
+		if e.Mask != nil {
+			fmt.Fprintf(b, " && %s", e.Mask)
+		}
+	case EvOr:
+		e.formatNary(b, " | ")
+	case EvAnd:
+		e.formatNary(b, " & ")
+	case EvNot:
+		b.WriteByte('!')
+		e.Args[0].format(b)
+	case EvRelative:
+		e.formatCall(b, "relative")
+	case EvRelPlus:
+		e.formatCall(b, "relative+")
+	case EvPrior:
+		e.formatCall(b, "prior")
+	case EvSequence:
+		e.formatCall(b, "sequence")
+	case EvChoose:
+		fmt.Fprintf(b, "choose %d ", e.N)
+		e.formatCall(b, "")
+	case EvEvery:
+		fmt.Fprintf(b, "every %d ", e.N)
+		e.formatCall(b, "")
+	case EvFa:
+		e.formatCall(b, "fa")
+	case EvFaAbs:
+		e.formatCall(b, "faAbs")
+	case EvMask:
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		fmt.Fprintf(b, ") && %s", e.Mask)
+	}
+}
+
+func (e *Event) formatNary(b *strings.Builder, sep string) {
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		a.format(b)
+	}
+	b.WriteByte(')')
+}
+
+func (e *Event) formatCall(b *strings.Builder, name string) {
+	b.WriteString(name)
+	if e.N > 0 && (e.Op == EvRelative || e.Op == EvPrior || e.Op == EvSequence) {
+		fmt.Fprintf(b, " %d ", e.N)
+	}
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		a.format(b)
+	}
+	b.WriteByte(')')
+}
+
+// Walk visits the event tree in preorder.
+func (e *Event) Walk(fn func(*Event)) {
+	fn(e)
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+}
+
+// TriggerDecl is a parsed trigger declaration (§2):
+//
+//	trigger-name(parameters): [perpetual] event ==> trigger-action
+//
+// Action is the raw action text after ==>; the engine binds it to a
+// Go function, a member-function call ("log()"), or the built-in
+// tabort statement.
+type TriggerDecl struct {
+	Name      string
+	Params    []string // formal parameter names
+	Perpetual bool
+	Event     *Event
+	Action    string
+}

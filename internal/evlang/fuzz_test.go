@@ -1,0 +1,175 @@
+package evlang
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/clock"
+	"ode/internal/event"
+	"ode/internal/mask"
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+// surfaceGen builds random surface events over the fuzz class.
+type surfaceGen struct {
+	rng *rand.Rand
+}
+
+var fuzzMethods = []string{"deposit", "withdraw", "audit"}
+
+func fuzzClass() *schema.Class {
+	return &schema.Class{
+		Name: "fuzz",
+		Fields: []schema.Field{
+			{Name: "bal", Kind: value.KindInt, Default: value.Int(0)},
+		},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "q", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "q", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "audit", Mode: schema.ModeRead},
+		},
+	}
+}
+
+func (g *surfaceGen) basic() *Event {
+	b := &Basic{}
+	if g.rng.Intn(2) == 0 {
+		b.Phase = event.After
+	} else {
+		b.Phase = event.Before
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		// A keyword with a legal phase.
+		legal := [][2]interface{}{
+			{event.After, "create"}, {event.Before, "delete"},
+			{event.After, "tbegin"}, {event.Before, "tcomplete"},
+			{event.After, "tcommit"}, {event.Before, "tabort"},
+			{event.After, "tabort"},
+			{b.Phase, "update"}, {b.Phase, "read"}, {b.Phase, "access"},
+		}
+		pick := legal[g.rng.Intn(len(legal))]
+		b.Phase = pick[0].(event.Phase)
+		b.Keyword = pick[1].(string)
+	default:
+		b.Method = fuzzMethods[g.rng.Intn(len(fuzzMethods))]
+	}
+	e := &Event{Op: EvBasic, Basic: b}
+	// Occasionally mask a parameterized method event.
+	if b.Method != "" && b.Method != "audit" && g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			b.Formals = []string{"amt"}
+			e.Mask = mask.Binary(">", mask.Var("amt"), mask.Lit(value.Int(int64(g.rng.Intn(100)))))
+		} else {
+			e.Mask = mask.Binary("<", mask.Var("q"), mask.Lit(value.Int(int64(g.rng.Intn(100)))))
+		}
+	}
+	return e
+}
+
+func (g *surfaceGen) gen(depth int) *Event {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(8) == 0 {
+			spec := clock.EmptyTimeSpec()
+			spec.Hour = g.rng.Intn(24)
+			return &Event{Op: EvTime, Time: &TimeEvent{
+				Mode: TimeMode(g.rng.Intn(3)),
+				Spec: spec,
+			}}
+		}
+		return g.basic()
+	}
+	sub := func() *Event { return g.gen(depth - 1) }
+	// The parser flattens |, & and ; chains into one n-ary node, so a
+	// canonical AST never nests the same operator directly on the
+	// left: splice such children.
+	nary := func(op EvOp, parts ...*Event) *Event {
+		var args []*Event
+		for _, p := range parts {
+			if p.Op == op && p.N == 0 {
+				args = append(args, p.Args...)
+			} else {
+				args = append(args, p)
+			}
+		}
+		return &Event{Op: op, Args: args}
+	}
+	switch g.rng.Intn(11) {
+	case 0:
+		return nary(EvOr, sub(), sub())
+	case 1:
+		return nary(EvAnd, sub(), sub())
+	case 2:
+		return &Event{Op: EvNot, Args: []*Event{sub()}}
+	case 3:
+		return &Event{Op: EvRelative, Args: []*Event{sub(), sub()}}
+	case 4:
+		return &Event{Op: EvRelPlus, Args: []*Event{sub()}}
+	case 5:
+		return &Event{Op: EvPrior, Args: []*Event{sub(), sub(), sub()}}
+	case 6:
+		return nary(EvSequence, sub(), sub())
+	case 7:
+		return &Event{Op: EvChoose, N: 1 + g.rng.Intn(5), Args: []*Event{sub()}}
+	case 8:
+		return &Event{Op: EvEvery, N: 1 + g.rng.Intn(5), Args: []*Event{sub()}}
+	case 9:
+		return &Event{Op: EvFa, Args: []*Event{sub(), sub(), sub()}}
+	default:
+		// A composite mask — only over genuinely composite operands:
+		// the parser reads "(basic) && m" as a logical mask on the
+		// basic event, so EvMask over a basic/time node is a
+		// non-canonical AST it never produces.
+		inner := sub()
+		if inner.Op == EvBasic || inner.Op == EvTime {
+			inner = &Event{Op: EvOr, Args: []*Event{inner, g.basic()}}
+		}
+		return &Event{Op: EvMask,
+			Mask: mask.Binary(">", mask.Var("bal"), mask.Lit(value.Int(int64(g.rng.Intn(50))))),
+			Args: []*Event{inner}}
+	}
+}
+
+// TestSurfaceRoundTripFuzz renders random surface events and reparses
+// them: the rendering must be stable (parse ∘ render = identity up to
+// rendering) and the reparse must resolve to the same algebra
+// expression over the same alphabet.
+func TestSurfaceRoundTripFuzz(t *testing.T) {
+	cls := fuzzClass()
+	ps := ForClass(cls)
+	rng := rand.New(rand.NewSource(2027))
+	g := &surfaceGen{rng: rng}
+
+	iters := 400
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		e := g.gen(3)
+		src := e.String()
+		back, err := ps.ParseEvent(src)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse of %q failed: %v", i, src, err)
+		}
+		if back.String() != src {
+			t.Fatalf("iter %d: rendering unstable:\n  first  %s\n  second %s", i, src, back.String())
+		}
+
+		// Resolution equality: both resolve to identical algebra
+		// expressions (same class, same single trigger).
+		mk := func(ev *Event) string {
+			c := fuzzClass()
+			c.Triggers = []schema.Trigger{{Name: "T", Event: ev.String()}}
+			res, err := ResolveClass(c, ForClass(c))
+			if err != nil {
+				return "unresolvable: " + err.Error()
+			}
+			return res.Triggers[0].Expr.String()
+		}
+		a, b := mk(e), mk(back)
+		if a != b {
+			t.Fatalf("iter %d: resolution differs for %q:\n  %s\n  %s", i, src, a, b)
+		}
+	}
+}

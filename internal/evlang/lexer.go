@@ -1,0 +1,136 @@
+// Package evlang implements the O++ event-specification sub-language
+// of the paper (§2–§3): parsing trigger declarations
+//
+//	T6(): perpetual after withdraw(i, q) && q > 100 ==> log()
+//
+// and event expressions
+//
+//	relative(dayBegin, prior(choose 5 (after tcommit), after tcommit)
+//	         & !prior(dayBegin, after tcommit))
+//
+// into surface syntax trees, and resolving them against a class schema
+// into algebra expressions over a per-class alphabet of disjoint
+// logical events (the §5 mask-disjointness rewrite).
+package evlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+	tPunct
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// puncts, longest first. "==>" must precede "==" and "=".
+var puncts = []string{
+	"==>", "&&", "||", "==", "!=", "<=", ">=",
+	"(", ")", ",", ";", ".", ":", "=", "!", "<", ">", "+", "-", "*", "/", "%", "|", "&",
+}
+
+func lexAll(src string) ([]tok, error) {
+	var out []tok
+	pos := 0
+	for {
+		for pos < len(src) && unicode.IsSpace(rune(src[pos])) {
+			pos++
+		}
+		if pos >= len(src) {
+			out = append(out, tok{kind: tEOF, pos: pos})
+			return out, nil
+		}
+		c := src[pos]
+		switch {
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := pos
+			for pos < len(src) && (src[pos] == '_' || unicode.IsLetter(rune(src[pos])) || unicode.IsDigit(rune(src[pos]))) {
+				pos++
+			}
+			text := src[start:pos]
+			// relative+ lexes as one identifier token.
+			if text == "relative" && pos < len(src) && src[pos] == '+' {
+				pos++
+				text = "relative+"
+			}
+			out = append(out, tok{kind: tIdent, text: text, pos: start})
+
+		case c >= '0' && c <= '9':
+			start := pos
+			kind := tInt
+			for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+				pos++
+			}
+			if pos+1 < len(src) && src[pos] == '.' && src[pos+1] >= '0' && src[pos+1] <= '9' {
+				kind = tFloat
+				pos++
+				for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+					pos++
+				}
+			}
+			out = append(out, tok{kind: kind, text: src[start:pos], pos: start})
+
+		case c == '"' || c == '\'':
+			start := pos
+			quote := c
+			pos++
+			var b strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == quote {
+					pos++
+					closed = true
+					break
+				}
+				if src[pos] == '\\' && pos+1 < len(src) {
+					pos++
+					switch src[pos] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\', '"', '\'':
+						b.WriteByte(src[pos])
+					default:
+						return nil, fmt.Errorf("evlang: bad escape \\%c at %d", src[pos], pos)
+					}
+					pos++
+					continue
+				}
+				b.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("evlang: unterminated string at %d", start)
+			}
+			out = append(out, tok{kind: tString, text: b.String(), pos: start})
+
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[pos:], p) {
+					out = append(out, tok{kind: tPunct, text: p, pos: pos})
+					pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("evlang: unexpected character %q at %d", c, pos)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package evlang
+
+import (
+	"strconv"
+
+	"ode/internal/mask"
+	"ode/internal/value"
+)
+
+// The mask sub-grammar, parsed over the evlang token stream. It is the
+// same language as package mask's standalone parser (kept in sync by
+// round-trip tests); embedding it here lets masks terminate exactly
+// where event syntax resumes: the single '&' and '|' are event
+// operators and never consumed by a mask, while '&&' and '||' are mask
+// conjunction and disjunction.
+
+func (p *parser) parseMask() (*mask.Expr, error) {
+	e, err := p.parseMaskAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.parseMaskAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = mask.Binary("||", e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseMaskAnd() (*mask.Expr, error) {
+	e, err := p.parseMaskCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.parseMaskCmp()
+		if err != nil {
+			return nil, err
+		}
+		e = mask.Binary("&&", e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseMaskCmp() (*mask.Expr, error) {
+	e, err := p.parseMaskAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			r, err := p.parseMaskAdd()
+			if err != nil {
+				return nil, err
+			}
+			return mask.Binary(op, e, r), nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseMaskAdd() (*mask.Expr, error) {
+	e, err := p.parseMaskMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("+"):
+			op = "+"
+		case p.accept("-"):
+			op = "-"
+		default:
+			return e, nil
+		}
+		r, err := p.parseMaskMul()
+		if err != nil {
+			return nil, err
+		}
+		e = mask.Binary(op, e, r)
+	}
+}
+
+func (p *parser) parseMaskMul() (*mask.Expr, error) {
+	e, err := p.parseMaskUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("/"):
+			op = "/"
+		case p.accept("%"):
+			op = "%"
+		default:
+			return e, nil
+		}
+		r, err := p.parseMaskUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = mask.Binary(op, e, r)
+	}
+}
+
+func (p *parser) parseMaskUnary() (*mask.Expr, error) {
+	if p.accept("!") {
+		e, err := p.parseMaskUnary()
+		if err != nil {
+			return nil, err
+		}
+		return mask.Unary("!", e), nil
+	}
+	if p.accept("-") {
+		e, err := p.parseMaskUnary()
+		if err != nil {
+			return nil, err
+		}
+		return mask.Unary("-", e), nil
+	}
+	return p.parseMaskPostfix()
+}
+
+func (p *parser) parseMaskPostfix() (*mask.Expr, error) {
+	e, err := p.parseMaskPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(".") {
+		t := p.next()
+		if t.kind != tIdent {
+			return nil, p.errorf("expected field name after '.', found %q", t.text)
+		}
+		e = mask.Field(e, t.text)
+	}
+	return e, nil
+}
+
+func (p *parser) parseMaskPrimary() (*mask.Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return mask.Lit(value.Int(i)), nil
+	case tFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.text)
+		}
+		return mask.Lit(value.Float(f)), nil
+	case tString:
+		return mask.Lit(value.Str(t.text)), nil
+	case tIdent:
+		switch t.text {
+		case "true":
+			return mask.Lit(value.Bool(true)), nil
+		case "false":
+			return mask.Lit(value.Bool(false)), nil
+		case "null":
+			return mask.Lit(value.Null()), nil
+		}
+		if p.accept("(") {
+			var args []*mask.Expr
+			if !p.accept(")") {
+				for {
+					a, err := p.parseMask()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return mask.Call(t.text, args...), nil
+		}
+		return mask.Var(t.text), nil
+	case tPunct:
+		if t.text == "(" {
+			e, err := p.parseMask()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected mask expression, found %q", t.text)
+}

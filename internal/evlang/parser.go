@@ -1,0 +1,684 @@
+package evlang
+
+import (
+	"fmt"
+	"strconv"
+
+	"ode/internal/clock"
+	"ode/internal/event"
+	"ode/internal/mask"
+	"ode/internal/schema"
+)
+
+// eventKeywords start (or appear inside) event syntax; their presence
+// distinguishes an event expression from the bare object-state mask
+// shorthand of §3.3 ("balance < 500.00").
+var eventKeywords = map[string]bool{
+	"before": true, "after": true, "at": true, "every": true,
+	"relative": true, "relative+": true, "prior": true, "sequence": true,
+	"choose": true, "fa": true, "faAbs": true,
+}
+
+// basicKeywords are the built-in basic-event names of §3.1.
+var basicKeywords = map[string]bool{
+	"create": true, "delete": true, "update": true, "read": true,
+	"access": true, "tbegin": true, "tcomplete": true, "tcommit": true,
+	"tabort": true,
+}
+
+// Parser parses event expressions and trigger declarations. Defines
+// plays the role of the paper's #define abbreviations: identifiers in
+// event position that name a define are replaced by the defined event.
+// Methods holds the class's member-function names, needed to read the
+// bare shorthand "f ≡ (before f | after f)" (§3.3) — without it a bare
+// identifier can only be the start of an object-state mask.
+type Parser struct {
+	Defines map[string]*Event
+	Methods map[string]bool
+}
+
+// NewParser returns a parser with no defines and no known methods.
+func NewParser() *Parser { return &Parser{Defines: map[string]*Event{}} }
+
+// ForClass returns a parser that knows cls's method names.
+func ForClass(cls *schema.Class) *Parser {
+	ps := NewParser()
+	ps.Methods = map[string]bool{}
+	for _, m := range cls.Methods {
+		ps.Methods[m.Name] = true
+	}
+	return ps
+}
+
+// Define registers a named event abbreviation, parsing its body.
+func (ps *Parser) Define(name, src string) error {
+	e, err := ps.ParseEvent(src)
+	if err != nil {
+		return fmt.Errorf("evlang: define %s: %w", name, err)
+	}
+	ps.Defines[name] = e
+	return nil
+}
+
+// ParseEvent parses an event expression. A source with no event
+// keywords, defines, or sequencing punctuation is the object-state
+// shorthand and parses as
+//
+//	(after update | after create) && mask
+func (ps *Parser) ParseEvent(src string) (*Event, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks, defines: ps.Defines, methods: ps.Methods}
+	if !p.regionIsEvent(0, len(toks)-1) {
+		return p.parseStateShorthand()
+	}
+	e, err := p.parseEvent()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// ParseTrigger parses a full trigger declaration:
+//
+//	name(params): [perpetual] event ==> action
+func (ps *Parser) ParseTrigger(src string) (*TriggerDecl, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks, defines: ps.Defines, methods: ps.Methods}
+	d := &TriggerDecl{}
+	name := p.next()
+	if name.kind != tIdent {
+		return nil, p.errorf("expected trigger name, found %q", name.text)
+	}
+	d.Name = name.text
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			names, err := p.parseFormal()
+			if err != nil {
+				return nil, err
+			}
+			d.Params = append(d.Params, names)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tIdent && t.text == "perpetual" {
+		p.next()
+		d.Perpetual = true
+	}
+	// The event runs until the ==> marker; find it to classify the
+	// event region for the state shorthand.
+	arrow := -1
+	for i := p.pos; i < len(p.toks); i++ {
+		if p.toks[i].kind == tPunct && p.toks[i].text == "==>" {
+			arrow = i
+			break
+		}
+	}
+	if arrow < 0 {
+		return nil, p.errorf("missing ==> in trigger declaration")
+	}
+	var ev *Event
+	if p.regionIsEvent(p.pos, arrow) {
+		ev, err = p.parseEvent()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sub := &parser{src: p.src, toks: append(append([]tok{}, p.toks[p.pos:arrow]...), tok{kind: tEOF}), defines: p.defines, methods: p.methods}
+		ev, err = sub.parseStateShorthand()
+		if err != nil {
+			return nil, err
+		}
+		p.pos = arrow
+	}
+	d.Event = ev
+	if err := p.expect("==>"); err != nil {
+		return nil, err
+	}
+	// The action is the raw remainder of the source text.
+	at := p.peek().pos
+	if p.peek().kind == tEOF {
+		return nil, p.errorf("missing action after ==>")
+	}
+	d.Action = trimSpace(src[at:])
+	return d, nil
+}
+
+func trimSpace(s string) string {
+	i, j := 0, len(s)
+	for i < j && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n') {
+		i++
+	}
+	for j > i && (s[j-1] == ' ' || s[j-1] == '\t' || s[j-1] == '\n') {
+		j--
+	}
+	return s[i:j]
+}
+
+type parser struct {
+	src     string
+	toks    []tok
+	pos     int
+	defines map[string]*Event
+	methods map[string]bool
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+func (p *parser) peek2() tok {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return tok{kind: tEOF}
+}
+
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(punct string) bool {
+	if t := p.peek(); t.kind == tPunct && t.text == punct {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(punct string) error {
+	if !p.accept(punct) {
+		return p.errorf("expected %q, found %q", punct, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("evlang: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+// regionIsEvent reports whether toks[from:to] contains event syntax:
+// an event keyword, a define name, or the ';' sequencing punctuation.
+func (p *parser) regionIsEvent(from, to int) bool {
+	for i := from; i < to && i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.kind == tIdent && (eventKeywords[t.text] || p.defines[t.text] != nil || p.methods[t.text]) {
+			return true
+		}
+		if t.kind == tPunct && t.text == ";" {
+			return true
+		}
+	}
+	return false
+}
+
+// matchParen returns the index of the ')' matching the '(' at open.
+func (p *parser) matchParen(open int) int {
+	depth := 0
+	for i := open; i < len(p.toks); i++ {
+		if p.toks[i].kind != tPunct {
+			continue
+		}
+		switch p.toks[i].text {
+		case "(":
+			depth++
+		case ")":
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseStateShorthand parses the whole remaining input as a mask and
+// wraps it as the paper's object-state event shorthand.
+func (p *parser) parseStateShorthand() (*Event, error) {
+	m, err := p.parseMask()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stateEvent(m), nil
+}
+
+// stateEvent builds (after update | after create) && m.
+func stateEvent(m *mask.Expr) *Event {
+	union := &Event{Op: EvOr, Args: []*Event{
+		{Op: EvBasic, Basic: &Basic{Phase: event.After, Keyword: "update"}},
+		{Op: EvBasic, Basic: &Basic{Phase: event.After, Keyword: "create"}},
+	}}
+	return &Event{Op: EvMask, Mask: m, Args: []*Event{union}}
+}
+
+// Event grammar:
+//
+//	event   = and { "|" and }
+//	and     = seq { "&" seq }
+//	seq     = unary { ";" unary }
+//	unary   = "!" unary | postfix
+//	postfix = primary [ "&&" mask ]
+func (p *parser) parseEvent() (*Event, error) {
+	e, err := p.parseAndEvent()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("|") {
+		r, err := p.parseAndEvent()
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvOr {
+			e.Args = append(e.Args, r)
+		} else {
+			e = &Event{Op: EvOr, Args: []*Event{e, r}}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAndEvent() (*Event, error) {
+	e, err := p.parseSeqEvent()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&") {
+		r, err := p.parseSeqEvent()
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvAnd {
+			e.Args = append(e.Args, r)
+		} else {
+			e = &Event{Op: EvAnd, Args: []*Event{e, r}}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseSeqEvent() (*Event, error) {
+	e, err := p.parseUnaryEvent()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(";") {
+		r, err := p.parseUnaryEvent()
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvSequence && e.N == 0 {
+			e.Args = append(e.Args, r)
+		} else {
+			e = &Event{Op: EvSequence, Args: []*Event{e, r}}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnaryEvent() (*Event, error) {
+	if p.accept("!") {
+		e, err := p.parseUnaryEvent()
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvNot, Args: []*Event{e}}, nil
+	}
+	return p.parsePostfixEvent()
+}
+
+func (p *parser) parsePostfixEvent() (*Event, error) {
+	e, err := p.parsePrimaryEvent()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("&&") {
+		m, err := p.parseMask()
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case EvBasic, EvTime:
+			if e.Mask != nil {
+				e.Mask = mask.Binary("&&", e.Mask, m)
+			} else {
+				e.Mask = m
+			}
+		default:
+			// Composite mask: evaluated against database state at the
+			// detection point (§3.3).
+			e = &Event{Op: EvMask, Mask: m, Args: []*Event{e}}
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimaryEvent() (*Event, error) {
+	t := p.peek()
+	if t.kind == tPunct && t.text == "(" {
+		// Parenthesized event or parenthesized bare mask: classify the
+		// group's contents.
+		close := p.matchParen(p.pos)
+		if close < 0 {
+			return nil, p.errorf("unbalanced parenthesis")
+		}
+		if !p.regionIsEvent(p.pos+1, close) {
+			m, err := p.parseMask() // consumes the whole group
+			if err != nil {
+				return nil, err
+			}
+			return stateEvent(m), nil
+		}
+		p.next()
+		e, err := p.parseEvent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if t.kind != tIdent {
+		return nil, p.errorf("expected event, found %q", t.text)
+	}
+
+	switch t.text {
+	case "before", "after":
+		return p.parseQualifiedBasic()
+	case "at":
+		p.next()
+		spec, err := p.parseTimeSpec()
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvTime, Time: &TimeEvent{Mode: TimeAt, Spec: spec}}, nil
+	case "every":
+		// every N (E) vs every time(...).
+		if p.peek2().kind == tInt {
+			p.next()
+			n, err := p.parseCount()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.parseEventArgs(1, 1)
+			if err != nil {
+				return nil, err
+			}
+			return &Event{Op: EvEvery, N: n, Args: args}, nil
+		}
+		p.next()
+		spec, err := p.parseTimeSpec()
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvTime, Time: &TimeEvent{Mode: TimeEvery, Spec: spec}}, nil
+	case "choose":
+		p.next()
+		n, err := p.parseCount()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseEventArgs(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvChoose, N: n, Args: args}, nil
+	case "relative", "prior", "sequence":
+		p.next()
+		op := map[string]EvOp{"relative": EvRelative, "prior": EvPrior, "sequence": EvSequence}[t.text]
+		n := 0
+		if p.peek().kind == tInt {
+			var err error
+			n, err = p.parseCount()
+			if err != nil {
+				return nil, err
+			}
+		}
+		min, max := 1, -1
+		if n > 0 {
+			max = 1 // counted form takes exactly one operand
+		}
+		args, err := p.parseEventArgs(min, max)
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: op, N: n, Args: args}, nil
+	case "relative+":
+		p.next()
+		args, err := p.parseEventArgs(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvRelPlus, Args: args}, nil
+	case "fa", "faAbs":
+		p.next()
+		op := EvFa
+		if t.text == "faAbs" {
+			op = EvFaAbs
+		}
+		args, err := p.parseEventArgs(3, 3)
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: op, Args: args}, nil
+	}
+
+	if def, ok := p.defines[t.text]; ok {
+		p.next()
+		return def, nil
+	}
+
+	// Bare identifier: either the method shorthand f ≡ (before f |
+	// after f) — recognizable only when the parser knows the class's
+	// methods — or the start of a bare mask (object-state shorthand).
+	if p.methods[t.text] && p.bareIdentIsMethodShorthand() {
+		p.next()
+		return &Event{Op: EvOr, Args: []*Event{
+			{Op: EvBasic, Basic: &Basic{Phase: event.Before, Method: t.text}},
+			{Op: EvBasic, Basic: &Basic{Phase: event.After, Method: t.text}},
+		}}, nil
+	}
+	m, err := p.parseMask()
+	if err != nil {
+		return nil, err
+	}
+	return stateEvent(m), nil
+}
+
+// bareIdentIsMethodShorthand looks one token past the identifier: an
+// event delimiter means the identifier stands alone as a method-name
+// event; anything else starts a mask expression.
+func (p *parser) bareIdentIsMethodShorthand() bool {
+	nxt := p.peek2()
+	if nxt.kind == tEOF {
+		return true
+	}
+	if nxt.kind == tPunct {
+		switch nxt.text {
+		case ")", ",", ";", "|", "&", "&&":
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseQualifiedBasic() (*Event, error) {
+	phase := event.Before
+	if p.next().text == "after" {
+		phase = event.After
+	}
+	t := p.next()
+	if t.kind != tIdent {
+		return nil, p.errorf("expected event name after qualifier, found %q", t.text)
+	}
+	if t.text == "time" {
+		// after time(...) — the delayed one-shot time event. Rewind so
+		// parseTimeSpec sees the 'time' keyword.
+		if phase == event.Before {
+			return nil, p.errorf("before time(...) is not a valid event")
+		}
+		p.pos--
+		spec, err := p.parseTimeSpec()
+		if err != nil {
+			return nil, err
+		}
+		return &Event{Op: EvTime, Time: &TimeEvent{Mode: TimeAfter, Spec: spec}}, nil
+	}
+	b := &Basic{Phase: phase}
+	if basicKeywords[t.text] {
+		b.Keyword = t.text
+	} else {
+		b.Method = t.text
+		if p.accept("(") {
+			if !p.accept(")") {
+				for {
+					name, err := p.parseFormal()
+					if err != nil {
+						return nil, err
+					}
+					b.Formals = append(b.Formals, name)
+					if p.accept(")") {
+						break
+					}
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return &Event{Op: EvBasic, Basic: b}, nil
+}
+
+// parseFormal parses a formal parameter: NAME or TYPE NAME (the
+// paper writes both "withdraw(i, q)" and "withdraw(Item i, int q)").
+// The type, when present, is recorded nowhere — the schema is
+// authoritative for kinds.
+func (p *parser) parseFormal() (string, error) {
+	first := p.next()
+	if first.kind != tIdent {
+		return "", p.errorf("expected parameter name, found %q", first.text)
+	}
+	if t := p.peek(); t.kind == tIdent {
+		p.next()
+		return t.text, nil
+	}
+	return first.text, nil
+}
+
+func (p *parser) parseCount() (int, error) {
+	t := p.next()
+	if t.kind != tInt {
+		return 0, p.errorf("expected integer count, found %q", t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 1 {
+		return 0, p.errorf("count must be a positive integer, got %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseEventArgs(min, max int) ([]*Event, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []*Event
+	for {
+		e, err := p.parseEvent()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.accept(")") {
+			break
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+	if len(args) < min {
+		return nil, p.errorf("operator needs at least %d operand(s), got %d", min, len(args))
+	}
+	if max >= 0 && len(args) > max {
+		return nil, p.errorf("operator takes at most %d operand(s), got %d", max, len(args))
+	}
+	return args, nil
+}
+
+// parseTimeSpec parses time(FIELD=INT, ...) with fields YR MO DAY HR M
+// SEC MS (paper §3.1).
+func (p *parser) parseTimeSpec() (clock.TimeSpec, error) {
+	spec := clock.EmptyTimeSpec()
+	t := p.next()
+	if t.kind != tIdent || t.text != "time" {
+		return spec, p.errorf("expected time(...), found %q", t.text)
+	}
+	if err := p.expect("("); err != nil {
+		return spec, err
+	}
+	if p.accept(")") {
+		return spec, nil
+	}
+	for {
+		name := p.next()
+		if name.kind != tIdent {
+			return spec, p.errorf("expected time field, found %q", name.text)
+		}
+		if err := p.expect("="); err != nil {
+			return spec, err
+		}
+		vt := p.next()
+		if vt.kind != tInt {
+			return spec, p.errorf("expected integer for %s, found %q", name.text, vt.text)
+		}
+		v, _ := strconv.Atoi(vt.text)
+		switch name.text {
+		case "YR":
+			spec.Year = v
+		case "MO":
+			spec.Month = v
+		case "DAY":
+			spec.Day = v
+		case "HR":
+			spec.Hour = v
+		case "M":
+			spec.Min = v
+		case "SEC":
+			spec.Sec = v
+		case "MS":
+			spec.Ms = v
+		default:
+			return spec, p.errorf("unknown time field %q", name.text)
+		}
+		if p.accept(")") {
+			return spec, nil
+		}
+		if err := p.expect(","); err != nil {
+			return spec, err
+		}
+	}
+}

@@ -1,0 +1,614 @@
+package evlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ode/internal/algebra"
+	"ode/internal/clock"
+	"ode/internal/event"
+	"ode/internal/mask"
+	"ode/internal/schema"
+)
+
+// MaskRef is one registered logical-event mask: the predicate plus the
+// renaming from declared formals to the schema's parameter names
+// (paper §3.1: "formal parameter declarations ... can also be used for
+// defining predicates").
+type MaskRef struct {
+	Expr   *mask.Expr
+	Rename map[string]string // formal → schema parameter name; nil = identity
+	key    string
+}
+
+// Key identifies the mask for deduplication.
+func (m *MaskRef) Key() string { return m.key }
+
+func maskKey(e *mask.Expr, rename map[string]string) string {
+	if len(rename) == 0 {
+		return e.String()
+	}
+	pairs := make([]string, 0, len(rename))
+	for k, v := range rename {
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return e.String() + "|" + strings.Join(pairs, ",")
+}
+
+// KindInfo is one kind block of the alphabet: the §5 rewrite gives the
+// kind 2^len(Masks) symbols, one per Boolean combination of its masks.
+type KindInfo struct {
+	Kind  event.Kind
+	Masks []MaskRef // bit i of a symbol's offset ↔ Masks[i]
+	Base  int       // first symbol of this kind's block
+}
+
+// Block returns the number of symbols in the kind's block.
+func (k *KindInfo) Block() int { return 1 << len(k.Masks) }
+
+// Alphabet is the per-class symbol space: every possible happening at
+// an object of the class maps to exactly one symbol, so the logical
+// events of every trigger of the class are pairwise disjoint by
+// construction (the requirement of §5).
+type Alphabet struct {
+	Kinds      []KindInfo
+	NumSymbols int
+	index      map[event.Kind]int
+}
+
+// KindIndex returns the index of k, or -1.
+func (a *Alphabet) KindIndex(k event.Kind) int {
+	ix, ok := a.index[k]
+	if !ok {
+		return -1
+	}
+	return ix
+}
+
+// Symbol returns the symbol for kind index kindIx with the given mask
+// valuation bits.
+func (a *Alphabet) Symbol(kindIx int, bits uint32) int {
+	return a.Kinds[kindIx].Base + int(bits)
+}
+
+// SymbolName renders a symbol for diagnostics and DOT output.
+func (a *Alphabet) SymbolName(sym int) string {
+	for i := range a.Kinds {
+		k := &a.Kinds[i]
+		if sym >= k.Base && sym < k.Base+k.Block() {
+			if len(k.Masks) == 0 {
+				return k.Kind.String()
+			}
+			return fmt.Sprintf("%s/%0*b", k.Kind, len(k.Masks), sym-k.Base)
+		}
+	}
+	return fmt.Sprintf("sym%d", sym)
+}
+
+// TimerReq is a time event a trigger needs armed when activated.
+type TimerReq struct {
+	Key  string
+	Mode TimeMode
+	Spec clock.TimeSpec
+}
+
+// TriggerResolution is one trigger's compiled event specification over
+// the class alphabet.
+type TriggerResolution struct {
+	Name      string
+	Params    []string
+	Perpetual bool
+	Action    string
+	Expr      *algebra.Expr
+	Timers    []TimerReq
+	// UsedBits[kindIx] marks the mask bits this trigger's expression
+	// depends on; foreign bits may be left unevaluated (zero) when
+	// stepping this trigger's automaton.
+	UsedBits map[int]uint32
+}
+
+// ClassResolution is the full §5 compilation context of a class: the
+// shared alphabet plus each trigger's expression.
+type ClassResolution struct {
+	Class    *schema.Class
+	Alphabet *Alphabet
+	Triggers []*TriggerResolution
+}
+
+// Trigger returns the named resolution, or nil.
+func (cr *ClassResolution) Trigger(name string) *TriggerResolution {
+	for _, t := range cr.Triggers {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// maxMasksPerKind bounds the 2^k blow-up of the disjointness rewrite
+// (§5: "could cause a combinatorial explosion; in practice we do not
+// expect to see enough such overlap").
+const maxMasksPerKind = 12
+
+// ResolveClass parses and resolves every trigger declared by the class
+// into expressions over one shared alphabet.
+func ResolveClass(cls *schema.Class, ps *Parser) (*ClassResolution, error) {
+	if err := cls.Validate(); err != nil {
+		return nil, err
+	}
+	if ps == nil {
+		ps = NewParser()
+	}
+	decls := make([]*TriggerDecl, 0, len(cls.Triggers))
+	for i := range cls.Triggers {
+		tr := &cls.Triggers[i]
+		ev, err := ps.ParseEvent(tr.Event)
+		if err != nil {
+			return nil, fmt.Errorf("trigger %s: %w", tr.Name, err)
+		}
+		params := make([]string, len(tr.Params))
+		for j, p := range tr.Params {
+			params[j] = p.Name
+		}
+		decls = append(decls, &TriggerDecl{
+			Name:      tr.Name,
+			Params:    params,
+			Perpetual: tr.Perpetual,
+			Event:     ev,
+		})
+	}
+	return ResolveDecls(cls, decls)
+}
+
+// ResolveDecls resolves pre-parsed trigger declarations against the
+// class. It is the entry point used by the engine, which parses
+// trigger sources itself so that #define-style abbreviations can be
+// supplied.
+func ResolveDecls(cls *schema.Class, decls []*TriggerDecl) (*ClassResolution, error) {
+	for _, m := range cls.Methods {
+		if basicKeywords[m.Name] || eventKeywords[m.Name] || m.Name == "time" {
+			return nil, fmt.Errorf("evlang: class %s: method name %q collides with an event keyword",
+				cls.Name, m.Name)
+		}
+	}
+	r := &resolver{cls: cls, alpha: &Alphabet{index: map[event.Kind]int{}}}
+	r.buildKindSpace(decls)
+
+	// Pass 1: register masks (assign bits) and validate every atom.
+	for _, d := range decls {
+		if err := r.collect(d); err != nil {
+			return nil, fmt.Errorf("trigger %s: %w", d.Name, err)
+		}
+	}
+	// Assign symbol bases.
+	base := 0
+	for i := range r.alpha.Kinds {
+		k := &r.alpha.Kinds[i]
+		if len(k.Masks) > maxMasksPerKind {
+			return nil, fmt.Errorf("evlang: kind %s carries %d masks; the disjointness rewrite would need %d symbols",
+				k.Kind, len(k.Masks), 1<<len(k.Masks))
+		}
+		k.Base = base
+		base += k.Block()
+	}
+	r.alpha.NumSymbols = base
+
+	cr := &ClassResolution{Class: cls, Alphabet: r.alpha}
+	// Pass 2: lower each trigger to an algebra expression.
+	for _, d := range decls {
+		tr := &TriggerResolution{
+			Name:      d.Name,
+			Params:    d.Params,
+			Perpetual: d.Perpetual,
+			Action:    d.Action,
+			UsedBits:  map[int]uint32{},
+		}
+		r.cur = tr
+		expr, err := r.lower(d.Event, d)
+		if err != nil {
+			return nil, fmt.Errorf("trigger %s: %w", d.Name, err)
+		}
+		tr.Expr = expr
+		cr.Triggers = append(cr.Triggers, tr)
+	}
+	return cr, nil
+}
+
+type resolver struct {
+	cls   *schema.Class
+	alpha *Alphabet
+	// globalMasks are composite-event masks (§3.3): evaluated against
+	// current database state at every happening, so they contribute a
+	// bit to every kind.
+	globalMasks []MaskRef
+	cur         *TriggerResolution
+}
+
+func (r *resolver) addKind(k event.Kind) int {
+	if ix, ok := r.alpha.index[k]; ok {
+		return ix
+	}
+	ix := len(r.alpha.Kinds)
+	r.alpha.index[k] = ix
+	r.alpha.Kinds = append(r.alpha.Kinds, KindInfo{Kind: k})
+	return ix
+}
+
+// buildKindSpace enumerates every happening kind an object of the
+// class can experience: the fixed lifecycle and transaction kinds, a
+// before/after pair per method, and one timer kind per distinct time
+// event across all triggers.
+func (r *resolver) buildKindSpace(decls []*TriggerDecl) {
+	r.addKind(event.Kind{Phase: event.After, Class: event.KCreate})
+	r.addKind(event.Kind{Phase: event.Before, Class: event.KDelete})
+	for _, m := range r.cls.Methods {
+		r.addKind(event.MethodKind(event.Before, m.Name))
+		r.addKind(event.MethodKind(event.After, m.Name))
+	}
+	r.addKind(event.Kind{Phase: event.After, Class: event.KTbegin})
+	r.addKind(event.Kind{Phase: event.Before, Class: event.KTcomplete})
+	r.addKind(event.Kind{Phase: event.After, Class: event.KTcommit})
+	r.addKind(event.Kind{Phase: event.Before, Class: event.KTabort})
+	r.addKind(event.Kind{Phase: event.After, Class: event.KTabort})
+	for _, d := range decls {
+		d.Event.Walk(func(e *Event) {
+			if e.Op == EvTime {
+				r.addKind(event.TimerKind(e.Time.Key()))
+			}
+		})
+	}
+}
+
+// registerMask assigns (or finds) the bit of a mask on one kind.
+func (r *resolver) registerMask(kindIx int, ref MaskRef) int {
+	k := &r.alpha.Kinds[kindIx]
+	for bit, m := range k.Masks {
+		if m.key == ref.key {
+			return bit
+		}
+	}
+	k.Masks = append(k.Masks, ref)
+	return len(k.Masks) - 1
+}
+
+// collect walks a trigger's event, validating atoms and registering
+// masks so that bit positions are fixed before lowering.
+func (r *resolver) collect(d *TriggerDecl) error {
+	var walk func(e *Event) error
+	walk = func(e *Event) error {
+		switch e.Op {
+		case EvBasic:
+			kinds, rename, err := r.selectKinds(e.Basic)
+			if err != nil {
+				return err
+			}
+			if e.Mask != nil {
+				if err := r.validateMaskVars(e.Mask, kinds, rename, d); err != nil {
+					return err
+				}
+				ref := MaskRef{Expr: e.Mask, Rename: rename, key: maskKey(e.Mask, rename)}
+				for _, kix := range kinds {
+					r.registerMask(kix, ref)
+				}
+			}
+		case EvTime:
+			kix := r.alpha.KindIndex(event.TimerKind(e.Time.Key()))
+			if e.Mask != nil {
+				if err := r.validateMaskVars(e.Mask, nil, nil, d); err != nil {
+					return err
+				}
+				ref := MaskRef{Expr: e.Mask, key: maskKey(e.Mask, nil)}
+				r.registerMask(kix, ref)
+			}
+		case EvMask:
+			// Composite mask: no event parameters are in scope (§3.3:
+			// "a composite event has no parameters even if its
+			// constituent basic events do").
+			if err := r.validateMaskVars(e.Mask, nil, nil, d); err != nil {
+				return err
+			}
+			key := "composite:" + maskKey(e.Mask, nil)
+			found := false
+			for _, g := range r.globalMasks {
+				if g.key == key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ref := MaskRef{Expr: e.Mask, key: key}
+				r.globalMasks = append(r.globalMasks, ref)
+				for kix := range r.alpha.Kinds {
+					r.registerMask(kix, ref)
+				}
+			}
+		}
+		for _, a := range e.Args {
+			if err := walk(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(d.Event)
+}
+
+// selectKinds maps a basic-event pattern to the kind indices it
+// matches, plus the formal→schema rename for mask binding.
+func (r *resolver) selectKinds(b *Basic) ([]int, map[string]string, error) {
+	need := func(ix int) []int { return []int{ix} }
+	switch b.Keyword {
+	case "create":
+		if b.Phase != event.After {
+			return nil, nil, fmt.Errorf("evlang: only 'after create' is a valid event (paper §3.1)")
+		}
+		return need(r.alpha.KindIndex(event.Kind{Phase: event.After, Class: event.KCreate})), nil, nil
+	case "delete":
+		if b.Phase != event.Before {
+			return nil, nil, fmt.Errorf("evlang: only 'before delete' is a valid event (paper §3.1)")
+		}
+		return need(r.alpha.KindIndex(event.Kind{Phase: event.Before, Class: event.KDelete})), nil, nil
+	case "tbegin":
+		if b.Phase != event.After {
+			return nil, nil, fmt.Errorf("evlang: only 'after tbegin' is a valid event (paper §3.1)")
+		}
+		return need(r.alpha.KindIndex(event.Kind{Phase: event.After, Class: event.KTbegin})), nil, nil
+	case "tcomplete":
+		if b.Phase != event.Before {
+			return nil, nil, fmt.Errorf("evlang: only 'before tcomplete' is a valid event (paper §3.1)")
+		}
+		return need(r.alpha.KindIndex(event.Kind{Phase: event.Before, Class: event.KTcomplete})), nil, nil
+	case "tcommit":
+		if b.Phase != event.After {
+			return nil, nil, fmt.Errorf("evlang: 'before tcommit' is not allowed — \"we cannot be sure that a transaction is going to commit until it actually does so\" (paper §3.1)")
+		}
+		return need(r.alpha.KindIndex(event.Kind{Phase: event.After, Class: event.KTcommit})), nil, nil
+	case "tabort":
+		return need(r.alpha.KindIndex(event.Kind{Phase: b.Phase, Class: event.KTabort})), nil, nil
+	case "update", "read", "access":
+		var out []int
+		for _, m := range r.cls.Methods {
+			if b.Keyword == "update" && m.Mode != schema.ModeUpdate {
+				continue
+			}
+			if b.Keyword == "read" && m.Mode != schema.ModeRead {
+				continue
+			}
+			out = append(out, r.alpha.KindIndex(event.MethodKind(b.Phase, m.Name)))
+		}
+		return out, nil, nil
+	case "":
+		m := r.cls.Method(b.Method)
+		if m == nil {
+			return nil, nil, fmt.Errorf("evlang: class %s has no method %q", r.cls.Name, b.Method)
+		}
+		var rename map[string]string
+		if len(b.Formals) > 0 {
+			if len(b.Formals) != len(m.Params) {
+				return nil, nil, fmt.Errorf("evlang: %s declares %d parameter(s), method %s has %d",
+					b.Method, len(b.Formals), b.Method, len(m.Params))
+			}
+			rename = make(map[string]string, len(b.Formals))
+			for i, f := range b.Formals {
+				rename[f] = m.Params[i].Name
+			}
+		}
+		return need(r.alpha.KindIndex(event.MethodKind(b.Phase, b.Method))), rename, nil
+	default:
+		return nil, nil, fmt.Errorf("evlang: unknown basic event %q", b.Keyword)
+	}
+}
+
+// validateMaskVars checks every free variable of a mask is statically
+// resolvable: a declared formal, a parameter of each selected method
+// kind, a trigger parameter, or a class field.
+func (r *resolver) validateMaskVars(m *mask.Expr, kinds []int, rename map[string]string, d *TriggerDecl) error {
+	trigParams := map[string]bool{}
+	for _, p := range d.Params {
+		trigParams[p] = true
+	}
+	for _, v := range m.Vars() {
+		if rename != nil {
+			if _, ok := rename[v]; ok {
+				continue
+			}
+		}
+		if trigParams[v] || r.cls.Field(v) != nil {
+			continue
+		}
+		// A schema parameter name, valid only if every selected kind
+		// is a method that declares it.
+		ok := len(kinds) > 0
+		for _, kix := range kinds {
+			k := r.alpha.Kinds[kix].Kind
+			if k.Class != event.KMethod {
+				ok = false
+				break
+			}
+			meth := r.cls.Method(k.Method)
+			found := false
+			for _, p := range meth.Params {
+				if p.Name == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("evlang: mask variable %q is not a parameter, trigger parameter, or field", v)
+		}
+	}
+	return nil
+}
+
+// lower translates a surface event into an algebra expression over the
+// alphabet, recording the mask bits the trigger depends on.
+func (r *resolver) lower(e *Event, d *TriggerDecl) (*algebra.Expr, error) {
+	switch e.Op {
+	case EvBasic:
+		kinds, rename, err := r.selectKinds(e.Basic)
+		if err != nil {
+			return nil, err
+		}
+		return r.atomsFor(kinds, e.Mask, rename), nil
+
+	case EvTime:
+		kix := r.alpha.KindIndex(event.TimerKind(e.Time.Key()))
+		r.noteTimer(e.Time)
+		return r.atomsFor([]int{kix}, e.Mask, nil), nil
+
+	case EvMask:
+		inner, err := r.lower(e.Args[0], d)
+		if err != nil {
+			return nil, err
+		}
+		// Intersect with "the composite mask holds at this point":
+		// every symbol whose global-mask bit is set.
+		key := "composite:" + maskKey(e.Mask, nil)
+		var arms []*algebra.Expr
+		for kix := range r.alpha.Kinds {
+			bit := r.bitOf(kix, key)
+			arms = append(arms, r.symbolsWithBit(kix, bit))
+			r.cur.UsedBits[kix] |= 1 << bit
+		}
+		return algebra.And(inner, algebra.OrList(arms...)), nil
+
+	case EvOr, EvAnd:
+		args, err := r.lowerAll(e.Args, d)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvOr {
+			return algebra.OrList(args...), nil
+		}
+		return algebra.AndList(args...), nil
+
+	case EvNot:
+		a, err := r.lower(e.Args[0], d)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Not(a), nil
+
+	case EvRelative, EvPrior, EvSequence:
+		mkList := map[EvOp]func(...*algebra.Expr) *algebra.Expr{
+			EvRelative: algebra.RelativeList, EvPrior: algebra.PriorList, EvSequence: algebra.SequenceList,
+		}[e.Op]
+		mkN := map[EvOp]func(*algebra.Expr, int) *algebra.Expr{
+			EvRelative: algebra.RelativeN, EvPrior: algebra.PriorN, EvSequence: algebra.SequenceN,
+		}[e.Op]
+		args, err := r.lowerAll(e.Args, d)
+		if err != nil {
+			return nil, err
+		}
+		if e.N > 0 {
+			return mkN(args[0], e.N), nil
+		}
+		return mkList(args...), nil
+
+	case EvRelPlus:
+		a, err := r.lower(e.Args[0], d)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Plus(a), nil
+
+	case EvChoose, EvEvery:
+		a, err := r.lower(e.Args[0], d)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvChoose {
+			return algebra.Choose(a, e.N), nil
+		}
+		return algebra.Every(a, e.N), nil
+
+	case EvFa, EvFaAbs:
+		args, err := r.lowerAll(e.Args, d)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == EvFa {
+			return algebra.Fa(args[0], args[1], args[2]), nil
+		}
+		return algebra.FaAbs(args[0], args[1], args[2]), nil
+
+	default:
+		return nil, fmt.Errorf("evlang: unknown event op %d", e.Op)
+	}
+}
+
+func (r *resolver) lowerAll(es []*Event, d *TriggerDecl) ([]*algebra.Expr, error) {
+	out := make([]*algebra.Expr, len(es))
+	for i, e := range es {
+		a, err := r.lower(e, d)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+func (r *resolver) noteTimer(te *TimeEvent) {
+	key := te.Key()
+	for _, t := range r.cur.Timers {
+		if t.Key == key {
+			return
+		}
+	}
+	r.cur.Timers = append(r.cur.Timers, TimerReq{Key: key, Mode: te.Mode, Spec: te.Spec})
+}
+
+func (r *resolver) bitOf(kindIx int, key string) int {
+	for bit, m := range r.alpha.Kinds[kindIx].Masks {
+		if m.key == key {
+			return bit
+		}
+	}
+	panic(fmt.Sprintf("evlang: mask %q not registered on kind %s", key, r.alpha.Kinds[kindIx].Kind))
+}
+
+// symbolsWithBit returns the union of the kind's symbols whose given
+// mask bit is set.
+func (r *resolver) symbolsWithBit(kindIx, bit int) *algebra.Expr {
+	k := &r.alpha.Kinds[kindIx]
+	var atoms []*algebra.Expr
+	for off := 0; off < k.Block(); off++ {
+		if off&(1<<bit) != 0 {
+			atoms = append(atoms, algebra.Atom(k.Base+off))
+		}
+	}
+	return algebra.OrList(atoms...)
+}
+
+// atomsFor builds the union of symbols matched by a basic pattern over
+// the selected kinds: all of each kind's block when unmasked, or the
+// half with the mask's bit set.
+func (r *resolver) atomsFor(kinds []int, m *mask.Expr, rename map[string]string) *algebra.Expr {
+	if len(kinds) == 0 {
+		return algebra.Empty()
+	}
+	var arms []*algebra.Expr
+	for _, kix := range kinds {
+		k := &r.alpha.Kinds[kix]
+		if m == nil {
+			var atoms []*algebra.Expr
+			for off := 0; off < k.Block(); off++ {
+				atoms = append(atoms, algebra.Atom(k.Base+off))
+			}
+			arms = append(arms, algebra.OrList(atoms...))
+			continue
+		}
+		bit := r.bitOf(kix, maskKey(m, rename))
+		arms = append(arms, r.symbolsWithBit(kix, bit))
+		r.cur.UsedBits[kix] |= 1 << bit
+	}
+	return algebra.OrList(arms...)
+}

@@ -1,0 +1,105 @@
+package fa
+
+// The counter constructions implement the event algebra's occurrence
+// selectors. An "occurrence" of event E along a word w is a non-empty
+// prefix of w in L(E); by prefix-stability of event languages these are
+// exactly the history points at which E occurs.
+
+// ChooseN returns a DFA accepting the words w such that w ∈ L(d) and w
+// has exactly n prefixes (counting w itself) in L(d) — the choose n (E)
+// operator: only the nth occurrence of E is selected (paper §3.4:
+// "choose 5 (after tcommit) is posted by the commit of the fifth
+// transaction").
+//
+// The construction is a product of d with a saturating counter in
+// [0, n+1]: the counter increments whenever d's component enters an
+// accepting state, and the product accepts when the component accepts
+// with the counter exactly at n.
+func ChooseN(d *DFA, n int) *DFA {
+	if n < 1 {
+		panic("fa: choose requires n >= 1")
+	}
+	d.validate()
+	k := d.NumSymbols
+	// State encoding: q*(n+2) + c, counter c ∈ [0, n+1] saturating.
+	cells := n + 2
+	startC := 0
+	if d.Accept[d.Start] {
+		startC = 1 // event languages are ε-free; defensive anyway
+	}
+	out := NewDFA(d.NumStates*cells, k, d.Start*cells+startC)
+	for q := 0; q < d.NumStates; q++ {
+		for c := 0; c < cells; c++ {
+			s := q*cells + c
+			out.Accept[s] = d.Accept[q] && c == n
+			for a := 0; a < k; a++ {
+				q2 := d.Next(q, a)
+				c2 := c
+				if d.Accept[q2] && c2 <= n {
+					c2++
+				}
+				out.SetNext(s, a, q2*cells+c2)
+			}
+		}
+	}
+	return Minimize(out)
+}
+
+// EveryN returns a DFA accepting the words whose occurrence count of
+// L(d) is a positive multiple of n, at an occurrence — the every n (E)
+// operator: the nth, 2nth, 3nth, … occurrences (paper §3.4).
+func EveryN(d *DFA, n int) *DFA {
+	if n < 1 {
+		panic("fa: every requires n >= 1")
+	}
+	d.validate()
+	k := d.NumSymbols
+	// State encoding: q*n + c, counter c ∈ [0, n) counting occurrences
+	// modulo n.
+	startC := 0
+	if d.Accept[d.Start] {
+		startC = 1 % n
+	}
+	out := NewDFA(d.NumStates*n, k, d.Start*n+startC)
+	for q := 0; q < d.NumStates; q++ {
+		for c := 0; c < n; c++ {
+			s := q*n + c
+			out.Accept[s] = d.Accept[q] && c == 0
+			for a := 0; a < k; a++ {
+				q2 := d.Next(q, a)
+				c2 := c
+				if d.Accept[q2] {
+					c2 = (c + 1) % n
+				}
+				out.SetNext(s, a, q2*n+c2)
+			}
+		}
+	}
+	return Minimize(out)
+}
+
+// FirstMatch returns a DFA for min(L(d)): the words of L(d) having no
+// proper non-empty prefix in L(d). Operationally: the first occurrence
+// only. All transitions out of accepting states are redirected to a
+// dead state. This is the building block for the fa(E, F, G) operator
+// (first F after E with no intervening G).
+func FirstMatch(d *DFA) *DFA {
+	d.validate()
+	k := d.NumSymbols
+	out := NewDFA(d.NumStates+1, k, d.Start)
+	dead := d.NumStates
+	copy(out.Accept, d.Accept)
+	for q := 0; q < d.NumStates; q++ {
+		for a := 0; a < k; a++ {
+			if d.Accept[q] {
+				out.SetNext(q, a, dead)
+			} else {
+				out.SetNext(q, a, d.Next(q, a))
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		out.SetNext(dead, a, dead)
+	}
+	return Minimize(out)
+}

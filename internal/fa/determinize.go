@@ -1,0 +1,92 @@
+package fa
+
+// Determinize converts an NFA into an equivalent complete DFA by the
+// subset construction. State sets are represented as bitsets keyed by
+// their byte image, so the construction is linear in the number of
+// distinct reachable subsets times the alphabet size.
+func Determinize(n *NFA) *DFA {
+	words := (n.NumStates() + 63) / 64
+
+	key := func(set []uint64) string {
+		b := make([]byte, 8*len(set))
+		for i, w := range set {
+			for j := 0; j < 8; j++ {
+				b[i*8+j] = byte(w >> (8 * j))
+			}
+		}
+		return string(b)
+	}
+
+	closure := func(set []uint64) {
+		var stack []int
+		for i := 0; i < n.NumStates(); i++ {
+			if set[i/64]&(1<<(i%64)) != 0 {
+				stack = append(stack, i)
+			}
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range n.states[s].eps {
+				if set[t/64]&(1<<(t%64)) == 0 {
+					set[t/64] |= 1 << (t % 64)
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+
+	accepts := func(set []uint64) bool {
+		for i := 0; i < n.NumStates(); i++ {
+			if set[i/64]&(1<<(i%64)) != 0 && n.states[i].accept {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := make([]uint64, words)
+	start[n.Start/64] |= 1 << (n.Start % 64)
+	closure(start)
+
+	index := map[string]int{key(start): 0}
+	sets := [][]uint64{start}
+	acc := []bool{accepts(start)}
+	var trans [][]int // trans[state][symbol]
+	trans = append(trans, make([]int, n.NumSymbols))
+
+	for done := 0; done < len(sets); done++ {
+		cur := sets[done]
+		for a := 0; a < n.NumSymbols; a++ {
+			next := make([]uint64, words)
+			for i := 0; i < n.NumStates(); i++ {
+				if cur[i/64]&(1<<(i%64)) == 0 {
+					continue
+				}
+				for _, t := range n.states[i].on[a] {
+					next[t/64] |= 1 << (t % 64)
+				}
+			}
+			closure(next)
+			k := key(next)
+			id, ok := index[k]
+			if !ok {
+				id = len(sets)
+				index[k] = id
+				sets = append(sets, next)
+				acc = append(acc, accepts(next))
+				trans = append(trans, make([]int, n.NumSymbols))
+			}
+			trans[done][a] = id
+		}
+	}
+
+	d := NewDFA(len(sets), n.NumSymbols, 0)
+	copy(d.Accept, acc)
+	for s := range sets {
+		for a := 0; a < n.NumSymbols; a++ {
+			d.SetNext(s, a, trans[s][a])
+		}
+	}
+	return d
+}

@@ -1,0 +1,229 @@
+// Package fa implements a finite-automata toolkit over dense integer
+// alphabets: ε-NFAs with the standard regular operations, subset
+// construction, Hopcroft minimization, boolean combinations by product
+// construction, occurrence counters, and language equivalence testing.
+//
+// The package is the compilation backend for the Ode composite-event
+// algebra (Gehani, Jagadish & Shmueli, SIGMOD 1992, §5): every event
+// expression denotes a regular language over the alphabet of disjoint
+// logical events, and detection runs the minimized DFA one transition
+// per posted event.
+//
+// Symbols are integers in [0, NumSymbols). All DFAs in this package are
+// complete: every state has a transition on every symbol. A DFA that
+// rejects everything still has at least one (dead) state.
+package fa
+
+import "fmt"
+
+// DFA is a complete deterministic finite automaton. States are numbered
+// [0, NumStates); Trans[s*NumSymbols+a] is the successor of state s on
+// symbol a. Accept[s] reports whether state s is accepting.
+type DFA struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Trans      []int
+	Accept     []bool
+}
+
+// NewDFA returns a DFA with the given geometry and all transitions
+// pointing at state 0. The caller fills in Trans and Accept.
+func NewDFA(numStates, numSymbols, start int) *DFA {
+	if numStates <= 0 {
+		panic("fa: DFA must have at least one state")
+	}
+	if numSymbols < 0 {
+		panic("fa: negative alphabet size")
+	}
+	if start < 0 || start >= numStates {
+		panic("fa: start state out of range")
+	}
+	return &DFA{
+		NumStates:  numStates,
+		NumSymbols: numSymbols,
+		Start:      start,
+		Trans:      make([]int, numStates*numSymbols),
+		Accept:     make([]bool, numStates),
+	}
+}
+
+// Next returns the successor of state s on symbol a.
+func (d *DFA) Next(s, a int) int { return d.Trans[s*d.NumSymbols+a] }
+
+// SetNext sets the successor of state s on symbol a.
+func (d *DFA) SetNext(s, a, t int) { d.Trans[s*d.NumSymbols+a] = t }
+
+// Accepts reports whether the DFA accepts the input word.
+func (d *DFA) Accepts(word []int) bool {
+	s := d.Start
+	for _, a := range word {
+		s = d.Next(s, a)
+	}
+	return d.Accept[s]
+}
+
+// Run consumes word starting from state s and returns the final state.
+func (d *DFA) Run(s int, word []int) int {
+	for _, a := range word {
+		s = d.Next(s, a)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the DFA.
+func (d *DFA) Clone() *DFA {
+	c := &DFA{
+		NumStates:  d.NumStates,
+		NumSymbols: d.NumSymbols,
+		Start:      d.Start,
+		Trans:      append([]int(nil), d.Trans...),
+		Accept:     append([]bool(nil), d.Accept...),
+	}
+	return c
+}
+
+// validate panics if the DFA is structurally inconsistent. It is used
+// by operations that assume completeness.
+func (d *DFA) validate() {
+	if len(d.Trans) != d.NumStates*d.NumSymbols {
+		panic(fmt.Sprintf("fa: transition table has %d entries, want %d",
+			len(d.Trans), d.NumStates*d.NumSymbols))
+	}
+	if len(d.Accept) != d.NumStates {
+		panic(fmt.Sprintf("fa: accept vector has %d entries, want %d",
+			len(d.Accept), d.NumStates))
+	}
+	for i, t := range d.Trans {
+		if t < 0 || t >= d.NumStates {
+			panic(fmt.Sprintf("fa: transition %d targets out-of-range state %d", i, t))
+		}
+	}
+}
+
+// EmptyDFA returns a DFA over numSymbols symbols that rejects every word.
+func EmptyDFA(numSymbols int) *DFA {
+	d := NewDFA(1, numSymbols, 0)
+	return d // all transitions self-loop on state 0, never accepting
+}
+
+// UniversalDFA returns a DFA accepting every word, including the empty word.
+func UniversalDFA(numSymbols int) *DFA {
+	d := NewDFA(1, numSymbols, 0)
+	d.Accept[0] = true
+	return d
+}
+
+// NonEmptyUniversalDFA returns a DFA accepting Σ⁺ (every non-empty word).
+// Event languages are ε-free — an event needs at least one history point
+// — so this, not UniversalDFA, is the usual "anything" building block.
+func NonEmptyUniversalDFA(numSymbols int) *DFA {
+	d := NewDFA(2, numSymbols, 0)
+	for a := 0; a < numSymbols; a++ {
+		d.SetNext(0, a, 1)
+		d.SetNext(1, a, 1)
+	}
+	d.Accept[1] = true
+	return d
+}
+
+// LastSymbolDFA returns a DFA for Σ*a — words whose final symbol is a.
+// This is the denotation of an atomic logical event: the event occurs
+// at exactly the history points labeled a.
+func LastSymbolDFA(numSymbols, a int) *DFA {
+	if a < 0 || a >= numSymbols {
+		panic("fa: symbol out of range")
+	}
+	d := NewDFA(2, numSymbols, 0)
+	for b := 0; b < numSymbols; b++ {
+		t := 0
+		if b == a {
+			t = 1
+		}
+		d.SetNext(0, b, t)
+		d.SetNext(1, b, t)
+	}
+	d.Accept[1] = true
+	return d
+}
+
+// Reachable returns the set of states reachable from the start state.
+func (d *DFA) Reachable() []bool {
+	seen := make([]bool, d.NumStates)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a := 0; a < d.NumSymbols; a++ {
+			t := d.Next(s, a)
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// IsEmpty reports whether the DFA's language is empty.
+func (d *DFA) IsEmpty() bool {
+	seen := d.Reachable()
+	for s, ok := range seen {
+		if ok && d.Accept[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// AcceptsEpsilon reports whether the start state is accepting.
+func (d *DFA) AcceptsEpsilon() bool { return d.Accept[d.Start] }
+
+// ShortestAccepted returns a shortest accepted word and true, or nil and
+// false when the language is empty. It is used by tests and by the
+// equivalence checker to produce counterexamples.
+func (d *DFA) ShortestAccepted() ([]int, bool) {
+	type pred struct {
+		state, sym int
+	}
+	prev := make([]pred, d.NumStates)
+	for i := range prev {
+		prev[i] = pred{-1, -1}
+	}
+	seen := make([]bool, d.NumStates)
+	queue := []int{d.Start}
+	seen[d.Start] = true
+	goal := -1
+	if d.Accept[d.Start] {
+		return []int{}, true
+	}
+	for len(queue) > 0 && goal < 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for a := 0; a < d.NumSymbols; a++ {
+			t := d.Next(s, a)
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			prev[t] = pred{s, a}
+			if d.Accept[t] {
+				goal = t
+				break
+			}
+			queue = append(queue, t)
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+	var rev []int
+	for s := goal; prev[s].state >= 0; s = prev[s].state {
+		rev = append(rev, prev[s].sym)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}

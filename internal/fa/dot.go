@@ -1,0 +1,75 @@
+package fa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the DFA in Graphviz DOT format. symbolName maps alphabet
+// symbols to labels; when nil, symbols print as integers. Parallel
+// edges between the same pair of states are merged into one edge with a
+// comma-separated label to keep diagrams readable.
+func (d *DFA) Dot(name string, symbolName func(int) string) string {
+	if symbolName == nil {
+		symbolName = func(a int) string { return fmt.Sprintf("%d", a) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %d;\n", d.Start)
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			fmt.Fprintf(&b, "  %d [shape=doublecircle];\n", s)
+		}
+	}
+	for s := 0; s < d.NumStates; s++ {
+		byTarget := map[int][]string{}
+		for a := 0; a < d.NumSymbols; a++ {
+			t := d.Next(s, a)
+			byTarget[t] = append(byTarget[t], symbolName(a))
+		}
+		targets := make([]int, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets)
+		for _, t := range targets {
+			fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", s, t, strings.Join(byTarget[t], ","))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Table renders the DFA transition table as human-readable text, one
+// row per state. Accepting states are marked with '*' and the start
+// state with '>'.
+func (d *DFA) Table(symbolName func(int) string) string {
+	if symbolName == nil {
+		symbolName = func(a int) string { return fmt.Sprintf("s%d", a) }
+	}
+	var b strings.Builder
+	b.WriteString("state")
+	for a := 0; a < d.NumSymbols; a++ {
+		fmt.Fprintf(&b, "\t%s", symbolName(a))
+	}
+	b.WriteByte('\n')
+	for s := 0; s < d.NumStates; s++ {
+		mark := " "
+		if s == d.Start {
+			mark = ">"
+		}
+		acc := " "
+		if d.Accept[s] {
+			acc = "*"
+		}
+		fmt.Fprintf(&b, "%s%s%d", mark, acc, s)
+		for a := 0; a < d.NumSymbols; a++ {
+			fmt.Fprintf(&b, "\t%d", d.Next(s, a))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

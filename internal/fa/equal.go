@@ -1,0 +1,18 @@
+package fa
+
+// Equivalent reports whether two complete DFAs over the same alphabet
+// accept the same language.
+func Equivalent(a, b *DFA) bool {
+	return SymmetricDifference(a, b).IsEmpty()
+}
+
+// Distinguish returns a word accepted by exactly one of the two DFAs,
+// or nil when the automata are equivalent. Tests use it to print
+// counterexamples.
+func Distinguish(a, b *DFA) []int {
+	w, ok := SymmetricDifference(a, b).ShortestAccepted()
+	if !ok {
+		return nil
+	}
+	return w
+}

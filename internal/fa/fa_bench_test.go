@@ -1,0 +1,63 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDFA(states, symbols int, seed int64) *DFA {
+	return randomDFA(rand.New(rand.NewSource(seed)), states, symbols)
+}
+
+func BenchmarkDeterminize(b *testing.B) {
+	a := FromDFA(benchDFA(12, 4, 1))
+	c := FromDFA(benchDFA(12, 4, 2))
+	n := ConcatNFA(a, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Determinize(n)
+	}
+}
+
+func BenchmarkMinimizeHopcroft(b *testing.B) {
+	d := Determinize(ConcatNFA(FromDFA(benchDFA(12, 4, 3)), FromDFA(benchDFA(12, 4, 4))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minimize(d)
+	}
+}
+
+func BenchmarkProductIntersect(b *testing.B) {
+	x := benchDFA(24, 4, 5)
+	y := benchDFA(24, 4, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(x, y)
+	}
+}
+
+func BenchmarkEquivalent(b *testing.B) {
+	x := benchDFA(24, 4, 7)
+	y := Minimize(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Equivalent(x, y) {
+			b.Fatal("must be equivalent")
+		}
+	}
+}
+
+func BenchmarkDFAStep(b *testing.B) {
+	d := benchDFA(32, 8, 8)
+	h := make([]int, 4096)
+	rng := rand.New(rand.NewSource(9))
+	for i := range h {
+		h[i] = rng.Intn(8)
+	}
+	s := d.Start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = d.Next(s, h[i%len(h)])
+	}
+	_ = s
+}

@@ -1,0 +1,361 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// enumerate calls fn with every word over [0,k) of length ≤ maxLen,
+// in length-lexicographic order.
+func enumerate(k, maxLen int, fn func(word []int)) {
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		fn(prefix)
+		if len(prefix) == maxLen {
+			return
+		}
+		for a := 0; a < k; a++ {
+			rec(append(prefix, a))
+		}
+	}
+	rec(nil)
+}
+
+// langEqual checks that two DFAs agree on all words up to maxLen and
+// via the product-construction equivalence check.
+func langEqual(t *testing.T, a, b *DFA, maxLen int) {
+	t.Helper()
+	enumerate(a.NumSymbols, maxLen, func(w []int) {
+		if a.Accepts(w) != b.Accepts(w) {
+			t.Fatalf("disagree on %v: a=%v b=%v", w, a.Accepts(w), b.Accepts(w))
+		}
+	})
+	if !Equivalent(a, b) {
+		t.Fatalf("Equivalent=false but no short counterexample; distinguishing word %v", Distinguish(a, b))
+	}
+}
+
+func TestEmptyDFA(t *testing.T) {
+	d := EmptyDFA(2)
+	enumerate(2, 4, func(w []int) {
+		if d.Accepts(w) {
+			t.Fatalf("empty DFA accepted %v", w)
+		}
+	})
+	if !d.IsEmpty() {
+		t.Fatal("IsEmpty=false for empty DFA")
+	}
+}
+
+func TestUniversalDFA(t *testing.T) {
+	d := UniversalDFA(3)
+	enumerate(3, 3, func(w []int) {
+		if !d.Accepts(w) {
+			t.Fatalf("universal DFA rejected %v", w)
+		}
+	})
+}
+
+func TestNonEmptyUniversalDFA(t *testing.T) {
+	d := NonEmptyUniversalDFA(2)
+	if d.Accepts(nil) {
+		t.Fatal("Σ⁺ DFA accepted ε")
+	}
+	enumerate(2, 4, func(w []int) {
+		if len(w) > 0 && !d.Accepts(w) {
+			t.Fatalf("Σ⁺ DFA rejected %v", w)
+		}
+	})
+}
+
+func TestLastSymbolDFA(t *testing.T) {
+	d := LastSymbolDFA(3, 1)
+	enumerate(3, 4, func(w []int) {
+		want := len(w) > 0 && w[len(w)-1] == 1
+		if d.Accepts(w) != want {
+			t.Fatalf("Σ*1 on %v: got %v want %v", w, d.Accepts(w), want)
+		}
+	})
+}
+
+func TestShortestAccepted(t *testing.T) {
+	d := LastSymbolDFA(2, 1)
+	w, ok := d.ShortestAccepted()
+	if !ok || len(w) != 1 || w[0] != 1 {
+		t.Fatalf("shortest accepted = %v, %v; want [1], true", w, ok)
+	}
+	if _, ok := EmptyDFA(2).ShortestAccepted(); ok {
+		t.Fatal("empty DFA returned an accepted word")
+	}
+	u := UniversalDFA(2)
+	w, ok = u.ShortestAccepted()
+	if !ok || len(w) != 0 {
+		t.Fatalf("universal shortest = %v, %v; want ε", w, ok)
+	}
+}
+
+func TestConcatNFA(t *testing.T) {
+	// L = Σ*a · Σ*b over {a=0, b=1}: words ending in b containing an
+	// earlier a.
+	a := FromDFA(LastSymbolDFA(2, 0))
+	b := FromDFA(LastSymbolDFA(2, 1))
+	d := Determinize(ConcatNFA(a, b))
+	enumerate(2, 6, func(w []int) {
+		want := false
+		if len(w) >= 2 && w[len(w)-1] == 1 {
+			for _, s := range w[:len(w)-1] {
+				if s == 0 {
+					want = true
+				}
+			}
+		}
+		if d.Accepts(w) != want {
+			t.Fatalf("concat on %v: got %v want %v", w, d.Accepts(w), want)
+		}
+	})
+}
+
+func TestUnionNFA(t *testing.T) {
+	a := FromDFA(LastSymbolDFA(2, 0))
+	b := FromDFA(LastSymbolDFA(2, 1))
+	d := Determinize(UnionNFA(a, b))
+	// Σ*a ∪ Σ*b = Σ⁺ over a two-symbol alphabet.
+	langEqual(t, d, NonEmptyUniversalDFA(2), 5)
+}
+
+func TestPlusNFA(t *testing.T) {
+	// (Σ*a)⁺ = Σ*a: chaining "ends in a" any number of times still just
+	// means the word ends in a.
+	a := LastSymbolDFA(2, 0)
+	d := Determinize(PlusNFA(FromDFA(a)))
+	langEqual(t, d, a, 6)
+}
+
+func TestPowerNFA(t *testing.T) {
+	// (Σ*a)³ = words ending in a with at least 3 a's — "the third and
+	// any subsequent occurrence" (paper §3.4).
+	a := FromDFA(LastSymbolDFA(2, 0))
+	d := Determinize(PowerNFA(a, 3))
+	enumerate(2, 7, func(w []int) {
+		count := 0
+		for _, s := range w {
+			if s == 0 {
+				count++
+			}
+		}
+		want := len(w) > 0 && w[len(w)-1] == 0 && count >= 3
+		if d.Accepts(w) != want {
+			t.Fatalf("power on %v: got %v want %v", w, d.Accepts(w), want)
+		}
+	})
+}
+
+func TestIntersectUnionDifference(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	plus := NonEmptyUniversalDFA(2)
+	// Σ*a ∩ Σ⁺ = Σ*a
+	langEqual(t, Intersect(a, plus), a, 5)
+	// Σ*a ∪ Σ⁺ = Σ⁺
+	langEqual(t, Union(a, plus), plus, 5)
+	// Σ⁺ ∖ Σ*a = Σ*b
+	langEqual(t, Difference(plus, a), LastSymbolDFA(2, 1), 5)
+}
+
+func TestNegateEvent(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	n := NegateEvent(a)
+	if n.Accepts(nil) {
+		t.Fatal("!E accepted the empty history")
+	}
+	langEqual(t, n, LastSymbolDFA(2, 1), 5)
+	// Double negation restores the language (on Σ⁺).
+	langEqual(t, NegateEvent(n), a, 5)
+}
+
+func TestMinimizeIdempotentAndMinimal(t *testing.T) {
+	// Build a bloated DFA for Σ*a via NFA ops and check minimization
+	// collapses it to 2 states.
+	a := FromDFA(LastSymbolDFA(2, 0))
+	big := Determinize(UnionNFA(a, a))
+	m := Minimize(big)
+	if m.NumStates != 2 {
+		t.Fatalf("minimal Σ*a has %d states, want 2", m.NumStates)
+	}
+	langEqual(t, m, LastSymbolDFA(2, 0), 5)
+	m2 := Minimize(m)
+	if m2.NumStates != m.NumStates {
+		t.Fatalf("Minimize not idempotent: %d -> %d states", m.NumStates, m2.NumStates)
+	}
+}
+
+func TestMinimizeEmptyAndUniversal(t *testing.T) {
+	if m := Minimize(EmptyDFA(3)); m.NumStates != 1 || !m.IsEmpty() {
+		t.Fatalf("minimal empty DFA: %d states, empty=%v", m.NumStates, m.IsEmpty())
+	}
+	if m := Minimize(UniversalDFA(3)); m.NumStates != 1 || !m.Accepts([]int{0, 1, 2}) {
+		t.Fatalf("minimal universal DFA wrong")
+	}
+}
+
+func TestChooseN(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	c := ChooseN(a, 3)
+	enumerate(2, 7, func(w []int) {
+		count := 0
+		for _, s := range w {
+			if s == 0 {
+				count++
+			}
+		}
+		want := len(w) > 0 && w[len(w)-1] == 0 && count == 3
+		if c.Accepts(w) != want {
+			t.Fatalf("choose 3 on %v: got %v want %v", w, c.Accepts(w), want)
+		}
+	})
+}
+
+func TestEveryN(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	e := EveryN(a, 2)
+	enumerate(2, 7, func(w []int) {
+		count := 0
+		for _, s := range w {
+			if s == 0 {
+				count++
+			}
+		}
+		want := len(w) > 0 && w[len(w)-1] == 0 && count%2 == 0
+		if e.Accepts(w) != want {
+			t.Fatalf("every 2 on %v: got %v want %v", w, e.Accepts(w), want)
+		}
+	})
+}
+
+func TestFirstMatch(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	f := FirstMatch(a)
+	enumerate(2, 6, func(w []int) {
+		count := 0
+		for _, s := range w {
+			if s == 0 {
+				count++
+			}
+		}
+		// min(Σ*a): exactly one a, at the end.
+		want := len(w) > 0 && w[len(w)-1] == 0 && count == 1
+		if f.Accepts(w) != want {
+			t.Fatalf("first-match on %v: got %v want %v", w, f.Accepts(w), want)
+		}
+	})
+}
+
+func TestEquivalentAndDistinguish(t *testing.T) {
+	a := LastSymbolDFA(2, 0)
+	b := LastSymbolDFA(2, 1)
+	if Equivalent(a, b) {
+		t.Fatal("Σ*a reported equivalent to Σ*b")
+	}
+	w := Distinguish(a, b)
+	if w == nil {
+		t.Fatal("no distinguishing word returned")
+	}
+	if a.Accepts(w) == b.Accepts(w) {
+		t.Fatalf("distinguishing word %v does not distinguish", w)
+	}
+	if Distinguish(a, a.Clone()) != nil {
+		t.Fatal("clone distinguished from original")
+	}
+}
+
+// randomDFA builds a random complete DFA for property testing.
+func randomDFA(rng *rand.Rand, maxStates, numSymbols int) *DFA {
+	n := 1 + rng.Intn(maxStates)
+	d := NewDFA(n, numSymbols, rng.Intn(n))
+	for s := 0; s < n; s++ {
+		d.Accept[s] = rng.Intn(2) == 0
+		for a := 0; a < numSymbols; a++ {
+			d.SetNext(s, a, rng.Intn(n))
+		}
+	}
+	return d
+}
+
+func TestMinimizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		d := randomDFA(rng, 8, 2)
+		m := Minimize(d)
+		if !Equivalent(d, m) {
+			t.Fatalf("iter %d: minimized DFA differs; witness %v", i, Distinguish(d, m))
+		}
+		if m.NumStates > d.NumStates {
+			t.Fatalf("iter %d: minimization grew the DFA %d -> %d", i, d.NumStates, m.NumStates)
+		}
+		mm := Minimize(m)
+		if mm.NumStates != m.NumStates {
+			t.Fatalf("iter %d: Minimize not idempotent (%d -> %d)", i, m.NumStates, mm.NumStates)
+		}
+	}
+}
+
+func TestDeterminizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a := randomDFA(rng, 5, 2)
+		b := randomDFA(rng, 5, 2)
+		got := Determinize(ConcatNFA(FromDFA(a), FromDFA(b)))
+		// Brute-force check of concatenation semantics on short words.
+		enumerate(2, 6, func(w []int) {
+			want := false
+			for cut := 0; cut <= len(w) && !want; cut++ {
+				if a.Accepts(w[:cut]) && b.Accepts(w[cut:]) {
+					want = true
+				}
+			}
+			if got.Accepts(w) != want {
+				t.Fatalf("iter %d: concat on %v: got %v want %v", i, w, got.Accepts(w), want)
+			}
+		})
+	}
+}
+
+func TestProductLawsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		a := randomDFA(rng, 6, 2)
+		b := randomDFA(rng, 6, 2)
+		// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B
+		lhs := Complement(Union(a, b))
+		rhs := Intersect(Complement(a), Complement(b))
+		if !Equivalent(lhs, rhs) {
+			t.Fatalf("iter %d: De Morgan violated; witness %v", i, Distinguish(lhs, rhs))
+		}
+		// A ∖ B = A ∩ ¬B
+		if !Equivalent(Difference(a, b), Intersect(a, Complement(b))) {
+			t.Fatalf("iter %d: difference law violated", i)
+		}
+	}
+}
+
+func TestDotAndTableSmoke(t *testing.T) {
+	d := LastSymbolDFA(2, 0)
+	dot := d.Dot("sigma_star_a", func(a int) string { return string(rune('a' + a)) })
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Fatalf("dot output malformed: %q", dot)
+	}
+	tab := d.Table(nil)
+	if len(tab) == 0 {
+		t.Fatal("empty table output")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("validate did not panic on corrupt DFA")
+		}
+	}()
+	d := LastSymbolDFA(2, 0)
+	d.Trans[0] = 99
+	d.validate()
+}

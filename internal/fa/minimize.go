@@ -1,0 +1,154 @@
+package fa
+
+// Minimize returns the minimal complete DFA for d's language, using
+// Hopcroft's partition-refinement algorithm over the states reachable
+// from the start state. The result's states are renumbered arbitrarily
+// but deterministically (blocks are discovered in a fixed order).
+func Minimize(d *DFA) *DFA {
+	d.validate()
+
+	// Restrict to reachable states first; unreachable states must not
+	// influence the partition.
+	reach := d.Reachable()
+	var live []int
+	oldToLive := make([]int, d.NumStates)
+	for i := range oldToLive {
+		oldToLive[i] = -1
+	}
+	for s := 0; s < d.NumStates; s++ {
+		if reach[s] {
+			oldToLive[s] = len(live)
+			live = append(live, s)
+		}
+	}
+	n := len(live)
+	k := d.NumSymbols
+
+	// Inverse transition lists over live states.
+	inv := make([][]int, n*k) // inv[t*k+a] = states s with δ(s,a)=t
+	for i, s := range live {
+		for a := 0; a < k; a++ {
+			t := oldToLive[d.Next(s, a)]
+			inv[t*k+a] = append(inv[t*k+a], i)
+		}
+	}
+
+	// Partition data structures (Hopcroft with block splitting).
+	block := make([]int, n) // state → block id
+	var blocks [][]int      // block id → member states
+	var accSet, rejSet []int
+	for i, s := range live {
+		if d.Accept[s] {
+			accSet = append(accSet, i)
+		} else {
+			rejSet = append(rejSet, i)
+		}
+	}
+	addBlock := func(members []int) int {
+		id := len(blocks)
+		blocks = append(blocks, members)
+		for _, s := range members {
+			block[s] = id
+		}
+		return id
+	}
+	var worklist [][2]int // (block id, symbol)
+	pushAll := func(b int) {
+		for a := 0; a < k; a++ {
+			worklist = append(worklist, [2]int{b, a})
+		}
+	}
+	if len(accSet) > 0 {
+		pushAll(addBlock(accSet))
+	}
+	if len(rejSet) > 0 {
+		pushAll(addBlock(rejSet))
+	}
+
+	inSplit := make([]bool, n)
+	for len(worklist) > 0 {
+		wb, wa := worklist[len(worklist)-1][0], worklist[len(worklist)-1][1]
+		worklist = worklist[:len(worklist)-1]
+
+		// X = states with a transition on wa into block wb.
+		var x []int
+		for _, t := range blocks[wb] {
+			x = append(x, inv[t*k+wa]...)
+		}
+		if len(x) == 0 {
+			continue
+		}
+		for _, s := range x {
+			inSplit[s] = true
+		}
+		// Group X members by current block and split blocks that are
+		// partially covered.
+		touched := map[int]bool{}
+		for _, s := range x {
+			touched[block[s]] = true
+		}
+		for b := range touched {
+			members := blocks[b]
+			var in, out []int
+			for _, s := range members {
+				if inSplit[s] {
+					in = append(in, s)
+				} else {
+					out = append(out, s)
+				}
+			}
+			if len(in) == 0 || len(out) == 0 {
+				continue
+			}
+			// Keep the larger half in place; the smaller becomes a new
+			// block, and (new block, every symbol) joins the worklist.
+			small, large := in, out
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			blocks[b] = large
+			for _, s := range large {
+				block[s] = b
+			}
+			pushAll(addBlock(small))
+		}
+		for _, s := range x {
+			inSplit[s] = false
+		}
+	}
+
+	// Renumber blocks in order of first discovery during a BFS from the
+	// start block so the output is deterministic.
+	startBlock := block[oldToLive[d.Start]]
+	order := make([]int, 0, len(blocks))
+	newID := make([]int, len(blocks))
+	for i := range newID {
+		newID[i] = -1
+	}
+	queue := []int{startBlock}
+	newID[startBlock] = 0
+	order = append(order, startBlock)
+	for head := 0; head < len(queue); head++ {
+		b := queue[head]
+		rep := blocks[b][0]
+		for a := 0; a < k; a++ {
+			tb := block[oldToLive[d.Next(live[rep], a)]]
+			if newID[tb] < 0 {
+				newID[tb] = len(order)
+				order = append(order, tb)
+				queue = append(queue, tb)
+			}
+		}
+	}
+
+	out := NewDFA(len(order), k, 0)
+	for idx, b := range order {
+		rep := blocks[b][0]
+		out.Accept[idx] = d.Accept[live[rep]]
+		for a := 0; a < k; a++ {
+			tb := block[oldToLive[d.Next(live[rep], a)]]
+			out.SetNext(idx, a, newID[tb])
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package fa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// nerodeClasses computes the number of Myhill-Nerode equivalence
+// classes among the reachable states of d by the table-filling
+// algorithm — an independent implementation against which Hopcroft's
+// result is checked.
+func nerodeClasses(d *DFA) int {
+	reach := d.Reachable()
+	var states []int
+	for s, ok := range reach {
+		if ok {
+			states = append(states, s)
+		}
+	}
+	n := len(states)
+	idx := map[int]int{}
+	for i, s := range states {
+		idx[s] = i
+	}
+	// distinct[i][j]: states[i] and states[j] are distinguishable.
+	distinct := make([][]bool, n)
+	for i := range distinct {
+		distinct[i] = make([]bool, n)
+		for j := range distinct[i] {
+			distinct[i][j] = d.Accept[states[i]] != d.Accept[states[j]]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if distinct[i][j] {
+					continue
+				}
+				for a := 0; a < d.NumSymbols; a++ {
+					ti := idx[d.Next(states[i], a)]
+					tj := idx[d.Next(states[j], a)]
+					if distinct[ti][tj] {
+						distinct[i][j] = true
+						distinct[j][i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	// Count classes greedily.
+	assigned := make([]int, n)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	classes := 0
+	for i := 0; i < n; i++ {
+		if assigned[i] >= 0 {
+			continue
+		}
+		assigned[i] = classes
+		for j := i + 1; j < n; j++ {
+			if assigned[j] < 0 && !distinct[i][j] {
+				assigned[j] = classes
+			}
+		}
+		classes++
+	}
+	return classes
+}
+
+// TestMinimizeMatchesTableFilling cross-checks Hopcroft minimization
+// against the independent Myhill-Nerode table-filling count on random
+// DFAs.
+func TestMinimizeMatchesTableFilling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for i := 0; i < 300; i++ {
+		d := randomDFA(rng, 12, 1+rng.Intn(3))
+		m := Minimize(d)
+		want := nerodeClasses(d)
+		if m.NumStates != want {
+			t.Fatalf("iter %d: Hopcroft gives %d states, table-filling %d\n%s",
+				i, m.NumStates, want, d.Table(nil))
+		}
+	}
+}
+
+// TestMinimizeDeterministicOutput pins that minimizing the same DFA
+// twice yields identical state numbering (BFS discovery order), which
+// the engine relies on for persistent automaton states across process
+// restarts.
+func TestMinimizeDeterministicOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		d := randomDFA(rng, 10, 2)
+		a := Minimize(d)
+		b := Minimize(d.Clone())
+		if a.NumStates != b.NumStates || a.Start != b.Start {
+			t.Fatalf("iter %d: nondeterministic minimization shape", i)
+		}
+		for s := range a.Trans {
+			if a.Trans[s] != b.Trans[s] {
+				t.Fatalf("iter %d: transition tables differ at %d", i, s)
+			}
+		}
+		for s := range a.Accept {
+			if a.Accept[s] != b.Accept[s] {
+				t.Fatalf("iter %d: acceptance differs at %d", i, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package fa
+
+// NFA is a nondeterministic finite automaton with ε-transitions.
+// It is the intermediate representation for the regular operations
+// (union, concatenation, plus) whose direct DFA constructions would be
+// awkward; every NFA is determinized before use at detection time.
+type NFA struct {
+	NumSymbols int
+	Start      int
+	states     []nfaState
+}
+
+type nfaState struct {
+	accept bool
+	eps    []int
+	on     map[int][]int // symbol → successor states
+}
+
+// NewNFA returns an empty NFA over the given alphabet with a single
+// non-accepting start state (state 0).
+func NewNFA(numSymbols int) *NFA {
+	n := &NFA{NumSymbols: numSymbols}
+	n.Start = n.AddState(false)
+	return n
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.states) }
+
+// AddState adds a state and returns its index.
+func (n *NFA) AddState(accept bool) int {
+	n.states = append(n.states, nfaState{accept: accept})
+	return len(n.states) - 1
+}
+
+// SetAccept marks state s accepting or not.
+func (n *NFA) SetAccept(s int, accept bool) { n.states[s].accept = accept }
+
+// IsAccept reports whether state s is accepting.
+func (n *NFA) IsAccept(s int) bool { return n.states[s].accept }
+
+// AddEdge adds a transition from s to t on symbol a.
+func (n *NFA) AddEdge(s, a, t int) {
+	if a < 0 || a >= n.NumSymbols {
+		panic("fa: symbol out of range")
+	}
+	st := &n.states[s]
+	if st.on == nil {
+		st.on = make(map[int][]int)
+	}
+	st.on[a] = append(st.on[a], t)
+}
+
+// AddEps adds an ε-transition from s to t.
+func (n *NFA) AddEps(s, t int) {
+	n.states[s].eps = append(n.states[s].eps, t)
+}
+
+// acceptingStates returns the indices of all accepting states.
+func (n *NFA) acceptingStates() []int {
+	var acc []int
+	for i := range n.states {
+		if n.states[i].accept {
+			acc = append(acc, i)
+		}
+	}
+	return acc
+}
+
+// FromDFA converts a DFA into an equivalent NFA (a fresh copy; the DFA
+// is not modified).
+func FromDFA(d *DFA) *NFA {
+	d.validate()
+	n := &NFA{NumSymbols: d.NumSymbols}
+	for s := 0; s < d.NumStates; s++ {
+		n.AddState(d.Accept[s])
+	}
+	n.Start = d.Start
+	for s := 0; s < d.NumStates; s++ {
+		for a := 0; a < d.NumSymbols; a++ {
+			n.AddEdge(s, a, d.Next(s, a))
+		}
+	}
+	return n
+}
+
+// embed copies all states of m into n, returning the index offset.
+// Edge and acceptance structure is preserved; m is not modified.
+func (n *NFA) embed(m *NFA) int {
+	if m.NumSymbols != n.NumSymbols {
+		panic("fa: alphabet mismatch")
+	}
+	off := len(n.states)
+	for i := range m.states {
+		src := &m.states[i]
+		st := nfaState{accept: src.accept}
+		for _, t := range src.eps {
+			st.eps = append(st.eps, t+off)
+		}
+		if src.on != nil {
+			st.on = make(map[int][]int, len(src.on))
+			for a, ts := range src.on {
+				tt := make([]int, len(ts))
+				for j, t := range ts {
+					tt[j] = t + off
+				}
+				st.on[a] = tt
+			}
+		}
+		n.states = append(n.states, st)
+	}
+	return off
+}
+
+// UnionNFA returns an NFA for L(a) ∪ L(b).
+func UnionNFA(a, b *NFA) *NFA {
+	n := NewNFA(a.NumSymbols)
+	offA := n.embed(a)
+	offB := n.embed(b)
+	n.AddEps(n.Start, a.Start+offA)
+	n.AddEps(n.Start, b.Start+offB)
+	return n
+}
+
+// ConcatNFA returns an NFA for L(a)·L(b): ε-edges from every accepting
+// state of a to the start of b, with a's acceptance cleared.
+//
+// In the event algebra this is exactly the relative(a, b) operator:
+// b's occurrence is detected in the history suffix strictly after a
+// point where a occurred (both languages are ε-free, so the suffix is
+// non-empty by construction).
+func ConcatNFA(a, b *NFA) *NFA {
+	n := NewNFA(a.NumSymbols)
+	offA := n.embed(a)
+	offB := n.embed(b)
+	n.AddEps(n.Start, a.Start+offA)
+	for _, s := range a.acceptingStates() {
+		n.SetAccept(s+offA, false)
+		n.AddEps(s+offA, b.Start+offB)
+	}
+	return n
+}
+
+// PlusNFA returns an NFA for L(a)⁺ — one or more concatenations. This is
+// the relative+ operator of the event algebra.
+func PlusNFA(a *NFA) *NFA {
+	n := NewNFA(a.NumSymbols)
+	off := n.embed(a)
+	n.AddEps(n.Start, a.Start+off)
+	for _, s := range a.acceptingStates() {
+		n.AddEps(s+off, a.Start+off)
+	}
+	return n
+}
+
+// PowerNFA returns an NFA for L(a)ⁿ, n ≥ 1 — the relative n (E) operator
+// ("the nth and any subsequent occurrence", paper §3.4).
+func PowerNFA(a *NFA, n int) *NFA {
+	if n < 1 {
+		panic("fa: power must be at least 1")
+	}
+	out := a
+	for i := 1; i < n; i++ {
+		out = ConcatNFA(out, a)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package fa
+
+// product builds the reachable product of two complete DFAs, accepting
+// according to combine. Both automata must share an alphabet.
+func product(a, b *DFA, combine func(x, y bool) bool) *DFA {
+	if a.NumSymbols != b.NumSymbols {
+		panic("fa: alphabet mismatch")
+	}
+	a.validate()
+	b.validate()
+	k := a.NumSymbols
+
+	type pair struct{ x, y int }
+	index := map[pair]int{{a.Start, b.Start}: 0}
+	order := []pair{{a.Start, b.Start}}
+	var trans [][]int
+	trans = append(trans, make([]int, k))
+
+	for done := 0; done < len(order); done++ {
+		p := order[done]
+		for s := 0; s < k; s++ {
+			q := pair{a.Next(p.x, s), b.Next(p.y, s)}
+			id, ok := index[q]
+			if !ok {
+				id = len(order)
+				index[q] = id
+				order = append(order, q)
+				trans = append(trans, make([]int, k))
+			}
+			trans[done][s] = id
+		}
+	}
+
+	d := NewDFA(len(order), k, 0)
+	for i, p := range order {
+		d.Accept[i] = combine(a.Accept[p.x], b.Accept[p.y])
+		copy(d.Trans[i*k:(i+1)*k], trans[i])
+	}
+	return d
+}
+
+// Intersect returns a DFA for L(a) ∩ L(b). In the event algebra this is
+// the & operator: both events occur at the same history point.
+func Intersect(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a DFA for L(a) ∪ L(b) — the | operator.
+func Union(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a DFA for L(a) ∖ L(b).
+func Difference(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// SymmetricDifference returns a DFA for L(a) △ L(b); its emptiness is
+// language equivalence.
+func SymmetricDifference(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x != y })
+}
+
+// Complement returns a DFA for the full complement Σ* ∖ L(d).
+func Complement(d *DFA) *DFA {
+	d.validate()
+	c := d.Clone()
+	for i := range c.Accept {
+		c.Accept[i] = !c.Accept[i]
+	}
+	return c
+}
+
+// NegateEvent returns a DFA for Σ⁺ ∖ L(d) — the event algebra's !
+// operator. The empty word is excluded because negation complements
+// with respect to the points of the history, and the empty history has
+// no points to label (paper §4, item 5).
+func NegateEvent(d *DFA) *DFA {
+	return Intersect(Complement(d), NonEmptyUniversalDFA(d.NumSymbols))
+}

@@ -1,0 +1,140 @@
+// Package history records per-object event histories (paper §3.4: "an
+// event history is associated with every object; it is an ordered set
+// of logical events that were posted to the object"). The engine's
+// automaton runtime does not need histories — that is the point of §5
+// — so recording is optional: it feeds debugging, the oracle-based
+// detector used to cross-check the automata, and the E1 baseline
+// measurements.
+package history
+
+import (
+	"sync"
+	"time"
+
+	"ode/internal/event"
+	"ode/internal/store"
+)
+
+// Entry is one recorded happening: one point of an object's history.
+type Entry struct {
+	Seq    uint64 // position in the object's history, from 1
+	Kind   event.Kind
+	Symbol int // class-alphabet symbol, -1 if unknown
+	TxID   uint64
+	At     time.Time
+}
+
+// Log is one object's history.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+	nextSeq uint64
+	limit   int // 0 = unbounded
+	dropped uint64
+}
+
+// Append records a happening and returns its sequence number.
+func (l *Log) Append(e Entry) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextSeq++
+	e.Seq = l.nextSeq
+	l.entries = append(l.entries, e)
+	if l.limit > 0 && len(l.entries) > l.limit {
+		over := len(l.entries) - l.limit
+		l.entries = append(l.entries[:0], l.entries[over:]...)
+		l.dropped += uint64(over)
+	}
+	return e.Seq
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Dropped returns how many entries were evicted by the retention
+// limit.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Entries returns a copy of the retained entries in order.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Symbols returns the retained symbol sequence — the automaton input
+// replayable through the oracle.
+func (l *Log) Symbols() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.Symbol
+	}
+	return out
+}
+
+// Tail returns the last n retained entries.
+func (l *Log) Tail(n int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	out := make([]Entry, n)
+	copy(out, l.entries[len(l.entries)-n:])
+	return out
+}
+
+// Book holds the histories of many objects.
+type Book struct {
+	mu    sync.Mutex
+	logs  map[store.OID]*Log
+	limit int
+}
+
+// NewBook returns a Book whose logs retain at most limit entries each
+// (0 = unbounded).
+func NewBook(limit int) *Book {
+	return &Book{logs: map[store.OID]*Log{}, limit: limit}
+}
+
+// Log returns (creating if needed) the history of oid.
+func (b *Book) Log(oid store.OID) *Log {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l, ok := b.logs[oid]
+	if !ok {
+		l = &Log{limit: b.limit}
+		b.logs[oid] = l
+	}
+	return l
+}
+
+// Peek returns the history of oid, or nil if none was recorded.
+func (b *Book) Peek(oid store.OID) *Log {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.logs[oid]
+}
+
+// Objects returns the OIDs with recorded history.
+func (b *Book) Objects() []store.OID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]store.OID, 0, len(b.logs))
+	for oid := range b.logs {
+		out = append(out, oid)
+	}
+	return out
+}

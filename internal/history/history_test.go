@@ -1,0 +1,66 @@
+package history
+
+import (
+	"testing"
+
+	"ode/internal/event"
+)
+
+func TestAppendAndSeq(t *testing.T) {
+	l := &Log{}
+	s1 := l.Append(Entry{Kind: event.MethodKind(event.After, "deposit"), Symbol: 3})
+	s2 := l.Append(Entry{Kind: event.MethodKind(event.After, "withdraw"), Symbol: 4})
+	if s1 != 1 || s2 != 2 || l.Len() != 2 {
+		t.Fatalf("seqs %d %d len %d", s1, s2, l.Len())
+	}
+	es := l.Entries()
+	if es[0].Seq != 1 || es[1].Seq != 2 || es[1].Symbol != 4 {
+		t.Fatalf("entries %+v", es)
+	}
+	if got := l.Symbols(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("symbols %v", got)
+	}
+}
+
+func TestRetentionLimit(t *testing.T) {
+	l := &Log{limit: 3}
+	for i := 0; i < 5; i++ {
+		l.Append(Entry{Symbol: i})
+	}
+	if l.Len() != 3 || l.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d", l.Len(), l.Dropped())
+	}
+	es := l.Entries()
+	if es[0].Symbol != 2 || es[0].Seq != 3 || es[2].Seq != 5 {
+		t.Fatalf("entries %+v", es)
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := &Log{}
+	for i := 0; i < 4; i++ {
+		l.Append(Entry{Symbol: i})
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].Symbol != 2 || tail[1].Symbol != 3 {
+		t.Fatalf("tail %+v", tail)
+	}
+	if got := l.Tail(99); len(got) != 4 {
+		t.Fatalf("oversized tail %d", len(got))
+	}
+}
+
+func TestBook(t *testing.T) {
+	b := NewBook(10)
+	if b.Peek(1) != nil {
+		t.Fatal("peek of unrecorded object")
+	}
+	b.Log(1).Append(Entry{Symbol: 0})
+	b.Log(2).Append(Entry{Symbol: 1})
+	if b.Log(1) != b.Peek(1) {
+		t.Fatal("Log not stable")
+	}
+	if len(b.Objects()) != 2 {
+		t.Fatalf("objects %v", b.Objects())
+	}
+}

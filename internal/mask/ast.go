@@ -1,0 +1,136 @@
+package mask
+
+import (
+	"fmt"
+	"strings"
+
+	"ode/internal/value"
+)
+
+// Expr is a parsed mask expression. Expressions are immutable.
+type Expr struct {
+	op    exprOp
+	val   value.Value // opLit
+	name  string      // opVar, opCall, opField
+	args  []*Expr     // opCall arguments; unary/binary operands
+	binop string      // opBinary operator text
+}
+
+type exprOp int
+
+const (
+	opLit exprOp = iota
+	opVar
+	opField  // args[0] . name
+	opCall   // name(args...)
+	opUnary  // binop is "!" or "-"
+	opBinary // binop is one of && || == != < <= > >= + - * / %
+)
+
+// String renders the expression in source-like syntax.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.op {
+	case opLit:
+		b.WriteString(e.val.String())
+	case opVar:
+		b.WriteString(e.name)
+	case opField:
+		e.args[0].format(b)
+		b.WriteByte('.')
+		b.WriteString(e.name)
+	case opCall:
+		b.WriteString(e.name)
+		b.WriteByte('(')
+		for i, a := range e.args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.format(b)
+		}
+		b.WriteByte(')')
+	case opUnary:
+		b.WriteString(e.binop)
+		e.args[0].format(b)
+	case opBinary:
+		b.WriteByte('(')
+		e.args[0].format(b)
+		b.WriteByte(' ')
+		b.WriteString(e.binop)
+		b.WriteByte(' ')
+		e.args[1].format(b)
+		b.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("mask: unknown op %d", e.op))
+	}
+}
+
+// Vars returns the free variable names referenced by the expression
+// (bases of field accesses included, call names excluded). The
+// resolver uses this to bind masks to event and trigger parameters.
+func (e *Expr) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x.op == opVar && !seen[x.name] {
+			seen[x.name] = true
+			out = append(out, x.name)
+		}
+		for _, a := range x.args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Calls returns the function names invoked anywhere in the expression.
+func (e *Expr) Calls() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if x.op == opCall && !seen[x.name] {
+			seen[x.name] = true
+			out = append(out, x.name)
+		}
+		for _, a := range x.args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Lit builds a literal expression; exposed for programmatic mask
+// construction in tests and the coupling combinators.
+func Lit(v value.Value) *Expr { return &Expr{op: opLit, val: v} }
+
+// Var builds a variable reference.
+func Var(name string) *Expr { return &Expr{op: opVar, name: name} }
+
+// Field builds base.name.
+func Field(base *Expr, name string) *Expr {
+	return &Expr{op: opField, name: name, args: []*Expr{base}}
+}
+
+// Call builds name(args...).
+func Call(name string, args ...*Expr) *Expr {
+	return &Expr{op: opCall, name: name, args: args}
+}
+
+// Binary builds (a op b).
+func Binary(op string, a, b *Expr) *Expr {
+	return &Expr{op: opBinary, binop: op, args: []*Expr{a, b}}
+}
+
+// Unary builds op a, where op is "!" or "-".
+func Unary(op string, a *Expr) *Expr {
+	return &Expr{op: opUnary, binop: op, args: []*Expr{a}}
+}

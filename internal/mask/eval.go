@@ -1,0 +1,182 @@
+package mask
+
+import (
+	"fmt"
+
+	"ode/internal/value"
+)
+
+// Tiny aliases keep the parser readable without importing value there.
+func intVal(i int64) value.Value     { return value.Int(i) }
+func floatVal(f float64) value.Value { return value.Float(f) }
+func strVal(s string) value.Value    { return value.Str(s) }
+func boolVal(b bool) value.Value     { return value.Bool(b) }
+func nullVal() value.Value           { return value.Null() }
+
+// Env supplies name resolution during evaluation. A mask evaluated at
+// event time sees the basic event's parameters, the trigger's
+// activation parameters and the owning object's fields; the engine
+// layers these into one Env.
+type Env interface {
+	// Lookup resolves a free variable.
+	Lookup(name string) (value.Value, bool)
+	// Field resolves base.name, e.g. reading a field of a referenced
+	// object.
+	Field(base value.Value, name string) (value.Value, error)
+	// Call invokes a registered function or member function.
+	Call(name string, args []value.Value) (value.Value, error)
+}
+
+// MapEnv is a simple Env over a variable map and a function map; field
+// access is an error. It is used by tests and by contexts with no
+// object store at hand.
+type MapEnv struct {
+	Vars  map[string]value.Value
+	Funcs map[string]func(args []value.Value) (value.Value, error)
+}
+
+// Lookup implements Env.
+func (m *MapEnv) Lookup(name string) (value.Value, bool) {
+	v, ok := m.Vars[name]
+	return v, ok
+}
+
+// Field implements Env.
+func (m *MapEnv) Field(base value.Value, name string) (value.Value, error) {
+	return value.Null(), fmt.Errorf("mask: no field access in this context (.%s)", name)
+}
+
+// Call implements Env.
+func (m *MapEnv) Call(name string, args []value.Value) (value.Value, error) {
+	fn, ok := m.Funcs[name]
+	if !ok {
+		return value.Null(), fmt.Errorf("mask: unknown function %q", name)
+	}
+	return fn(args)
+}
+
+// Eval evaluates the expression under env. Boolean operators
+// short-circuit; all type errors surface as errors, never panics.
+func (e *Expr) Eval(env Env) (value.Value, error) {
+	switch e.op {
+	case opLit:
+		return e.val, nil
+
+	case opVar:
+		v, ok := env.Lookup(e.name)
+		if !ok {
+			return value.Null(), fmt.Errorf("mask: unknown name %q", e.name)
+		}
+		return v, nil
+
+	case opField:
+		base, err := e.args[0].Eval(env)
+		if err != nil {
+			return value.Null(), err
+		}
+		return env.Field(base, e.name)
+
+	case opCall:
+		args := make([]value.Value, len(e.args))
+		for i, a := range e.args {
+			v, err := a.Eval(env)
+			if err != nil {
+				return value.Null(), err
+			}
+			args[i] = v
+		}
+		return env.Call(e.name, args)
+
+	case opUnary:
+		v, err := e.args[0].Eval(env)
+		if err != nil {
+			return value.Null(), err
+		}
+		switch e.binop {
+		case "!":
+			if v.Kind != value.KindBool {
+				return value.Null(), fmt.Errorf("mask: ! needs bool, got %s", v.Kind)
+			}
+			return value.Bool(!v.AsBool()), nil
+		case "-":
+			return value.Neg(v)
+		}
+		return value.Null(), fmt.Errorf("mask: unknown unary %q", e.binop)
+
+	case opBinary:
+		switch e.binop {
+		case "&&", "||":
+			l, err := e.args[0].Eval(env)
+			if err != nil {
+				return value.Null(), err
+			}
+			if l.Kind != value.KindBool {
+				return value.Null(), fmt.Errorf("mask: %s needs bool operands, got %s", e.binop, l.Kind)
+			}
+			// Short-circuit.
+			if e.binop == "&&" && !l.AsBool() {
+				return value.Bool(false), nil
+			}
+			if e.binop == "||" && l.AsBool() {
+				return value.Bool(true), nil
+			}
+			r, err := e.args[1].Eval(env)
+			if err != nil {
+				return value.Null(), err
+			}
+			if r.Kind != value.KindBool {
+				return value.Null(), fmt.Errorf("mask: %s needs bool operands, got %s", e.binop, r.Kind)
+			}
+			return r, nil
+		}
+
+		l, err := e.args[0].Eval(env)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := e.args[1].Eval(env)
+		if err != nil {
+			return value.Null(), err
+		}
+		switch e.binop {
+		case "==":
+			return value.Bool(l.Equal(r)), nil
+		case "!=":
+			return value.Bool(!l.Equal(r)), nil
+		case "<", "<=", ">", ">=":
+			c, err := value.Compare(l, r)
+			if err != nil {
+				return value.Null(), err
+			}
+			switch e.binop {
+			case "<":
+				return value.Bool(c < 0), nil
+			case "<=":
+				return value.Bool(c <= 0), nil
+			case ">":
+				return value.Bool(c > 0), nil
+			default:
+				return value.Bool(c >= 0), nil
+			}
+		case "+", "-", "*", "/", "%":
+			return value.Arith(e.binop[0], l, r)
+		}
+		return value.Null(), fmt.Errorf("mask: unknown operator %q", e.binop)
+
+	default:
+		return value.Null(), fmt.Errorf("mask: corrupt expression")
+	}
+}
+
+// EvalBool evaluates the expression and requires a boolean result —
+// the normal entry point for mask checking.
+func (e *Expr) EvalBool(env Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != value.KindBool {
+		return false, fmt.Errorf("mask: predicate evaluated to %s, want bool", v.Kind)
+	}
+	return v.AsBool(), nil
+}

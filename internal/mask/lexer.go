@@ -1,0 +1,171 @@
+// Package mask implements the predicate language used to mask basic
+// events (paper §3.2) and composite events (§3.3): boolean expressions
+// over event parameters, object state, trigger-activation parameters
+// and registered member functions, e.g.
+//
+//	q > 1000
+//	i.balance < reorder(i)
+//	!authorized(user())
+//
+// A mask attached to a logical event is evaluated at the instant its
+// basic event is posted; a mask attached to a whole composite event is
+// evaluated at detection time against the then-current state.
+package mask
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokOp // one of the operator strings below
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// operators, longest first so the lexer is greedy.
+var operators = []string{
+	"&&", "||", "==", "!=", "<=", ">=",
+	"(", ")", ",", ".", "!", "<", ">", "+", "-", "*", "/", "%",
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if !l.lexOperator() {
+				return nil, fmt.Errorf("mask: unexpected character %q at offset %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			// A dot followed by a non-digit is field access on an int
+			// literal — not valid here, but let the parser complain.
+			if seenDot || l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	kind := tokInt
+	if seenDot {
+		kind = tokFloat
+	}
+	l.tokens = append(l.tokens, token{kind: kind, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	quote := l.src[l.pos]
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"', '\'':
+				b.WriteByte(l.src[l.pos])
+			default:
+				return fmt.Errorf("mask: unknown escape \\%c at offset %d", l.src[l.pos], l.pos)
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("mask: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexOperator() bool {
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.tokens = append(l.tokens, token{kind: tokOp, text: op, pos: l.pos})
+			l.pos += len(op)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,302 @@
+package mask
+
+import (
+	"strings"
+	"testing"
+
+	"ode/internal/value"
+)
+
+func env(vars map[string]value.Value) *MapEnv {
+	return &MapEnv{
+		Vars: vars,
+		Funcs: map[string]func([]value.Value) (value.Value, error){
+			"user": func(args []value.Value) (value.Value, error) {
+				return value.Str("alice"), nil
+			},
+			"max": func(args []value.Value) (value.Value, error) {
+				best := args[0]
+				for _, a := range args[1:] {
+					if c, _ := value.Compare(a, best); c > 0 {
+						best = a
+					}
+				}
+				return best, nil
+			},
+		},
+	}
+}
+
+func evalBool(t *testing.T, src string, vars map[string]value.Value) bool {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	got, err := e.EvalBool(env(vars))
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return got
+}
+
+func TestLiteralAndComparison(t *testing.T) {
+	cases := map[string]bool{
+		"1 < 2":             true,
+		"2 <= 2":            true,
+		"3 > 4":             false,
+		"3 >= 3":            true,
+		"2 == 2.0":          true,
+		"2 != 3":            true,
+		`"abc" < "abd"`:     true,
+		`"x" == "x"`:        true,
+		"true && false":     false,
+		"true || false":     true,
+		"!false":            true,
+		"1 + 2 * 3 == 7":    true,
+		"(1 + 2) * 3 == 9":  true,
+		"7 % 3 == 1":        true,
+		"10 / 4 == 2":       true, // integer division
+		"10.0 / 4 == 2.5":   true,
+		"-3 < 0":            true,
+		"1 < 2 && 2 < 3":    true,
+		"null == null":      true,
+		"'sq' == \"sq\"":    true,
+		"\"a\\n\" != \"a\"": true,
+	}
+	for src, want := range cases {
+		if got := evalBool(t, src, nil); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestVariables(t *testing.T) {
+	vars := map[string]value.Value{
+		"q":       value.Int(1500),
+		"balance": value.Float(432.50),
+		"name":    value.Str("widget"),
+	}
+	// The paper's §3.2 example: a "large withdrawal" mask.
+	if !evalBool(t, "q > 1000", vars) {
+		t.Fatal("q > 1000 should hold for q=1500")
+	}
+	if evalBool(t, "balance >= 500.00", vars) {
+		t.Fatal("balance >= 500 should fail for 432.50")
+	}
+	if !evalBool(t, `name == "widget" && q - 500 > 900`, vars) {
+		t.Fatal("combined mask failed")
+	}
+}
+
+func TestCalls(t *testing.T) {
+	// The paper's T1: !authorized(user()).
+	vars := map[string]value.Value{"limit": value.Int(10)}
+	e := MustParse("max(3, limit, 7) == 10")
+	got, err := e.EvalBool(env(vars))
+	if err != nil || !got {
+		t.Fatalf("max call: %v, %v", got, err)
+	}
+	e2 := MustParse(`user() == "alice"`)
+	got, err = e2.EvalBool(env(nil))
+	if err != nil || !got {
+		t.Fatalf("user call: %v, %v", got, err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand would error (unknown name); short-circuiting
+	// must prevent evaluation.
+	if !evalBool(t, "true || nosuch", nil) {
+		t.Fatal("|| short-circuit")
+	}
+	if evalBool(t, "false && nosuch", nil) {
+		t.Fatal("&& short-circuit")
+	}
+	// Without short-circuit the error must surface.
+	e := MustParse("false || nosuch")
+	if _, err := e.EvalBool(env(nil)); err == nil {
+		t.Fatal("expected unknown-name error")
+	}
+}
+
+func TestFieldAccessViaEnv(t *testing.T) {
+	// An env that models i.balance for an object-reference value.
+	fieldEnv := &fieldTestEnv{}
+	e := MustParse("i.balance < reorder")
+	v, err := e.EvalBool(fieldEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v {
+		t.Fatal("i.balance < reorder should hold (50 < 100)")
+	}
+	// Nested field path.
+	e2 := MustParse("i.supplier.rating > 4")
+	v, err = e2.EvalBool(fieldEnv)
+	if err != nil || !v {
+		t.Fatalf("nested field: %v, %v", v, err)
+	}
+}
+
+type fieldTestEnv struct{}
+
+func (*fieldTestEnv) Lookup(name string) (value.Value, bool) {
+	switch name {
+	case "i":
+		return value.ID(1), true
+	case "reorder":
+		return value.Int(100), true
+	}
+	return value.Null(), false
+}
+
+func (*fieldTestEnv) Field(base value.Value, name string) (value.Value, error) {
+	switch {
+	case base.Kind == value.KindID && base.AsID() == 1 && name == "balance":
+		return value.Int(50), nil
+	case base.Kind == value.KindID && base.AsID() == 1 && name == "supplier":
+		return value.ID(2), nil
+	case base.Kind == value.KindID && base.AsID() == 2 && name == "rating":
+		return value.Int(5), nil
+	}
+	return value.Null(), errUnknownField
+}
+
+var errUnknownField = errString("unknown field")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func (*fieldTestEnv) Call(string, []value.Value) (value.Value, error) {
+	return value.Null(), errString("no funcs")
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "q >", "max(1,", "a.", "1 ⊕ 2", `"unterminated`,
+		"1 2", ") + 1", `"bad \q escape"`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	for _, src := range []string{
+		"nosuch",
+		"1 && true",
+		"!1",
+		"-true",
+		"1 < \"a\"",
+		"true + false",
+		"1 / 0",
+		"nofunc()",
+		"true && 1",
+	} {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := e.EvalBool(env(nil)); err == nil {
+			t.Errorf("EvalBool(%q) succeeded, want error", src)
+		}
+	}
+	// Non-bool result is an EvalBool error even when Eval succeeds.
+	e := MustParse("1 + 1")
+	if _, err := e.EvalBool(env(nil)); err == nil {
+		t.Error("EvalBool of numeric expression should error")
+	}
+}
+
+func TestVarsAndCalls(t *testing.T) {
+	e := MustParse("i.balance < reorder(i) && q > 0 && user() == owner")
+	vars := e.Vars()
+	wantVars := map[string]bool{"i": true, "q": true, "owner": true}
+	if len(vars) != len(wantVars) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for _, v := range vars {
+		if !wantVars[v] {
+			t.Fatalf("unexpected var %q", v)
+		}
+	}
+	calls := e.Calls()
+	if len(calls) != 2 || calls[0] != "reorder" && calls[1] != "reorder" {
+		t.Fatalf("Calls = %v", calls)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"q > 1000",
+		"i.balance < reorder(i)",
+		"!authorized(user())",
+		"(a + b) * c == d || x < y",
+	}
+	for _, src := range srcs {
+		e := MustParse(src)
+		// Re-parsing the rendering must give an identical rendering
+		// (normal form stability).
+		again := MustParse(e.String())
+		if e.String() != again.String() {
+			t.Errorf("%q: rendering unstable: %q vs %q", src, e.String(), again.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	// ! binds tighter than &&; && tighter than ||; comparison tighter
+	// than &&.
+	if !evalBool(t, "false && false || true", nil) {
+		t.Fatal("|| should be outermost")
+	}
+	if evalBool(t, "!true && false || false", nil) {
+		t.Fatal("!true && false || false should be false")
+	}
+	e := MustParse("a < b && c")
+	if !strings.Contains(e.String(), "(a < b)") {
+		t.Fatalf("precedence mis-parse: %s", e)
+	}
+}
+
+func TestMapEnvFieldRejected(t *testing.T) {
+	e := MustParse("x.f > 1")
+	env := &MapEnv{Vars: map[string]value.Value{"x": value.ID(1)}}
+	if _, err := e.EvalBool(env); err == nil {
+		t.Fatal("MapEnv field access succeeded")
+	}
+}
+
+func TestUnaryMinusAndModPrecedence(t *testing.T) {
+	if !evalBool(t, "-(3) + 4 == 1", nil) {
+		t.Fatal("unary minus")
+	}
+	if !evalBool(t, "10 % 4 * 2 == 4", nil) {
+		t.Fatal("mod/mul precedence")
+	}
+	if !evalBool(t, "--4 == 4", nil) {
+		t.Fatal("double negation")
+	}
+}
+
+func TestMaskBuildersRender(t *testing.T) {
+	e := Binary("&&",
+		Unary("!", Call("flag")),
+		Binary(">=", Field(Var("obj"), "weight"), Lit(value.Float(2.5))))
+	want := "(!flag() && (obj.weight >= 2.5))"
+	if got := e.String(); got != want {
+		t.Fatalf("render %q want %q", got, want)
+	}
+}

@@ -1,0 +1,270 @@
+package mask
+
+import "fmt"
+
+// Parse parses a mask expression. The grammar, tightest-binding last:
+//
+//	expr    = and { "||" and }
+//	and     = cmp { "&&" cmp }
+//	cmp     = add [ ("=="|"!="|"<"|"<="|">"|">=") add ]
+//	add     = mul { ("+"|"-") mul }
+//	mul     = unary { ("*"|"/"|"%") unary }
+//	unary   = "!" unary | "-" unary | postfix
+//	postfix = primary { "." ident }
+//	primary = int | float | string | "true" | "false" | "null"
+//	        | ident "(" [ expr { "," expr } ] ")"
+//	        | ident
+//	        | "(" expr ")"
+func Parse(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for known-good sources; it panics on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("mask: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = Binary("||", e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	e, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		e = Binary("&&", e, r)
+	}
+	return e, nil
+}
+
+var cmpOps = []string{"==", "!=", "<=", ">=", "<", ">"}
+
+func (p *parser) parseCmp() (*Expr, error) {
+	e, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range cmpOps {
+		if p.acceptOp(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary(op, e, r), nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdd() (*Expr, error) {
+	e, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			e = Binary("+", e, r)
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			e = Binary("-", e, r)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (*Expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return e, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = Binary(op, e, r)
+	}
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	if p.acceptOp("!") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary("!", e), nil
+	}
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary("-", e), nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp(".") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected field name after '.', found %q", t.text)
+		}
+		e = Field(e, t.text)
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		var i int64
+		if _, err := fmt.Sscanf(t.text, "%d", &i); err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return Lit(intVal(i)), nil
+	case tokFloat:
+		var f float64
+		if _, err := fmt.Sscanf(t.text, "%g", &f); err != nil {
+			return nil, p.errorf("bad float %q", t.text)
+		}
+		return Lit(floatVal(f)), nil
+	case tokString:
+		return Lit(strVal(t.text)), nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return Lit(boolVal(true)), nil
+		case "false":
+			return Lit(boolVal(false)), nil
+		case "null":
+			return Lit(nullVal()), nil
+		}
+		if p.acceptOp("(") {
+			var args []*Expr
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptOp(")") {
+						break
+					}
+					if err := p.expectOp(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return Call(t.text, args...), nil
+		}
+		return Var(t.text), nil
+	case tokOp:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", t.text)
+}

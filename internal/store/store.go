@@ -1,0 +1,313 @@
+// Package store implements the persistent object store substrate under
+// the Ode engine (paper §2: "persistent objects are allocated in
+// persistent memory and they continue to exist after the program
+// creating them has terminated; each persistent object is identified
+// by a unique identifier, called the object identity").
+//
+// The store keeps every object in memory as a Record and, when opened
+// on a directory, makes committed changes durable with a snapshot file
+// plus a framed write-ahead log. Transactions log a Begin frame, Put /
+// Delete frames, then a Commit frame; recovery applies only frames of
+// committed transactions, so a crash mid-commit never exposes a
+// partial transaction.
+//
+// Concurrency control (object-level locking) and undo are the
+// transaction manager's concern (internal/txn); the store itself only
+// guards its maps with a mutex and trusts callers to hold object locks
+// while mutating records.
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"ode/internal/value"
+)
+
+// OID is an object identity: a stable unique identifier for a
+// persistent object, usable as an object reference in field values.
+type OID uint64
+
+// TrigActivation is the per-object state of one trigger: whether it is
+// active, its activation parameters, and — for committed-view triggers
+// — the automaton state. Keeping this inside the record implements the
+// paper's §6 option where "the automaton state is considered part of
+// the object data structure and hence will be restored correctly upon
+// abort"; activation and deactivation are transactional for the same
+// reason.
+type TrigActivation struct {
+	Active bool
+	State  int
+	Params map[string]value.Value
+	// Shadow is the instance's symbol history, kept only when the
+	// engine's shadow-oracle mode is on; stored here so it is rolled
+	// back on abort exactly like State.
+	Shadow []int
+}
+
+func (a *TrigActivation) clone() *TrigActivation {
+	c := &TrigActivation{Active: a.Active, State: a.State}
+	if a.Params != nil {
+		c.Params = make(map[string]value.Value, len(a.Params))
+		for k, v := range a.Params {
+			c.Params[k] = v
+		}
+	}
+	if a.Shadow != nil {
+		c.Shadow = append([]int(nil), a.Shadow...)
+	}
+	return c
+}
+
+// Record is the stored representation of one object.
+type Record struct {
+	OID      OID
+	Class    string
+	Fields   map[string]value.Value
+	Triggers map[string]*TrigActivation
+}
+
+// Trigger returns the named activation, creating it if absent.
+func (r *Record) Trigger(name string) *TrigActivation {
+	a, ok := r.Triggers[name]
+	if !ok {
+		a = &TrigActivation{}
+		r.Triggers[name] = a
+	}
+	return a
+}
+
+// clone deep-copies the record (before-image support).
+func (r *Record) clone() *Record {
+	c := &Record{OID: r.OID, Class: r.Class}
+	c.Fields = make(map[string]value.Value, len(r.Fields))
+	for k, v := range r.Fields {
+		c.Fields[k] = v
+	}
+	c.Triggers = make(map[string]*TrigActivation, len(r.Triggers))
+	for k, v := range r.Triggers {
+		c.Triggers[k] = v.clone()
+	}
+	return c
+}
+
+// Store is an in-memory object heap with optional durability.
+type Store struct {
+	mu      sync.RWMutex
+	next    OID
+	objects map[OID]*Record
+	dir     string // "" → volatile
+	wal     *walFile
+}
+
+// Open returns a store rooted at dir. With dir == "" the store is
+// purely in-memory ("volatile memory" in the paper's terms). Otherwise
+// the snapshot and WAL in dir are loaded and replayed, and subsequent
+// committed transactions are appended to the WAL.
+func Open(dir string) (*Store, error) {
+	s := &Store{next: 1, objects: make(map[OID]*Record), dir: dir}
+	if dir == "" {
+		return s, nil
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// Close releases the WAL file handle. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		err := s.wal.close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+// Create allocates a new object with the given class and fields and
+// returns its identity. Durability happens when the creating
+// transaction commits (LogCommit).
+func (s *Store) Create(class string, fields map[string]value.Value) *Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid := s.next
+	s.next++
+	if fields == nil {
+		fields = map[string]value.Value{}
+	}
+	r := &Record{
+		OID:      oid,
+		Class:    class,
+		Fields:   fields,
+		Triggers: map[string]*TrigActivation{},
+	}
+	s.objects[oid] = r
+	return r
+}
+
+// Get returns the live record for oid. Callers mutate the record only
+// while holding the object's transaction lock.
+func (s *Store) Get(oid OID) (*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("store: no object %d", oid)
+	}
+	return r, nil
+}
+
+// Exists reports whether oid names a live object.
+func (s *Store) Exists(oid OID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[oid]
+	return ok
+}
+
+// Delete removes the object from the heap. The undo log keeps aborted
+// deletes reversible via Restore.
+func (s *Store) Delete(oid OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.objects[oid]; !ok {
+		return fmt.Errorf("store: no object %d", oid)
+	}
+	delete(s.objects, oid)
+	return nil
+}
+
+// Snapshot returns a deep copy of the record (a before-image).
+func (s *Store) Snapshot(oid OID) (*Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("store: no object %d", oid)
+	}
+	return r.clone(), nil
+}
+
+// Restore reinstates a before-image, resurrecting the object if it was
+// deleted in the meantime.
+func (s *Store) Restore(img *Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[img.OID] = img.clone()
+}
+
+// Remove unconditionally deletes oid if present; used to undo an
+// aborted creation.
+func (s *Store) Remove(oid OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, oid)
+}
+
+// Count returns the number of live objects.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// OIDs returns the identities of all live objects, unordered.
+func (s *Store) OIDs() []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		out = append(out, oid)
+	}
+	return out
+}
+
+// LogCommit durably records a committed transaction: a Begin frame,
+// one Put frame per dirty surviving object, one Delete frame per
+// deleted object, then a Commit frame. It is a no-op for volatile
+// stores.
+func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.append(frame{Op: opBegin, TxID: txID}); err != nil {
+		return err
+	}
+	for _, oid := range dirty {
+		r, ok := s.objects[oid]
+		if !ok {
+			continue // deleted later in the same transaction
+		}
+		if err := s.wal.append(frame{Op: opPut, TxID: txID, Rec: r.clone()}); err != nil {
+			return err
+		}
+	}
+	for _, oid := range deleted {
+		if err := s.wal.append(frame{Op: opDelete, TxID: txID, OID: oid}); err != nil {
+			return err
+		}
+	}
+	return s.wal.append(frame{Op: opCommit, TxID: txID})
+}
+
+// Checkpoint writes a full snapshot and truncates the WAL. It is a
+// no-op for volatile stores.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	if err := writeSnapshot(s.dir, s.next, s.objects); err != nil {
+		return err
+	}
+	return s.wal.reset()
+}
+
+// recover loads the snapshot and replays committed WAL frames.
+func (s *Store) recover() error {
+	next, objects, err := readSnapshot(s.dir)
+	if err != nil {
+		return err
+	}
+	if objects != nil {
+		s.next = next
+		s.objects = objects
+	}
+	frames, err := readWAL(s.dir)
+	if err != nil {
+		return err
+	}
+	committed := map[uint64]bool{}
+	for _, f := range frames {
+		if f.Op == opCommit {
+			committed[f.TxID] = true
+		}
+	}
+	for _, f := range frames {
+		if !committed[f.TxID] {
+			continue
+		}
+		switch f.Op {
+		case opPut:
+			s.objects[f.Rec.OID] = f.Rec
+			if f.Rec.OID >= s.next {
+				s.next = f.Rec.OID + 1
+			}
+		case opDelete:
+			delete(s.objects, f.OID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ode/internal/value"
+)
+
+func TestCreateGetDelete(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Create("account", map[string]value.Value{"balance": value.Int(100)})
+	if r.OID != 1 || r.Class != "account" {
+		t.Fatalf("record %+v", r)
+	}
+	got, err := s.Get(r.OID)
+	if err != nil || !got.Fields["balance"].Equal(value.Int(100)) {
+		t.Fatalf("Get: %+v, %v", got, err)
+	}
+	if !s.Exists(r.OID) || s.Count() != 1 {
+		t.Fatal("Exists/Count")
+	}
+	r2 := s.Create("account", nil)
+	if r2.OID != 2 {
+		t.Fatalf("second oid %d", r2.OID)
+	}
+	if err := s.Delete(r.OID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(r.OID) {
+		t.Fatal("deleted object still exists")
+	}
+	if _, err := s.Get(r.OID); err == nil {
+		t.Fatal("Get of deleted object succeeded")
+	}
+	if err := s.Delete(r.OID); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if got := s.OIDs(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("OIDs = %v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s, _ := Open("")
+	r := s.Create("account", map[string]value.Value{"balance": value.Int(100)})
+	r.Trigger("t1").State = 3
+
+	img, err := s.Snapshot(r.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the live record; the snapshot must be unaffected.
+	r.Fields["balance"] = value.Int(0)
+	r.Trigger("t1").State = 9
+	if !img.Fields["balance"].Equal(value.Int(100)) || img.Trigger("t1").State != 3 {
+		t.Fatal("snapshot aliases live record")
+	}
+
+	s.Restore(img)
+	back, _ := s.Get(r.OID)
+	if !back.Fields["balance"].Equal(value.Int(100)) || back.Trigger("t1").State != 3 {
+		t.Fatal("restore did not reinstate the before-image")
+	}
+	// Restoring also resurrects a deleted object.
+	s.Delete(r.OID)
+	s.Restore(img)
+	if !s.Exists(r.OID) {
+		t.Fatal("restore did not resurrect")
+	}
+
+	if _, err := s.Snapshot(999); err == nil {
+		t.Fatal("snapshot of missing object succeeded")
+	}
+	s.Remove(r.OID)
+	if s.Exists(r.OID) {
+		t.Fatal("Remove left the object")
+	}
+	s.Remove(r.OID) // idempotent
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Create("account", map[string]value.Value{"balance": value.Int(7)})
+	b := s.Create("account", map[string]value.Value{"balance": value.Int(8)})
+	if err := s.LogCommit(1, []OID{a.OID, b.OID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second transaction updates a and deletes b.
+	a.Fields["balance"] = value.Int(70)
+	s.Delete(b.OID)
+	if err := s.LogCommit(2, []OID{a.OID}, []OID{b.OID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Count() != 1 {
+		t.Fatalf("recovered %d objects, want 1", s2.Count())
+	}
+	ra, err := s2.Get(a.OID)
+	if err != nil || !ra.Fields["balance"].Equal(value.Int(70)) {
+		t.Fatalf("recovered a: %+v, %v", ra, err)
+	}
+	if s2.Exists(b.OID) {
+		t.Fatal("deleted object recovered")
+	}
+	// OID allocation resumes past recovered objects.
+	c := s2.Create("account", nil)
+	if c.OID <= a.OID {
+		t.Fatalf("oid reuse: %d", c.OID)
+	}
+}
+
+func TestUncommittedFramesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	a := s.Create("x", map[string]value.Value{"v": value.Int(1)})
+	s.LogCommit(1, []OID{a.OID}, nil)
+	// Simulate a crash mid-commit: Begin+Put without Commit.
+	s.wal.append(frame{Op: opBegin, TxID: 2})
+	rec := a.clone()
+	rec.Fields["v"] = value.Int(999)
+	s.wal.append(frame{Op: opPut, TxID: 2, Rec: rec})
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ra, _ := s2.Get(a.OID)
+	if !ra.Fields["v"].Equal(value.Int(1)) {
+		t.Fatalf("uncommitted frame applied: %v", ra.Fields["v"])
+	}
+}
+
+func TestTornFrameIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	a := s.Create("x", map[string]value.Value{"v": value.Int(1)})
+	s.LogCommit(1, []OID{a.OID}, nil)
+	s.Close()
+
+	// Append garbage: a length prefix promising more bytes than exist.
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0x00, 0x00, 0x00, 0x01, 0x02})
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Exists(a.OID) {
+		t.Fatal("intact prefix lost")
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	a := s.Create("x", map[string]value.Value{"v": value.Int(5)})
+	s.LogCommit(1, []OID{a.OID}, nil)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil || st.Size() != 0 {
+		t.Fatalf("wal after checkpoint: %v bytes, %v", st.Size(), err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ra, err := s2.Get(a.OID)
+	if err != nil || !ra.Fields["v"].Equal(value.Int(5)) {
+		t.Fatalf("snapshot recovery: %+v, %v", ra, err)
+	}
+	// A post-checkpoint commit lands in the fresh WAL and both layers
+	// recover together.
+	ra.Fields["v"] = value.Int(6)
+	s2.LogCommit(2, []OID{a.OID}, nil)
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	ra3, _ := s3.Get(a.OID)
+	if !ra3.Fields["v"].Equal(value.Int(6)) {
+		t.Fatal("post-checkpoint commit lost")
+	}
+}
+
+func TestVolatileStoreNoFiles(t *testing.T) {
+	s, _ := Open("")
+	a := s.Create("x", nil)
+	if err := s.LogCommit(1, []OID{a.OID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrigStatePersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	a := s.Create("x", nil)
+	act := a.Trigger("stockRoom.T6#1")
+	act.Active = true
+	act.State = 4
+	act.Params = map[string]value.Value{"lvl": value.Int(7)}
+	s.LogCommit(1, []OID{a.OID}, nil)
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ra, _ := s2.Get(a.OID)
+	got := ra.Trigger("stockRoom.T6#1")
+	if !got.Active || got.State != 4 || !got.Params["lvl"].Equal(value.Int(7)) {
+		t.Fatalf("trigger activation lost: %+v", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package txn implements the transaction substrate the paper assumes:
+// atomic transactions over objects with object-level locking (§6),
+// undo on abort, and commit dependencies (§7 footnote 6: "if
+// transaction t2 is commit dependent on t1, then t2 is not allowed to
+// commit until t1 has; if t1 eventually aborts, so must t2").
+//
+// Locking is exclusive and object-granular. Exclusive (rather than
+// shared/exclusive) locks are a deliberate choice: posting any event
+// to an object — including a read — advances the stored automaton
+// state of the object's committed-view triggers, so even "read-only"
+// accesses write the record. Deadlocks are detected by following the
+// waits-for chain at block time; the requester that would close a
+// cycle receives ErrDeadlock and is expected to abort.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ode/internal/store"
+)
+
+// ErrDeadlock is returned by a lock request that would create a
+// waits-for cycle. The requesting transaction must abort.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// lockManager grants exclusive, reentrant object locks.
+type lockManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	holder  map[store.OID]uint64 // object → holding transaction
+	waiting map[uint64]store.OID // transaction → object it is blocked on
+}
+
+func newLockManager() *lockManager {
+	lm := &lockManager{
+		holder:  make(map[store.OID]uint64),
+		waiting: make(map[uint64]store.OID),
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// lock blocks until txID holds oid exclusively. Reentrant acquisition
+// returns immediately. A request that would close a waits-for cycle
+// fails with ErrDeadlock instead of blocking.
+func (lm *lockManager) lock(txID uint64, oid store.OID) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for {
+		h, held := lm.holder[oid]
+		if !held {
+			lm.holder[oid] = txID
+			return nil
+		}
+		if h == txID {
+			return nil // reentrant
+		}
+		// Would waiting on h's lock close a cycle back to us? Each
+		// transaction waits on at most one object, so the waits-for
+		// graph is a set of chains; walk ours.
+		if lm.wouldCycle(txID, h) {
+			return ErrDeadlock
+		}
+		lm.waiting[txID] = oid
+		lm.cond.Wait()
+		delete(lm.waiting, txID)
+	}
+}
+
+// wouldCycle reports whether holder (transitively) waits for txID.
+// Called with lm.mu held.
+func (lm *lockManager) wouldCycle(txID, holder uint64) bool {
+	cur := holder
+	for steps := 0; steps <= len(lm.waiting)+1; steps++ {
+		if cur == txID {
+			return true
+		}
+		oid, waits := lm.waiting[cur]
+		if !waits {
+			return false
+		}
+		next, held := lm.holder[oid]
+		if !held {
+			return false
+		}
+		cur = next
+	}
+	return true // defensive: treat an over-long walk as a cycle
+}
+
+// releaseAll drops every lock txID holds and wakes waiters.
+func (lm *lockManager) releaseAll(txID uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for oid, h := range lm.holder {
+		if h == txID {
+			delete(lm.holder, oid)
+		}
+	}
+	delete(lm.waiting, txID)
+	lm.cond.Broadcast()
+}
+
+// holds reports whether txID currently holds oid (for tests and
+// assertions).
+func (lm *lockManager) holds(txID uint64, oid store.OID) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.holder[oid] == txID
+}
+
+func (lm *lockManager) String() string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return fmt.Sprintf("lockManager{held=%d, waiting=%d}", len(lm.holder), len(lm.waiting))
+}

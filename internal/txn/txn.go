@@ -1,0 +1,312 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// Transaction states.
+type State int
+
+const (
+	// Active: the transaction is running.
+	Active State = iota
+	// Committed: effects are durable and visible.
+	Committed
+	// Aborted: all effects have been undone.
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Errors reported by transaction operations.
+var (
+	// ErrNotActive is returned by operations on a finished transaction.
+	ErrNotActive = errors.New("txn: transaction is not active")
+	// ErrDependencyAborted is returned by Commit when a transaction
+	// this one is commit-dependent on has aborted; the transaction is
+	// aborted as required by the dependency semantics.
+	ErrDependencyAborted = errors.New("txn: commit dependency aborted")
+)
+
+// Manager creates and coordinates transactions over one store.
+type Manager struct {
+	store  *store.Store
+	locks  *lockManager
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on any commit/abort, for dependency waits
+}
+
+// NewManager returns a transaction manager over s.
+func NewManager(s *store.Store) *Manager {
+	m := &Manager{store: s, locks: newLockManager()}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Store returns the underlying object store.
+func (m *Manager) Store() *store.Store { return m.store }
+
+// Begin starts a transaction. A Tx must be used from a single
+// goroutine.
+type Tx struct {
+	id  uint64
+	mgr *Manager
+
+	mu       sync.Mutex // guards state for cross-goroutine State() reads
+	state    State
+	undo     []undoEntry
+	accessed []store.OID        // first-access order
+	seen     map[store.OID]bool // objects with a before-image
+	created  map[store.OID]bool // objects created by this transaction
+	deleted  map[store.OID]bool // objects deleted by this transaction
+	deps     []*Tx              // commit dependencies (footnote 6)
+	system   bool               // system transactions post tcommit/tabort events
+}
+
+type undoEntry struct {
+	created bool
+	oid     store.OID
+	img     *store.Record // nil when created
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Tx {
+	return &Tx{
+		id:      m.nextID.Add(1),
+		mgr:     m,
+		state:   Active,
+		seen:    map[store.OID]bool{},
+		created: map[store.OID]bool{},
+		deleted: map[store.OID]bool{},
+	}
+}
+
+// BeginSystem starts a "system" transaction — the special transaction
+// the paper uses to post "after tcommit" and "after tabort" events and
+// run the actions they trigger (§5).
+func (m *Manager) BeginSystem() *Tx {
+	tx := m.Begin()
+	tx.system = true
+	return tx
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// System reports whether this is a system transaction.
+func (tx *Tx) System() bool { return tx.system }
+
+// State returns the transaction state.
+func (tx *Tx) State() State {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.state
+}
+
+func (tx *Tx) setState(s State) {
+	tx.mu.Lock()
+	tx.state = s
+	tx.mu.Unlock()
+}
+
+// Access locks oid for this transaction, takes a before-image on first
+// access, and returns the live record. first reports whether this is
+// the transaction's first access to the object — the engine posts the
+// "after tbegin" event to the object exactly then (paper §3.1:
+// "posted to an object only immediately before the object is first
+// accessed by the transaction").
+//
+// The before-image is taken on first access rather than first write
+// because even reads advance committed-view trigger state stored in
+// the record.
+func (tx *Tx) Access(oid store.OID) (rec *store.Record, first bool, err error) {
+	if tx.State() != Active {
+		return nil, false, ErrNotActive
+	}
+	if err := tx.mgr.locks.lock(tx.id, oid); err != nil {
+		return nil, false, err
+	}
+	rec, err = tx.mgr.store.Get(oid)
+	if err != nil {
+		return nil, false, err
+	}
+	first = !tx.seen[oid]
+	if first {
+		tx.seen[oid] = true
+		tx.accessed = append(tx.accessed, oid)
+		if !tx.created[oid] {
+			img, err := tx.mgr.store.Snapshot(oid)
+			if err != nil {
+				return nil, false, err
+			}
+			tx.undo = append(tx.undo, undoEntry{oid: oid, img: img})
+		}
+	}
+	return rec, first, nil
+}
+
+// Create allocates a new object owned by this transaction. The object
+// is locked by the transaction and removed again if it aborts.
+func (tx *Tx) Create(class string, fields map[string]value.Value) (*store.Record, error) {
+	if tx.State() != Active {
+		return nil, ErrNotActive
+	}
+	rec := tx.mgr.store.Create(class, fields)
+	if err := tx.mgr.locks.lock(tx.id, rec.OID); err != nil {
+		// Freshly created: the lock cannot contend, but stay defensive.
+		tx.mgr.store.Remove(rec.OID)
+		return nil, err
+	}
+	tx.created[rec.OID] = true
+	tx.seen[rec.OID] = true
+	tx.accessed = append(tx.accessed, rec.OID)
+	tx.undo = append(tx.undo, undoEntry{created: true, oid: rec.OID})
+	return rec, nil
+}
+
+// Delete removes oid within the transaction; an abort resurrects it.
+func (tx *Tx) Delete(oid store.OID) error {
+	if tx.State() != Active {
+		return ErrNotActive
+	}
+	if _, _, err := tx.Access(oid); err != nil {
+		return err
+	}
+	if err := tx.mgr.store.Delete(oid); err != nil {
+		return err
+	}
+	tx.deleted[oid] = true
+	return nil
+}
+
+// DependOn makes this transaction commit-dependent on other: Commit
+// waits until other finishes, succeeds only if other committed, and
+// aborts this transaction if other aborted.
+func (tx *Tx) DependOn(other *Tx) {
+	if other == nil || other == tx {
+		return
+	}
+	tx.deps = append(tx.deps, other)
+}
+
+// Accessed returns the objects the transaction has touched, in first-
+// access order — "the set of objects accessed by the transaction" that
+// transaction events are posted to (paper §3.1).
+func (tx *Tx) Accessed() []store.OID {
+	out := make([]store.OID, len(tx.accessed))
+	copy(out, tx.accessed)
+	return out
+}
+
+// Created reports whether the transaction created oid.
+func (tx *Tx) Created(oid store.OID) bool { return tx.created[oid] }
+
+// Commit makes the transaction's effects durable and releases its
+// locks. If a commit dependency aborted, the transaction aborts
+// instead and ErrDependencyAborted is returned.
+func (tx *Tx) Commit() error {
+	if tx.State() != Active {
+		return ErrNotActive
+	}
+	if err := tx.waitForDeps(); err != nil {
+		tx.rollback()
+		return err
+	}
+	var dirty, deleted []store.OID
+	for _, oid := range tx.accessed {
+		if tx.deleted[oid] {
+			deleted = append(deleted, oid)
+		} else {
+			dirty = append(dirty, oid)
+		}
+	}
+	if err := tx.mgr.store.LogCommit(tx.id, dirty, deleted); err != nil {
+		tx.rollback()
+		return fmt.Errorf("txn: commit logging failed: %w", err)
+	}
+	tx.setState(Committed)
+	tx.mgr.locks.releaseAll(tx.id)
+	tx.mgr.broadcast()
+	return nil
+}
+
+// Abort undoes every effect of the transaction and releases its locks.
+// Aborting a finished transaction is an error.
+func (tx *Tx) Abort() error {
+	if tx.State() != Active {
+		return ErrNotActive
+	}
+	tx.rollback()
+	return nil
+}
+
+func (tx *Tx) rollback() {
+	// Restore before-images in reverse order of first access.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		if u.created {
+			tx.mgr.store.Remove(u.oid)
+		} else {
+			tx.mgr.store.Restore(u.img)
+		}
+	}
+	tx.setState(Aborted)
+	tx.mgr.locks.releaseAll(tx.id)
+	tx.mgr.broadcast()
+}
+
+func (tx *Tx) waitForDeps() error {
+	for _, dep := range tx.deps {
+		tx.mgr.mu.Lock()
+		for dep.State() == Active {
+			tx.mgr.cond.Wait()
+		}
+		tx.mgr.mu.Unlock()
+		if dep.State() == Aborted {
+			return ErrDependencyAborted
+		}
+	}
+	return nil
+}
+
+func (m *Manager) broadcast() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Holds reports whether the transaction currently holds oid's lock.
+func (tx *Tx) Holds(oid store.OID) bool { return tx.mgr.locks.holds(tx.id, oid) }
+
+// Peek locks oid and returns its live record without counting the
+// access: no before-image, no entry in Accessed(), so no transaction
+// events are posted to the object on its behalf. Mask evaluation uses
+// it to read "the state of any object in the database" (paper §3.2)
+// with isolation but without perturbing event histories. The caller
+// must not mutate the record.
+func (tx *Tx) Peek(oid store.OID) (*store.Record, error) {
+	if tx.State() != Active {
+		return nil, ErrNotActive
+	}
+	if err := tx.mgr.locks.lock(tx.id, oid); err != nil {
+		return nil, err
+	}
+	return tx.mgr.store.Get(oid)
+}

@@ -1,0 +1,362 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	s, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(s)
+}
+
+func TestCommitKeepsEffects(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	rec, err := tx.Create("acct", map[string]value.Value{"balance": value.Int(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Fields["balance"] = value.Int(20)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed {
+		t.Fatalf("state %v", tx.State())
+	}
+	got, _ := m.Store().Get(rec.OID)
+	if !got.Fields["balance"].Equal(value.Int(20)) {
+		t.Fatalf("balance %v", got.Fields["balance"])
+	}
+	// Locks released: another transaction can access it.
+	tx2 := m.Begin()
+	if _, _, err := tx2.Access(rec.OID); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+}
+
+func TestAbortUndoesUpdatesCreatesDeletes(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	a, _ := setup.Create("acct", map[string]value.Value{"balance": value.Int(100)})
+	b, _ := setup.Create("acct", map[string]value.Value{"balance": value.Int(200)})
+	setup.Commit()
+
+	tx := m.Begin()
+	ra, _, _ := tx.Access(a.OID)
+	ra.Fields["balance"] = value.Int(0)
+	ra.Trigger("t").State = 5
+	if err := tx.Delete(b.OID); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tx.Create("acct", nil)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Aborted {
+		t.Fatalf("state %v", tx.State())
+	}
+
+	ga, _ := m.Store().Get(a.OID)
+	if !ga.Fields["balance"].Equal(value.Int(100)) || len(ga.Triggers) != 0 {
+		t.Fatalf("update not undone: %+v", ga)
+	}
+	if !m.Store().Exists(b.OID) {
+		t.Fatal("delete not undone")
+	}
+	if m.Store().Exists(c.OID) {
+		t.Fatal("create not undone")
+	}
+}
+
+func TestFinishedTransactionRejectsOperations(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	a, _ := tx.Create("x", nil)
+	tx.Commit()
+	if _, _, err := tx.Access(a.OID); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("Access after commit: %v", err)
+	}
+	if _, err := tx.Create("x", nil); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("Create after commit: %v", err)
+	}
+	if err := tx.Delete(a.OID); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("Delete after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestFirstAccessReported(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	a, _ := setup.Create("x", nil)
+	setup.Commit()
+
+	tx := m.Begin()
+	_, first, _ := tx.Access(a.OID)
+	if !first {
+		t.Fatal("first access not reported")
+	}
+	_, again, _ := tx.Access(a.OID)
+	if again {
+		t.Fatal("second access reported as first")
+	}
+	got := tx.Accessed()
+	if len(got) != 1 || got[0] != a.OID {
+		t.Fatalf("Accessed = %v", got)
+	}
+	tx.Commit()
+}
+
+func TestLockBlocksConflictingTransaction(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	a, _ := setup.Create("x", map[string]value.Value{"v": value.Int(1)})
+	setup.Commit()
+
+	tx1 := m.Begin()
+	tx1.Access(a.OID)
+	if !tx1.Holds(a.OID) {
+		t.Fatal("tx1 should hold the lock")
+	}
+
+	acquired := make(chan struct{})
+	go func() {
+		tx2 := m.Begin()
+		tx2.Access(a.OID) // blocks until tx1 finishes
+		close(acquired)
+		tx2.Commit()
+	}()
+
+	select {
+	case <-acquired:
+		t.Fatal("tx2 acquired a held lock")
+	case <-time.After(30 * time.Millisecond):
+	}
+	tx1.Commit()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("tx2 never acquired the lock after release")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	m := newManager(t)
+	setup := m.Begin()
+	a, _ := setup.Create("x", nil)
+	b, _ := setup.Create("x", nil)
+	setup.Commit()
+
+	tx1 := m.Begin()
+	tx2 := m.Begin()
+	if _, _, err := tx1.Access(a.OID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx2.Access(b.OID); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errs := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		_, _, err := tx1.Access(b.OID) // blocks on tx2
+		errs <- err
+		if err != nil {
+			tx1.Abort()
+		} else {
+			tx1.Commit()
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let tx1 block
+	_, _, err := tx2.Access(a.OID)    // would close the cycle
+	errs <- err
+	if err != nil {
+		tx2.Abort()
+	} else {
+		tx2.Commit()
+	}
+	wg.Wait()
+
+	var deadlocks, oks int
+	for i := 0; i < 2; i++ {
+		switch e := <-errs; {
+		case errors.Is(e, ErrDeadlock):
+			deadlocks++
+		case e == nil:
+			oks++
+		default:
+			t.Fatalf("unexpected error %v", e)
+		}
+	}
+	if deadlocks != 1 || oks != 1 {
+		t.Fatalf("deadlocks=%d oks=%d, want exactly one of each", deadlocks, oks)
+	}
+}
+
+func TestReentrantLock(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	a, _ := tx.Create("x", nil)
+	for i := 0; i < 3; i++ {
+		if _, _, err := tx.Access(a.OID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+}
+
+func TestCommitDependencyCommitted(t *testing.T) {
+	m := newManager(t)
+	t1 := m.Begin()
+	a, _ := t1.Create("x", nil)
+	t2 := m.Begin()
+	t2.DependOn(t1)
+
+	done := make(chan error, 1)
+	go func() { done <- t2.Commit() }()
+	select {
+	case <-done:
+		t.Fatal("dependent committed before dependency")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dependent commit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dependent never committed")
+	}
+	_ = a
+}
+
+func TestCommitDependencyAborted(t *testing.T) {
+	m := newManager(t)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	rec, _ := t2.Create("x", nil)
+	t2.DependOn(t1)
+
+	done := make(chan error, 1)
+	go func() { done <- t2.Commit() }()
+	time.Sleep(20 * time.Millisecond)
+	t1.Abort()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDependencyAborted) {
+			t.Fatalf("dependent commit error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dependent never finished")
+	}
+	if t2.State() != Aborted {
+		t.Fatalf("dependent state %v, want aborted", t2.State())
+	}
+	if m.Store().Exists(rec.OID) {
+		t.Fatal("aborted dependent's create survived")
+	}
+}
+
+func TestDependOnSelfAndNilIgnored(t *testing.T) {
+	m := newManager(t)
+	tx := m.Begin()
+	tx.DependOn(nil)
+	tx.DependOn(tx)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemTransactionFlag(t *testing.T) {
+	m := newManager(t)
+	if m.Begin().System() {
+		t.Fatal("ordinary transaction flagged system")
+	}
+	st := m.BeginSystem()
+	if !st.System() {
+		t.Fatal("system transaction not flagged")
+	}
+	st.Commit()
+}
+
+func TestConcurrentTransfersSerialize(t *testing.T) {
+	// Classic bank transfer stress: concurrent debits/credits between
+	// two accounts; locking must keep the total invariant.
+	m := newManager(t)
+	setup := m.Begin()
+	a, _ := setup.Create("acct", map[string]value.Value{"balance": value.Int(1000)})
+	b, _ := setup.Create("acct", map[string]value.Value{"balance": value.Int(1000)})
+	setup.Commit()
+
+	const workers = 8
+	const transfers = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				for {
+					tx := m.Begin()
+					// Alternate lock order to exercise deadlock
+					// handling; retry on deadlock.
+					first, second := a.OID, b.OID
+					if (w+i)%2 == 1 {
+						first, second = second, first
+					}
+					r1, _, err := tx.Access(first)
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					r2, _, err := tx.Access(second)
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					r1.Fields["balance"] = value.Int(r1.Fields["balance"].AsInt() - 1)
+					r2.Fields["balance"] = value.Int(r2.Fields["balance"].AsInt() + 1)
+					if err := tx.Commit(); err == nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ra, _ := m.Store().Get(a.OID)
+	rb, _ := m.Store().Get(b.OID)
+	total := ra.Fields["balance"].AsInt() + rb.Fields["balance"].AsInt()
+	if total != 2000 {
+		t.Fatalf("total %d, want 2000 (lost update)", total)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Active.String() != "active" || Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("state strings")
+	}
+}

@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ode/internal/algebra"
+	"ode/internal/compile"
+	"ode/internal/evlang"
+	"ode/internal/fa"
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+// E1Row is one row of the detection-cost experiment: the cost of
+// recognizing one posted event with the compiled automaton versus
+// re-evaluating the §4 denotational semantics over the accumulated
+// history (the pre-automaton baseline).
+type E1Row struct {
+	Expr                string
+	HistoryLen          int
+	AutomatonNsPerEvent float64
+	NaiveNsPerEvent     float64
+	Speedup             float64
+}
+
+// RunE1 measures detection cost for each paper expression at the given
+// history lengths. The naive detector's cost grows with history
+// length; the automaton's does not — the paper's efficiency claim.
+func RunE1(lengths []int, seed int64) []E1Row {
+	paper := Paper()
+	rng := rand.New(rand.NewSource(seed))
+	var rows []E1Row
+	for i, e := range paper.Exprs {
+		d := compile.Compile(e, NumPaperSymbols)
+		for _, n := range lengths {
+			h := RandomHistory(rng, NumPaperSymbols, n)
+
+			det := compile.NewDetector(d)
+			start := time.Now()
+			for _, sym := range h {
+				det.Post(sym)
+			}
+			autoNs := float64(time.Since(start).Nanoseconds()) / float64(n)
+
+			// The naive baseline re-evaluates on each posting; measure
+			// only the final postings to keep runtime bounded, since
+			// per-event cost at length n is what the row reports.
+			naive := algebra.NewNaiveDetector(e)
+			warm := h[:n-min(8, n)]
+			for _, sym := range warm {
+				naive.Post(sym)
+			}
+			tail := h[len(warm):]
+			start = time.Now()
+			for _, sym := range tail {
+				naive.Post(sym)
+			}
+			naiveNs := float64(time.Since(start).Nanoseconds()) / float64(len(tail))
+
+			rows = append(rows, E1Row{
+				Expr:                paper.Names[i],
+				HistoryLen:          n,
+				AutomatonNsPerEvent: autoNs,
+				NaiveNsPerEvent:     naiveNs,
+				Speedup:             naiveNs / autoNs,
+			})
+		}
+	}
+	return rows
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// E2Row is one row of the storage experiment: per-object detection
+// state for automaton-based monitoring (one word per active trigger,
+// §5) versus retaining the history for re-evaluation.
+type E2Row struct {
+	HistoryLen              int
+	Triggers                int
+	AutomatonBytesPerObject int
+	HistoryBytesPerObject   int
+}
+
+// RunE2 reports per-object storage at increasing history lengths. The
+// automaton figure is exact (§5: one integer per active trigger per
+// object); the history figure assumes one 16-byte entry per posted
+// event.
+func RunE2(lengths []int, triggers int) []E2Row {
+	rows := make([]E2Row, 0, len(lengths))
+	for _, n := range lengths {
+		rows = append(rows, E2Row{
+			HistoryLen:              n,
+			Triggers:                triggers,
+			AutomatonBytesPerObject: 8 * triggers,
+			HistoryBytesPerObject:   16 * n,
+		})
+	}
+	return rows
+}
+
+// E3Row reports one paper trigger's compiled automaton size.
+type E3Row struct {
+	Expr       string
+	ExprNodes  int
+	NFAHint    int // states before minimization (post-determinization)
+	DFAStates  int
+	Symbols    int
+	TableBytes int
+}
+
+// RunE3 compiles the paper trigger set and reports automaton sizes —
+// the concrete face of the §4 regular-language equivalence.
+func RunE3() []E3Row {
+	paper := Paper()
+	rows := make([]E3Row, 0, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		d := compile.Compile(e, NumPaperSymbols)
+		rows = append(rows, E3Row{
+			Expr:       paper.Names[i],
+			ExprNodes:  e.Size(),
+			DFAStates:  d.NumStates,
+			Symbols:    d.NumSymbols,
+			TableBytes: d.NumStates * d.NumSymbols * 8,
+		})
+	}
+	return rows
+}
+
+// E4Row is one row of the mask-disjointness rewrite study (§5): k
+// overlapping masks on one basic event produce a 2^k-symbol block.
+type E4Row struct {
+	Masks     int
+	Symbols   int
+	DFAStates int
+	ResolveMs float64
+}
+
+// RunE4 registers k distinct masks on one method kind and reports the
+// alphabet and automaton growth of the union event "any of the masked
+// variants".
+func RunE4(maxMasks int) ([]E4Row, error) {
+	var rows []E4Row
+	for k := 1; k <= maxMasks; k++ {
+		cls := &schema.Class{
+			Name:   "m",
+			Fields: []schema.Field{{Name: "x", Kind: value.KindInt}},
+			Methods: []schema.Method{{
+				Name:   "f",
+				Params: []schema.Param{{Name: "q", Kind: value.KindInt}},
+				Mode:   schema.ModeUpdate,
+			}},
+		}
+		// k triggers, each masking after f differently; the k-th also
+		// unions them all so its automaton spans the whole block.
+		for i := 0; i < k; i++ {
+			cls.Triggers = append(cls.Triggers, schema.Trigger{
+				Name:  fmt.Sprintf("T%d", i),
+				Event: fmt.Sprintf("after f(q) && q > %d", i*10),
+			})
+		}
+		union := ""
+		for i := 0; i < k; i++ {
+			if i > 0 {
+				union += " | "
+			}
+			union += fmt.Sprintf("after f(q) && q > %d", i*10)
+		}
+		cls.Triggers = append(cls.Triggers, schema.Trigger{Name: "U", Event: union})
+
+		start := time.Now()
+		res, err := evlang.ResolveClass(cls, evlang.ForClass(cls))
+		if err != nil {
+			return nil, err
+		}
+		u := res.Trigger("U")
+		d := compile.Compile(u.Expr, res.Alphabet.NumSymbols)
+		rows = append(rows, E4Row{
+			Masks:     k,
+			Symbols:   res.Alphabet.NumSymbols,
+			DFAStates: d.NumStates,
+			ResolveMs: float64(time.Since(start).Microseconds()) / 1000.0,
+		})
+	}
+	return rows, nil
+}
+
+// E5Row is one row of the §6 pair-construction study.
+type E5Row struct {
+	Expr        string
+	AStates     int
+	APrimStates int
+	Bound       int // |A|²
+}
+
+// RunE5 applies the committed-view→whole-history pair construction to
+// the paper expressions and reports state growth against the |A|²
+// bound of the §6 Claim. tcommitSym/tabortSym use the PaperExprs
+// legend (7 and 8).
+func RunE5() []E5Row {
+	paper := Paper()
+	rows := make([]E5Row, 0, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		a := compile.Compile(e, NumPaperSymbols)
+		ap := compile.PairConstruction(a, 7, 8)
+		rows = append(rows, E5Row{
+			Expr:        paper.Names[i],
+			AStates:     a.NumStates,
+			APrimStates: ap.NumStates,
+			Bound:       a.NumStates * a.NumStates,
+		})
+	}
+	return rows
+}
+
+// E8Row compares stepping T trigger automata separately against one
+// combined product automaton (footnote 5).
+type E8Row struct {
+	Triggers           int
+	CombinedStates     int
+	SeparateNsPerEvent float64
+	CombinedNsPerEvent float64
+}
+
+// RunE8 measures the footnote-5 ablation over the paper trigger set:
+// the cost of advancing each automaton per event versus one combined
+// transition.
+func RunE8(historyLen int, seed int64) E8Row {
+	paper := Paper()
+	dfas := make([]*fa.DFA, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		dfas[i] = compile.Compile(e, NumPaperSymbols)
+	}
+	comb := compile.Combine(dfas)
+	h := RandomHistory(rand.New(rand.NewSource(seed)), NumPaperSymbols, historyLen)
+
+	dets := make([]*compile.Detector, len(dfas))
+	for i, d := range dfas {
+		dets[i] = compile.NewDetector(d)
+	}
+	start := time.Now()
+	for _, sym := range h {
+		for _, det := range dets {
+			det.Post(sym)
+		}
+	}
+	sepNs := float64(time.Since(start).Nanoseconds()) / float64(historyLen)
+
+	state := comb.Start
+	var sink uint64
+	start = time.Now()
+	for _, sym := range h {
+		var fires uint64
+		state, fires = comb.Post(state, sym)
+		sink |= fires
+	}
+	combNs := float64(time.Since(start).Nanoseconds()) / float64(historyLen)
+	_ = sink
+
+	return E8Row{
+		Triggers:           len(dfas),
+		CombinedStates:     comb.NumStates,
+		SeparateNsPerEvent: sepNs,
+		CombinedNsPerEvent: combNs,
+	}
+}
+
+// E9Row reports the intermediate-minimization ablation for one paper
+// trigger: compile time and result size with and without minimizing at
+// every operator node (the final automaton is minimized either way).
+type E9Row struct {
+	Expr         string
+	WithMinUs    float64
+	WithoutMinUs float64
+	FinalStates  int
+}
+
+// RunE9 measures the per-node minimization design choice over the
+// paper trigger set.
+func RunE9() []E9Row {
+	paper := Paper()
+	rows := make([]E9Row, 0, len(paper.Exprs))
+	for i, e := range paper.Exprs {
+		const reps = 20
+		start := time.Now()
+		var d *fa.DFA
+		for r := 0; r < reps; r++ {
+			d = compile.Compile(e, NumPaperSymbols)
+		}
+		with := time.Since(start)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			compile.CompileNoIntermediateMin(e, NumPaperSymbols)
+		}
+		without := time.Since(start)
+		rows = append(rows, E9Row{
+			Expr:         paper.Names[i],
+			WithMinUs:    float64(with.Microseconds()) / reps,
+			WithoutMinUs: float64(without.Microseconds()) / reps,
+			FinalStates:  d.NumStates,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunE6AllCouplingsCompile(t *testing.T) {
+	rows, err := RunE6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want the paper's nine couplings", len(rows))
+	}
+	wantModes := map[string]bool{
+		"Immediate-Immediate": true, "Immediate-Deferred": true,
+		"Immediate-Dependent": true, "Immediate-Independent": true,
+		"Deferred-Immediate": true, "Deferred-Dependent": true,
+		"Deferred-Independent": true, "Dependent-Immediate": true,
+		"Independent-Immediate": true,
+	}
+	for _, r := range rows {
+		if !wantModes[r.Mode] {
+			t.Fatalf("unexpected mode %q", r.Mode)
+		}
+		if r.DFAStates < 2 || r.DFAStates > 16 {
+			t.Fatalf("%s: %d states — couplings should stay small", r.Mode, r.DFAStates)
+		}
+		if !strings.Contains(r.Event, "withdraw") {
+			t.Fatalf("%s: event %q", r.Mode, r.Event)
+		}
+	}
+	// Immediate-Immediate is the smallest (a masked logical event).
+	if rows[0].DFAStates != 2 {
+		t.Fatalf("Immediate-Immediate has %d states", rows[0].DFAStates)
+	}
+}
+
+func TestRunE7MatchesExpectations(t *testing.T) {
+	rows, err := RunE7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fires != r.Expected {
+			t.Fatalf("%s: fired %d, expected %d", r.Spec, r.Fires, r.Expected)
+		}
+	}
+}
+
+func TestRunE2EngineOneWordPerTrigger(t *testing.T) {
+	row, err := RunE2Engine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Objects != 16 || row.TriggersPerObject != 9 {
+		t.Fatalf("row %+v", row)
+	}
+	if row.StateWordsPerObject != row.TriggersPerObject {
+		t.Fatalf("per-object words %d ≠ triggers %d — the §5 claim broke",
+			row.StateWordsPerObject, row.TriggersPerObject)
+	}
+}

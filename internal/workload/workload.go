@@ -1,0 +1,121 @@
+// Package workload provides deterministic generators and experiment
+// runners for the reproduction's evaluation harness (DESIGN.md §5).
+// The paper has no measured tables or figures, so each experiment
+// quantifies one of its claims; cmd/odebench prints the tables and
+// bench_test.go exposes the same code paths as Go benchmarks.
+package workload
+
+import (
+	"math/rand"
+
+	"ode/internal/algebra"
+)
+
+// RandomHistory returns a uniform random symbol sequence.
+func RandomHistory(rng *rand.Rand, numSymbols, length int) []int {
+	h := make([]int, length)
+	for i := range h {
+		h[i] = rng.Intn(numSymbols)
+	}
+	return h
+}
+
+// RandomExpr builds a random event expression over numSymbols symbols
+// with bounded depth — the generator shared by the E1/E3/E5
+// experiments (mirroring the property-test generators).
+func RandomExpr(rng *rand.Rand, numSymbols, depth int) *algebra.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return algebra.Atom(rng.Intn(numSymbols))
+	}
+	sub := func() *algebra.Expr { return RandomExpr(rng, numSymbols, depth-1) }
+	switch rng.Intn(11) {
+	case 0:
+		return algebra.Or(sub(), sub())
+	case 1:
+		return algebra.And(sub(), sub())
+	case 2:
+		return algebra.Not(sub())
+	case 3:
+		return algebra.Relative(sub(), sub())
+	case 4:
+		return algebra.Plus(sub())
+	case 5:
+		return algebra.Prior(sub(), sub())
+	case 6:
+		return algebra.Sequence(sub(), sub())
+	case 7:
+		return algebra.Choose(sub(), 1+rng.Intn(4))
+	case 8:
+		return algebra.Every(sub(), 1+rng.Intn(4))
+	case 9:
+		return algebra.Fa(sub(), sub(), sub())
+	default:
+		return algebra.FaAbs(sub(), sub(), sub())
+	}
+}
+
+// PaperExprs returns the composite events of the paper's running
+// examples, over an abstract alphabet. The symbol legend:
+//
+//	0 after deposit      1 before withdraw   2 after withdraw-large
+//	3 after withdraw     4 after access      5 after tbegin
+//	6 before tcomplete   7 after tcommit     8 after tabort
+//	9 dayBegin (timer)  10 dayEnd (timer)   11 after update
+type PaperExprs struct {
+	Names []string
+	Exprs []*algebra.Expr
+}
+
+// NumPaperSymbols is the alphabet size of PaperExprs.
+const NumPaperSymbols = 12
+
+// Paper builds the stockRoom trigger set T1–T8 (§3.5) plus the §3.4
+// transaction-commit example, as algebra expressions.
+func Paper() PaperExprs {
+	const (
+		deposit = iota
+		beforeWithdraw
+		withdrawLarge
+		withdraw
+		access
+		tbegin
+		tcomplete
+		tcommit
+		tabort
+		dayBegin
+		dayEnd
+		update
+	)
+	a := algebra.Atom
+	anyWithdraw := algebra.Or(a(withdrawLarge), a(withdraw))
+	return PaperExprs{
+		Names: []string{
+			"T1 before-withdraw-unauth",
+			"T2 withdraw-below-reorder",
+			"T3 dayEnd",
+			"T4 fifth-commit-of-day",
+			"T5 every-5-access",
+			"T6 large-withdrawal",
+			"T7 fifth-large-wdr-of-day",
+			"T8 deposit-then-withdraw",
+			"S4 commit-after-update",
+		},
+		Exprs: []*algebra.Expr{
+			a(beforeWithdraw),
+			anyWithdraw,
+			a(dayEnd),
+			algebra.Relative(a(dayBegin),
+				algebra.And(
+					algebra.Prior(algebra.Choose(a(tcommit), 5), a(tcommit)),
+					algebra.Not(algebra.Prior(a(dayBegin), a(tcommit))),
+				)),
+			algebra.Every(a(access), 5),
+			a(withdrawLarge),
+			algebra.Fa(a(dayBegin), algebra.Choose(a(withdrawLarge), 5), a(dayBegin)),
+			algebra.SequenceList(a(deposit), a(beforeWithdraw), anyWithdraw),
+			algebra.Fa(a(tbegin),
+				algebra.Prior(a(update), a(tcommit)),
+				algebra.Or(a(tcommit), a(tabort))),
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/algebra"
+	"ode/internal/compile"
+)
+
+func TestPaperExprsCompileAndAgreeWithOracle(t *testing.T) {
+	paper := Paper()
+	if len(paper.Exprs) != len(paper.Names) {
+		t.Fatal("names/exprs mismatch")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i, e := range paper.Exprs {
+		d := compile.Compile(e, NumPaperSymbols)
+		for iter := 0; iter < 20; iter++ {
+			h := RandomHistory(rng, NumPaperSymbols, 1+rng.Intn(12))
+			want := algebra.Eval(e, h)
+			det := compile.NewDetector(d)
+			for p, sym := range h {
+				if got := det.Post(sym); got != want[p] {
+					t.Fatalf("%s: point %d of %v", paper.Names[i], p, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomExprDeterministic(t *testing.T) {
+	a := RandomExpr(rand.New(rand.NewSource(9)), 3, 3)
+	b := RandomExpr(rand.New(rand.NewSource(9)), 3, 3)
+	if a.String() != b.String() {
+		t.Fatal("generator not deterministic for equal seeds")
+	}
+}
+
+func TestRunE1ShapesAndSpeedup(t *testing.T) {
+	rows := RunE1([]int{64, 256}, 1)
+	if len(rows) != 2*len(Paper().Exprs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AutomatonNsPerEvent <= 0 || r.NaiveNsPerEvent <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+	}
+}
+
+func TestRunE2Constant(t *testing.T) {
+	rows := RunE2([]int{10, 1000}, 8)
+	if rows[0].AutomatonBytesPerObject != rows[1].AutomatonBytesPerObject {
+		t.Fatal("automaton storage must not grow with history")
+	}
+	if rows[0].AutomatonBytesPerObject != 64 {
+		t.Fatalf("bytes/object = %d, want 8×8", rows[0].AutomatonBytesPerObject)
+	}
+	if rows[1].HistoryBytesPerObject <= rows[0].HistoryBytesPerObject {
+		t.Fatal("history storage must grow")
+	}
+}
+
+func TestRunE3Sizes(t *testing.T) {
+	rows := RunE3()
+	for _, r := range rows {
+		if r.DFAStates < 1 || r.Symbols != NumPaperSymbols {
+			t.Fatalf("row %+v", r)
+		}
+		if r.TableBytes != r.DFAStates*r.Symbols*8 {
+			t.Fatalf("table bytes inconsistent: %+v", r)
+		}
+	}
+}
+
+func TestRunE4Doubling(t *testing.T) {
+	rows, err := RunE4(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		k := i + 1
+		// Alphabet = fixed kinds (12: create, delete, 2×f, 5 txn, plus
+		// the masked block's extra symbols): block is 2^k, so total is
+		// (kinds-1) + 2^k.
+		if r.Symbols != 8+(1<<k) {
+			t.Fatalf("k=%d symbols=%d want %d", k, r.Symbols, 8+(1<<k))
+		}
+		if r.DFAStates < 2 {
+			t.Fatalf("k=%d states=%d", k, r.DFAStates)
+		}
+	}
+}
+
+func TestRunE5Bound(t *testing.T) {
+	for _, r := range RunE5() {
+		if r.APrimStates > r.Bound+1 {
+			t.Fatalf("pair construction exceeded bound: %+v", r)
+		}
+	}
+}
+
+func TestRunE8(t *testing.T) {
+	row := RunE8(5000, 7)
+	if row.Triggers != len(Paper().Exprs) || row.CombinedStates < 2 {
+		t.Fatalf("row %+v", row)
+	}
+	if row.SeparateNsPerEvent <= 0 || row.CombinedNsPerEvent <= 0 {
+		t.Fatalf("timings %+v", row)
+	}
+}
+
+func TestRunE9AblationSameSizes(t *testing.T) {
+	rows := RunE9()
+	if len(rows) != len(Paper().Exprs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FinalStates < 1 || r.WithMinUs <= 0 || r.WithoutMinUs <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+}

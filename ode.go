@@ -1,0 +1,245 @@
+// Package ode is an active object-oriented database with composite
+// trigger events — a from-scratch Go implementation of the event
+// specification model of Gehani, Jagadish & Shmueli, "Event
+// Specification in an Active Object-Oriented Database" (SIGMOD 1992).
+//
+// The package provides:
+//
+//   - a persistent object store with object identity, schema'd classes,
+//     member functions and transactions with object-level locking;
+//   - the paper's full event language: basic events (object lifecycle,
+//     method execution, time, transaction lifecycle), logical events
+//     with masks, and composite events built from |, &, !, relative,
+//     relative+, prior, sequence/;, choose, every, fa and faAbs;
+//   - compilation of every trigger event into a minimized finite
+//     automaton (one transition per posted event, one integer of
+//     per-object state per active trigger — the §5 implementation);
+//   - the Event-Action model of §7: all E-C-A coupling modes expressed
+//     as event expressions (see the Coupling combinators);
+//   - both §6 history views: committed-only (automaton state stored
+//     with the object, rolled back on abort) and whole-history.
+//
+// # Quick start
+//
+//	db, _ := ode.Open(ode.Options{})
+//	cls := db.NewClass("account").
+//	    Field("balance", ode.KindInt, ode.Int(0)).
+//	    Update("withdraw", ode.P("amount", ode.KindInt),
+//	        func(ctx *ode.MethodCtx) (ode.Value, error) {
+//	            b, _ := ctx.Get("balance")
+//	            return ode.Null(), ctx.Set("balance", ode.Int(b.AsInt()-ctx.Arg("amount").AsInt()))
+//	        }).
+//	    Trigger("Large(): perpetual after withdraw(a) && a > 100 ==> report()",
+//	        func(ctx *ode.ActionCtx) error { fmt.Println("large!"); return nil })
+//	if err := cls.Register(); err != nil { ... }
+//
+//	var acct ode.OID
+//	db.Transact(func(tx *ode.Tx) error {
+//	    acct, _ = tx.NewObject("account", nil)
+//	    return tx.Activate(acct, "Large")
+//	})
+package ode
+
+import (
+	"time"
+
+	"ode/internal/clock"
+	"ode/internal/engine"
+	"ode/internal/evlang"
+	"ode/internal/history"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/txn"
+	"ode/internal/value"
+)
+
+// Core type aliases: the public API is a thin veneer over the engine.
+type (
+	// Value is a dynamically typed database value.
+	Value = value.Value
+	// Kind discriminates Value payloads.
+	Kind = value.Kind
+	// OID is a persistent object identity.
+	OID = store.OID
+	// Tx is a transaction handle.
+	Tx = engine.Tx
+	// MethodCtx is passed to member-function implementations.
+	MethodCtx = engine.MethodCtx
+	// ActionCtx is passed to trigger actions.
+	ActionCtx = engine.ActionCtx
+	// MethodImpl implements a member function.
+	MethodImpl = engine.MethodImpl
+	// ActionFunc implements a trigger action.
+	ActionFunc = engine.ActionFunc
+	// MaskFunc is a side-effect-free function callable from masks.
+	MaskFunc = engine.MaskFunc
+	// HistoryView selects the §6 history semantics of a trigger.
+	HistoryView = schema.HistoryView
+	// HistoryLog is a recorded per-object happening log.
+	HistoryLog = history.Log
+	// Clock is the engine's manually advanced virtual clock.
+	Clock = clock.Virtual
+)
+
+// Value kinds.
+const (
+	KindNull   = value.KindNull
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindBool   = value.KindBool
+	KindString = value.KindString
+	KindTime   = value.KindTime
+	KindID     = value.KindID
+)
+
+// History views (§6).
+const (
+	// CommittedView sees only committed transactions' events; trigger
+	// state is stored with the object and restored on abort.
+	CommittedView = schema.CommittedView
+	// WholeView sees every event including aborted transactions'.
+	WholeView = schema.WholeView
+)
+
+// Value constructors.
+var (
+	// Int returns an integer value.
+	Int = value.Int
+	// Float returns a floating-point value.
+	Float = value.Float
+	// Bool returns a boolean value.
+	Bool = value.Bool
+	// Str returns a string value.
+	Str = value.Str
+	// Null returns the null value.
+	Null = value.Null
+	// TimeVal returns a time value.
+	TimeVal = value.Time
+)
+
+// Ref returns an object-reference value.
+func Ref(oid OID) Value { return value.ID(uint64(oid)) }
+
+// Errors re-exported from the runtime.
+var (
+	// ErrTabort reports that a trigger action aborted the transaction.
+	ErrTabort = engine.ErrTabort
+	// ErrTcompleteDiverged reports a non-quiescing commit fixpoint.
+	ErrTcompleteDiverged = engine.ErrTcompleteDiverged
+	// ErrDeadlock reports a lock-wait cycle; the transaction aborted.
+	ErrDeadlock = txn.ErrDeadlock
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dir is the persistence directory ("" = in-memory only).
+	Dir string
+	// Start is the initial virtual time (zero = 2000-01-01 UTC).
+	Start time.Time
+	// RecordHistories > 0 retains each object's last N happenings for
+	// inspection; < 0 retains everything; 0 disables recording.
+	RecordHistories int
+	// ShadowOracle cross-checks every automaton transition against the
+	// paper's §4 denotational semantics at runtime (slow; for tests).
+	ShadowOracle bool
+	// CombinedAutomata monitors eligible classes (all triggers
+	// perpetual, committed-view, parameterless, no 'after'-timers) with
+	// one footnote-5 product automaton: one transition and one word of
+	// per-object state in total per posted event.
+	CombinedAutomata bool
+}
+
+// Database is an active object database.
+type Database struct {
+	eng *engine.Engine
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*Database, error) {
+	eng, err := engine.New(engine.Options{
+		Dir:              opts.Dir,
+		Start:            opts.Start,
+		RecordHistories:  opts.RecordHistories,
+		ShadowOracle:     opts.ShadowOracle,
+		CombinedAutomata: opts.CombinedAutomata,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{eng: eng}, nil
+}
+
+// Close releases the database.
+func (db *Database) Close() error { return db.eng.Close() }
+
+// Begin starts a transaction; the caller must Commit or Abort it.
+func (db *Database) Begin() *Tx { return db.eng.Begin() }
+
+// Transact runs fn in a transaction, committing on nil and aborting on
+// error.
+func (db *Database) Transact(fn func(*Tx) error) error { return db.eng.Transact(fn) }
+
+// Clock returns the database's virtual clock; advancing it fires due
+// time events. Advance it outside of transactions.
+func (db *Database) Clock() *Clock { return db.eng.Clock() }
+
+// RegisterFunc installs a global mask function (e.g. user()).
+func (db *Database) RegisterFunc(name string, fn MaskFunc) { db.eng.RegisterFunc(name, fn) }
+
+// Checkpoint snapshots the store and truncates the write-ahead log.
+func (db *Database) Checkpoint() error { return db.eng.Checkpoint() }
+
+// RearmTimers reschedules time events for active triggers after
+// reopening a persistent database.
+func (db *Database) RearmTimers() error { return db.eng.RearmTimers() }
+
+// TriggerState reports a trigger instance's automaton state and
+// activation flag — the paper's "one word per active trigger per
+// object" is directly inspectable.
+func (db *Database) TriggerState(oid OID, trigger string) (state int, active bool, err error) {
+	return db.eng.TriggerState(oid, trigger)
+}
+
+// History returns the recorded happening log of an object (nil unless
+// Options.RecordHistories enabled recording).
+func (db *Database) History(oid OID) *HistoryLog { return db.eng.History(oid) }
+
+// QueryHistory evaluates a mask-free event expression over an object's
+// recorded history and returns the sequence numbers of the points at
+// which the event occurred — offline "history expressions" (the
+// paper's §9 future-work direction). Requires Options.RecordHistories
+// with a limit the history has not outgrown.
+func (db *Database) QueryHistory(oid OID, eventSrc string) ([]uint64, error) {
+	return db.eng.QueryHistory(oid, eventSrc)
+}
+
+// Engine exposes the underlying runtime for advanced integration.
+func (db *Database) Engine() *engine.Engine { return db.eng }
+
+// Stats is the engine's cumulative counter snapshot.
+type Stats = engine.Stats
+
+// Stats returns cumulative engine counters (transactions, happenings,
+// automaton steps, mask evaluations, firings, timer deliveries).
+func (db *Database) Stats() Stats { return db.eng.Stats() }
+
+// P declares a parameter for Method/Update/Read/TriggerP builders.
+func P(name string, kind Kind) schema.Param { return schema.Param{Name: name, Kind: kind} }
+
+// Param is a method or trigger parameter declaration.
+type Param = schema.Param
+
+// Defines is a reusable set of #define-style event abbreviations.
+type Defines struct{ ps *evlang.Parser }
+
+// NewDefines creates an empty abbreviation set.
+func NewDefines() *Defines { return &Defines{ps: evlang.NewParser()} }
+
+// Add parses and registers an abbreviation; it panics on a syntax
+// error (definitions are compile-time artifacts).
+func (d *Defines) Add(name, src string) *Defines {
+	if err := d.ps.Define(name, src); err != nil {
+		panic(err)
+	}
+	return d
+}
