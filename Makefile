@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-sensitive packages: the engine posts from many goroutines and
+# the observability layer is read while posting.
+race:
+	$(GO) test -race ./internal/engine/ ./internal/obs/
+
+# The tier-1 verification gate (see ROADMAP.md).
+verify: build test vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1000x .

@@ -299,3 +299,67 @@ func BenchmarkEngineCombinedMonitoring(b *testing.B) {
 		})
 	}
 }
+
+// Observability cost: the same posting hot path with tracing disabled
+// (the default), with tracing into a ring buffer, and the disabled
+// path's allocation guarantee. Per-trigger metrics are always on, so
+// "disabled" here is the production configuration.
+func BenchmarkEngineTracing(b *testing.B) {
+	open := func(b *testing.B) (*ode.Database, ode.OID) {
+		db, err := ode.Open(ode.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = db.NewClass("account").
+			Field("balance", ode.KindInt, ode.Int(0)).
+			Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+				v, _ := ctx.Get("balance")
+				return ode.Null(), ctx.Set("balance", ode.Int(v.AsInt()+ctx.Arg("n").AsInt()))
+			}, ode.P("n", ode.KindInt)).
+			Trigger("Big(): perpetual relative(after deposit(n) && n > 100, after deposit) ==> act",
+				func(*ode.ActionCtx) error { return nil }).
+			Register()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acct ode.OID
+		if err := db.Transact(func(tx *ode.Tx) error {
+			var err error
+			if acct, err = tx.NewObject("account", nil); err != nil {
+				return err
+			}
+			return tx.Activate(acct, "Big")
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return db, acct
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		db, acct := open(b)
+		defer db.Close()
+		tx := db.Begin()
+		defer tx.Abort()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := tx.Call(acct, "deposit", ode.Int(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		db, acct := open(b)
+		defer db.Close()
+		db.EnableTracing(4096)
+		tx := db.Begin()
+		defer tx.Abort()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := tx.Call(acct, "deposit", ode.Int(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@
 //	E7  time events on the virtual clock (§3.1, footnote 1)
 //	E8  per-trigger automata vs one combined automaton (footnote 5)
 //	E9  ablation: per-node minimization during compilation
+//	E10 observability: per-trigger metrics JSON for a traced workload
 //
 // Usage:
 //
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +48,7 @@ func main() {
 		{"E7", e7},
 		{"E8", func() error { return e8(*seed) }},
 		{"E9", e9},
+		{"E10", func() error { return e10(*seed) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -211,6 +214,23 @@ func e9() error {
 	}
 	table("E9 — ablation: minimize at every operator node vs only at the end",
 		[]string{"trigger", "with-min µs", "without µs", "final states"}, out)
+	return nil
+}
+
+func e10(seed int64) error {
+	r, err := workload.RunE10(500, 16, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E10 — observability: per-trigger metrics for a traced 500-tx banking workload")
+	fmt.Printf("  stats: %d tx committed, %d happenings, %d steps, %d firings; trace: %d retained of %d\n",
+		r.Stats.TxCommitted, r.Stats.Happenings, r.Stats.Steps, r.Stats.Firings,
+		r.TraceRetained, r.TraceTotal)
+	blob, err := json.MarshalIndent(r.Metrics, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + string(blob))
 	return nil
 }
 

@@ -144,6 +144,10 @@ func (sh *shell) exec(line string) error {
 		return sh.historyCmd(rest)
 	case "automata":
 		return sh.automata(rest)
+	case ".trace":
+		return sh.trace(rest)
+	case ".stats":
+		return sh.stats()
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -178,6 +182,8 @@ func (sh *shell) help() {
   state @oid TRIGGER         automaton state (one integer, paper §5)
   history @oid               recent happenings
   automata NAME              trigger automaton sizes for a class
+  .trace on|off|show [N]     pipeline tracing (show prints the last N events, default 20)
+  .stats                     engine counters and per-trigger metrics
   quit
 `)
 }
@@ -512,6 +518,87 @@ func (sh *shell) historyCmd(rest string) error {
 	}
 	for _, e := range log.Tail(20) {
 		fmt.Fprintf(sh.out, "  %4d  %-24s tx=%d\n", e.Seq, e.Kind, e.TxID)
+	}
+	return nil
+}
+
+func (sh *shell) trace(rest string) error {
+	mode, arg, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	switch mode {
+	case "on":
+		sh.db.EnableTracing(0)
+		fmt.Fprintln(sh.out, "tracing on")
+		return nil
+	case "off":
+		sh.db.DisableTracing()
+		fmt.Fprintln(sh.out, "tracing off")
+		return nil
+	case "show":
+		if !sh.db.TracingEnabled() {
+			return fmt.Errorf("tracing is off (.trace on)")
+		}
+		last := 20
+		if arg = strings.TrimSpace(arg); arg != "" {
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return fmt.Errorf("bad count %q", arg)
+			}
+			last = n
+		}
+		for _, ev := range sh.db.TraceEvents(last) {
+			fmt.Fprintf(sh.out, "  %5d %-9s", ev.Seq, ev.Stage)
+			if ev.TxID != 0 {
+				fmt.Fprintf(sh.out, " tx=%d", ev.TxID)
+			}
+			if ev.OID != 0 {
+				fmt.Fprintf(sh.out, " @%d", ev.OID)
+			}
+			if ev.Trigger != "" {
+				fmt.Fprintf(sh.out, " %s", ev.Trigger)
+			}
+			if ev.Kind != "" {
+				fmt.Fprintf(sh.out, " %s", ev.Kind)
+			}
+			switch ev.Stage {
+			case ode.StageMask:
+				fmt.Fprintf(sh.out, " bits=%#x→%#x ok=%v", ev.From, ev.To, ev.OK)
+			case ode.StageStep:
+				fmt.Fprintf(sh.out, " %d→%d accept=%v", ev.From, ev.To, ev.OK)
+			case ode.StageFire:
+				fmt.Fprintf(sh.out, " %s ok=%v", time.Duration(ev.DurNs), ev.OK)
+			case ode.StageTcomplete:
+				fmt.Fprintf(sh.out, " round=%d fired=%v", ev.From, ev.OK)
+			}
+			if ev.Err != "" {
+				fmt.Fprintf(sh.out, " err=%s", ev.Err)
+			}
+			fmt.Fprintln(sh.out)
+		}
+		return nil
+	}
+	return fmt.Errorf("usage: .trace on|off|show [N]")
+}
+
+func (sh *shell) stats() error {
+	s := sh.db.Stats()
+	fmt.Fprintf(sh.out, "tx: %d begun, %d committed, %d aborted (%d system)\n",
+		s.TxBegun, s.TxCommitted, s.TxAborted, s.SystemTx)
+	fmt.Fprintf(sh.out, "pipeline: %d happenings, %d mask evals, %d steps, %d firings\n",
+		s.Happenings, s.MaskEvals, s.Steps, s.Firings)
+	fmt.Fprintf(sh.out, "timers: %d posted; tcomplete rounds: %d; shadow checks: %d\n",
+		s.TimerPosts, s.TcompleteRounds, s.ShadowChecks)
+	snap := sh.db.Metrics()
+	for _, ts := range snap.Triggers {
+		fmt.Fprintf(sh.out, "  %s.%s: %d firings, %d steps, %d/%d masks true",
+			ts.Class, ts.Trigger, ts.Firings, ts.Steps, ts.MaskEvals-ts.MaskFalse, ts.MaskEvals)
+		if ts.Latency.Count > 0 {
+			fmt.Fprintf(sh.out, ", action mean %s max %s",
+				time.Duration(ts.Latency.MeanNs), time.Duration(ts.Latency.MaxNs))
+		}
+		if ts.ActionErrors > 0 {
+			fmt.Fprintf(sh.out, ", %d action errors", ts.ActionErrors)
+		}
+		fmt.Fprintln(sh.out)
 	}
 	return nil
 }

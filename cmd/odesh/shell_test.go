@@ -126,3 +126,40 @@ func TestShellTabortAction(t *testing.T) {
 		t.Fatalf("rejected write applied:\n%s", out)
 	}
 }
+
+func TestShellTraceAndStats(t *testing.T) {
+	out := runScript(t,
+		"defclass acct v:int=0",
+		"deftrigger acct Big(): perpetual after set_v(x) && x > 100 ==> print",
+		"register acct",
+		"new acct",
+		"activate @1 Big",
+		".trace on",
+		"call @1 set_v 500",
+		".trace show",
+		".stats",
+		".trace off",
+		".trace show",
+	)
+	for _, want := range []string{
+		"tracing on",
+		"happening",           // trace event for the posted method call
+		"0→1 accept=true",     // the Big automaton accepting
+		"fire",                // the firing event
+		"pipeline:",           // .stats counters line
+		"acct.Big: 1 firings", // per-trigger metrics line
+		"tracing off",
+		"error: tracing is off", // show after off fails
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellTraceUsage(t *testing.T) {
+	out := runScript(t, ".trace sideways", ".trace on", ".trace show notanumber")
+	if n := strings.Count(out, "error:"); n != 2 {
+		t.Fatalf("expected 2 errors, got %d:\n%s", n, out)
+	}
+}

@@ -91,9 +91,12 @@ func (tx *Tx) stepCombined(c *Class, cm *combinedMonitor, kindIx int,
 	if h.Kind.Class == event.KTabort {
 		return nil, nil
 	}
-	bits, err := tx.evalBitsMask(c, cm.used[kindIx], kindIx, h, nil, oid, rec)
+	bits, err := tx.evalBitsMask(c, cm.used[kindIx], kindIx, h, nil, oid, rec, nil)
 	if err != nil {
 		return nil, err
+	}
+	if used := cm.used[kindIx]; used != 0 {
+		tx.e.traceMask(tx.tx.ID(), oid, c.Schema.Name, combinedSlot, used, bits)
 	}
 	sym := c.Res.Alphabet.Symbol(kindIx, bits)
 
@@ -102,9 +105,11 @@ func (tx *Tx) stepCombined(c *Class, cm *combinedMonitor, kindIx int,
 		slot.Active = true
 		slot.State = cm.comb.Start
 	}
-	next, fireMask := cm.comb.Post(slot.State, sym)
+	prev := slot.State
+	next, fireMask := cm.comb.Post(prev, sym)
 	slot.State = next
 	tx.e.stats.steps.Add(1)
+	tx.e.traceStep(tx.tx.ID(), oid, c.Schema.Name, combinedSlot, prev, next, fireMask != 0)
 
 	var fired []firedTrigger
 	for j, name := range cm.order {

@@ -163,3 +163,101 @@ func TestConcurrentSharedObjectSerializes(t *testing.T) {
 		t.Fatalf("fires = %d, withdraws = %d", got, totalWithdraws)
 	}
 }
+
+// TestConcurrentTracingAndMetrics posts from many goroutines with
+// tracing enabled while other goroutines read trace events, snapshot
+// metrics, and toggle tracing off and on — the full observability
+// surface under the race detector. Afterwards the per-trigger firing
+// counts must still sum to the engine's firing counter.
+func TestConcurrentTracingAndMetrics(t *testing.T) {
+	e := newEngine(t, Options{TraceBuffer: 512})
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		schema.Trigger{Name: "AnyDep", Perpetual: true, Event: "after deposit"},
+		schema.Trigger{Name: "Pair", Perpetual: true, Event: "prior(after deposit, after withdraw)"})
+	oid := setup(t, e, cls, impl, "AnyDep", "Pair")
+
+	const workers = 6
+	const opsPerWorker = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				method := "deposit"
+				if (w+i)%3 == 0 {
+					method = "withdraw"
+				}
+				for {
+					err := e.Transact(func(tx *Tx) error {
+						_, err := tx.Call(oid, method, value.Int(1))
+						return err
+					})
+					if err == nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	// Observability readers and a toggler race with the posters.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.TraceEvents(32)
+				e.Metrics().Snapshot()
+				e.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if i%2 == 0 {
+					e.DisableTracing()
+				} else {
+					e.EnableTracing(128)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	e.EnableTracing(128)
+
+	stats := e.Stats()
+	var firings, latCount uint64
+	for _, ts := range e.Metrics().Snapshot().Triggers {
+		firings += ts.Firings
+		latCount += ts.Latency.Count
+	}
+	if firings != stats.Firings {
+		t.Fatalf("per-trigger firings %d != stats %d", firings, stats.Firings)
+	}
+	if latCount != stats.Firings {
+		t.Fatalf("latency counts %d != stats %d", latCount, stats.Firings)
+	}
+	// One more post lands in the freshly enabled ring.
+	if err := e.Transact(func(tx *Tx) error {
+		_, err := tx.Call(oid, "deposit", value.Int(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.TraceEvents(0)) == 0 {
+		t.Fatal("no trace events after re-enable")
+	}
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+
+	"ode/internal/obs"
+)
+
+// debugEngineSeq disambiguates the expvar names of engines opened in
+// one process (expvar.Publish panics on duplicates).
+var debugEngineSeq atomic.Uint64
+
+// DebugHandler returns the live introspection handler:
+//
+//	/debug/stats       cumulative Stats counters (JSON)
+//	/debug/triggers    per-trigger and per-class metrics (JSON)
+//	/debug/trace?last=N  last N pipeline trace events (JSON)
+//	/debug/vars        expvar (includes this engine's stats)
+//	/debug/pprof/...   the standard runtime profiles
+//
+// The handler reads live state; it never blocks posting.
+func (e *Engine) DebugHandler() http.Handler {
+	e.debugVar.Do(func() {
+		name := fmt.Sprintf("ode.engine.%d", debugEngineSeq.Add(1)-1)
+		expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/stats", e.handleDebugStats)
+	mux.HandleFunc("/debug/triggers", e.handleDebugTriggers)
+	mux.HandleFunc("/debug/trace", e.handleDebugTrace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP listener serving DebugHandler on addr
+// ("auto" or ":0" forms bind a free port) and returns the bound
+// address. The listener runs until Engine.Close.
+func (e *Engine) ServeDebug(addr string) (string, error) {
+	if addr == "auto" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("engine: debug endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: e.DebugHandler()}
+	e.debugMu.Lock()
+	e.debugSrvs = append(e.debugSrvs, srv)
+	e.debugMu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+func (e *Engine) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, e.Stats())
+}
+
+func (e *Engine) handleDebugTriggers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, e.metrics.Snapshot())
+}
+
+func (e *Engine) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	last := 100
+	if s := r.URL.Query().Get("last"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	events := e.TraceEvents(last)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, struct {
+		Enabled bool        `json:"enabled"`
+		Events  []obs.Event `json:"events"`
+	}{Enabled: e.TracingEnabled(), Events: events})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -22,7 +22,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ode/internal/clock"
@@ -30,6 +32,7 @@ import (
 	"ode/internal/evlang"
 	"ode/internal/fa"
 	"ode/internal/history"
+	"ode/internal/obs"
 	"ode/internal/schema"
 	"ode/internal/store"
 	"ode/internal/txn"
@@ -99,6 +102,16 @@ type Options struct {
 	// for the eligibility rules and semantics. Ignored when
 	// ShadowOracle is on (the oracle checks per-trigger histories).
 	CombinedAutomata bool
+	// TraceBuffer, when non-zero, enables pipeline tracing at open
+	// with a ring buffer of that many events (< 0 picks the default
+	// capacity). Tracing can also be toggled later with
+	// Engine.EnableTracing / DisableTracing.
+	TraceBuffer int
+	// DebugAddr, when set, starts the /debug introspection endpoint
+	// (stats, per-trigger metrics, trace, expvar, pprof) on that
+	// address at open; "auto" binds a free localhost port. The
+	// listener is shut down by Engine.Close.
+	DebugAddr string
 }
 
 // Engine is an active object database.
@@ -129,6 +142,16 @@ type Engine struct {
 	timerErrs  []error
 
 	stats statCounters
+
+	// Observability: traceBox is nil when tracing is disabled (the
+	// hot-path emit helpers in trace.go check it with one atomic
+	// load); metrics is always on.
+	traceBox atomic.Pointer[tracerBox]
+	metrics  *obs.Registry
+
+	debugMu   sync.Mutex
+	debugSrvs []*http.Server
+	debugVar  sync.Once
 }
 
 type instanceKey struct {
@@ -144,8 +167,9 @@ type Class struct {
 	Impl     ClassImpl
 	Triggers []*Trigger
 	byName   map[string]*Trigger
-	parser   *evlang.Parser   // retained for history queries (defines)
-	monitor  *combinedMonitor // non-nil → footnote-5 combined monitoring
+	parser   *evlang.Parser    // retained for history queries (defines)
+	monitor  *combinedMonitor  // non-nil → footnote-5 combined monitoring
+	met      *obs.ClassMetrics // per-class counters, cached at registration
 }
 
 // Trigger is one compiled trigger of a class.
@@ -154,7 +178,11 @@ type Trigger struct {
 	DFA    *fa.DFA
 	View   schema.HistoryView
 	Action ActionFunc
+	met    *obs.TriggerMetrics // per-trigger counters, cached at registration
 }
+
+// Metrics exposes the trigger's live counters.
+func (t *Trigger) Metrics() *obs.TriggerMetrics { return t.met }
 
 // Trigger returns the named compiled trigger, or nil.
 func (c *Class) Trigger(name string) *Trigger { return c.byName[name] }
@@ -179,6 +207,7 @@ func New(opts Options) (*Engine, error) {
 		wholeShadow:  map[instanceKey][]int{},
 		shadowOracle: opts.ShadowOracle,
 		combined:     opts.CombinedAutomata && !opts.ShadowOracle,
+		metrics:      obs.NewRegistry(),
 	}
 	e.timers = newTimerTable(e)
 	switch {
@@ -187,11 +216,30 @@ func New(opts Options) (*Engine, error) {
 	case opts.RecordHistories < 0:
 		e.book = history.NewBook(0)
 	}
+	if opts.TraceBuffer != 0 {
+		e.EnableTracing(opts.TraceBuffer)
+	}
+	if opts.DebugAddr != "" {
+		if _, err := e.ServeDebug(opts.DebugAddr); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
-// Close releases the underlying store.
-func (e *Engine) Close() error { return e.st.Close() }
+// Close shuts down any debug endpoints and releases the underlying
+// store.
+func (e *Engine) Close() error {
+	e.debugMu.Lock()
+	srvs := e.debugSrvs
+	e.debugSrvs = nil
+	e.debugMu.Unlock()
+	for _, s := range srvs {
+		s.Close()
+	}
+	return e.st.Close()
+}
 
 // Clock returns the engine's virtual clock. Advance it outside of
 // transactions: due timers post their time events from the advancing
@@ -240,7 +288,8 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 	if err != nil {
 		return nil, err
 	}
-	c := &Class{Schema: cls, Res: res, Impl: impl, byName: map[string]*Trigger{}, parser: ps}
+	c := &Class{Schema: cls, Res: res, Impl: impl, byName: map[string]*Trigger{}, parser: ps,
+		met: e.metrics.Class(cls.Name)}
 	for _, tr := range res.Triggers {
 		view := schema.CommittedView
 		if st := cls.Trigger(tr.Name); st != nil {
@@ -258,6 +307,7 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 			DFA:    compile.Compile(tr.Expr, res.Alphabet.NumSymbols),
 			View:   view,
 			Action: action,
+			met:    e.metrics.Trigger(cls.Name, tr.Name),
 		}
 		c.Triggers = append(c.Triggers, t)
 		c.byName[tr.Name] = t

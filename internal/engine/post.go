@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"ode/internal/algebra"
 	"ode/internal/event"
 	"ode/internal/history"
+	"ode/internal/obs"
 	"ode/internal/schema"
 	"ode/internal/store"
 	"ode/internal/value"
@@ -79,6 +81,8 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 	}
 	tx.e.recordHappening(oid, h)
 	tx.e.stats.happenings.Add(1)
+	c.met.Happening()
+	tx.e.traceHappening(tx.tx.ID(), oid, rec.Class, h.Kind)
 
 	var fired []firedTrigger
 	if cm := c.monitor; cm != nil {
@@ -90,15 +94,8 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		if err != nil {
 			return false, err
 		}
-		for _, f := range fired {
-			ctx := &ActionCtx{
-				Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
-				EventKind: h.Kind.String(), EventParams: h.Params,
-			}
-			tx.e.stats.firings.Add(1)
-			if err := f.t.Action(ctx); err != nil {
-				return true, err
-			}
+		if err := tx.fire(oid, rec.Class, h, fired); err != nil {
+			return true, err
 		}
 		return len(fired) > 0, nil
 	}
@@ -120,9 +117,12 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		if err != nil {
 			return false, fmt.Errorf("engine: trigger %s mask: %w", t.Res.Name, err)
 		}
+		if used := t.Res.UsedBits[kindIx]; used != 0 {
+			tx.e.traceMask(tx.tx.ID(), oid, rec.Class, t.Res.Name, used, bits)
+		}
 		sym := c.Res.Alphabet.Symbol(kindIx, bits)
 
-		var next int
+		var prev, next int
 		if t.View == schema.WholeView {
 			key := instanceKey{oid, t.Res.Name}
 			tx.e.wholeMu.Lock()
@@ -130,6 +130,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			if !ok {
 				cur = t.DFA.Start
 			}
+			prev = cur
 			next = t.DFA.Next(cur, sym)
 			tx.e.whole[key] = next
 			if tx.e.shadowOracle {
@@ -137,6 +138,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			}
 			tx.e.wholeMu.Unlock()
 		} else {
+			prev = act.State
 			next = t.DFA.Next(act.State, sym)
 			act.State = next
 			if tx.e.shadowOracle {
@@ -144,7 +146,9 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			}
 		}
 		tx.e.stats.steps.Add(1)
+		t.met.Step()
 		accepted := t.DFA.Accept[next]
+		tx.e.traceStep(tx.tx.ID(), oid, rec.Class, t.Res.Name, prev, next, accepted)
 		if tx.e.shadowOracle {
 			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {
 				return false, err
@@ -164,17 +168,33 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			tx.e.timers.disarm(oid, f.t)
 		}
 	}
+	if err := tx.fire(oid, rec.Class, h, fired); err != nil {
+		return true, err
+	}
+	return len(fired) > 0, nil
+}
+
+// fire executes the actions of the collected triggers, recording each
+// action's wall-clock latency in the trigger's metrics (and trace,
+// when enabled). The first action error stops the run — the engine's
+// pre-existing semantics: a failing action aborts the posting.
+func (tx *Tx) fire(oid store.OID, class string, h event.Happening, fired []firedTrigger) error {
 	for _, f := range fired {
 		ctx := &ActionCtx{
 			Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
 			EventKind: h.Kind.String(), EventParams: h.Params,
 		}
 		tx.e.stats.firings.Add(1)
-		if err := f.t.Action(ctx); err != nil {
-			return true, err
+		start := time.Now()
+		err := f.t.Action(ctx)
+		d := time.Since(start)
+		f.t.met.Fire(d, err)
+		tx.e.traceFire(tx.tx.ID(), oid, class, f.t.Res.Name, d, err)
+		if err != nil {
+			return err
 		}
 	}
-	return len(fired) > 0, nil
+	return nil
 }
 
 // evalBits evaluates the §5 disjointness masks this trigger's
@@ -183,13 +203,16 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 // this trigger's automaton provably does not distinguish them.
 func (tx *Tx) evalBits(c *Class, t *Trigger, kindIx int, h event.Happening,
 	act *store.TrigActivation, oid store.OID, rec *store.Record) (uint32, error) {
-	return tx.evalBitsMask(c, t.Res.UsedBits[kindIx], kindIx, h, act.Params, oid, rec)
+	return tx.evalBitsMask(c, t.Res.UsedBits[kindIx], kindIx, h, act.Params, oid, rec, t.met)
 }
 
 // evalBitsMask evaluates exactly the mask bits in used; trigParams may
-// be nil (combined monitoring forbids trigger parameters).
+// be nil (combined monitoring forbids trigger parameters), as may met
+// (combined monitoring evaluates the class-wide bit union, which
+// belongs to no single trigger).
 func (tx *Tx) evalBitsMask(c *Class, used uint32, kindIx int, h event.Happening,
-	trigParams map[string]value.Value, oid store.OID, rec *store.Record) (uint32, error) {
+	trigParams map[string]value.Value, oid store.OID, rec *store.Record,
+	met *obs.TriggerMetrics) (uint32, error) {
 	if used == 0 {
 		return 0, nil
 	}
@@ -213,6 +236,7 @@ func (tx *Tx) evalBitsMask(c *Class, used uint32, kindIx int, h event.Happening,
 		if err != nil {
 			return 0, err
 		}
+		met.MaskEval(ok)
 		if ok {
 			bits |= 1 << bit
 		}
@@ -225,6 +249,7 @@ func (tx *Tx) evalBitsMask(c *Class, used uint32, kindIx int, h event.Happening,
 // semantics and compares the verdicts. It implements Options
 // .ShadowOracle; a divergence is a bug in the automaton pipeline.
 func (e *Engine) shadowCheck(oid store.OID, t *Trigger, act *store.TrigActivation, accepted bool) error {
+	e.stats.shadowChecks.Add(1)
 	var hist []int
 	if t.View == schema.WholeView {
 		e.wholeMu.Lock()

@@ -27,26 +27,69 @@ type Stats struct {
 	Firings uint64
 	// TimerPosts counts time-event deliveries.
 	TimerPosts uint64
+	// TcompleteRounds counts rounds of the §6 before-tcomplete commit
+	// fixpoint (every commit of a user transaction runs at least one;
+	// triggers firing on tcomplete add more, up to the divergence
+	// bound).
+	TcompleteRounds uint64
+	// ShadowChecks counts §4 shadow-oracle cross-checks performed
+	// (zero unless Options.ShadowOracle is on).
+	ShadowChecks uint64
 }
 
 // statCounters is the engine-internal atomic mirror of Stats.
 type statCounters struct {
 	txBegun, txCommitted, txAborted, systemTx atomic.Uint64
 	happenings, steps, maskEvals, firings     atomic.Uint64
-	timerPosts                                atomic.Uint64
+	timerPosts, tcompleteRounds, shadowChecks atomic.Uint64
 }
 
 // Stats returns a snapshot of the cumulative counters.
+//
+// Snapshot guarantee: each field is read atomically, but the snapshot
+// as a whole is not — fields are loaded one by one, so concurrent
+// postings can make cross-field arithmetic (Firings vs Steps, commits
+// vs begun) off by the operations in flight during the call. Each
+// individual field is exact, and the whole snapshot is exact when the
+// engine is quiescent. Benchmarks and monitors that want differences
+// over an interval should snapshot twice and use Delta (or
+// StatsDelta), which subtracts field-wise and therefore inherits the
+// same per-field exactness.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		TxBegun:     e.stats.txBegun.Load(),
-		TxCommitted: e.stats.txCommitted.Load(),
-		TxAborted:   e.stats.txAborted.Load(),
-		SystemTx:    e.stats.systemTx.Load(),
-		Happenings:  e.stats.happenings.Load(),
-		Steps:       e.stats.steps.Load(),
-		MaskEvals:   e.stats.maskEvals.Load(),
-		Firings:     e.stats.firings.Load(),
-		TimerPosts:  e.stats.timerPosts.Load(),
+		TxBegun:         e.stats.txBegun.Load(),
+		TxCommitted:     e.stats.txCommitted.Load(),
+		TxAborted:       e.stats.txAborted.Load(),
+		SystemTx:        e.stats.systemTx.Load(),
+		Happenings:      e.stats.happenings.Load(),
+		Steps:           e.stats.steps.Load(),
+		MaskEvals:       e.stats.maskEvals.Load(),
+		Firings:         e.stats.firings.Load(),
+		TimerPosts:      e.stats.timerPosts.Load(),
+		TcompleteRounds: e.stats.tcompleteRounds.Load(),
+		ShadowChecks:    e.stats.shadowChecks.Load(),
 	}
 }
+
+// Delta returns the field-wise difference s - prev. Use it to diff
+// two snapshots taken around a measured interval; because counters
+// are monotone, every field of the result is the exact number of
+// operations counted between the two per-field load instants.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		TxBegun:         s.TxBegun - prev.TxBegun,
+		TxCommitted:     s.TxCommitted - prev.TxCommitted,
+		TxAborted:       s.TxAborted - prev.TxAborted,
+		SystemTx:        s.SystemTx - prev.SystemTx,
+		Happenings:      s.Happenings - prev.Happenings,
+		Steps:           s.Steps - prev.Steps,
+		MaskEvals:       s.MaskEvals - prev.MaskEvals,
+		Firings:         s.Firings - prev.Firings,
+		TimerPosts:      s.TimerPosts - prev.TimerPosts,
+		TcompleteRounds: s.TcompleteRounds - prev.TcompleteRounds,
+		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
+	}
+}
+
+// StatsDelta is Delta as a free function: cur - prev, field-wise.
+func StatsDelta(cur, prev Stats) Stats { return cur.Delta(prev) }

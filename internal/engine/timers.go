@@ -188,6 +188,7 @@ func (e *Engine) postTimer(oid store.OID, key string, onlyTrigger string) {
 		return
 	}
 	e.stats.timerPosts.Add(1)
+	e.traceTimer(oid, key, onlyTrigger)
 	sys := e.beginSystem()
 	rec, err := sys.access(oid)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ode/internal/event"
+	"ode/internal/obs"
 	"ode/internal/schema"
 	"ode/internal/store"
 	"ode/internal/txn"
@@ -25,7 +26,9 @@ type Tx struct {
 // Begin starts a transaction.
 func (e *Engine) Begin() *Tx {
 	e.stats.txBegun.Add(1)
-	return &Tx{e: e, tx: e.txm.Begin()}
+	tx := &Tx{e: e, tx: e.txm.Begin()}
+	e.traceTx(obs.StageTxBegin, tx.tx.ID(), false)
+	return tx
 }
 
 // beginSystem starts a system transaction: it posts no transaction
@@ -33,7 +36,9 @@ func (e *Engine) Begin() *Tx {
 // after-tabort, which belong to an already-finished transaction).
 func (e *Engine) beginSystem() *Tx {
 	e.stats.systemTx.Add(1)
-	return &Tx{e: e, tx: e.txm.BeginSystem()}
+	tx := &Tx{e: e, tx: e.txm.BeginSystem()}
+	e.traceTx(obs.StageTxBegin, tx.tx.ID(), true)
+	return tx
 }
 
 // Transact runs fn in a fresh transaction, committing on nil and
@@ -328,6 +333,8 @@ func (tx *Tx) Commit() error {
 				}
 				fired = fired || f
 			}
+			tx.e.stats.tcompleteRounds.Add(1)
+			tx.e.traceTcomplete(tx.tx.ID(), round, fired)
 		}
 	}
 
@@ -340,6 +347,7 @@ func (tx *Tx) Commit() error {
 	if !tx.tx.System() {
 		tx.e.stats.txCommitted.Add(1)
 	}
+	tx.e.traceTx(obs.StageTxCommit, tx.tx.ID(), tx.tx.System())
 
 	if !tx.tx.System() {
 		if err := tx.e.postOutcome(accessed, event.KTcommit, event.After, tx.tx.ID()); err != nil {
@@ -393,6 +401,7 @@ func (tx *Tx) doAbort() {
 	if !tx.tx.System() {
 		tx.e.stats.txAborted.Add(1)
 	}
+	tx.e.traceTx(obs.StageTxAbort, tx.tx.ID(), tx.tx.System())
 
 	// Rollback restored each record's activation flags, but Activate
 	// and Deactivate adjusted the timer table eagerly: re-align it.

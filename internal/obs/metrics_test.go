@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)                // bucket 1 (le 1ns)
+	h.Observe(100)              // bucket 7 (le 127ns)
+	h.Observe(time.Microsecond) // 1000ns → bucket 10 (le 1023ns)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.SumNs != 1101 {
+		t.Fatalf("SumNs = %d", s.SumNs)
+	}
+	if s.MaxNs != 1000 {
+		t.Fatalf("MaxNs = %d", s.MaxNs)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+	// The 100ns observation lands in the le-127ns bucket.
+	found := false
+	for _, b := range s.Buckets {
+		if b.UpperNs == 127 && b.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no le-127ns bucket: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(1 << 62)      // clamped into the last bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Buckets[0].UpperNs != 0 || s.Buckets[0].Count != 1 {
+		t.Fatalf("negative observation not clamped to zero bucket: %+v", s.Buckets)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.UpperNs != 1<<(NumLatencyBuckets-1)-1 || last.Count != 1 {
+		t.Fatalf("huge observation not clamped to last bucket: %+v", last)
+	}
+}
+
+func TestTriggerMetricsNilSafe(t *testing.T) {
+	var m *TriggerMetrics
+	m.Step()
+	m.MaskEval(true)
+	m.Fire(time.Millisecond, nil)
+	if m.Firings() != 0 {
+		t.Fatal("nil metrics returned nonzero firings")
+	}
+	var c *ClassMetrics
+	c.Happening()
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Trigger("account", "Large")
+	b := r.Trigger("account", "Small")
+	if r.Trigger("account", "Large") != a {
+		t.Fatal("Trigger not idempotent")
+	}
+	cm := r.Class("account")
+	if r.Class("account") != cm {
+		t.Fatal("Class not idempotent")
+	}
+
+	cm.Happening()
+	cm.Happening()
+	a.Step()
+	a.MaskEval(true)
+	a.MaskEval(false)
+	a.Fire(time.Microsecond, nil)
+	a.Fire(time.Millisecond, errors.New("boom"))
+	b.Step()
+	b.Step()
+
+	s := r.Snapshot()
+	if len(s.Triggers) != 2 || len(s.Classes) != 1 {
+		t.Fatalf("snapshot shape: %d triggers %d classes", len(s.Triggers), len(s.Classes))
+	}
+	ts := s.Triggers[0]
+	if ts.Trigger != "Large" || ts.Firings != 2 || ts.Steps != 1 ||
+		ts.MaskEvals != 2 || ts.MaskFalse != 1 || ts.ActionErrors != 1 {
+		t.Fatalf("Large snapshot = %+v", ts)
+	}
+	if ts.Latency.Count != 2 {
+		t.Fatalf("latency count = %d", ts.Latency.Count)
+	}
+	cs := s.Classes[0]
+	if cs.Happenings != 2 || cs.Firings != 2 || cs.Steps != 3 || cs.MaskEvals != 2 {
+		t.Fatalf("class rollup = %+v", cs)
+	}
+
+	// The snapshot is JSON-ready.
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Triggers[0].Firings != 2 {
+		t.Fatalf("round trip lost firings: %s", out)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := r.Trigger("cls", "T")
+			for i := 0; i < 1000; i++ {
+				m.Step()
+				m.MaskEval(i%2 == 0)
+				if i%10 == 0 {
+					m.Fire(time.Duration(i)*time.Nanosecond, nil)
+				}
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Triggers[0].Steps != 8000 || s.Triggers[0].Firings != 800 {
+		t.Fatalf("lost updates: %+v", s.Triggers[0])
+	}
+	if s.Triggers[0].Latency.Count != 800 {
+		t.Fatalf("latency count = %d", s.Triggers[0].Latency.Count)
+	}
+}
+
+func TestMetricsUpdatesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	m := r.Trigger("cls", "T")
+	c := r.Class("cls")
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Happening()
+		m.Step()
+		m.MaskEval(true)
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f per call", allocs)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Trace(Event{Stage: StageStep, From: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	evs := r.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("Events(0) returned %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if want := 6 + i; ev.From != want || ev.Seq != uint64(want) {
+			t.Fatalf("event %d: From=%d Seq=%d, want %d", i, ev.From, ev.Seq, want)
+		}
+	}
+	if got := r.Events(2); len(got) != 2 || got[0].From != 8 || got[1].From != 9 {
+		t.Fatalf("Events(2) = %+v", got)
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(8)
+	r.Trace(Event{Stage: StageFire})
+	r.Trace(Event{Stage: StageStep})
+	evs := r.Events(100)
+	if len(evs) != 2 || evs[0].Stage != StageFire || evs[1].Stage != StageStep {
+		t.Fatalf("Events = %+v", evs)
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	if len(r.buf) != DefaultRingCapacity {
+		t.Fatalf("capacity = %d", len(r.buf))
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Trace(Event{Stage: StageHappening, From: i})
+				if i%50 == 0 {
+					r.Events(16)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", r.Total())
+	}
+	// Sequence numbers of retained events must be the last 64, in order.
+	evs := r.Events(0)
+	for i, ev := range evs {
+		if ev.Seq != uint64(4000-64+i) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+func TestStageJSON(t *testing.T) {
+	b, err := json.Marshal(Event{Stage: StageTcomplete, At: time.Unix(0, 0).UTC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["stage"] != "tcomplete" {
+		t.Fatalf("stage marshaled as %v", m["stage"])
+	}
+	seen := map[string]bool{}
+	for s := StageHappening; s <= StageTcomplete; s++ {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Fatalf("stage %d has bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Fatalf("unknown stage name = %q", Stage(99).String())
+	}
+}
+
+func TestTraceDoesNotAllocate(t *testing.T) {
+	r := NewRing(128)
+	ev := Event{Stage: StageStep, Class: "account", Trigger: "T", From: 1, To: 2}
+	if allocs := testing.AllocsPerRun(200, func() { r.Trace(ev) }); allocs != 0 {
+		t.Fatalf("Ring.Trace allocates %.1f per call", allocs)
+	}
+}

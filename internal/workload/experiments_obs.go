@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ode/internal/engine"
+	"ode/internal/obs"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E10Result is a live-engine observability run: the cumulative engine
+// counters plus the per-trigger / per-class metrics snapshot (E10's
+// JSON block), with the trace totals that prove the pipeline was
+// instrumented end to end.
+type E10Result struct {
+	Stats         engine.Stats `json:"stats"`
+	Metrics       obs.Snapshot `json:"metrics"`
+	TraceRetained int          `json:"trace_retained"`
+	TraceTotal    uint64       `json:"trace_total"`
+}
+
+// RunE10 drives a randomized banking workload against an engine with
+// tracing enabled and returns the observability snapshot. It checks the
+// core accounting invariant internally: per-trigger firing counts (and
+// latency histogram counts) must sum to Stats().Firings.
+func RunE10(txs, objects int, seed int64) (E10Result, error) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E10Result{}, err
+	}
+	defer eng.Close()
+	ring := eng.EnableTracing(1024)
+
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{
+			{Name: "Large", Perpetual: true, Event: "after withdraw(a) && a > 100"},
+			{Name: "Pair", Perpetual: true, Event: "prior(after deposit, after withdraw)"},
+			{Name: "AnyDep", Perpetual: true, Event: "after deposit"},
+		},
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("a").AsInt()))
+			},
+			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{
+			"Large":  func(*engine.ActionCtx) error { return nil },
+			"Pair":   func(*engine.ActionCtx) error { return nil },
+			"AnyDep": func(*engine.ActionCtx) error { return nil },
+		},
+	}
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E10Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	oids := make([]store.OID, objects)
+	err = eng.Transact(func(tx *engine.Tx) error {
+		for i := range oids {
+			oid, err := tx.NewObject("account", nil)
+			if err != nil {
+				return err
+			}
+			oids[i] = oid
+			for _, tr := range cls.Triggers {
+				if err := tx.Activate(oid, tr.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E10Result{}, err
+	}
+
+	for i := 0; i < txs; i++ {
+		err := eng.Transact(func(tx *engine.Tx) error {
+			for j := 0; j < 4; j++ {
+				oid := oids[rng.Intn(len(oids))]
+				amount := value.Int(int64(rng.Intn(300)))
+				method := "deposit"
+				if rng.Intn(2) == 0 {
+					method = "withdraw"
+				}
+				if _, err := tx.Call(oid, method, amount); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return E10Result{}, err
+		}
+	}
+
+	stats := eng.Stats()
+	snap := eng.Metrics().Snapshot()
+	var firings, latCount uint64
+	for _, ts := range snap.Triggers {
+		firings += ts.Firings
+		latCount += ts.Latency.Count
+	}
+	if firings != stats.Firings || latCount != stats.Firings {
+		return E10Result{}, fmt.Errorf(
+			"workload: metric invariant broken: per-trigger firings %d, latency counts %d, stats firings %d",
+			firings, latCount, stats.Firings)
+	}
+	return E10Result{
+		Stats:         stats,
+		Metrics:       snap,
+		TraceRetained: ring.Len(),
+		TraceTotal:    ring.Total(),
+	}, nil
+}

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunE10MetricsSumToStats(t *testing.T) {
+	r, err := RunE10(50, 4, 1)
+	if err != nil {
+		t.Fatal(err) // RunE10 itself enforces firings == sum of per-trigger firings
+	}
+	if r.Stats.Firings == 0 || r.Stats.Happenings == 0 {
+		t.Fatalf("workload did nothing: %+v", r.Stats)
+	}
+	if len(r.Metrics.Triggers) != 3 {
+		t.Fatalf("trigger snapshots = %d, want 3", len(r.Metrics.Triggers))
+	}
+	if r.TraceRetained == 0 || r.TraceTotal < uint64(r.TraceRetained) {
+		t.Fatalf("trace retained %d of %d", r.TraceRetained, r.TraceTotal)
+	}
+	// The result is the odebench JSON block; it must marshal.
+	if _, err := json.MarshalIndent(r, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: same seed, same workload counters.
+	r2, err := RunE10(50, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Happenings != r.Stats.Happenings || r2.Stats.Firings != r.Stats.Firings {
+		t.Fatalf("seeded run not deterministic: %+v vs %+v", r2.Stats, r.Stats)
+	}
+}

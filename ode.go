@@ -41,12 +41,14 @@
 package ode
 
 import (
+	"net/http"
 	"time"
 
 	"ode/internal/clock"
 	"ode/internal/engine"
 	"ode/internal/evlang"
 	"ode/internal/history"
+	"ode/internal/obs"
 	"ode/internal/schema"
 	"ode/internal/store"
 	"ode/internal/txn"
@@ -79,6 +81,15 @@ type (
 	HistoryLog = history.Log
 	// Clock is the engine's manually advanced virtual clock.
 	Clock = clock.Virtual
+	// TraceEvent is one structured record of a detection-pipeline stage
+	// (happening posted, mask evaluated, automaton step, firing, ...).
+	TraceEvent = obs.Event
+	// TraceStage identifies which pipeline stage a TraceEvent records.
+	TraceStage = obs.Stage
+	// MetricsSnapshot is a point-in-time copy of the per-trigger and
+	// per-class metrics (firing counts, mask evaluations, action-latency
+	// histograms). It marshals to JSON.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Value kinds.
@@ -90,6 +101,20 @@ const (
 	KindString = value.KindString
 	KindTime   = value.KindTime
 	KindID     = value.KindID
+)
+
+// Trace pipeline stages (the §5 detection pipeline plus transaction
+// and timer lifecycle).
+const (
+	StageHappening = obs.StageHappening
+	StageMask      = obs.StageMask
+	StageStep      = obs.StageStep
+	StageFire      = obs.StageFire
+	StageTimer     = obs.StageTimer
+	StageTxBegin   = obs.StageTxBegin
+	StageTxCommit  = obs.StageTxCommit
+	StageTxAbort   = obs.StageTxAbort
+	StageTcomplete = obs.StageTcomplete
 )
 
 // History views (§6).
@@ -147,6 +172,14 @@ type Options struct {
 	// one footnote-5 product automaton: one transition and one word of
 	// per-object state in total per posted event.
 	CombinedAutomata bool
+	// TraceBuffer > 0 enables pipeline tracing from startup with a ring
+	// buffer retaining that many events; < 0 uses the default capacity.
+	// Tracing can also be toggled later with EnableTracing.
+	TraceBuffer int
+	// DebugAddr, when non-empty, starts the live introspection HTTP
+	// endpoint on that address ("auto" binds a free localhost port;
+	// see Database.ServeDebug).
+	DebugAddr string
 }
 
 // Database is an active object database.
@@ -162,6 +195,8 @@ func Open(opts Options) (*Database, error) {
 		RecordHistories:  opts.RecordHistories,
 		ShadowOracle:     opts.ShadowOracle,
 		CombinedAutomata: opts.CombinedAutomata,
+		TraceBuffer:      opts.TraceBuffer,
+		DebugAddr:        opts.DebugAddr,
 	})
 	if err != nil {
 		return nil, err
@@ -222,6 +257,41 @@ type Stats = engine.Stats
 // Stats returns cumulative engine counters (transactions, happenings,
 // automaton steps, mask evaluations, firings, timer deliveries).
 func (db *Database) Stats() Stats { return db.eng.Stats() }
+
+// StatsDelta returns cur - prev field-wise: the activity between two
+// Stats snapshots.
+func StatsDelta(cur, prev Stats) Stats { return engine.StatsDelta(cur, prev) }
+
+// EnableTracing turns on pipeline tracing into a fresh ring buffer
+// retaining the last capacity events (<= 0 uses the default) and
+// returns the buffer. Safe to call at any time, including while other
+// goroutines post events.
+func (db *Database) EnableTracing(capacity int) *obs.Ring { return db.eng.EnableTracing(capacity) }
+
+// DisableTracing turns pipeline tracing off. The disabled hot path
+// costs one atomic load and adds no allocation.
+func (db *Database) DisableTracing() { db.eng.DisableTracing() }
+
+// TracingEnabled reports whether a tracer is installed.
+func (db *Database) TracingEnabled() bool { return db.eng.TracingEnabled() }
+
+// TraceEvents returns the last trace events in chronological order
+// (last <= 0 means all retained), or nil when tracing is disabled.
+func (db *Database) TraceEvents(last int) []TraceEvent { return db.eng.TraceEvents(last) }
+
+// Metrics returns a snapshot of the per-trigger and per-class metrics.
+// Metrics are always collected; they do not require tracing.
+func (db *Database) Metrics() MetricsSnapshot { return db.eng.Metrics().Snapshot() }
+
+// DebugHandler returns the live introspection HTTP handler serving
+// /debug/stats, /debug/triggers, /debug/trace?last=N, /debug/vars and
+// /debug/pprof/.
+func (db *Database) DebugHandler() http.Handler { return db.eng.DebugHandler() }
+
+// ServeDebug starts an HTTP listener serving DebugHandler on addr
+// ("auto" binds a free localhost port) and returns the bound address.
+// The listener runs until Close.
+func (db *Database) ServeDebug(addr string) (string, error) { return db.eng.ServeDebug(addr) }
 
 // P declares a parameter for Method/Update/Read/TriggerP builders.
 func P(name string, kind Kind) schema.Param { return schema.Param{Name: name, Kind: kind} }
