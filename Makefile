@@ -12,12 +12,16 @@ vet:
 	$(GO) vet ./...
 
 # Race-sensitive packages: the engine posts from many goroutines and
-# the observability layer is read while posting.
+# the observability layer is read while posting; the txn and store
+# substrates are exercised by the concurrency stress tests.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/obs/
+	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/
 
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race
 
+# Engine benchmarks plus the E11 parallel-posting numbers (committed
+# as BENCH_PR2.json).
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1000x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
+	$(GO) run ./cmd/odebench -exp E11 -out BENCH_PR2.json

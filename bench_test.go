@@ -6,6 +6,8 @@ package ode_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -56,6 +58,7 @@ func BenchmarkCompilePaperTriggers(b *testing.B) {
 	paper := workload.Paper()
 	for i, e := range paper.Exprs {
 		b.Run(paper.Names[i], func(b *testing.B) {
+			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				compile.Compile(e, workload.NumPaperSymbols)
 			}
@@ -67,6 +70,7 @@ func BenchmarkCompilePaperTriggers(b *testing.B) {
 func BenchmarkMaskRewrite(b *testing.B) {
 	for _, k := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("masks%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				if _, err := workload.RunE4(k); err != nil {
 					b.Fatal(err)
@@ -83,6 +87,7 @@ func BenchmarkPairConstruction(b *testing.B) {
 	for i, e := range paper.Exprs {
 		dfas[i] = compile.Compile(e, workload.NumPaperSymbols)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		compile.PairConstruction(dfas[n%len(dfas)], 7, 8)
@@ -183,6 +188,80 @@ func BenchmarkEngineMethodCall(b *testing.B) {
 	}
 }
 
+// E11: concurrent posting throughput over disjoint object partitions.
+// Each goroutine owns its own objects, so the sharded lock manager and
+// striped store should let throughput scale with goroutines on a
+// multi-core machine (ops are independent end to end). GOMAXPROCS is
+// pinned to the goroutine count so "goroutines1" is a true serial
+// baseline.
+func BenchmarkEngineParallelPosting(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines%d", g), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(g)
+			defer runtime.GOMAXPROCS(prev)
+
+			db, err := ode.Open(ode.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			err = db.NewClass("account").
+				Field("balance", ode.KindInt, ode.Int(0)).
+				Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+					v, _ := ctx.Get("balance")
+					return ode.Null(), ctx.Set("balance", ode.Int(v.AsInt()+ctx.Arg("n").AsInt()))
+				}, ode.P("n", ode.KindInt)).
+				Trigger("Big(): perpetual relative(after deposit(n) && n > 100, after deposit) ==> act",
+					func(*ode.ActionCtx) error { return nil }).
+				Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			// One disjoint partition of objects per worker; workers claim
+			// partitions with an atomic counter.
+			const perWorker = 8
+			parts := make([][]ode.OID, g)
+			if err := db.Transact(func(tx *ode.Tx) error {
+				for w := range parts {
+					parts[w] = make([]ode.OID, perWorker)
+					for i := range parts[w] {
+						oid, err := tx.NewObject("account", nil)
+						if err != nil {
+							return err
+						}
+						if err := tx.Activate(oid, "Big"); err != nil {
+							return err
+						}
+						parts[w][i] = oid
+					}
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(next.Add(1)-1) % len(parts)
+				part := parts[w]
+				tx := db.Begin()
+				defer tx.Abort()
+				i := 0
+				for pb.Next() {
+					if _, err := tx.Call(part[i%len(part)], "deposit", ode.Int(int64(i%200))); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // Transaction lifecycle cost: begin + one call + commit-fixpoint +
 // commit + after-tcommit system transaction.
 func BenchmarkEngineTransaction(b *testing.B) {
@@ -241,6 +320,7 @@ func BenchmarkTimerDelivery(b *testing.B) {
 		oid, _ = tx.NewObject("mon", nil)
 		return tx.Activate(oid, "Every")
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		db.Clock().Advance(time.Minute) // exactly one delivery

@@ -12,11 +12,15 @@
 //	E8  per-trigger automata vs one combined automaton (footnote 5)
 //	E9  ablation: per-node minimization during compilation
 //	E10 observability: per-trigger metrics JSON for a traced workload
+//	E11 parallel posting: ops/sec at 1/2/4/8 goroutines over disjoint
+//	    object partitions, volatile and persistent (group-commit WAL);
+//	    -out writes the rows as JSON (e.g. BENCH_PR2.json)
 //
 // Usage:
 //
-//	odebench            # run everything
-//	odebench -exp E4    # one experiment
+//	odebench                               # run everything
+//	odebench -exp E4                       # one experiment
+//	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 package main
 
 import (
@@ -31,8 +35,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E9); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E11); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
+	out := flag.String("out", "", "write E11 results as JSON to this file")
 	flag.Parse()
 
 	all := []struct {
@@ -49,6 +54,7 @@ func main() {
 		{"E8", func() error { return e8(*seed) }},
 		{"E9", e9},
 		{"E10", func() error { return e10(*seed) }},
+		{"E11", func() error { return e11(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -231,6 +237,58 @@ func e10(seed int64) error {
 		return err
 	}
 	fmt.Println("  " + string(blob))
+	return nil
+}
+
+func e11(seed int64, out string) error {
+	gs := []int{1, 2, 4, 8}
+	volatile, err := workload.RunE11(250, 32, seed, false, gs)
+	if err != nil {
+		return err
+	}
+	persistent, err := workload.RunE11(100, 32, seed, true, gs)
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	fmt.Printf("E11 — parallel posting over disjoint object partitions (GOMAXPROCS=%d, NumCPU=%d)\n",
+		gomaxprocs, numCPU)
+	rows := make([][]string, 0, len(volatile)+len(persistent))
+	for _, rs := range [][]workload.E11Row{volatile, persistent} {
+		for _, r := range rs {
+			mode := "volatile"
+			if r.Persistent {
+				mode = "persistent"
+			}
+			rows = append(rows, []string{
+				mode,
+				fmt.Sprintf("%d", r.Goroutines),
+				fmt.Sprintf("%d", r.Calls),
+				fmt.Sprintf("%.0f", r.OpsPerSec),
+				fmt.Sprintf("%.2fx", r.Speedup),
+			})
+		}
+	}
+	table("", []string{"store", "goroutines", "calls", "ops/sec", "speedup vs 1"}, rows)
+
+	if out == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		Volatile   []workload.E11Row `json:"volatile"`
+		Persistent []workload.E11Row `json:"persistent"`
+	}{"E11", gomaxprocs, numCPU, volatile, persistent}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
 	return nil
 }
 

@@ -1,0 +1,91 @@
+package compile
+
+import "ode/internal/fa"
+
+// InertSymbol reports whether symbol sym can never affect detection by
+// d: an engine that skips feeding sym to the automaton entirely fires
+// at exactly the same history points as one that does not.
+//
+// The naive sufficient condition — sym self-loops on every state — is
+// almost never true of minimized automata: accepting states exit on
+// don't-care symbols (Σ*a accepts only when a was the LAST symbol, so
+// anything else must leave the accept state). The useful condition is
+// behavioral: sym is inert iff from every relevant state s, reading
+// sym lands in a state t with
+//
+//  1. !Accept[t] — skipping never suppresses a firing, and
+//  2. t == s, or s and t have identical transition rows
+//     (∀a: Next(s,a) == Next(t,a)) — after the next symbol the two
+//     runs coincide, so skipping never changes any later verdict.
+//
+// Condition 2 tolerates states that a minimized DFA keeps distinct
+// only because they differ in acceptance "now": e.g. for "after
+// deposit", reading withdraw from the accept state moves to the
+// non-accepting start state, but both rows are identical, so withdraw
+// is inert.
+//
+// The relevant states depend on the trigger's lifecycle. A perpetual
+// trigger keeps stepping forever, so every reachable state counts. An
+// ordinary (non-perpetual) trigger is deactivated the moment it fires
+// and re-activation resets the automaton to Start, so no symbol is
+// ever read FROM an accepting state, and states only reachable by
+// stepping past an accepting state are never visited: reachability is
+// bounded at accepting states and the accepting states themselves are
+// exempt from the check.
+func InertSymbol(d *fa.DFA, sym int, perpetual bool) bool {
+	reach := reachable(d, perpetual)
+	for s := 0; s < d.NumStates; s++ {
+		if !reach[s] {
+			continue
+		}
+		if !perpetual && d.Accept[s] {
+			continue // deactivated on firing; never steps from here
+		}
+		t := d.Next(s, sym)
+		if d.Accept[t] {
+			return false
+		}
+		if t == s {
+			continue
+		}
+		if !sameRow(d, s, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// reachable returns the states reachable from Start; with perpetual ==
+// false the walk does not step out of accepting states (the trigger is
+// deactivated there and re-activation resets to Start).
+func reachable(d *fa.DFA, perpetual bool) []bool {
+	seen := make([]bool, d.NumStates)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !perpetual && d.Accept[s] {
+			continue
+		}
+		for a := 0; a < d.NumSymbols; a++ {
+			t := d.Next(s, a)
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// sameRow reports whether states s and t have identical transition
+// rows.
+func sameRow(d *fa.DFA, s, t int) bool {
+	for a := 0; a < d.NumSymbols; a++ {
+		if d.Next(s, a) != d.Next(t, a) {
+			return false
+		}
+	}
+	return true
+}

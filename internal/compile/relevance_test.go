@@ -1,0 +1,108 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/algebra"
+)
+
+// TestInertSymbolAfterDeposit pins the motivating case: for the
+// language Σ*a ("the event just happened"), every other symbol is
+// inert — even though the minimized DFA has no universal self-loop on
+// it (the accept state exits on the don't-care symbol).
+func TestInertSymbolAfterDeposit(t *testing.T) {
+	d := Compile(algebra.Atom(0), 2)
+	for _, perpetual := range []bool{false, true} {
+		if !InertSymbol(d, 1, perpetual) {
+			t.Errorf("perpetual=%v: symbol 1 should be inert for Σ*0", perpetual)
+		}
+		if InertSymbol(d, 0, perpetual) {
+			t.Errorf("perpetual=%v: symbol 0 must not be inert for Σ*0", perpetual)
+		}
+	}
+}
+
+// TestInertSymbolSequenceStrict: sequence(0,1) requires 1 immediately
+// after 0, so even the "unused" symbol 2 is load-bearing — it breaks
+// the adjacency — and nothing is inert. For the disjunction 0|1 the
+// unused symbol really is inert.
+func TestInertSymbolSequenceStrict(t *testing.T) {
+	seq := Compile(algebra.Sequence(algebra.Atom(0), algebra.Atom(1)), 3)
+	for sym := 0; sym < 3; sym++ {
+		if InertSymbol(seq, sym, true) {
+			t.Errorf("symbol %d must not be inert for sequence(0,1): it breaks adjacency", sym)
+		}
+	}
+	or := Compile(algebra.Or(algebra.Atom(0), algebra.Atom(1)), 3)
+	if !InertSymbol(or, 2, true) {
+		t.Error("unused symbol 2 should be inert for 0|1")
+	}
+	if InertSymbol(or, 0, true) || InertSymbol(or, 1, true) {
+		t.Error("constituents of 0|1 must not be inert")
+	}
+}
+
+// TestInertSymbolSkipEquivalenceRandom is the safety property behind
+// kind-relevance skipping: for random expressions, whenever InertSymbol
+// judges a symbol inert, a run that skips that symbol entirely fires at
+// exactly the same points as the full run — under both the perpetual
+// lifecycle (state never resets) and the ordinary one (accept
+// deactivates; modeled as an immediate reset to Start, the engine's
+// re-activation worst case).
+func TestInertSymbolSkipEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(418))
+	const k = 3
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	inertSeen := 0
+	for i := 0; i < iters; i++ {
+		e := randomExpr(rng, k, 3)
+		d := Compile(e, k)
+		for sym := 0; sym < k; sym++ {
+			for _, perpetual := range []bool{false, true} {
+				if !InertSymbol(d, sym, perpetual) {
+					continue
+				}
+				inertSeen++
+				for h := 0; h < 20; h++ {
+					n := 1 + rng.Intn(12)
+					hist := make([]int, n)
+					for j := range hist {
+						hist[j] = rng.Intn(k)
+					}
+					full, skip := d.Start, d.Start
+					for _, a := range hist {
+						fNext := d.Next(full, a)
+						fFire := d.Accept[fNext]
+						var sFire bool
+						if a == sym {
+							sFire = false // skipped: no transition, no fire
+						} else {
+							sNext := d.Next(skip, a)
+							sFire = d.Accept[sNext]
+							skip = sNext
+						}
+						full = fNext
+						if fFire != sFire {
+							t.Fatalf("expr %v sym %d perpetual=%v hist %v: full fires=%v, skipping run fires=%v",
+								e, sym, perpetual, hist, fFire, sFire)
+						}
+						if fFire && !perpetual {
+							full, skip = d.Start, d.Start
+						}
+						if sFire && !perpetual {
+							full, skip = d.Start, d.Start
+						}
+					}
+				}
+			}
+		}
+	}
+	if inertSeen == 0 {
+		t.Fatal("generator never produced an inert symbol; property untested")
+	}
+	t.Logf("checked %d inert (dfa, symbol) pairs", inertSeen)
+}

@@ -112,6 +112,10 @@ type Options struct {
 	// address at open; "auto" binds a free localhost port. The
 	// listener is shut down by Engine.Close.
 	DebugAddr string
+	// DisableGroupCommit makes every durable commit write and sync the
+	// WAL itself instead of coalescing with concurrent committers (see
+	// store.Options).
+	DisableGroupCommit bool
 }
 
 // Engine is an active object database.
@@ -179,7 +183,17 @@ type Trigger struct {
 	View   schema.HistoryView
 	Action ActionFunc
 	met    *obs.TriggerMetrics // per-trigger counters, cached at registration
+	// relevant[kindIx] reports whether a happening of that kind can
+	// affect this trigger at all: either a disjointness mask must be
+	// evaluated, or the kind's symbol can change the automaton's
+	// behavior (see compile.InertSymbol). step() skips triggers whose
+	// entry is false.
+	relevant []bool
 }
+
+// RelevantKind reports whether happenings of the kind at kindIx can
+// affect this trigger (introspection for tests and tooling).
+func (t *Trigger) RelevantKind(kindIx int) bool { return t.relevant[kindIx] }
 
 // Metrics exposes the trigger's live counters.
 func (t *Trigger) Metrics() *obs.TriggerMetrics { return t.met }
@@ -189,7 +203,7 @@ func (c *Class) Trigger(name string) *Trigger { return c.byName[name] }
 
 // New opens an engine.
 func New(opts Options) (*Engine, error) {
-	st, err := store.Open(opts.Dir)
+	st, err := store.OpenWith(opts.Dir, store.Options{DisableGroupCommit: opts.DisableGroupCommit})
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +322,15 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 			View:   view,
 			Action: action,
 			met:    e.metrics.Trigger(cls.Name, tr.Name),
+		}
+		// Kind-relevance bitmap: a kind matters if the trigger's
+		// expression evaluates a mask on it, or if its (mask-free)
+		// symbol is not inert for the automaton. step() skips the
+		// trigger for irrelevant kinds.
+		t.relevant = make([]bool, len(res.Alphabet.Kinds))
+		for kix := range res.Alphabet.Kinds {
+			t.relevant[kix] = tr.UsedBits[kix] != 0 ||
+				!compile.InertSymbol(t.DFA, res.Alphabet.Symbol(kix, 0), tr.Perpetual)
 		}
 		c.Triggers = append(c.Triggers, t)
 		c.byName[tr.Name] = t
@@ -441,25 +464,33 @@ func (e *Engine) recordTimerErr(err error) {
 
 // RearmTimers re-creates the volatile timer schedule for every active
 // trigger after reopening a persistent database: activations are
-// durable but clock state is not.
+// durable but clock state is not. Every object must resolve: a failing
+// lookup or an unregistered class aborts the rearm with an error
+// (rearming a subset silently would leave some activations without
+// their timers).
 func (e *Engine) RearmTimers() error {
 	for _, oid := range e.st.OIDs() {
-		rec, err := e.st.Get(oid)
-		if err != nil {
+		if err := e.rearmObject(oid); err != nil {
+			return fmt.Errorf("engine: rearm timers: object %d: %w", oid, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) rearmObject(oid store.OID) error {
+	rec, err := e.st.Get(oid)
+	if err != nil {
+		return err
+	}
+	c, err := e.classOf(rec)
+	if err != nil {
+		return err
+	}
+	for name, act := range rec.Triggers {
+		if !act.Active {
 			continue
 		}
-		c, err := e.classOf(rec)
-		if err != nil {
-			return err
-		}
-		for name, act := range rec.Triggers {
-			if !act.Active {
-				continue
-			}
-			t := c.Trigger(name)
-			if t == nil {
-				continue
-			}
+		if t := c.Trigger(name); t != nil {
 			e.timers.arm(oid, t)
 		}
 	}

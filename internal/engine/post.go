@@ -103,6 +103,14 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		if onlyTrigger != "" && t.Res.Name != onlyTrigger {
 			continue
 		}
+		// Kind-relevance skipping: a kind that needs no mask evaluation
+		// and whose symbol is inert for this automaton (compile
+		// .InertSymbol) cannot change the instance's behavior, so the
+		// trigger is skipped without touching its state. Disabled under
+		// the shadow oracle, which needs the complete symbol history.
+		if !tx.e.shadowOracle && !t.relevant[kindIx] {
+			continue
+		}
 		act, ok := rec.Triggers[t.Res.Name]
 		if !ok || !act.Active {
 			continue

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ode/internal/schema"
+)
+
+// TestRearmTimersUnresolvedObjectErrors pins the consistent error
+// contract of RearmTimers: any object that cannot be resolved — here,
+// one whose class was never registered after reopen — aborts the rearm
+// with an error naming the object, instead of some failures being
+// silently skipped while others abort.
+func TestRearmTimersUnresolvedObjectErrors(t *testing.T) {
+	dir := t.TempDir()
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		schema.Trigger{Name: "T", Perpetual: true, Event: "at time(HR=17)"})
+	e, err := New(Options{Dir: dir, Start: time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterClass(cls, impl, nil); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Transact(func(tx *Tx) error {
+		oid, err := tx.NewObject("account", nil)
+		if err != nil {
+			return err
+		}
+		return tx.Activate(oid, "T")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	// Reopen without registering the class: rearm must fail loudly.
+	e2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	err = e2.RearmTimers()
+	if err == nil {
+		t.Fatal("RearmTimers succeeded with an unregistered class")
+	}
+	if !strings.Contains(err.Error(), "rearm timers") {
+		t.Fatalf("error does not identify the rearm: %v", err)
+	}
+}

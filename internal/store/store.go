@@ -11,15 +11,25 @@
 // committed transactions, so a crash mid-commit never exposes a
 // partial transaction.
 //
+// The object heap is hash-striped: OIDs map to numStripes stripes,
+// each guarded by its own RWMutex, so Get/Exists on different objects
+// never contend, and OID allocation is a single atomic counter.
+// Whole-store operations (OIDs, Count, Checkpoint, recovery) visit the
+// stripes in index order. Concurrent committers share the WAL through
+// group commit (see wal.go): concurrent LogCommit calls coalesce into
+// one buffered write and one Sync.
+//
 // Concurrency control (object-level locking) and undo are the
 // transaction manager's concern (internal/txn); the store itself only
-// guards its maps with a mutex and trusts callers to hold object locks
-// while mutating records.
+// guards its maps with stripe mutexes and trusts callers to hold
+// object locks while mutating records.
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ode/internal/value"
 )
@@ -91,28 +101,62 @@ func (r *Record) clone() *Record {
 	return c
 }
 
+// numStripes is the number of object-heap stripes (power of two).
+const numStripes = 64
+
+// stripe is one slice of the object heap with its own lock.
+type stripe struct {
+	mu      sync.RWMutex
+	objects map[OID]*Record
+}
+
+// Options tunes a store. The zero value is the production default.
+type Options struct {
+	// DisableGroupCommit makes every LogCommit perform its own write
+	// and Sync instead of coalescing with concurrent committers —
+	// useful for latency-sensitive single-writer deployments and for
+	// isolating group-commit behavior in tests.
+	DisableGroupCommit bool
+}
+
 // Store is an in-memory object heap with optional durability.
 type Store struct {
-	mu      sync.RWMutex
-	next    OID
-	objects map[OID]*Record
+	nextOID atomic.Uint64 // next OID to allocate
+	stripes [numStripes]stripe
 	dir     string // "" → volatile
-	wal     *walFile
+	opts    Options
+
+	// walMu orders WAL lifecycle against commits: LogCommit holds the
+	// read side for its whole append, Close/Checkpoint take the write
+	// side. Lock order is always walMu → stripe locks.
+	walMu sync.RWMutex
+	wal   *walFile
+}
+
+func (s *Store) stripeOf(oid OID) *stripe {
+	return &s.stripes[uint64(oid)%numStripes]
 }
 
 // Open returns a store rooted at dir. With dir == "" the store is
 // purely in-memory ("volatile memory" in the paper's terms). Otherwise
 // the snapshot and WAL in dir are loaded and replayed, and subsequent
 // committed transactions are appended to the WAL.
-func Open(dir string) (*Store, error) {
-	s := &Store{next: 1, objects: make(map[OID]*Record), dir: dir}
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit Options.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	s := &Store{dir: dir, opts: opts}
+	s.nextOID.Store(1)
+	for i := range s.stripes {
+		s.stripes[i].objects = make(map[OID]*Record)
+	}
 	if dir == "" {
 		return s, nil
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(dir)
+	w, err := openWAL(dir, opts.DisableGroupCommit)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +167,8 @@ func Open(dir string) (*Store, error) {
 // Close releases the WAL file handle. The store must not be used
 // afterwards.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
 	if s.wal != nil {
 		err := s.wal.close()
 		s.wal = nil
@@ -137,10 +181,7 @@ func (s *Store) Close() error {
 // returns its identity. Durability happens when the creating
 // transaction commits (LogCommit).
 func (s *Store) Create(class string, fields map[string]value.Value) *Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	oid := s.next
-	s.next++
+	oid := OID(s.nextOID.Add(1) - 1)
 	if fields == nil {
 		fields = map[string]value.Value{}
 	}
@@ -150,16 +191,20 @@ func (s *Store) Create(class string, fields map[string]value.Value) *Record {
 		Fields:   fields,
 		Triggers: map[string]*TrigActivation{},
 	}
-	s.objects[oid] = r
+	st := s.stripeOf(oid)
+	st.mu.Lock()
+	st.objects[oid] = r
+	st.mu.Unlock()
 	return r
 }
 
 // Get returns the live record for oid. Callers mutate the record only
 // while holding the object's transaction lock.
 func (s *Store) Get(oid OID) (*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.objects[oid]
+	st := s.stripeOf(oid)
+	st.mu.RLock()
+	r, ok := st.objects[oid]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("store: no object %d", oid)
 	}
@@ -168,29 +213,32 @@ func (s *Store) Get(oid OID) (*Record, error) {
 
 // Exists reports whether oid names a live object.
 func (s *Store) Exists(oid OID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.objects[oid]
+	st := s.stripeOf(oid)
+	st.mu.RLock()
+	_, ok := st.objects[oid]
+	st.mu.RUnlock()
 	return ok
 }
 
 // Delete removes the object from the heap. The undo log keeps aborted
 // deletes reversible via Restore.
 func (s *Store) Delete(oid OID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.objects[oid]; !ok {
+	st := s.stripeOf(oid)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.objects[oid]; !ok {
 		return fmt.Errorf("store: no object %d", oid)
 	}
-	delete(s.objects, oid)
+	delete(st.objects, oid)
 	return nil
 }
 
 // Snapshot returns a deep copy of the record (a before-image).
 func (s *Store) Snapshot(oid OID) (*Record, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.objects[oid]
+	st := s.stripeOf(oid)
+	st.mu.RLock()
+	r, ok := st.objects[oid]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("store: no object %d", oid)
 	}
@@ -200,90 +248,131 @@ func (s *Store) Snapshot(oid OID) (*Record, error) {
 // Restore reinstates a before-image, resurrecting the object if it was
 // deleted in the meantime.
 func (s *Store) Restore(img *Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.objects[img.OID] = img.clone()
+	st := s.stripeOf(img.OID)
+	st.mu.Lock()
+	st.objects[img.OID] = img.clone()
+	st.mu.Unlock()
 }
 
 // Remove unconditionally deletes oid if present; used to undo an
 // aborted creation.
 func (s *Store) Remove(oid OID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.objects, oid)
+	st := s.stripeOf(oid)
+	st.mu.Lock()
+	delete(st.objects, oid)
+	st.mu.Unlock()
 }
 
 // Count returns the number of live objects.
 func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.objects)
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.objects)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
-// OIDs returns the identities of all live objects, unordered.
+// OIDs returns the identities of all live objects, unordered. Stripes
+// are visited in index order, but each is snapshotted independently.
 func (s *Store) OIDs() []OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]OID, 0, len(s.objects))
-	for oid := range s.objects {
-		out = append(out, oid)
+	var out []OID
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for oid := range st.objects {
+			out = append(out, oid)
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }
 
 // LogCommit durably records a committed transaction: a Begin frame,
 // one Put frame per dirty surviving object, one Delete frame per
-// deleted object, then a Commit frame. It is a no-op for volatile
-// stores.
+// deleted object, then a Commit frame. The frames are encoded into one
+// contiguous buffer and handed to the WAL's group committer, which
+// coalesces concurrent commits into a single write and Sync. It is a
+// no-op for volatile stores.
 func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.walMu.RLock()
+	defer s.walMu.RUnlock()
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.append(frame{Op: opBegin, TxID: txID}); err != nil {
+	var buf bytes.Buffer
+	if err := encodeFrame(&buf, frame{Op: opBegin, TxID: txID}); err != nil {
 		return err
 	}
 	for _, oid := range dirty {
-		r, ok := s.objects[oid]
+		st := s.stripeOf(oid)
+		st.mu.RLock()
+		r, ok := st.objects[oid]
+		st.mu.RUnlock()
 		if !ok {
 			continue // deleted later in the same transaction
 		}
-		if err := s.wal.append(frame{Op: opPut, TxID: txID, Rec: r.clone()}); err != nil {
+		// The committing transaction still holds the object's lock, so
+		// the clone cannot race with another writer.
+		if err := encodeFrame(&buf, frame{Op: opPut, TxID: txID, Rec: r.clone()}); err != nil {
 			return err
 		}
 	}
 	for _, oid := range deleted {
-		if err := s.wal.append(frame{Op: opDelete, TxID: txID, OID: oid}); err != nil {
+		if err := encodeFrame(&buf, frame{Op: opDelete, TxID: txID, OID: oid}); err != nil {
 			return err
 		}
 	}
-	return s.wal.append(frame{Op: opCommit, TxID: txID})
+	if err := encodeFrame(&buf, frame{Op: opCommit, TxID: txID}); err != nil {
+		return err
+	}
+	return s.wal.commit(buf.Bytes())
 }
 
 // Checkpoint writes a full snapshot and truncates the WAL. It is a
 // no-op for volatile stores.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
-	if err := writeSnapshot(s.dir, s.next, s.objects); err != nil {
+	// Exclude committers first (walMu), then freeze the heap (all
+	// stripes, in index order) — the same walMu → stripe order
+	// LogCommit uses.
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	merged := make(map[OID]*Record)
+	for i := range s.stripes {
+		for oid, r := range s.stripes[i].objects {
+			merged[oid] = r
+		}
+	}
+	err := writeSnapshot(s.dir, OID(s.nextOID.Load()), merged)
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].mu.Unlock()
+	}
+	if err != nil {
 		return err
 	}
 	return s.wal.reset()
 }
 
-// recover loads the snapshot and replays committed WAL frames.
+// recover loads the snapshot and replays committed WAL frames. It runs
+// single-threaded at Open, before the store is shared.
 func (s *Store) recover() error {
 	next, objects, err := readSnapshot(s.dir)
 	if err != nil {
 		return err
 	}
 	if objects != nil {
-		s.next = next
-		s.objects = objects
+		s.nextOID.Store(uint64(next))
+		for oid, r := range objects {
+			s.stripeOf(oid).objects[oid] = r
+		}
 	}
 	frames, err := readWAL(s.dir)
 	if err != nil {
@@ -301,12 +390,12 @@ func (s *Store) recover() error {
 		}
 		switch f.Op {
 		case opPut:
-			s.objects[f.Rec.OID] = f.Rec
-			if f.Rec.OID >= s.next {
-				s.next = f.Rec.OID + 1
+			s.stripeOf(f.Rec.OID).objects[f.Rec.OID] = f.Rec
+			if uint64(f.Rec.OID) >= s.nextOID.Load() {
+				s.nextOID.Store(uint64(f.Rec.OID) + 1)
 			}
 		case opDelete:
-			delete(s.objects, f.OID)
+			delete(s.stripeOf(f.OID).objects, f.OID)
 		}
 	}
 	return nil

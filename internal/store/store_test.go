@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -132,10 +133,18 @@ func TestUncommittedFramesIgnored(t *testing.T) {
 	a := s.Create("x", map[string]value.Value{"v": value.Int(1)})
 	s.LogCommit(1, []OID{a.OID}, nil)
 	// Simulate a crash mid-commit: Begin+Put without Commit.
-	s.wal.append(frame{Op: opBegin, TxID: 2})
 	rec := a.clone()
 	rec.Fields["v"] = value.Int(999)
-	s.wal.append(frame{Op: opPut, TxID: 2, Rec: rec})
+	var buf bytes.Buffer
+	if err := encodeFrame(&buf, frame{Op: opBegin, TxID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := encodeFrame(&buf, frame{Op: opPut, TxID: 2, Rec: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.wal.commit(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
 	s.Close()
 
 	s2, err := Open(dir)

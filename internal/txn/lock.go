@@ -11,6 +11,34 @@
 // accesses write the record. Deadlocks are detected by following the
 // waits-for chain at block time; the requester that would close a
 // cycle receives ErrDeadlock and is expected to abort.
+//
+// # Concurrency scheme
+//
+// The lock table is sharded by OID across numLockShards shards, each
+// with its own mutex, so transactions touching different objects never
+// contend on lock-manager state. Blocked requests sleep on a
+// per-object FIFO of wake channels; a release wakes exactly one waiter
+// of that object (no global broadcast, no thundering herd). A woken
+// waiter re-checks under the shard mutex — a barging third transaction
+// may have taken the lock in between, in which case the waiter
+// re-queues.
+//
+// Deadlock detection uses a small dedicated waits-for structure
+// (waitGraph) with its own mutex. It records tx→OID waiting edges and,
+// only for contended objects, a mirror of the object's current holder.
+// Both are updated while holding the owning shard's mutex, and the
+// lock order is always shard mutex → graph mutex (the graph mutex is a
+// leaf), so the cycle walk sees a consistent graph without touching
+// any shard. Uncontended acquisitions and releases never touch the
+// graph at all. Publishing the waiting edge and checking for a cycle
+// happen atomically under the graph mutex, so of two transactions
+// closing a cycle, the later one always sees the earlier one's edge —
+// a real deadlock is always detected, and a stale edge can only cause
+// a conservative (spurious) victim, never a missed cycle.
+//
+// Each transaction's held locks are tracked in a per-tx set (sharded
+// by transaction id), making releaseAll O(locks held) instead of
+// O(all locks in the system).
 package txn
 
 import (
@@ -25,63 +53,50 @@ import (
 // waits-for cycle. The requesting transaction must abort.
 var ErrDeadlock = errors.New("txn: deadlock detected")
 
-// lockManager grants exclusive, reentrant object locks.
-type lockManager struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	holder  map[store.OID]uint64 // object → holding transaction
-	waiting map[uint64]store.OID // transaction → object it is blocked on
+// numLockShards is the number of lock-table shards (power of two).
+const numLockShards = 64
+
+// lockShard holds the lock table for one slice of the OID space.
+type lockShard struct {
+	mu     sync.Mutex
+	holder map[store.OID]uint64          // object → holding transaction
+	waitq  map[store.OID][]chan struct{} // FIFO of blocked requesters
+	// mirrored marks objects whose holder is mirrored into the wait
+	// graph because they have (or recently had) waiters.
+	mirrored map[store.OID]bool
 }
 
-func newLockManager() *lockManager {
-	lm := &lockManager{
-		holder:  make(map[store.OID]uint64),
-		waiting: make(map[uint64]store.OID),
-	}
-	lm.cond = sync.NewCond(&lm.mu)
-	return lm
+// txShard tracks the held-lock sets for one slice of the tx-id space.
+type txShard struct {
+	mu   sync.Mutex
+	held map[uint64]map[store.OID]struct{}
 }
 
-// lock blocks until txID holds oid exclusively. Reentrant acquisition
-// returns immediately. A request that would close a waits-for cycle
-// fails with ErrDeadlock instead of blocking.
-func (lm *lockManager) lock(txID uint64, oid store.OID) error {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for {
-		h, held := lm.holder[oid]
-		if !held {
-			lm.holder[oid] = txID
-			return nil
-		}
-		if h == txID {
-			return nil // reentrant
-		}
-		// Would waiting on h's lock close a cycle back to us? Each
-		// transaction waits on at most one object, so the waits-for
-		// graph is a set of chains; walk ours.
-		if lm.wouldCycle(txID, h) {
-			return ErrDeadlock
-		}
-		lm.waiting[txID] = oid
-		lm.cond.Wait()
-		delete(lm.waiting, txID)
-	}
+// waitGraph is the dedicated cross-shard waits-for structure. waiting
+// has one edge per blocked transaction; holderOf mirrors the holder of
+// contended objects only. Guarded by its own mutex, which is only ever
+// acquired while holding at most one shard mutex (shard → graph
+// order).
+type waitGraph struct {
+	mu       sync.Mutex
+	waiting  map[uint64]store.OID
+	holderOf map[store.OID]uint64
 }
 
-// wouldCycle reports whether holder (transitively) waits for txID.
-// Called with lm.mu held.
-func (lm *lockManager) wouldCycle(txID, holder uint64) bool {
-	cur := holder
-	for steps := 0; steps <= len(lm.waiting)+1; steps++ {
+// wouldCycle reports whether firstHolder (transitively) waits for
+// txID. Called with g.mu held. Each transaction waits on at most one
+// object, so the graph is a set of chains; walk ours.
+func (g *waitGraph) wouldCycle(txID, firstHolder uint64) bool {
+	cur := firstHolder
+	for steps := 0; steps <= len(g.waiting)+1; steps++ {
 		if cur == txID {
 			return true
 		}
-		oid, waits := lm.waiting[cur]
+		oid, waits := g.waiting[cur]
 		if !waits {
 			return false
 		}
-		next, held := lm.holder[oid]
+		next, held := g.holderOf[oid]
 		if !held {
 			return false
 		}
@@ -90,29 +105,191 @@ func (lm *lockManager) wouldCycle(txID, holder uint64) bool {
 	return true // defensive: treat an over-long walk as a cycle
 }
 
-// releaseAll drops every lock txID holds and wakes waiters.
-func (lm *lockManager) releaseAll(txID uint64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	for oid, h := range lm.holder {
-		if h == txID {
-			delete(lm.holder, oid)
-		}
+// lockManager grants exclusive, reentrant object locks.
+type lockManager struct {
+	shards [numLockShards]lockShard
+	txs    [numLockShards]txShard
+	graph  waitGraph
+}
+
+func newLockManager() *lockManager {
+	lm := &lockManager{}
+	for i := range lm.shards {
+		lm.shards[i].holder = make(map[store.OID]uint64)
+		lm.shards[i].waitq = make(map[store.OID][]chan struct{})
+		lm.shards[i].mirrored = make(map[store.OID]bool)
 	}
-	delete(lm.waiting, txID)
-	lm.cond.Broadcast()
+	for i := range lm.txs {
+		lm.txs[i].held = make(map[uint64]map[store.OID]struct{})
+	}
+	lm.graph.waiting = make(map[uint64]store.OID)
+	lm.graph.holderOf = make(map[store.OID]uint64)
+	return lm
+}
+
+func (lm *lockManager) shardOf(oid store.OID) *lockShard {
+	return &lm.shards[uint64(oid)%numLockShards]
+}
+
+func (lm *lockManager) txShardOf(txID uint64) *txShard {
+	return &lm.txs[txID%numLockShards]
+}
+
+// lock blocks until txID holds oid exclusively. Reentrant acquisition
+// returns immediately. A request that would close a waits-for cycle
+// fails with ErrDeadlock instead of blocking.
+func (lm *lockManager) lock(txID uint64, oid store.OID) error {
+	sh := lm.shardOf(oid)
+	sh.mu.Lock()
+	for {
+		h, held := sh.holder[oid]
+		if !held {
+			sh.holder[oid] = txID
+			if sh.mirrored[oid] {
+				lm.graph.mu.Lock()
+				if len(sh.waitq[oid]) > 0 {
+					lm.graph.holderOf[oid] = txID
+				} else {
+					delete(lm.graph.holderOf, oid)
+					delete(sh.mirrored, oid)
+				}
+				lm.graph.mu.Unlock()
+			}
+			sh.mu.Unlock()
+			lm.noteHeld(txID, oid)
+			return nil
+		}
+		if h == txID {
+			sh.mu.Unlock()
+			return nil // reentrant
+		}
+		// Contended: publish our waiting edge (and the holder mirror)
+		// and check for a cycle in one graph critical section.
+		lm.graph.mu.Lock()
+		if lm.graph.wouldCycle(txID, h) {
+			lm.graph.mu.Unlock()
+			sh.mu.Unlock()
+			return ErrDeadlock
+		}
+		lm.graph.waiting[txID] = oid
+		lm.graph.holderOf[oid] = h
+		lm.graph.mu.Unlock()
+		sh.mirrored[oid] = true
+		ch := make(chan struct{})
+		sh.waitq[oid] = append(sh.waitq[oid], ch)
+		sh.mu.Unlock()
+		<-ch
+		sh.mu.Lock()
+		lm.graph.mu.Lock()
+		delete(lm.graph.waiting, txID)
+		lm.graph.mu.Unlock()
+	}
+}
+
+// noteHeld records a freshly granted lock in txID's held set. Called
+// without any shard mutex held; safe because a transaction acquires
+// and releases its locks from a single goroutine.
+func (lm *lockManager) noteHeld(txID uint64, oid store.OID) {
+	ts := lm.txShardOf(txID)
+	ts.mu.Lock()
+	set, ok := ts.held[txID]
+	if !ok {
+		set = make(map[store.OID]struct{}, 4)
+		ts.held[txID] = set
+	}
+	set[oid] = struct{}{}
+	ts.mu.Unlock()
+}
+
+// releaseAll drops every lock txID holds and wakes one waiter per
+// freed object. O(locks held by txID).
+func (lm *lockManager) releaseAll(txID uint64) {
+	ts := lm.txShardOf(txID)
+	ts.mu.Lock()
+	held := ts.held[txID]
+	delete(ts.held, txID)
+	ts.mu.Unlock()
+
+	// Defensive: a victim that saw ErrDeadlock has already removed its
+	// waiting edge, but clear any leftover.
+	lm.graph.mu.Lock()
+	delete(lm.graph.waiting, txID)
+	lm.graph.mu.Unlock()
+
+	for oid := range held {
+		sh := lm.shardOf(oid)
+		sh.mu.Lock()
+		if sh.holder[oid] != txID {
+			sh.mu.Unlock()
+			continue
+		}
+		delete(sh.holder, oid)
+		if sh.mirrored[oid] {
+			lm.graph.mu.Lock()
+			delete(lm.graph.holderOf, oid)
+			lm.graph.mu.Unlock()
+		}
+		if q := sh.waitq[oid]; len(q) > 0 {
+			ch := q[0]
+			if len(q) == 1 {
+				delete(sh.waitq, oid)
+			} else {
+				sh.waitq[oid] = q[1:]
+			}
+			close(ch)
+		} else if sh.mirrored[oid] {
+			delete(sh.mirrored, oid)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // holds reports whether txID currently holds oid (for tests and
 // assertions).
 func (lm *lockManager) holds(txID uint64, oid store.OID) bool {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return lm.holder[oid] == txID
+	sh := lm.shardOf(oid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.holder[oid] == txID
+}
+
+// counts reports the total number of held locks and queued waiters
+// across all shards — the quiescence check used by stress tests.
+func (lm *lockManager) counts() (held, waiting int) {
+	for i := range lm.shards {
+		sh := &lm.shards[i]
+		sh.mu.Lock()
+		held += len(sh.holder)
+		for _, q := range sh.waitq {
+			waiting += len(q)
+		}
+		sh.mu.Unlock()
+	}
+	return held, waiting
+}
+
+// graphSizes reports the waits-for graph population (edges, mirrored
+// holders) — zero at quiescence.
+func (lm *lockManager) graphSizes() (edges, mirrors int) {
+	lm.graph.mu.Lock()
+	defer lm.graph.mu.Unlock()
+	return len(lm.graph.waiting), len(lm.graph.holderOf)
+}
+
+// heldSets reports the number of transactions with a non-empty held
+// set — zero at quiescence.
+func (lm *lockManager) heldSets() int {
+	n := 0
+	for i := range lm.txs {
+		ts := &lm.txs[i]
+		ts.mu.Lock()
+		n += len(ts.held)
+		ts.mu.Unlock()
+	}
+	return n
 }
 
 func (lm *lockManager) String() string {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
-	return fmt.Sprintf("lockManager{held=%d, waiting=%d}", len(lm.holder), len(lm.waiting))
+	held, waiting := lm.counts()
+	return fmt.Sprintf("lockManager{held=%d, waiting=%d}", held, waiting)
 }

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E11Row is one parallel-posting measurement: the banking workload of
+// E10 driven by Goroutines concurrent transactions over disjoint
+// object partitions.
+type E11Row struct {
+	Goroutines int     `json:"goroutines"`
+	Persistent bool    `json:"persistent"`
+	Calls      int     `json:"calls"`
+	Firings    uint64  `json:"firings"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1"`
+}
+
+// RunE11 measures engine posting throughput at each goroutine count in
+// gs: every goroutine owns a disjoint partition of objects and runs
+// txsPerG transactions of 4 method calls each. With persistent set the
+// engine commits through the WAL (group commit coalesces the
+// concurrent Syncs). After every run the per-trigger metrics are
+// reconciled against the engine counters — firings and latency
+// histogram counts must equal Stats().Firings exactly — so the
+// observability pipeline doubles as the concurrency regression oracle.
+func RunE11(txsPerG, objectsPerG int, seed int64, persistent bool, gs []int) ([]E11Row, error) {
+	rows := make([]E11Row, 0, len(gs))
+	var base float64
+	for _, g := range gs {
+		r, err := runE11Once(txsPerG, objectsPerG, seed, persistent, g)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = r.OpsPerSec
+		}
+		r.Speedup = r.OpsPerSec / base
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func runE11Once(txsPerG, objectsPerG int, seed int64, persistent bool, g int) (E11Row, error) {
+	var dir string
+	if persistent {
+		d, err := os.MkdirTemp("", "ode-e11-*")
+		if err != nil {
+			return E11Row{}, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	eng, err := engine.New(engine.Options{Dir: dir})
+	if err != nil {
+		return E11Row{}, err
+	}
+	defer eng.Close()
+
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{
+			{Name: "Large", Perpetual: true, Event: "after withdraw(a) && a > 100"},
+			{Name: "Pair", Perpetual: true, Event: "prior(after deposit, after withdraw)"},
+			{Name: "AnyDep", Perpetual: true, Event: "after deposit"},
+		},
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("a").AsInt()))
+			},
+			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{
+			"Large":  func(*engine.ActionCtx) error { return nil },
+			"Pair":   func(*engine.ActionCtx) error { return nil },
+			"AnyDep": func(*engine.ActionCtx) error { return nil },
+		},
+	}
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E11Row{}, err
+	}
+
+	oids := make([]store.OID, g*objectsPerG)
+	err = eng.Transact(func(tx *engine.Tx) error {
+		for i := range oids {
+			oid, err := tx.NewObject("account", nil)
+			if err != nil {
+				return err
+			}
+			oids[i] = oid
+			for _, tr := range cls.Triggers {
+				if err := tx.Activate(oid, tr.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E11Row{}, err
+	}
+
+	// Warm the engine (lazy allocations, first-touch page faults, WAL
+	// file growth) so the timed phase compares steady states across
+	// goroutine counts.
+	err = eng.Transact(func(tx *engine.Tx) error {
+		for j := 0; j < 64; j++ {
+			if _, err := tx.Call(oids[j%len(oids)], "deposit", value.Int(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E11Row{}, err
+	}
+
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := oids[w*objectsPerG : (w+1)*objectsPerG]
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < txsPerG; i++ {
+				err := eng.Transact(func(tx *engine.Tx) error {
+					for j := 0; j < 4; j++ {
+						oid := part[rng.Intn(len(part))]
+						amount := value.Int(int64(rng.Intn(300)))
+						method := "deposit"
+						if rng.Intn(2) == 0 {
+							method = "withdraw"
+						}
+						if _, err := tx.Call(oid, method, amount); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return E11Row{}, err
+		}
+	}
+
+	stats := eng.Stats()
+	snap := eng.Metrics().Snapshot()
+	var firings, latCount uint64
+	for _, ts := range snap.Triggers {
+		firings += ts.Firings
+		latCount += ts.Latency.Count
+	}
+	if firings != stats.Firings || latCount != stats.Firings {
+		return E11Row{}, fmt.Errorf(
+			"workload: E11 metric invariant broken at %d goroutines: per-trigger firings %d, latency counts %d, stats firings %d",
+			g, firings, latCount, stats.Firings)
+	}
+
+	calls := g * txsPerG * 4
+	return E11Row{
+		Goroutines: g,
+		Persistent: persistent,
+		Calls:      calls,
+		Firings:    stats.Firings,
+		OpsPerSec:  float64(calls) / elapsed.Seconds(),
+	}, nil
+}
+
+// E11CPUs reports the parallelism available to the run — recorded next
+// to the numbers, since parallel speedup is bounded by it.
+func E11CPUs() (gomaxprocs, numCPU int) {
+	return runtime.GOMAXPROCS(0), runtime.NumCPU()
+}

@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// TestRunE11 exercises the parallel driver end to end at small scale —
+// volatile and persistent — relying on RunE11's internal metric
+// reconciliation as the correctness oracle.
+func TestRunE11(t *testing.T) {
+	for _, persistent := range []bool{false, true} {
+		rows, err := RunE11(20, 4, 7, persistent, []int{1, 2, 4})
+		if err != nil {
+			t.Fatalf("persistent=%v: %v", persistent, err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("persistent=%v: got %d rows", persistent, len(rows))
+		}
+		for _, r := range rows {
+			if r.Persistent != persistent {
+				t.Errorf("row %+v: wrong persistent flag", r)
+			}
+			if r.Calls != r.Goroutines*20*4 {
+				t.Errorf("row %+v: wrong call count", r)
+			}
+			if r.OpsPerSec <= 0 {
+				t.Errorf("row %+v: non-positive throughput", r)
+			}
+			if r.Firings == 0 {
+				t.Errorf("row %+v: workload fired no triggers", r)
+			}
+		}
+	}
+}

@@ -180,6 +180,10 @@ type Options struct {
 	// endpoint on that address ("auto" binds a free localhost port;
 	// see Database.ServeDebug).
 	DebugAddr string
+	// DisableGroupCommit turns off WAL group commit: every durable
+	// commit performs its own write and sync instead of coalescing
+	// with concurrent committers.
+	DisableGroupCommit bool
 }
 
 // Database is an active object database.
@@ -190,13 +194,14 @@ type Database struct {
 // Open creates or reopens a database.
 func Open(opts Options) (*Database, error) {
 	eng, err := engine.New(engine.Options{
-		Dir:              opts.Dir,
-		Start:            opts.Start,
-		RecordHistories:  opts.RecordHistories,
-		ShadowOracle:     opts.ShadowOracle,
-		CombinedAutomata: opts.CombinedAutomata,
-		TraceBuffer:      opts.TraceBuffer,
-		DebugAddr:        opts.DebugAddr,
+		Dir:                opts.Dir,
+		Start:              opts.Start,
+		RecordHistories:    opts.RecordHistories,
+		ShadowOracle:       opts.ShadowOracle,
+		CombinedAutomata:   opts.CombinedAutomata,
+		TraceBuffer:        opts.TraceBuffer,
+		DebugAddr:          opts.DebugAddr,
+		DisableGroupCommit: opts.DisableGroupCommit,
 	})
 	if err != nil {
 		return nil, err
