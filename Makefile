@@ -20,8 +20,10 @@ race:
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race
 
-# Engine benchmarks plus the E11 parallel-posting numbers (committed
-# as BENCH_PR2.json).
+# Engine benchmarks plus the E12 hot-path and E11 parallel-posting
+# numbers (committed as BENCH_PR3.json; BENCH_PR2.json is the previous
+# PR's baseline and is regenerated with
+# `go run ./cmd/odebench -exp E11 -out BENCH_PR2.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E11 -out BENCH_PR2.json
+	$(GO) run ./cmd/odebench -exp E12 -out BENCH_PR3.json

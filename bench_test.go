@@ -188,6 +188,69 @@ func BenchmarkEngineMethodCall(b *testing.B) {
 	}
 }
 
+// E12: the posting hot path — compiled mask programs, per-kind
+// dispatch tables and dense trigger slots versus the AST-interpreter
+// baseline (Options.InterpretedMasks). "nonfiring" is the PR's target
+// case: a masked happening whose predicate rejects, i.e. pure
+// monitoring overhead on every method call.
+func BenchmarkEngineHotPath(b *testing.B) {
+	for _, scenario := range []struct {
+		name    string
+		trigger string
+	}{
+		{"nonfiring", "Big(): perpetual after deposit(n) && n > 1000000 ==> act"},
+		{"firing", "Any(): perpetual after deposit(n) && n >= 0 ==> act"},
+	} {
+		for _, interpreted := range []bool{false, true} {
+			mode := "compiled"
+			if interpreted {
+				mode = "interpreted"
+			}
+			b.Run(fmt.Sprintf("%s/%s", scenario.name, mode), func(b *testing.B) {
+				db, err := ode.Open(ode.Options{InterpretedMasks: interpreted})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				err = db.NewClass("account").
+					Field("balance", ode.KindInt, ode.Int(0)).
+					Update("deposit", func(ctx *ode.MethodCtx) (ode.Value, error) {
+						v, _ := ctx.Get("balance")
+						return ode.Null(), ctx.Set("balance", ode.Int(v.AsInt()+ctx.Arg("n").AsInt()))
+					}, ode.P("n", ode.KindInt)).
+					Trigger(scenario.trigger, func(*ode.ActionCtx) error { return nil }).
+					Register()
+				if err != nil {
+					b.Fatal(err)
+				}
+				var acct ode.OID
+				if err := db.Transact(func(tx *ode.Tx) error {
+					name := "Big"
+					if scenario.name == "firing" {
+						name = "Any"
+					}
+					var err error
+					if acct, err = tx.NewObject("account", nil); err != nil {
+						return err
+					}
+					return tx.Activate(acct, name)
+				}); err != nil {
+					b.Fatal(err)
+				}
+				tx := db.Begin()
+				defer tx.Abort()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					if _, err := tx.Call(acct, "deposit", ode.Int(1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // E11: concurrent posting throughput over disjoint object partitions.
 // Each goroutine owns its own objects, so the sharded lock manager and
 // striped store should let throughput scale with goroutines on a

@@ -15,12 +15,16 @@
 //	E11 parallel posting: ops/sec at 1/2/4/8 goroutines over disjoint
 //	    object partitions, volatile and persistent (group-commit WAL);
 //	    -out writes the rows as JSON (e.g. BENCH_PR2.json)
+//	E12 posting hot path: compiled mask programs + per-kind dispatch +
+//	    dense trigger slots vs the AST-interpreter baseline; -out also
+//	    reruns E11 and writes both as JSON (e.g. BENCH_PR3.json)
 //
 // Usage:
 //
 //	odebench                               # run everything
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
+//	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
 package main
 
 import (
@@ -35,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E11); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11 results as JSON to this file")
 	flag.Parse()
@@ -55,6 +59,7 @@ func main() {
 		{"E9", e9},
 		{"E10", func() error { return e10(*seed) }},
 		{"E11", func() error { return e11(*seed, *out) }},
+		{"E12", func() error { return e12(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -281,6 +286,56 @@ func e11(seed int64, out string) error {
 		Volatile   []workload.E11Row `json:"volatile"`
 		Persistent []workload.E11Row `json:"persistent"`
 	}{"E11", gomaxprocs, numCPU, volatile, persistent}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+func e12(seed int64, out string) error {
+	rows, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Scenario,
+			r.Mode,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%.2f", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.Firings),
+		})
+	}
+	table("E12 — posting hot path: compiled mask programs + dispatch tables + dense slots vs AST interpreter",
+		[]string{"scenario", "masks", "ns/op", "allocs/op", "firings"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	gs := []int{1, 2, 4, 8}
+	volatile, err := workload.RunE11(250, 32, seed, false, gs)
+	if err != nil {
+		return err
+	}
+	persistent, err := workload.RunE11(100, 32, seed, true, gs)
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		HotPath    []workload.E12Row `json:"hot_path"`
+		Volatile   []workload.E11Row `json:"e11_volatile"`
+		Persistent []workload.E11Row `json:"e11_persistent"`
+	}{"E12", gomaxprocs, numCPU, rows, volatile, persistent}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"ode/internal/event"
 	"ode/internal/evlang"
 	"ode/internal/fa"
+	"ode/internal/mask"
 	"ode/internal/schema"
 	"ode/internal/store"
 )
@@ -35,8 +36,11 @@ const combinedSlot = "__combined"
 // combinedMonitor is the per-class combined automaton.
 type combinedMonitor struct {
 	comb  *compile.Combined
-	order []string       // trigger name per fire-bit
+	order []string       // trigger name per fire-bit (Class.Triggers order)
 	used  map[int]uint32 // kindIx → union of mask bits any trigger needs
+	// progs[kindIx] holds the compiled programs for the used bits
+	// (compiled with no trigger parameters — eligibility forbids them).
+	progs map[int][]*mask.Program
 }
 
 // buildCombined returns nil when the class is ineligible.
@@ -76,10 +80,12 @@ func buildCombined(c *Class) *combinedMonitor {
 // loop.
 func (tx *Tx) stepCombined(c *Class, cm *combinedMonitor, kindIx int,
 	h event.Happening, oid store.OID, rec *store.Record) ([]firedTrigger, error) {
-	// The shared history exists only once some trigger is active.
+	// The shared history exists only once some trigger is active. The
+	// caller (step) has already bound the record's dense slots; order
+	// follows Class.Triggers, so slot j belongs to order[j].
 	anyActive := false
-	for _, name := range cm.order {
-		if act, ok := rec.Triggers[name]; ok && act.Active {
+	for j := range cm.order {
+		if act := rec.Slot(j); act != nil && act.Active {
 			anyActive = true
 			break
 		}
@@ -91,7 +97,7 @@ func (tx *Tx) stepCombined(c *Class, cm *combinedMonitor, kindIx int,
 	if h.Kind.Class == event.KTabort {
 		return nil, nil
 	}
-	bits, err := tx.evalBitsMask(c, cm.used[kindIx], kindIx, h, nil, oid, rec, nil)
+	bits, err := tx.evalBitsMask(c, cm.progs[kindIx], cm.used[kindIx], kindIx, h, nil, nil, oid, rec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -112,15 +118,15 @@ func (tx *Tx) stepCombined(c *Class, cm *combinedMonitor, kindIx int,
 	tx.e.traceStep(tx.tx.ID(), oid, c.Schema.Name, combinedSlot, prev, next, fireMask != 0)
 
 	var fired []firedTrigger
-	for j, name := range cm.order {
+	for j := range cm.order {
 		if fireMask&(1<<uint(j)) == 0 {
 			continue
 		}
-		act, ok := rec.Triggers[name]
-		if !ok || !act.Active {
+		act := rec.Slot(j)
+		if act == nil || !act.Active {
 			continue // suppressed: deactivated triggers do not fire
 		}
-		fired = append(fired, firedTrigger{c.Trigger(name), act})
+		fired = append(fired, firedTrigger{c.Triggers[j], act})
 	}
 	return fired, nil
 }

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+
+	"ode/internal/event"
+	"ode/internal/mask"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// Registration-time compilation of the posting hot path (the paper's §5
+// cost promise is one table lookup and one integer of state per posted
+// event; everything here exists to keep step() at that price):
+//
+//   - dispatch tables: per kind index, the slice of triggers a
+//     happening of that kind can affect at all, folding in the
+//     kind-relevance bitmap and the committed-view/tabort rule so
+//     step() never scans triggers that provably cannot react;
+//   - compiled mask programs: each §5 disjointness mask is lowered once
+//     per (trigger, kind) pair to a mask.Program with names resolved to
+//     dense parameter slots, so evaluation allocates nothing and does
+//     no string-keyed lookups (the AST interpreter in post.go remains
+//     the oracle and the fallback);
+//   - dense trigger slots: each trigger gets a stable index into the
+//     record's slot table so the per-happening activation lookup is an
+//     array index instead of a map probe.
+
+// dispatchEntry is one trigger's precomputed reaction to one kind.
+type dispatchEntry struct {
+	t    *Trigger
+	used uint32 // t.Res.UsedBits[kindIx], hoisted
+	// progs[bit] is the compiled program for the kind's mask bit, nil
+	// where the bit is unused by this trigger. A nil slice means the
+	// kind has no used masks.
+	progs []*mask.Program
+}
+
+// buildDispatch fills c.dispatch. Under the shadow oracle every trigger
+// is dispatched for every kind (the oracle needs the complete symbol
+// history); committed-view triggers are never dispatched tabort events
+// (§6: the aborted history is not part of the committed history).
+func (e *Engine) buildDispatch(c *Class) error {
+	kinds := c.Res.Alphabet.Kinds
+	c.dispatch = make([][]dispatchEntry, len(kinds))
+	for kix := range kinds {
+		for _, t := range c.Triggers {
+			if !e.shadowOracle && !t.relevant[kix] {
+				continue
+			}
+			if t.View == schema.CommittedView && kinds[kix].Kind.Class == event.KTabort {
+				continue
+			}
+			used := t.Res.UsedBits[kix]
+			progs, err := compileMaskProgs(c, kix, used, t.Res.Params)
+			if err != nil {
+				return fmt.Errorf("engine: class %s trigger %s: %w", c.Schema.Name, t.Res.Name, err)
+			}
+			c.dispatch[kix] = append(c.dispatch[kix], dispatchEntry{t: t, used: used, progs: progs})
+		}
+	}
+	return nil
+}
+
+// compileMaskProgs compiles the used mask bits of kind kix for a
+// trigger with the given parameter list (nil for the combined monitor,
+// whose eligibility rules forbid trigger parameters).
+func compileMaskProgs(c *Class, kix int, used uint32, trigParams []string) ([]*mask.Program, error) {
+	if used == 0 {
+		return nil, nil
+	}
+	ki := &c.Res.Alphabet.Kinds[kix]
+	progs := make([]*mask.Program, len(ki.Masks))
+	for bit := range ki.Masks {
+		if used&(1<<bit) == 0 {
+			continue
+		}
+		r := &maskSlotResolver{cls: c.Schema, kind: ki.Kind, rename: ki.Masks[bit].Rename, trig: trigParams}
+		p, err := mask.CompileExpr(ki.Masks[bit].Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		progs[bit] = p
+	}
+	return progs, nil
+}
+
+// compileCombinedProgs compiles the class-wide mask-bit unions the
+// footnote-5 combined monitor evaluates.
+func (e *Engine) compileCombinedProgs(c *Class) error {
+	cm := c.monitor
+	cm.progs = make(map[int][]*mask.Program, len(cm.used))
+	for kix, used := range cm.used {
+		progs, err := compileMaskProgs(c, kix, used, nil)
+		if err != nil {
+			return fmt.Errorf("engine: class %s combined monitor: %w", c.Schema.Name, err)
+		}
+		cm.progs[kix] = progs
+	}
+	return nil
+}
+
+// maskSlotResolver resolves mask variables to dense slots, mirroring
+// maskEnv.Lookup's precedence exactly: a declared formal renames to the
+// schema parameter (no fallthrough on a miss), then the happening's
+// parameters by schema name, then the trigger's activation parameters,
+// then the object's fields.
+type maskSlotResolver struct {
+	cls    *schema.Class
+	kind   event.Kind
+	rename map[string]string
+	trig   []string
+}
+
+func (r *maskSlotResolver) ResolveVar(name string) (mask.Slot, bool) {
+	if r.rename != nil {
+		if schemaName, ok := r.rename[name]; ok {
+			// Like maskEnv: a formal that renames to a name the kind
+			// does not bind is absent, never something else.
+			if ix := r.eventParamIx(schemaName); ix >= 0 {
+				return mask.Slot{Kind: mask.SlotEventParam, Index: ix, Name: schemaName}, true
+			}
+			return mask.Slot{}, false
+		}
+	}
+	if ix := r.eventParamIx(name); ix >= 0 {
+		return mask.Slot{Kind: mask.SlotEventParam, Index: ix, Name: name}, true
+	}
+	for i, p := range r.trig {
+		if p == name {
+			return mask.Slot{Kind: mask.SlotTrigParam, Index: i, Name: name}, true
+		}
+	}
+	for i := range r.cls.Fields {
+		if r.cls.Fields[i].Name == name {
+			return mask.Slot{Kind: mask.SlotField, Index: i, Name: name}, true
+		}
+	}
+	return mask.Slot{}, false
+}
+
+// eventParamIx returns the dense index of a method parameter for the
+// resolver's kind, or -1 (only method happenings carry parameters).
+func (r *maskSlotResolver) eventParamIx(name string) int {
+	if r.kind.Class != event.KMethod {
+		return -1
+	}
+	m := r.cls.Method(r.kind.Method)
+	if m == nil {
+		return -1
+	}
+	for i := range m.Params {
+		if m.Params[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// progHost serves the residual dynamic operations of compiled mask
+// programs. One lives on the Tx and is reused by address so the
+// Host interface conversion never allocates; evalBitsMask saves and
+// restores it by value around each evaluation, which keeps nested
+// evaluations (a mask calling a read method whose posting evaluates
+// further masks) correct.
+type progHost struct {
+	tx   *Tx
+	self store.OID
+	rec  *store.Record
+	cls  *Class
+}
+
+func (h *progHost) Field(ix int, name string) (value.Value, bool) {
+	v, ok := h.rec.Fields[name]
+	return v, ok
+}
+
+func (h *progHost) DotField(base value.Value, name string) (value.Value, error) {
+	return h.tx.maskDotField(base, name)
+}
+
+func (h *progHost) Call(name string, args []value.Value) (value.Value, error) {
+	return h.tx.maskCall(h.cls, h.self, name, args)
+}
+
+// ensureSlots (re)binds the record's dense trigger-slot table to this
+// class's trigger order. Records arrive with no slots (fresh objects,
+// snapshot/WAL recovery, before-image clones keep theirs) and are bound
+// lazily on first posting; the caller must hold the object's
+// transaction lock.
+func (c *Class) ensureSlots(rec *store.Record) {
+	if rec.SlotCount() == len(c.Triggers) {
+		return
+	}
+	rec.ResetSlots(len(c.Triggers))
+	for i, t := range c.Triggers {
+		rec.BindSlot(i, t.Res.Name, rec.Triggers[t.Res.Name])
+	}
+}
+
+// trigDense returns the activation's parameters in declared order,
+// rebuilding the dense slice for records recovered from logs written
+// before it was persisted.
+func trigDense(t *Trigger, act *store.TrigActivation) []value.Value {
+	n := len(t.Res.Params)
+	if n == 0 {
+		return nil
+	}
+	if len(act.Dense) == n {
+		return act.Dense
+	}
+	d := make([]value.Value, n)
+	for i, p := range t.Res.Params {
+		d[i] = act.Params[p]
+	}
+	act.Dense = d
+	return d
+}

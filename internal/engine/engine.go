@@ -116,6 +116,11 @@ type Options struct {
 	// WAL itself instead of coalescing with concurrent committers (see
 	// store.Options).
 	DisableGroupCommit bool
+	// InterpretedMasks makes mask evaluation use the AST interpreter
+	// instead of the programs compiled at registration — the semantic
+	// baseline the compiled path is measured and cross-checked against.
+	// Meant for tests and benchmarks; production leaves it off.
+	InterpretedMasks bool
 }
 
 // Engine is an active object database.
@@ -134,13 +139,15 @@ type Engine struct {
 	whole       map[instanceKey]int
 	wholeShadow map[instanceKey][]int
 
-	shadowOracle bool
-	combined     bool
+	shadowOracle   bool
+	combined       bool
+	interpretMasks bool
 
 	timers *timerTable
 
-	histMu sync.Mutex
-	book   *history.Book
+	// book is written once at open and read per happening; an atomic
+	// pointer keeps recordHappening from serializing parallel posters.
+	book atomic.Pointer[history.Book]
 
 	timerErrMu sync.Mutex
 	timerErrs  []error
@@ -174,6 +181,9 @@ type Class struct {
 	parser   *evlang.Parser    // retained for history queries (defines)
 	monitor  *combinedMonitor  // non-nil → footnote-5 combined monitoring
 	met      *obs.ClassMetrics // per-class counters, cached at registration
+	// dispatch[kindIx] lists the triggers a happening of that kind can
+	// affect, with their compiled mask programs (see dispatch.go).
+	dispatch [][]dispatchEntry
 }
 
 // Trigger is one compiled trigger of a class.
@@ -183,6 +193,10 @@ type Trigger struct {
 	View   schema.HistoryView
 	Action ActionFunc
 	met    *obs.TriggerMetrics // per-trigger counters, cached at registration
+	// slot is the trigger's stable index within its class (its position
+	// in Class.Triggers), addressing the record's dense activation
+	// slots without a name-map probe.
+	slot int
 	// relevant[kindIx] reports whether a happening of that kind can
 	// affect this trigger at all: either a disjointness mask must be
 	// evaluated, or the kind's symbol can change the automaton's
@@ -219,16 +233,17 @@ func New(opts Options) (*Engine, error) {
 		funcs:        map[string]MaskFunc{},
 		whole:        map[instanceKey]int{},
 		wholeShadow:  map[instanceKey][]int{},
-		shadowOracle: opts.ShadowOracle,
-		combined:     opts.CombinedAutomata && !opts.ShadowOracle,
-		metrics:      obs.NewRegistry(),
+		shadowOracle:   opts.ShadowOracle,
+		combined:       opts.CombinedAutomata && !opts.ShadowOracle,
+		interpretMasks: opts.InterpretedMasks,
+		metrics:        obs.NewRegistry(),
 	}
 	e.timers = newTimerTable(e)
 	switch {
 	case opts.RecordHistories > 0:
-		e.book = history.NewBook(opts.RecordHistories)
+		e.book.Store(history.NewBook(opts.RecordHistories))
 	case opts.RecordHistories < 0:
-		e.book = history.NewBook(0)
+		e.book.Store(history.NewBook(0))
 	}
 	if opts.TraceBuffer != 0 {
 		e.EnableTracing(opts.TraceBuffer)
@@ -292,7 +307,10 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 		ps = evlang.ForClass(cls)
 	} else {
 		// The parser may be shared across classes (a common define
-		// set); the method list is always this class's own.
+		// set); the method list is always this class's own, so work on
+		// a clone — setting Methods on the caller's parser in place
+		// races with a concurrent registration sharing it.
+		ps = ps.Clone()
 		ps.Methods = map[string]bool{}
 		for _, m := range cls.Methods {
 			ps.Methods[m.Name] = true
@@ -322,6 +340,7 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 			View:   view,
 			Action: action,
 			met:    e.metrics.Trigger(cls.Name, tr.Name),
+			slot:   len(c.Triggers),
 		}
 		// Kind-relevance bitmap: a kind matters if the trigger's
 		// expression evaluates a mask on it, or if its (mask-free)
@@ -337,6 +356,14 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 	}
 	if e.combined {
 		c.monitor = buildCombined(c)
+		if c.monitor != nil {
+			if err := e.compileCombinedProgs(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := e.buildDispatch(c); err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -400,12 +427,11 @@ func (e *Engine) classOf(rec *store.Record) (*Class, error) {
 // History returns the recorded happening log of oid, or nil when
 // recording is disabled or nothing was recorded.
 func (e *Engine) History(oid store.OID) *history.Log {
-	e.histMu.Lock()
-	defer e.histMu.Unlock()
-	if e.book == nil {
+	book := e.book.Load()
+	if book == nil {
 		return nil
 	}
-	return e.book.Peek(oid)
+	return book.Peek(oid)
 }
 
 // TriggerState reports a trigger instance's automaton state and

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ode/internal/event"
+	"ode/internal/evlang"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// TestHotPathAllocBudget pins the PR's allocation contract: posting a
+// masked happening that does not fire allocates zero heap objects on
+// the volatile path (compiled mask program, dense trigger slot, no
+// maskEnv, no firing scratch).
+func TestHotPathAllocBudget(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		schema.Trigger{Name: "Big", Perpetual: true, Event: "after deposit(n) && n > 100"})
+	e := newEngine(t, Options{})
+	oid := setup(t, e, cls, impl, "Big")
+
+	tx := e.Begin()
+	defer tx.Abort()
+	r, err := tx.access(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := event.Happening{
+		Kind:   event.MethodKind(event.After, "deposit"),
+		Params: map[string]value.Value{"amount": value.Int(1)},
+		Dense:  []value.Value{value.Int(1)},
+		TxID:   tx.ID(),
+		At:     e.clk.Now(),
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		fired, err := tx.step(oid, r, h, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fired {
+			t.Fatal("mask n > 100 must not pass for n = 1")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("masked non-firing happening allocates %.2f objects/op; want 0", avg)
+	}
+	if rec.count() != 0 {
+		t.Fatalf("no trigger should have fired, got %v", rec.list())
+	}
+}
+
+// errInject aborts a workload transaction on purpose.
+var errInject = errors.New("injected abort")
+
+// runMaskWorkload drives a deterministic randomized mix of deposits,
+// withdrawals, re-activations and aborts against three accounts and
+// returns the firing log and final balances.
+func runMaskWorkload(t *testing.T, interpreted bool) ([]string, []int64) {
+	t.Helper()
+	rec := &recorder{}
+	triggers := []schema.Trigger{
+		// Event param against an activation param.
+		{Name: "Big", Perpetual: true, Event: "after deposit(n) && n > lim",
+			Params: []schema.Param{{Name: "lim", Kind: value.KindInt}}},
+		// Schema parameter name directly, plus an object field.
+		{Name: "Poor", Perpetual: true, Event: "after withdraw(amount) && balance < 500"},
+		// Composite with a mask on one constituent; ordinary, so it
+		// deactivates on firing and gets re-activated by the workload.
+		{Name: "Seq", Event: "relative(after deposit(n) && n > 200, after withdraw)"},
+		// A mask that calls a class-level function.
+		{Name: "Dbl", Perpetual: true, Event: "after deposit(n) && twice(n) > 300"},
+	}
+	cls, impl := accountClass(rec, triggers...)
+	impl.Funcs = map[string]MaskFunc{
+		"twice": func(args []value.Value) (value.Value, error) {
+			if len(args) != 1 || args[0].Kind != value.KindInt {
+				return value.Null(), fmt.Errorf("twice wants one int")
+			}
+			return value.Int(2 * args[0].AsInt()), nil
+		},
+	}
+	for _, tr := range triggers {
+		name := tr.Name
+		impl.Actions[name] = func(ctx *ActionCtx) error {
+			rec.add(fmt.Sprintf("%s@%d %s", ctx.Trigger, ctx.Self, ctx.EventKind))
+			return nil
+		}
+	}
+
+	e := newEngine(t, Options{InterpretedMasks: interpreted})
+	if _, err := e.RegisterClass(cls, impl, nil); err != nil {
+		t.Fatal(err)
+	}
+	var accts []store.OID
+	err := e.Transact(func(tx *Tx) error {
+		for i := 0; i < 3; i++ {
+			oid, err := tx.NewObject("account", map[string]value.Value{"balance": value.Int(600)})
+			if err != nil {
+				return err
+			}
+			if err := tx.Activate(oid, "Big", value.Int(int64(100+100*i))); err != nil {
+				return err
+			}
+			for _, name := range []string{"Poor", "Seq", "Dbl"} {
+				if err := tx.Activate(oid, name); err != nil {
+					return err
+				}
+			}
+			accts = append(accts, oid)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(92))
+	for i := 0; i < 300; i++ {
+		err := e.Transact(func(tx *Tx) error {
+			oid := accts[rng.Intn(len(accts))]
+			switch rng.Intn(8) {
+			case 0, 1, 2:
+				_, err := tx.Call(oid, "deposit", value.Int(int64(rng.Intn(400))))
+				return err
+			case 3, 4:
+				_, err := tx.Call(oid, "withdraw", value.Int(int64(rng.Intn(300))))
+				return err
+			case 5:
+				// Restart the composite (it deactivates on firing) and
+				// re-parameterize Big.
+				if err := tx.Activate(oid, "Seq"); err != nil {
+					return err
+				}
+				return tx.Activate(oid, "Big", value.Int(int64(50+rng.Intn(300))))
+			case 6:
+				_, err := tx.Call(oid, "deposit", value.Int(int64(rng.Intn(400))))
+				if err != nil {
+					return err
+				}
+				return errInject // exercise the abort path mid-history
+			default:
+				_, err := tx.Call(oid, "getBalance")
+				return err
+			}
+		})
+		if err != nil && !errors.Is(err, errInject) {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+
+	var balances []int64
+	err = e.Transact(func(tx *Tx) error {
+		for _, oid := range accts {
+			b, err := tx.Get(oid, "balance")
+			if err != nil {
+				return err
+			}
+			balances = append(balances, b.AsInt())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.list(), balances
+}
+
+// TestCompiledMasksMatchInterpreter is the acceptance check that the
+// compiled hot path (mask programs + dispatch tables + dense slots)
+// produces firing sequences identical to the AST-interpreter baseline
+// over a randomized workload.
+func TestCompiledMasksMatchInterpreter(t *testing.T) {
+	logC, balC := runMaskWorkload(t, false)
+	logI, balI := runMaskWorkload(t, true)
+	if !reflect.DeepEqual(logC, logI) {
+		t.Fatalf("firing sequences diverge:\ncompiled:    %d firings %v\ninterpreted: %d firings %v",
+			len(logC), logC, len(logI), logI)
+	}
+	if !reflect.DeepEqual(balC, balI) {
+		t.Fatalf("final balances diverge: compiled %v, interpreted %v", balC, balI)
+	}
+	if len(logC) == 0 {
+		t.Fatal("workload fired nothing; equivalence untested")
+	}
+	t.Logf("identical firing sequences (%d firings)", len(logC))
+}
+
+// TestRegisterClassSharedParserConcurrent: registering two classes that
+// share one define-set parser must not mutate the shared parser (the
+// old in-place Methods assignment was a data race under -race).
+func TestRegisterClassSharedParserConcurrent(t *testing.T) {
+	ps := evlang.NewParser()
+	if err := ps.Define("dep", "after deposit"); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, Options{})
+	recA, recB := &recorder{}, &recorder{}
+	clsA, implA := accountClass(recA, schema.Trigger{Name: "A", Perpetual: true, Event: "dep"})
+	clsB, implB := accountClass(recB, schema.Trigger{Name: "B", Perpetual: true, Event: "dep"})
+	clsB.Name = "account2"
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = e.RegisterClass(clsA, implA, ps)
+	}()
+	go func() {
+		defer wg.Done()
+		_, errs[1] = e.RegisterClass(clsB, implB, ps)
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("registration %d: %v", i, err)
+		}
+	}
+	if ps.Methods != nil {
+		t.Fatalf("shared parser's Methods mutated in place: %v", ps.Methods)
+	}
+}

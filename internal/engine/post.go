@@ -7,6 +7,7 @@ import (
 	"ode/internal/algebra"
 	"ode/internal/event"
 	"ode/internal/history"
+	"ode/internal/mask"
 	"ode/internal/obs"
 	"ode/internal/schema"
 	"ode/internal/store"
@@ -40,6 +41,11 @@ func (c *MethodCtx) Set(field string, v value.Value) error { return c.Tx.Set(c.S
 // happening's parameters is the cheap four-fifths of that feature
 // (collecting values from *earlier* constituent events would require
 // augmenting the automaton state and is deliberately not done).
+//
+// The context is valid only for the duration of the action call: the
+// engine reuses its storage across firings, so actions must not retain
+// the pointer (the Params and EventParams maps themselves are stable
+// and may be kept).
 type ActionCtx struct {
 	Tx      *Tx
 	Self    store.OID
@@ -84,13 +90,16 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 	c.met.Happening()
 	tx.e.traceHappening(tx.tx.ID(), oid, rec.Class, h.Kind)
 
-	var fired []firedTrigger
+	// Dense trigger slots: bind the record's slot table lazily (fresh
+	// objects and recovered records arrive unbound). We hold the
+	// object's transaction lock here.
+	c.ensureSlots(rec)
+
 	if cm := c.monitor; cm != nil {
 		// Footnote-5 combined monitoring: one transition for all
 		// triggers (eligibility rules in combined.go guarantee
 		// onlyTrigger never applies here).
-		var err error
-		fired, err = tx.stepCombined(c, cm, kindIx, h, oid, rec)
+		fired, err := tx.stepCombined(c, cm, kindIx, h, oid, rec)
 		if err != nil {
 			return false, err
 		}
@@ -99,34 +108,34 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		}
 		return len(fired) > 0, nil
 	}
-	for _, t := range c.Triggers {
+
+	// Fired triggers accumulate in the Tx's scratch arena with stack
+	// discipline: this call appends from base and truncates back on
+	// every return, so nested postings (from mask-called read methods
+	// or fired actions) stack above us without allocating.
+	base := len(tx.fired)
+	for i := range c.dispatch[kindIx] {
+		// The dispatch table has already folded in kind relevance
+		// (irrelevant kinds cannot change the instance's behavior; see
+		// compile.InertSymbol — disabled under the shadow oracle, which
+		// needs complete symbol histories) and the committed-view rule
+		// that aborted histories are invisible (§6).
+		d := &c.dispatch[kindIx][i]
+		t := d.t
 		if onlyTrigger != "" && t.Res.Name != onlyTrigger {
 			continue
 		}
-		// Kind-relevance skipping: a kind that needs no mask evaluation
-		// and whose symbol is inert for this automaton (compile
-		// .InertSymbol) cannot change the instance's behavior, so the
-		// trigger is skipped without touching its state. Disabled under
-		// the shadow oracle, which needs the complete symbol history.
-		if !tx.e.shadowOracle && !t.relevant[kindIx] {
+		act := rec.Slot(t.slot)
+		if act == nil || !act.Active {
 			continue
 		}
-		act, ok := rec.Triggers[t.Res.Name]
-		if !ok || !act.Active {
-			continue
-		}
-		// Committed-view instances never see abort events: the aborted
-		// transaction's history — its abort included — is not part of
-		// the committed history (§6).
-		if t.View == schema.CommittedView && h.Kind.Class == event.KTabort {
-			continue
-		}
-		bits, err := tx.evalBits(c, t, kindIx, h, act, oid, rec)
+		bits, err := tx.evalBits(c, d, kindIx, h, act, oid, rec)
 		if err != nil {
+			tx.fired = tx.fired[:base]
 			return false, fmt.Errorf("engine: trigger %s mask: %w", t.Res.Name, err)
 		}
-		if used := t.Res.UsedBits[kindIx]; used != 0 {
-			tx.e.traceMask(tx.tx.ID(), oid, rec.Class, t.Res.Name, used, bits)
+		if d.used != 0 {
+			tx.e.traceMask(tx.tx.ID(), oid, rec.Class, t.Res.Name, d.used, bits)
 		}
 		sym := c.Res.Alphabet.Symbol(kindIx, bits)
 
@@ -159,14 +168,16 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		tx.e.traceStep(tx.tx.ID(), oid, rec.Class, t.Res.Name, prev, next, accepted)
 		if tx.e.shadowOracle {
 			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {
+				tx.fired = tx.fired[:base]
 				return false, err
 			}
 		}
 		if accepted {
-			fired = append(fired, firedTrigger{t, act})
+			tx.fired = append(tx.fired, firedTrigger{t, act})
 		}
 	}
 
+	fired := tx.fired[base:]
 	// "We determine all the trigger events that have occurred, and
 	// then we fire the triggers" (§5): deactivations happen before any
 	// action runs, so an action re-activating a trigger is preserved.
@@ -176,10 +187,13 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			tx.e.timers.disarm(oid, f.t)
 		}
 	}
-	if err := tx.fire(oid, rec.Class, h, fired); err != nil {
+	err = tx.fire(oid, rec.Class, h, fired)
+	n := len(fired)
+	tx.fired = tx.fired[:base]
+	if err != nil {
 		return true, err
 	}
-	return len(fired) > 0, nil
+	return n > 0, nil
 }
 
 // fire executes the actions of the collected triggers, recording each
@@ -188,14 +202,20 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 // pre-existing semantics: a failing action aborts the posting.
 func (tx *Tx) fire(oid store.OID, class string, h event.Happening, fired []firedTrigger) error {
 	for _, f := range fired {
-		ctx := &ActionCtx{
+		// The ActionCtx lives on the Tx and is reused across firings;
+		// save/restore by value keeps nested firings (an action whose
+		// method call fires further triggers) correct. Actions must not
+		// retain the pointer past their return (documented on the type).
+		saved := tx.actCtx
+		tx.actCtx = ActionCtx{
 			Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
 			EventKind: h.Kind.String(), EventParams: h.Params,
 		}
 		tx.e.stats.firings.Add(1)
 		start := time.Now()
-		err := f.t.Action(ctx)
+		err := f.t.Action(&tx.actCtx)
 		d := time.Since(start)
+		tx.actCtx = saved
 		f.t.met.Fire(d, err)
 		tx.e.traceFire(tx.tx.ID(), oid, class, f.t.Res.Name, d, err)
 		if err != nil {
@@ -209,38 +229,60 @@ func (tx *Tx) fire(oid store.OID, class string, h event.Happening, fired []fired
 // expression depends on for the happening's kind, producing the mask
 // valuation bits of the symbol. Foreign triggers' bits are left zero —
 // this trigger's automaton provably does not distinguish them.
-func (tx *Tx) evalBits(c *Class, t *Trigger, kindIx int, h event.Happening,
+func (tx *Tx) evalBits(c *Class, d *dispatchEntry, kindIx int, h event.Happening,
 	act *store.TrigActivation, oid store.OID, rec *store.Record) (uint32, error) {
-	return tx.evalBitsMask(c, t.Res.UsedBits[kindIx], kindIx, h, act.Params, oid, rec, t.met)
+	if d.used == 0 {
+		return 0, nil
+	}
+	return tx.evalBitsMask(c, d.progs, d.used, kindIx, h, act.Params, trigDense(d.t, act), oid, rec, d.t.met)
 }
 
-// evalBitsMask evaluates exactly the mask bits in used; trigParams may
-// be nil (combined monitoring forbids trigger parameters), as may met
-// (combined monitoring evaluates the class-wide bit union, which
-// belongs to no single trigger).
-func (tx *Tx) evalBitsMask(c *Class, used uint32, kindIx int, h event.Happening,
-	trigParams map[string]value.Value, oid store.OID, rec *store.Record,
+// evalBitsMask evaluates exactly the mask bits in used. The compiled
+// programs run when available (progs[bit] resolved at registration) and
+// the happening carries its dense parameter slice; otherwise — under
+// Options.InterpretedMasks, or for hand-built happenings with map-only
+// parameters — each bit falls back to the AST interpreter, the
+// semantic oracle. trigParams/trigDense may be nil (combined monitoring
+// forbids trigger parameters), as may met (combined monitoring
+// evaluates the class-wide bit union, which belongs to no single
+// trigger).
+func (tx *Tx) evalBitsMask(c *Class, progs []*mask.Program, used uint32, kindIx int, h event.Happening,
+	trigParams map[string]value.Value, trigDense []value.Value, oid store.OID, rec *store.Record,
 	met *obs.TriggerMetrics) (uint32, error) {
 	if used == 0 {
 		return 0, nil
 	}
 	var bits uint32
 	masks := c.Res.Alphabet.Kinds[kindIx].Masks
+	compiled := progs != nil && !tx.e.interpretMasks && len(h.Dense) == len(h.Params)
 	for bit := range masks {
 		if used&(1<<bit) == 0 {
 			continue
 		}
-		env := &maskEnv{
-			tx:     tx,
-			self:   oid,
-			rec:    rec,
-			cls:    c,
-			params: h.Params,
-			rename: masks[bit].Rename,
-			trig:   trigParams,
-		}
 		tx.e.stats.maskEvals.Add(1)
-		ok, err := masks[bit].Expr.EvalBool(env)
+		var ok bool
+		var err error
+		if compiled && progs[bit] != nil {
+			// The Tx's progHost is reused by address (the Host
+			// interface conversion must not allocate); save/restore by
+			// value keeps nested evaluations — a mask calling a read
+			// method whose postings evaluate further masks — correct.
+			saved := tx.penv
+			tx.penv = progHost{tx: tx, self: oid, rec: rec, cls: c}
+			ok, err = progs[bit].EvalBool(h.Dense, trigDense, &tx.penv)
+			tx.penv = saved
+		} else {
+			env := &maskEnv{
+				tx:     tx,
+				self:   oid,
+				rec:    rec,
+				cls:    c,
+				params: h.Params,
+				rename: masks[bit].Rename,
+				trig:   trigParams,
+			}
+			ok, err = masks[bit].Expr.EvalBool(env)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -275,9 +317,9 @@ func (e *Engine) shadowCheck(oid store.OID, t *Trigger, act *store.TrigActivatio
 }
 
 func (e *Engine) recordHappening(oid store.OID, h event.Happening) {
-	e.histMu.Lock()
-	book := e.book
-	e.histMu.Unlock()
+	// Written once at open, read per happening: an atomic pointer, not
+	// a mutex, so recording never serializes parallel posters.
+	book := e.book.Load()
 	if book == nil {
 		return
 	}
@@ -320,10 +362,21 @@ func (m *maskEnv) Lookup(name string) (value.Value, bool) {
 }
 
 func (m *maskEnv) Field(base value.Value, name string) (value.Value, error) {
+	return m.tx.maskDotField(base, name)
+}
+
+func (m *maskEnv) Call(name string, args []value.Value) (value.Value, error) {
+	return m.tx.maskCall(m.cls, m.self, name, args)
+}
+
+// maskDotField resolves base.name during mask evaluation — shared by
+// the interpreter env above and the compiled-program host (dispatch.go)
+// so the two paths cannot drift.
+func (tx *Tx) maskDotField(base value.Value, name string) (value.Value, error) {
 	if base.Kind != value.KindID {
 		return value.Null(), fmt.Errorf("engine: field access on %s (need an object reference)", base.Kind)
 	}
-	rec, err := m.tx.tx.Peek(store.OID(base.AsID()))
+	rec, err := tx.tx.Peek(store.OID(base.AsID()))
 	if err != nil {
 		return value.Null(), err
 	}
@@ -334,11 +387,14 @@ func (m *maskEnv) Field(base value.Value, name string) (value.Value, error) {
 	return v, nil
 }
 
-func (m *maskEnv) Call(name string, args []value.Value) (value.Value, error) {
-	if fn, ok := m.cls.Impl.Funcs[name]; ok {
+// maskCall invokes a mask function: class-level functions first, then
+// the class's read methods, then engine-global functions. Shared by the
+// interpreter env and the compiled-program host.
+func (tx *Tx) maskCall(cls *Class, self store.OID, name string, args []value.Value) (value.Value, error) {
+	if fn, ok := cls.Impl.Funcs[name]; ok {
 		return fn(args)
 	}
-	if meth := m.cls.Schema.Method(name); meth != nil {
+	if meth := cls.Schema.Method(name); meth != nil {
 		if meth.Mode != schema.ModeRead {
 			return value.Null(), fmt.Errorf("engine: mask calls update method %q; masks must be side-effect-free", name)
 		}
@@ -356,11 +412,11 @@ func (m *maskEnv) Call(name string, args []value.Value) (value.Value, error) {
 		// Invoked directly: a mask-time member call is a condition
 		// evaluation, not an event-generating access (§7 requires
 		// side-effect-free conditions).
-		return m.cls.Impl.Methods[name](&MethodCtx{Tx: m.tx, Self: m.self, Args: bound})
+		return cls.Impl.Methods[name](&MethodCtx{Tx: tx, Self: self, Args: bound})
 	}
-	m.tx.e.mu.RLock()
-	fn, ok := m.tx.e.funcs[name]
-	m.tx.e.mu.RUnlock()
+	tx.e.mu.RLock()
+	fn, ok := tx.e.funcs[name]
+	tx.e.mu.RUnlock()
 	if ok {
 		return fn(args)
 	}

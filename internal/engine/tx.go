@@ -21,6 +21,16 @@ type Tx struct {
 	tx       *txn.Tx
 	aborting bool
 	finished bool
+
+	// Hot-path scratch, reused across postings so the volatile posting
+	// path allocates nothing per masked, non-firing happening. fired
+	// and evArena follow stack discipline (append from a base, truncate
+	// on return), which keeps nested postings correct; penv and actCtx
+	// are reused by address with save/restore by value around each use.
+	fired   []firedTrigger // firing accumulation arena (post.go)
+	evArena []value.Value  // dense event-parameter arena (Call)
+	penv    progHost       // compiled-mask host (dispatch.go)
+	actCtx  ActionCtx      // action context storage (fire)
 }
 
 // Begin starts a transaction.
@@ -165,18 +175,32 @@ func (tx *Tx) Call(oid store.OID, method string, args ...value.Value) (value.Val
 		return value.Null(), fmt.Errorf("engine: %s.%s takes %d argument(s), got %d",
 			rec.Class, method, len(m.Params), len(args))
 	}
-	bound := make(map[string]value.Value, len(args))
-	for i, a := range args {
-		cv, err := coerce(a, m.Params[i].Kind)
-		if err != nil {
-			return value.Null(), fmt.Errorf("engine: %s.%s parameter %s: %w", rec.Class, method, m.Params[i].Name, err)
+	// The name-keyed map serves the interpreter oracle, MethodCtx and
+	// ActionCtx; the dense slice serves compiled masks. The slice lives
+	// in the Tx's arena (stack discipline: nested Calls append above
+	// us, the deferred truncation releases our region on return), so a
+	// parameterless call allocates neither.
+	var bound map[string]value.Value
+	var dense []value.Value
+	if len(args) > 0 {
+		bound = make(map[string]value.Value, len(args))
+		arenaBase := len(tx.evArena)
+		defer func() { tx.evArena = tx.evArena[:arenaBase] }()
+		for i, a := range args {
+			cv, err := coerce(a, m.Params[i].Kind)
+			if err != nil {
+				return value.Null(), fmt.Errorf("engine: %s.%s parameter %s: %w", rec.Class, method, m.Params[i].Name, err)
+			}
+			bound[m.Params[i].Name] = cv
+			tx.evArena = append(tx.evArena, cv)
 		}
-		bound[m.Params[i].Name] = cv
+		dense = tx.evArena[arenaBase:len(tx.evArena):len(tx.evArena)]
 	}
 
 	before := event.Happening{
 		Kind:   event.MethodKind(event.Before, method),
 		Params: bound,
+		Dense:  dense,
 		TxID:   tx.tx.ID(),
 		At:     tx.e.clk.Now(),
 	}
@@ -192,6 +216,7 @@ func (tx *Tx) Call(oid store.OID, method string, args ...value.Value) (value.Val
 	after := event.Happening{
 		Kind:   event.MethodKind(event.After, method),
 		Params: bound,
+		Dense:  dense,
 		TxID:   tx.tx.ID(),
 		At:     tx.e.clk.Now(),
 	}
@@ -266,9 +291,18 @@ func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) err
 	act.State = t.DFA.Start
 	act.Shadow = nil
 	act.Params = make(map[string]value.Value, len(params))
+	act.Dense = nil
+	if len(params) > 0 {
+		act.Dense = make([]value.Value, len(params))
+	}
 	for i, p := range params {
 		act.Params[t.Res.Params[i]] = p
+		act.Dense[i] = p
 	}
+	// Keep the record's dense slot table pointing at this (possibly
+	// just created) activation.
+	c.ensureSlots(rec)
+	rec.BindSlot(t.slot, trigger, act)
 	if t.View == schema.WholeView {
 		tx.e.wholeMu.Lock()
 		tx.e.whole[instanceKey{oid, trigger}] = t.DFA.Start

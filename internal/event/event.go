@@ -127,6 +127,12 @@ func (k Kind) String() string {
 type Happening struct {
 	Kind   Kind
 	Params map[string]value.Value // method parameters, bound by name
-	TxID   uint64                 // posting transaction (0 for timers)
-	At     time.Time              // database time of the posting
+	// Dense carries the same parameters in the method's declared
+	// order, for compiled mask programs that resolve names to indexes
+	// at class-registration time. Posters that set Params should set
+	// Dense too; consumers must tolerate a nil Dense (recovered or
+	// hand-built happenings) by falling back to Params.
+	Dense []value.Value
+	TxID  uint64    // posting transaction (0 for timers)
+	At    time.Time // database time of the posting
 }

@@ -40,6 +40,25 @@ type Parser struct {
 // NewParser returns a parser with no defines and no known methods.
 func NewParser() *Parser { return &Parser{Defines: map[string]*Event{}} }
 
+// Clone returns a parser sharing no mutable state with ps: the define
+// and method maps are copied (the *Event values are immutable once
+// parsed, so they are shared). Use it when one define-set parser seeds
+// several classes — registering a class must not mutate the shared
+// parser's method set out from under a concurrent registration.
+func (ps *Parser) Clone() *Parser {
+	c := &Parser{Defines: make(map[string]*Event, len(ps.Defines))}
+	for k, v := range ps.Defines {
+		c.Defines[k] = v
+	}
+	if ps.Methods != nil {
+		c.Methods = make(map[string]bool, len(ps.Methods))
+		for k, v := range ps.Methods {
+			c.Methods[k] = v
+		}
+	}
+	return c
+}
+
 // ForClass returns a parser that knows cls's method names.
 func ForClass(cls *schema.Class) *Parser {
 	ps := NewParser()

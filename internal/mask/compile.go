@@ -1,0 +1,419 @@
+package mask
+
+import (
+	"fmt"
+
+	"ode/internal/value"
+)
+
+// Compiled mask programs.
+//
+// The AST interpreter in eval.go resolves every name through a
+// string-keyed Env at each evaluation — fine for the oracle, too slow
+// for the posting hot path. CompileExpr lowers an expression once, at
+// class-registration time, into a tree of closures with every free
+// variable pre-resolved to a slot: an index into the happening's dense
+// parameter slice, an index into the trigger activation's dense
+// parameter slice, or an object-field slot served by the Host. Constant
+// subtrees are folded. The result evaluates with zero heap allocations
+// for call-free expressions.
+//
+// The interpreter remains the semantic oracle: a compiled program must
+// return the same value or the same error string as Expr.Eval over an
+// equivalent environment (see compile_test.go for the property test).
+
+// SlotKind says which dense store a resolved variable reads from.
+type SlotKind uint8
+
+const (
+	// SlotEventParam reads the happening's dense parameter slice.
+	SlotEventParam SlotKind = iota
+	// SlotTrigParam reads the trigger activation's dense parameter slice.
+	SlotTrigParam
+	// SlotField reads an object field through the Host.
+	SlotField
+)
+
+// Slot is a resolved variable location.
+type Slot struct {
+	Kind  SlotKind
+	Index int
+	// Name is the resolved name at the destination (the schema field
+	// name for SlotField, the parameter name otherwise); kept for
+	// diagnostics and for Hosts that store fields by name.
+	Name string
+}
+
+// Resolver maps free variable names to slots at compile time. The
+// engine supplies one per (trigger, event kind) pair since rename maps
+// and parameter layouts differ per pair.
+type Resolver interface {
+	ResolveVar(name string) (Slot, bool)
+}
+
+// Host supplies the residual dynamic operations a compiled program
+// cannot pre-resolve: object-field reads, dotted field projection, and
+// function calls. Implementations should be passed by pointer so the
+// interface conversion does not allocate.
+type Host interface {
+	// Field reads object-field slot ix (name is the schema field name).
+	Field(ix int, name string) (value.Value, bool)
+	// DotField resolves base.name, mirroring Env.Field.
+	DotField(base value.Value, name string) (value.Value, error)
+	// Call invokes a function, mirroring Env.Call.
+	Call(name string, args []value.Value) (value.Value, error)
+}
+
+// progFn is one compiled node. The dense slices are passed down the
+// closure tree by value; nothing escapes, so evaluation of a call-free
+// program performs no heap allocation.
+type progFn func(ev, trig []value.Value, h Host) (value.Value, error)
+
+// Program is a compiled mask expression.
+type Program struct {
+	fn  progFn
+	src *Expr
+}
+
+// String renders the source expression the program was compiled from.
+func (p *Program) String() string { return p.src.String() }
+
+// Eval runs the program. ev and trig are the dense event- and
+// trigger-parameter slices; h serves fields and calls.
+func (p *Program) Eval(ev, trig []value.Value, h Host) (value.Value, error) {
+	return p.fn(ev, trig, h)
+}
+
+// EvalBool runs the program and requires a boolean verdict — the mask
+// checking entry point, mirroring Expr.EvalBool.
+func (p *Program) EvalBool(ev, trig []value.Value, h Host) (bool, error) {
+	v, err := p.fn(ev, trig, h)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != value.KindBool {
+		return false, fmt.Errorf("mask: predicate evaluated to %s, want bool", v.Kind)
+	}
+	return v.AsBool(), nil
+}
+
+// CompileExpr lowers e to a Program with names resolved through r.
+// An unresolvable variable is a compile error: the event-language
+// resolver has already validated static resolvability of every mask
+// variable, so failure here means a resolver bug and should be loud.
+func CompileExpr(e *Expr, r Resolver) (*Program, error) {
+	folded := foldConst(e)
+	fn, err := compileNode(folded, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{fn: fn, src: e}, nil
+}
+
+// foldConst rewrites constant subtrees to literals. Folding evaluates
+// through the interpreter so semantics cannot drift; subtrees whose
+// evaluation errors are left unfolded so the compiled program
+// reproduces the interpreter's runtime error. Calls are never folded
+// (they may be impure), and short-circuit identities (false && x,
+// true || x) drop the unreachable operand exactly as the interpreter
+// would never evaluate it.
+func foldConst(e *Expr) *Expr {
+	switch e.op {
+	case opLit, opVar:
+		return e
+
+	case opField:
+		base := foldConst(e.args[0])
+		if base == e.args[0] {
+			return e
+		}
+		return Field(base, e.name)
+
+	case opCall:
+		args := make([]*Expr, len(e.args))
+		changed := false
+		for i, a := range e.args {
+			args[i] = foldConst(a)
+			changed = changed || args[i] != a
+		}
+		if !changed {
+			return e
+		}
+		return Call(e.name, args...)
+
+	case opUnary:
+		a := foldConst(e.args[0])
+		if a.op == opLit {
+			if v, err := Unary(e.binop, a).Eval(noEnv{}); err == nil {
+				return Lit(v)
+			}
+		}
+		if a == e.args[0] {
+			return e
+		}
+		return Unary(e.binop, a)
+
+	case opBinary:
+		l := foldConst(e.args[0])
+		r := foldConst(e.args[1])
+		if l.op == opLit && l.val.Kind == value.KindBool {
+			b := l.val.AsBool()
+			// The interpreter never evaluates the right operand here,
+			// so dropping it cannot hide a runtime error.
+			if e.binop == "&&" && !b {
+				return Lit(value.Bool(false))
+			}
+			if e.binop == "||" && b {
+				return Lit(value.Bool(true))
+			}
+		}
+		if l.op == opLit && r.op == opLit {
+			if v, err := Binary(e.binop, l, r).Eval(noEnv{}); err == nil {
+				return Lit(v)
+			}
+		}
+		if l == e.args[0] && r == e.args[1] {
+			return e
+		}
+		return Binary(e.binop, l, r)
+
+	default:
+		return e
+	}
+}
+
+// noEnv is the environment for folding: constant subtrees touch no
+// names, so every resolution is an error (which simply vetoes the fold).
+type noEnv struct{}
+
+func (noEnv) Lookup(string) (value.Value, bool) { return value.Null(), false }
+func (noEnv) Field(value.Value, string) (value.Value, error) {
+	return value.Null(), fmt.Errorf("mask: not constant")
+}
+func (noEnv) Call(string, []value.Value) (value.Value, error) {
+	return value.Null(), fmt.Errorf("mask: not constant")
+}
+
+func compileNode(e *Expr, r Resolver) (progFn, error) {
+	switch e.op {
+	case opLit:
+		v := e.val
+		return func(_, _ []value.Value, _ Host) (value.Value, error) {
+			return v, nil
+		}, nil
+
+	case opVar:
+		s, ok := r.ResolveVar(e.name)
+		if !ok {
+			return nil, fmt.Errorf("mask: cannot compile: unresolvable name %q", e.name)
+		}
+		refName := e.name
+		switch s.Kind {
+		case SlotEventParam:
+			ix := s.Index
+			return func(ev, _ []value.Value, _ Host) (value.Value, error) {
+				if ix >= len(ev) {
+					return value.Null(), fmt.Errorf("mask: unknown name %q", refName)
+				}
+				return ev[ix], nil
+			}, nil
+		case SlotTrigParam:
+			ix := s.Index
+			return func(_, trig []value.Value, _ Host) (value.Value, error) {
+				if ix >= len(trig) {
+					return value.Null(), fmt.Errorf("mask: unknown name %q", refName)
+				}
+				return trig[ix], nil
+			}, nil
+		case SlotField:
+			ix, fname := s.Index, s.Name
+			return func(_, _ []value.Value, h Host) (value.Value, error) {
+				v, ok := h.Field(ix, fname)
+				if !ok {
+					return value.Null(), fmt.Errorf("mask: unknown name %q", refName)
+				}
+				return v, nil
+			}, nil
+		default:
+			return nil, fmt.Errorf("mask: cannot compile: bad slot kind %d for %q", s.Kind, e.name)
+		}
+
+	case opField:
+		base, err := compileNode(e.args[0], r)
+		if err != nil {
+			return nil, err
+		}
+		name := e.name
+		return func(ev, trig []value.Value, h Host) (value.Value, error) {
+			b, err := base(ev, trig, h)
+			if err != nil {
+				return value.Null(), err
+			}
+			return h.DotField(b, name)
+		}, nil
+
+	case opCall:
+		argFns := make([]progFn, len(e.args))
+		for i, a := range e.args {
+			fn, err := compileNode(a, r)
+			if err != nil {
+				return nil, err
+			}
+			argFns[i] = fn
+		}
+		name := e.name
+		n := len(argFns)
+		return func(ev, trig []value.Value, h Host) (value.Value, error) {
+			// Calls are the one compiled construct that allocates (the
+			// argument slice escapes into the Host); masks that call
+			// functions are therefore outside the zero-alloc tier.
+			args := make([]value.Value, n)
+			for i, fn := range argFns {
+				v, err := fn(ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				args[i] = v
+			}
+			return h.Call(name, args)
+		}, nil
+
+	case opUnary:
+		a, err := compileNode(e.args[0], r)
+		if err != nil {
+			return nil, err
+		}
+		switch e.binop {
+		case "!":
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				v, err := a(ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				if v.Kind != value.KindBool {
+					return value.Null(), fmt.Errorf("mask: ! needs bool, got %s", v.Kind)
+				}
+				return value.Bool(!v.AsBool()), nil
+			}, nil
+		case "-":
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				v, err := a(ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				return value.Neg(v)
+			}, nil
+		}
+		op := e.binop
+		return func(_, _ []value.Value, _ Host) (value.Value, error) {
+			return value.Null(), fmt.Errorf("mask: unknown unary %q", op)
+		}, nil
+
+	case opBinary:
+		l, err := compileNode(e.args[0], r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := compileNode(e.args[1], r)
+		if err != nil {
+			return nil, err
+		}
+		op := e.binop
+		switch op {
+		case "&&", "||":
+			and := op == "&&"
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				lv, err := l(ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				if lv.Kind != value.KindBool {
+					return value.Null(), fmt.Errorf("mask: %s needs bool operands, got %s", op, lv.Kind)
+				}
+				if and && !lv.AsBool() {
+					return value.Bool(false), nil
+				}
+				if !and && lv.AsBool() {
+					return value.Bool(true), nil
+				}
+				rv, err := rr(ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				if rv.Kind != value.KindBool {
+					return value.Null(), fmt.Errorf("mask: %s needs bool operands, got %s", op, rv.Kind)
+				}
+				return rv, nil
+			}, nil
+
+		case "==":
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				lv, rv, err := evalPair(l, rr, ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				return value.Bool(lv.Equal(rv)), nil
+			}, nil
+		case "!=":
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				lv, rv, err := evalPair(l, rr, ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				return value.Bool(!lv.Equal(rv)), nil
+			}, nil
+		case "<", "<=", ">", ">=":
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				lv, rv, err := evalPair(l, rr, ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				c, err := value.Compare(lv, rv)
+				if err != nil {
+					return value.Null(), err
+				}
+				switch op {
+				case "<":
+					return value.Bool(c < 0), nil
+				case "<=":
+					return value.Bool(c <= 0), nil
+				case ">":
+					return value.Bool(c > 0), nil
+				default:
+					return value.Bool(c >= 0), nil
+				}
+			}, nil
+		case "+", "-", "*", "/", "%":
+			ab := op[0]
+			return func(ev, trig []value.Value, h Host) (value.Value, error) {
+				lv, rv, err := evalPair(l, rr, ev, trig, h)
+				if err != nil {
+					return value.Null(), err
+				}
+				return value.Arith(ab, lv, rv)
+			}, nil
+		}
+		return func(_, _ []value.Value, _ Host) (value.Value, error) {
+			return value.Null(), fmt.Errorf("mask: unknown operator %q", op)
+		}, nil
+
+	default:
+		return func(_, _ []value.Value, _ Host) (value.Value, error) {
+			return value.Null(), fmt.Errorf("mask: corrupt expression")
+		}, nil
+	}
+}
+
+// evalPair evaluates both operands of a strict binary operator in
+// left-to-right order, matching the interpreter.
+func evalPair(l, r progFn, ev, trig []value.Value, h Host) (value.Value, value.Value, error) {
+	lv, err := l(ev, trig, h)
+	if err != nil {
+		return value.Value{}, value.Value{}, err
+	}
+	rv, err := r(ev, trig, h)
+	if err != nil {
+		return value.Value{}, value.Value{}, err
+	}
+	return lv, rv, nil
+}

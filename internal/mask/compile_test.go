@@ -1,0 +1,245 @@
+package mask
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ode/internal/value"
+)
+
+// The compiled-program oracle property, in the style of
+// internal/compile/relevance_test.go: for random expressions over a
+// fixed name universe and random (partially absent) environments, the
+// compiled program and the AST interpreter must agree exactly — same
+// value on success, same error string on failure.
+
+// The universe: two event params, two trigger params, two object
+// fields, resolved to dense slots by testResolver.
+var testUniverse = map[string]Slot{
+	"ea": {Kind: SlotEventParam, Index: 0, Name: "ea"},
+	"eb": {Kind: SlotEventParam, Index: 1, Name: "eb"},
+	"ta": {Kind: SlotTrigParam, Index: 0, Name: "ta"},
+	"tb": {Kind: SlotTrigParam, Index: 1, Name: "tb"},
+	"fa": {Kind: SlotField, Index: 0, Name: "fa"},
+	"fb": {Kind: SlotField, Index: 1, Name: "fb"},
+}
+
+type testResolver struct{}
+
+func (testResolver) ResolveVar(name string) (Slot, bool) {
+	s, ok := testUniverse[name]
+	return s, ok
+}
+
+// testHost mirrors the MapEnv the interpreter sees: fields come from a
+// map keyed by schema field name, dotted access is an error with the
+// MapEnv wording, and calls share the interpreter's function table.
+type testHost struct {
+	fields map[string]value.Value
+	funcs  map[string]func(args []value.Value) (value.Value, error)
+}
+
+func (h *testHost) Field(ix int, name string) (value.Value, bool) {
+	v, ok := h.fields[name]
+	return v, ok
+}
+
+func (h *testHost) DotField(base value.Value, name string) (value.Value, error) {
+	return value.Null(), fmt.Errorf("mask: no field access in this context (.%s)", name)
+}
+
+func (h *testHost) Call(name string, args []value.Value) (value.Value, error) {
+	fn, ok := h.funcs[name]
+	if !ok {
+		return value.Null(), fmt.Errorf("mask: unknown function %q", name)
+	}
+	return fn(args)
+}
+
+var testFuncs = map[string]func(args []value.Value) (value.Value, error){
+	// inc(x): x+1 for ints, an error otherwise — exercises both the
+	// call success path and call-raised errors.
+	"inc": func(args []value.Value) (value.Value, error) {
+		if len(args) != 1 || args[0].Kind != value.KindInt {
+			return value.Null(), fmt.Errorf("mask: inc wants one int")
+		}
+		return value.Int(args[0].AsInt() + 1), nil
+	},
+	// boom always errors; under constant folding it must still fire at
+	// runtime (calls are never folded).
+	"boom": func(args []value.Value) (value.Value, error) {
+		return value.Null(), fmt.Errorf("mask: boom")
+	},
+}
+
+func randomValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return value.Int(int64(rng.Intn(7) - 3))
+	case 1:
+		return value.Float(float64(rng.Intn(5)) / 2)
+	case 2:
+		return value.Bool(rng.Intn(2) == 0)
+	case 3:
+		return value.Str([]string{"a", "b"}[rng.Intn(2)])
+	case 4:
+		return value.Null()
+	default:
+		return value.Int(int64(rng.Intn(3))) // bias toward small ints
+	}
+}
+
+var varNames = []string{"ea", "eb", "ta", "tb", "fa", "fb"}
+var binOps = []string{"&&", "||", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%"}
+
+func randomMaskExpr(rng *rand.Rand, depth int) *Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return Var(varNames[rng.Intn(len(varNames))])
+		}
+		return Lit(randomValue(rng))
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return Unary("!", randomMaskExpr(rng, depth-1))
+	case 1:
+		return Unary("-", randomMaskExpr(rng, depth-1))
+	case 2:
+		// Calls: mostly inc, sometimes boom, rarely unknown.
+		name := "inc"
+		switch rng.Intn(6) {
+		case 0:
+			name = "boom"
+		case 1:
+			name = "nosuchfn"
+		}
+		return Call(name, randomMaskExpr(rng, depth-1))
+	case 3:
+		return Field(randomMaskExpr(rng, depth-1), "x")
+	default:
+		op := binOps[rng.Intn(len(binOps))]
+		return Binary(op, randomMaskExpr(rng, depth-1), randomMaskExpr(rng, depth-1))
+	}
+}
+
+func TestCompiledProgramMatchesInterpreterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1992))
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	var okCases, errCases, boolVerdicts int
+	for i := 0; i < iters; i++ {
+		e := randomMaskExpr(rng, 4)
+		prog, err := CompileExpr(e, testResolver{})
+		if err != nil {
+			t.Fatalf("expr %v: compile failed: %v", e, err)
+		}
+		for trial := 0; trial < 12; trial++ {
+			// Random dense environments with random prefix lengths so
+			// absent event/trigger params exercise the unknown-name
+			// error on both sides.
+			evLen, trigLen := rng.Intn(3), rng.Intn(3)
+			ev := make([]value.Value, evLen)
+			trig := make([]value.Value, trigLen)
+			vars := map[string]value.Value{}
+			for j := 0; j < evLen; j++ {
+				ev[j] = randomValue(rng)
+				vars[[]string{"ea", "eb"}[j]] = ev[j]
+			}
+			for j := 0; j < trigLen; j++ {
+				trig[j] = randomValue(rng)
+				vars[[]string{"ta", "tb"}[j]] = trig[j]
+			}
+			fields := map[string]value.Value{}
+			for _, f := range []string{"fa", "fb"} {
+				if rng.Intn(4) != 0 { // 1 in 4 absent
+					v := randomValue(rng)
+					fields[f] = v
+					vars[f] = v
+				}
+			}
+
+			env := &MapEnv{Vars: vars, Funcs: testFuncs}
+			host := &testHost{fields: fields, funcs: testFuncs}
+
+			iv, ierr := e.Eval(env)
+			cv, cerr := prog.Eval(ev, trig, host)
+
+			if (ierr == nil) != (cerr == nil) {
+				t.Fatalf("expr %v (env %v): interpreter err=%v, compiled err=%v", e, vars, ierr, cerr)
+			}
+			if ierr != nil {
+				errCases++
+				if ierr.Error() != cerr.Error() {
+					t.Fatalf("expr %v (env %v): error mismatch:\n  interpreter: %v\n  compiled:    %v", e, vars, ierr, cerr)
+				}
+				continue
+			}
+			okCases++
+			if iv.Kind != cv.Kind || iv.String() != cv.String() {
+				t.Fatalf("expr %v (env %v): value mismatch: interpreter %v (%s), compiled %v (%s)",
+					e, vars, iv, iv.Kind, cv, cv.Kind)
+			}
+
+			// Verdict parity through the boolean entry points too.
+			ib, iberr := e.EvalBool(env)
+			cb, cberr := prog.EvalBool(ev, trig, host)
+			if (iberr == nil) != (cberr == nil) {
+				t.Fatalf("expr %v: EvalBool err mismatch: %v vs %v", e, iberr, cberr)
+			}
+			if iberr != nil {
+				if iberr.Error() != cberr.Error() {
+					t.Fatalf("expr %v: EvalBool error mismatch: %v vs %v", e, iberr, cberr)
+				}
+			} else {
+				boolVerdicts++
+				if ib != cb {
+					t.Fatalf("expr %v: verdict mismatch: interpreter %v, compiled %v", e, ib, cb)
+				}
+			}
+		}
+	}
+	if okCases == 0 || errCases == 0 || boolVerdicts == 0 {
+		t.Fatalf("generator coverage too thin: ok=%d err=%d verdicts=%d", okCases, errCases, boolVerdicts)
+	}
+	t.Logf("checked %d ok cases, %d error cases, %d boolean verdicts", okCases, errCases, boolVerdicts)
+}
+
+// TestCompileFoldsShortCircuit pins the folding contract: a constant
+// false && <call> never invokes the call (the interpreter would not
+// either), while an erroring constant subtree like 1/0 is left for
+// runtime so the error string matches the interpreter's.
+func TestCompileFoldsShortCircuit(t *testing.T) {
+	e := Binary("&&", Lit(value.Bool(false)), Call("boom"))
+	prog, err := CompileExpr(e, testResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A nil Host would panic on any call: folding must have removed it.
+	v, err := prog.Eval(nil, nil, nil)
+	if err != nil || v.Kind != value.KindBool || v.AsBool() {
+		t.Fatalf("false && boom() = %v, %v; want false", v, err)
+	}
+
+	div := Binary("/", Lit(value.Int(1)), Lit(value.Int(0)))
+	prog, err = CompileExpr(div, testResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := prog.Eval(nil, nil, &testHost{})
+	_, ierr := div.Eval(&MapEnv{})
+	if cerr == nil || ierr == nil || cerr.Error() != ierr.Error() {
+		t.Fatalf("1/0: compiled err %v, interpreter err %v", cerr, ierr)
+	}
+}
+
+// TestCompileUnresolvableName: compilation of a name outside the
+// resolver's universe must fail loudly, not defer to runtime — the
+// event-language resolver guarantees static resolvability.
+func TestCompileUnresolvableName(t *testing.T) {
+	if _, err := CompileExpr(Var("ghost"), testResolver{}); err == nil {
+		t.Fatal("expected compile error for unresolvable name")
+	}
+}

@@ -49,6 +49,11 @@ type TrigActivation struct {
 	Active bool
 	State  int
 	Params map[string]value.Value
+	// Dense carries the activation parameters in the trigger's declared
+	// order, for compiled mask programs that resolve names to indexes.
+	// It aliases the same values as Params; the engine rebuilds it
+	// lazily for records recovered from logs written before it existed.
+	Dense []value.Value
 	// Shadow is the instance's symbol history, kept only when the
 	// engine's shadow-oracle mode is on; stored here so it is rolled
 	// back on abort exactly like State.
@@ -63,6 +68,9 @@ func (a *TrigActivation) clone() *TrigActivation {
 			c.Params[k] = v
 		}
 	}
+	if a.Dense != nil {
+		c.Dense = append([]value.Value(nil), a.Dense...)
+	}
 	if a.Shadow != nil {
 		c.Shadow = append([]int(nil), a.Shadow...)
 	}
@@ -75,6 +83,19 @@ type Record struct {
 	Class    string
 	Fields   map[string]value.Value
 	Triggers map[string]*TrigActivation
+
+	// slots is the dense per-class trigger index: slots[i] aliases the
+	// activation the engine's trigger i would find in Triggers, so the
+	// posting hot path addresses activations by index instead of a map
+	// probe per trigger per happening. Unexported on purpose: gob skips
+	// it, so persistence stays name-keyed and the engine rebuilds the
+	// index lazily (and re-aliases it on clone).
+	slots []trigSlot
+}
+
+type trigSlot struct {
+	name string
+	act  *TrigActivation // nil until the trigger is first activated
 }
 
 // Trigger returns the named activation, creating it if absent.
@@ -87,6 +108,24 @@ func (r *Record) Trigger(name string) *TrigActivation {
 	return a
 }
 
+// SlotCount returns the size of the dense trigger index (0 until the
+// engine binds it).
+func (r *Record) SlotCount() int { return len(r.slots) }
+
+// Slot returns the activation bound at dense index i (nil if the
+// trigger has never been activated on this object).
+func (r *Record) Slot(i int) *TrigActivation { return r.slots[i].act }
+
+// ResetSlots sizes the dense trigger index to n empty slots. The
+// caller must hold the object's transaction lock.
+func (r *Record) ResetSlots(n int) { r.slots = make([]trigSlot, n) }
+
+// BindSlot binds dense index i to the named activation (which must be
+// the same pointer stored in Triggers, or nil if absent there).
+func (r *Record) BindSlot(i int, name string, act *TrigActivation) {
+	r.slots[i] = trigSlot{name: name, act: act}
+}
+
 // clone deep-copies the record (before-image support).
 func (r *Record) clone() *Record {
 	c := &Record{OID: r.OID, Class: r.Class}
@@ -97,6 +136,14 @@ func (r *Record) clone() *Record {
 	c.Triggers = make(map[string]*TrigActivation, len(r.Triggers))
 	for k, v := range r.Triggers {
 		c.Triggers[k] = v.clone()
+	}
+	if r.slots != nil {
+		// Re-alias the dense index into the cloned activations by name
+		// so the clone's slots never point into the original record.
+		c.slots = make([]trigSlot, len(r.slots))
+		for i, s := range r.slots {
+			c.slots[i] = trigSlot{name: s.name, act: c.Triggers[s.name]}
+		}
 	}
 	return c
 }

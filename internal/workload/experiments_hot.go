@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E12Row is one hot-path measurement: the same posting workload run
+// with compiled mask programs (the default) and with the AST
+// interpreter baseline (engine.Options.InterpretedMasks).
+type E12Row struct {
+	Scenario    string  `json:"scenario"`
+	Mode        string  `json:"mode"` // "compiled" or "interpreted"
+	Calls       int     `json:"calls"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Firings     uint64  `json:"firings"`
+}
+
+// e12Scenario shapes one hot-path micro-benchmark: which triggers are
+// active and which method the timed loop calls.
+type e12Scenario struct {
+	name     string
+	triggers []schema.Trigger
+	method   string
+	arg      int64
+}
+
+func e12Scenarios() []e12Scenario {
+	// Eight withdraw-only triggers that the dispatch table must skip
+	// when a deposit is posted.
+	sparse := []schema.Trigger{
+		{Name: "Big", Perpetual: true, Event: "after deposit(n) && n > 1000000"},
+	}
+	for i := 0; i < 8; i++ {
+		sparse = append(sparse, schema.Trigger{
+			Name:      fmt.Sprintf("W%d", i),
+			Perpetual: true,
+			Event:     fmt.Sprintf("after withdraw(a) && a > %d", i*100),
+		})
+	}
+	return []e12Scenario{
+		{
+			// The PR's target: a masked happening that never fires.
+			name: "masked non-firing",
+			triggers: []schema.Trigger{
+				{Name: "Big", Perpetual: true, Event: "after deposit(n) && n > 1000000"},
+			},
+			method: "deposit", arg: 1,
+		},
+		{
+			// Same posting, but 8 extra triggers are relevant only to
+			// withdraw kinds; per-kind dispatch should keep the cost
+			// near the single-trigger scenario.
+			name:     "sparse relevance (8 idle triggers)",
+			triggers: sparse,
+			method:   "deposit", arg: 1,
+		},
+		{
+			// Every call fires: mask pass, DFA accept, action, firing
+			// bookkeeping.
+			name: "firing",
+			triggers: []schema.Trigger{
+				{Name: "Any", Perpetual: true, Event: "after deposit(n) && n >= 0"},
+			},
+			method: "deposit", arg: 1,
+		},
+	}
+}
+
+// RunE12 measures the posting hot path for each scenario under the
+// compiled and interpreted mask paths. Measurements are hand-rolled
+// (time + runtime.MemStats mallocs) so the workload package does not
+// import testing; BenchmarkEngineHotPath covers the same ground under
+// `go test -bench`.
+func RunE12(calls int) ([]E12Row, error) {
+	rows := make([]E12Row, 0, 2*len(e12Scenarios()))
+	for _, sc := range e12Scenarios() {
+		for _, interpreted := range []bool{false, true} {
+			r, err := e12Measure(sc, interpreted, calls)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+func e12Measure(sc e12Scenario, interpreted bool, calls int) (E12Row, error) {
+	eng, err := engine.New(engine.Options{InterpretedMasks: interpreted})
+	if err != nil {
+		return E12Row{}, err
+	}
+	defer eng.Close()
+
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: sc.triggers,
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("n").AsInt()))
+			},
+			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{},
+	}
+	for _, tr := range sc.triggers {
+		impl.Actions[tr.Name] = func(*engine.ActionCtx) error { return nil }
+	}
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E12Row{}, err
+	}
+
+	var oid store.OID
+	err = eng.Transact(func(tx *engine.Tx) error {
+		var err error
+		if oid, err = tx.NewObject("account", nil); err != nil {
+			return err
+		}
+		for _, tr := range sc.triggers {
+			if err := tx.Activate(oid, tr.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E12Row{}, err
+	}
+
+	tx := eng.Begin()
+	defer tx.Abort()
+	arg := value.Int(sc.arg)
+	// Warm up: slot binding, arena growth, copy-on-write record clone.
+	for i := 0; i < 128; i++ {
+		if _, err := tx.Call(oid, sc.method, arg); err != nil {
+			return E12Row{}, err
+		}
+	}
+
+	// Best of three timed repetitions: the first repetition after
+	// process start absorbs one-time costs (page faults, lazy engine
+	// allocations) that would otherwise skew whichever scenario runs
+	// first.
+	bestNs := 0.0
+	bestAllocs := 0.0
+	var before, after runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			if _, err := tx.Call(oid, sc.method, arg); err != nil {
+				return E12Row{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(calls)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(calls)
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+
+	mode := "compiled"
+	if interpreted {
+		mode = "interpreted"
+	}
+	return E12Row{
+		Scenario:    sc.name,
+		Mode:        mode,
+		Calls:       calls,
+		NsPerOp:     bestNs,
+		AllocsPerOp: bestAllocs,
+		Firings:     eng.Stats().Firings,
+	}, nil
+}

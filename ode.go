@@ -184,6 +184,11 @@ type Options struct {
 	// commit performs its own write and sync instead of coalescing
 	// with concurrent committers.
 	DisableGroupCommit bool
+	// InterpretedMasks evaluates trigger masks with the AST
+	// interpreter instead of the programs compiled at class
+	// registration — the baseline the compiled hot path is benchmarked
+	// and cross-checked against. Intended for tests and benchmarks.
+	InterpretedMasks bool
 }
 
 // Database is an active object database.
@@ -202,6 +207,7 @@ func Open(opts Options) (*Database, error) {
 		TraceBuffer:        opts.TraceBuffer,
 		DebugAddr:          opts.DebugAddr,
 		DisableGroupCommit: opts.DisableGroupCommit,
+		InterpretedMasks:   opts.InterpretedMasks,
 	})
 	if err != nil {
 		return nil, err
