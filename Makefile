@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race fuzz verify bench
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,18 @@ vet:
 race:
 	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/
 
-# The tier-1 verification gate (see ROADMAP.md).
-verify: build test vet race
+# Short fuzz smoke over the event-language parser; longer campaigns:
+# go test -fuzz FuzzParseEvent ./internal/evlang/
+fuzz:
+	$(GO) test -fuzz FuzzParseEvent -fuzztime 5s -run '^$$' ./internal/evlang/
 
-# Engine benchmarks plus the E12 hot-path and E11 parallel-posting
-# numbers (committed as BENCH_PR3.json; BENCH_PR2.json is the previous
+# The tier-1 verification gate (see ROADMAP.md).
+verify: build test vet race fuzz
+
+# Engine benchmarks plus the E13 compact-automata and E12 hot-path
+# numbers (committed as BENCH_PR4.json; BENCH_PR3.json is the previous
 # PR's baseline and is regenerated with
-# `go run ./cmd/odebench -exp E11 -out BENCH_PR2.json`).
+# `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E12 -out BENCH_PR3.json
+	$(GO) run ./cmd/odebench -exp E13 -out BENCH_PR4.json

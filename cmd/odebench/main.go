@@ -18,6 +18,10 @@
 //	E12 posting hot path: compiled mask programs + per-kind dispatch +
 //	    dense trigger slots vs the AST-interpreter baseline; -out also
 //	    reruns E11 and writes both as JSON (e.g. BENCH_PR3.json)
+//	E13 compact shared automata: resident transition-table bytes for a
+//	    100-trigger fleet sharing 10 expressions vs the unshared fat
+//	    baseline, compile-cache hit rate, and stepping cost; -out also
+//	    reruns E12 and writes both as JSON (e.g. BENCH_PR4.json)
 //
 // Usage:
 //
@@ -25,6 +29,10 @@
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
+//	odebench -exp E13 -out BENCH_PR4.json  # compact-automata JSON
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles covering
+// whichever experiments run.
 package main
 
 import (
@@ -32,17 +40,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
 	"ode/internal/workload"
 )
 
-func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
+func main() { os.Exit(run()) }
+
+// run carries the real main body; returning instead of os.Exit lets the
+// profiling defers flush before the process dies.
+func run() int {
+	exp := flag.String("exp", "", "experiment id (E1..E13); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
-	out := flag.String("out", "", "write E11 results as JSON to this file")
+	out := flag.String("out", "", "write E11/E12/E13 results as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odebench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "odebench: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "odebench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "odebench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	all := []struct {
 		id  string
@@ -60,6 +105,7 @@ func main() {
 		{"E10", func() error { return e10(*seed) }},
 		{"E11", func() error { return e11(*seed, *out) }},
 		{"E12", func() error { return e12(*seed, *out) }},
+		{"E13", func() error { return e13(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -69,14 +115,15 @@ func main() {
 		ran = true
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "odebench: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "odebench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func table(title string, header []string, rows [][]string) {
@@ -336,6 +383,50 @@ func e12(seed int64, out string) error {
 		Volatile   []workload.E11Row `json:"e11_volatile"`
 		Persistent []workload.E11Row `json:"e11_persistent"`
 	}{"E12", gomaxprocs, numCPU, rows, volatile, persistent}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+func e13(seed int64, out string) error {
+	r, err := workload.RunE13(10, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E13 — compact shared automata: hash-consed, row-deduplicated narrow tables")
+	table("", []string{"triggers", "distinct exprs", "tables", "fat B", "compact B", "reduction", "hit rate"},
+		[][]string{{
+			fmt.Sprintf("%d", r.Triggers),
+			fmt.Sprintf("%d", r.DistinctExprs),
+			fmt.Sprintf("%d", r.Tables),
+			fmt.Sprintf("%d", r.FatBytes),
+			fmt.Sprintf("%d", r.CompactBytes),
+			fmt.Sprintf("%.1fx", r.Reduction),
+			fmt.Sprintf("%.2f", r.HitRate),
+		}})
+	fmt.Printf("  raw stepping: compact %.1f ns/step, fat oracle %.1f ns/step\n",
+		r.CompactNsPerStep, r.OracleNsPerStep)
+
+	if out == "" {
+		return nil
+	}
+	// The hot-path guarantee rides along: rerun E12 so BENCH_PR4.json
+	// shows posting ns/op did not regress against the PR 3 baseline.
+	hot, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string             `json:"experiment"`
+		Compact    workload.E13Result `json:"compact"`
+		HotPath    []workload.E12Row  `json:"hot_path"`
+	}{"E13", r, hot}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -15,9 +15,14 @@ type Automaton struct {
 	Trigger string
 	States  int
 	Symbols int
-	// TableBytes is the shared transition-table footprint
-	// (states × symbols × 8 bytes).
+	// TableBytes is the footprint an unshared fat table would occupy
+	// (states × symbols × 8 bytes) — the §5 baseline.
 	TableBytes int
+	// CompactBytes is the resident footprint of the hash-consed compact
+	// table actually stepped at runtime (row-deduplicated, narrow cells);
+	// shared across every trigger whose expression is structurally
+	// equivalent. Zero for standalone CompileEvent probes.
+	CompactBytes int
 	// PerObjectBytes is the per-object detection state: one machine
 	// word (§5: "only a single (integer) variable is required").
 	PerObjectBytes int
@@ -48,13 +53,15 @@ func (db *Database) Inspect(class string) ([]*Automaton, error) {
 	out := make([]*Automaton, 0, len(c.Triggers))
 	alpha := c.Res.Alphabet
 	for _, t := range c.Triggers {
+		oracle := t.Oracle()
 		out = append(out, &Automaton{
 			Trigger:        t.Res.Name,
-			States:         t.DFA.NumStates,
-			Symbols:        t.DFA.NumSymbols,
-			TableBytes:     t.DFA.NumStates * t.DFA.NumSymbols * 8,
+			States:         oracle.NumStates,
+			Symbols:        oracle.NumSymbols,
+			TableBytes:     oracle.NumStates * oracle.NumSymbols * 8,
+			CompactBytes:   t.Auto.Tab.Compact.Bytes(),
 			PerObjectBytes: 8,
-			dfa:            t.DFA,
+			dfa:            oracle,
 			names:          alpha.SymbolName,
 		})
 	}

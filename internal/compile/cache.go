@@ -1,0 +1,234 @@
+package compile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// Hash-consed shared automata.
+//
+// The paper's §5 technique compiles one transition table per (class,
+// trigger). At scale most of those tables are duplicates: a fleet of
+// classes declaring "after deposit(n) && n > 1000 ==> ..." differs
+// only in which dense symbol the class alphabet happens to assign to
+// the masked deposit kind. CompileShared therefore normalizes the
+// expression's alphabet away — atoms are renumbered in first-occurrence
+// order and every unmentioned symbol collapses onto a single
+// "anything else" column, which is sound because the §4 semantics
+// inspects history symbols only through equality with the atoms the
+// expression mentions, so unmentioned symbols are interchangeable —
+// and the canonical encoding of the normalized expression keys a
+// process-wide cache of compact tables. Equivalent triggers across
+// classes, and repeated RegisterClass calls, then share one
+// row-deduplicated fa.Compact instead of each re-running subset
+// construction and Hopcroft minimization over a private fat table.
+
+// Table is one hash-consed compact automaton over its normalized
+// alphabet. Tables are immutable and shared process-wide; pointer
+// equality is identity.
+type Table struct {
+	// Compact is the shared row-deduplicated transition table over the
+	// normalized alphabet (mentioned atoms renumbered 0..m-1, plus one
+	// trailing "other" column for every unmentioned class symbol).
+	Compact *fa.Compact
+	// Hash is the FNV-1a digest of the canonical structural encoding,
+	// for display and debug listings (the cache itself is keyed by the
+	// full encoding, so hash collisions cannot alias tables).
+	Hash uint64
+}
+
+// Shared binds a hash-consed Table to one class alphabet: the symbol
+// map translates class symbols to normalized columns. A Shared is the
+// per-trigger stepping automaton; its state numbering is the Table's.
+type Shared struct {
+	Tab *Table
+	// SymMap[classSym] is the normalized column the class symbol steps.
+	SymMap []uint16
+}
+
+// Start returns the start state.
+func (s *Shared) Start() int { return s.Tab.Compact.Start() }
+
+// Next advances one state on a class-alphabet symbol: one remap load
+// plus the compact table step, allocation-free.
+func (s *Shared) Next(state, classSym int) int {
+	return s.Tab.Compact.Next(state, int(s.SymMap[classSym]))
+}
+
+// Accept reports whether state is accepting.
+func (s *Shared) Accept(state int) bool { return s.Tab.Compact.Accept(state) }
+
+// Expand materializes the fat class-alphabet DFA with state numbering
+// identical to the compact form — the shadow/test oracle and the input
+// to registration-time analyses (InertSymbol, the footnote-5 product).
+func (s *Shared) Expand() *fa.DFA {
+	c := s.Tab.Compact
+	k := len(s.SymMap)
+	d := fa.NewDFA(c.NumStates(), k, c.Start())
+	for st := 0; st < c.NumStates(); st++ {
+		d.Accept[st] = c.Accept(st)
+		for a := 0; a < k; a++ {
+			d.SetNext(st, a, c.Next(st, int(s.SymMap[a])))
+		}
+	}
+	return d
+}
+
+// cacheEntry is one slot of the process-wide table cache. The once
+// gate lets concurrent registrations of the same expression run subset
+// construction exactly once without holding the global lock during
+// compilation.
+type cacheEntry struct {
+	once sync.Once
+	tab  *Table
+}
+
+var autoCache = struct {
+	sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}{entries: map[string]*cacheEntry{}}
+
+// CompileShared compiles e for a class alphabet of numSymbols symbols
+// through the process-wide hash-cons cache. It panics if e mentions a
+// symbol outside the alphabet, exactly as Compile does.
+func CompileShared(e *algebra.Expr, numSymbols int) *Shared {
+	if m := e.MaxSymbol(); m >= numSymbols {
+		panic(fmt.Sprintf("compile: expression uses symbol %d, alphabet has %d", m, numSymbols))
+	}
+	simplified := algebra.Simplify(e)
+
+	// Alphabet normalization: atoms renumber to first-occurrence order;
+	// column m is "every symbol the expression does not mention".
+	var order []int
+	index := map[int]int{}
+	simplified.Walk(func(x *algebra.Expr) {
+		if x.Op == algebra.OpAtom {
+			if _, ok := index[x.Sym]; !ok {
+				index[x.Sym] = len(order)
+				order = append(order, x.Sym)
+			}
+		}
+	})
+	m := len(order)
+	norm := renumber(simplified, index)
+	key := encodeCanonical(norm)
+
+	autoCache.Lock()
+	ent, ok := autoCache.entries[key]
+	if !ok {
+		ent = &cacheEntry{}
+		autoCache.entries[key] = ent
+	}
+	autoCache.Unlock()
+	if ok {
+		autoCache.hits.Add(1)
+	} else {
+		autoCache.misses.Add(1)
+	}
+	ent.once.Do(func() {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		ent.tab = &Table{
+			Compact: fa.Compress(Compile(norm, m+1)),
+			Hash:    h.Sum64(),
+		}
+	})
+
+	symMap := make([]uint16, numSymbols)
+	for sym := 0; sym < numSymbols; sym++ {
+		if ix, ok := index[sym]; ok {
+			symMap[sym] = uint16(ix)
+		} else {
+			symMap[sym] = uint16(m)
+		}
+	}
+	return &Shared{Tab: ent.tab, SymMap: symMap}
+}
+
+// renumber rebuilds the expression with atom symbols mapped through
+// index. Non-atom nodes are copied structurally.
+func renumber(e *algebra.Expr, index map[int]int) *algebra.Expr {
+	if e.Op == algebra.OpAtom {
+		return algebra.Atom(index[e.Sym])
+	}
+	if len(e.Args) == 0 {
+		return e
+	}
+	args := make([]*algebra.Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = renumber(a, index)
+	}
+	return &algebra.Expr{Op: e.Op, Sym: e.Sym, N: e.N, Args: args}
+}
+
+// encodeCanonical serializes the normalized expression into the cache
+// key. Arity is fixed per Op, so a preorder stream of (op, payload)
+// records is unambiguous.
+func encodeCanonical(e *algebra.Expr) string {
+	var buf []byte
+	var walk func(*algebra.Expr)
+	walk = func(x *algebra.Expr) {
+		buf = append(buf, byte(x.Op))
+		switch x.Op {
+		case algebra.OpAtom:
+			buf = binary.AppendUvarint(buf, uint64(x.Sym))
+		case algebra.OpChoose, algebra.OpEvery:
+			buf = binary.AppendUvarint(buf, uint64(x.N))
+		}
+		for _, a := range x.Args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return string(buf)
+}
+
+// CacheStats is a snapshot of the process-wide automaton cache.
+type CacheStats struct {
+	// Hits and Misses count CompileShared calls that found (or created)
+	// a table. Hits/(Hits+Misses) is the sharing rate.
+	Hits, Misses uint64
+	// Entries is the number of distinct compact tables resident.
+	Entries uint64
+	// TableBytes is their total transition-machinery footprint.
+	TableBytes uint64
+}
+
+// AutomatonCacheStats snapshots the cache counters and resident sizes.
+func AutomatonCacheStats() CacheStats {
+	st := CacheStats{
+		Hits:   autoCache.hits.Load(),
+		Misses: autoCache.misses.Load(),
+	}
+	autoCache.Lock()
+	for _, ent := range autoCache.entries {
+		if ent.tab == nil {
+			continue // still compiling
+		}
+		st.Entries++
+		st.TableBytes += uint64(ent.tab.Compact.Bytes())
+	}
+	autoCache.Unlock()
+	return st
+}
+
+// ResetAutomatonCache empties the cache and zeroes its counters. It
+// exists for tests and benchmark harnesses that need deterministic
+// hit/miss accounting; production engines never call it (stale tables
+// remain valid — they are immutable — so resetting is only an
+// accounting matter).
+func ResetAutomatonCache() {
+	autoCache.Lock()
+	autoCache.entries = map[string]*cacheEntry{}
+	autoCache.Unlock()
+	autoCache.hits.Store(0)
+	autoCache.misses.Store(0)
+}

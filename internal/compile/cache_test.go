@@ -1,0 +1,182 @@
+package compile
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"ode/internal/algebra"
+	"ode/internal/fa"
+)
+
+// TestMain enables fa output validation for the whole package: every
+// automaton built while compiling (Determinize, Minimize, Compress)
+// gets structurally checked.
+func TestMain(m *testing.M) {
+	fa.SetOutputValidation(true)
+	os.Exit(m.Run())
+}
+
+// TestCompileSharedOracleRandom is the PR's central property, checked
+// on well over 1000 randomized expression/word pairs:
+//
+//  1. stepping the hash-consed compact form through the class-symbol
+//     remap visits state-for-state the same trajectory as its expanded
+//     fat oracle, and
+//  2. the accept decision at every history point matches the directly
+//     compiled per-class automaton (the §5 baseline), i.e. alphabet
+//     normalization did not change the recognized language.
+func TestCompileSharedOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1992))
+	pairs := 0
+	for i := 0; i < 400; i++ {
+		k := 2 + rng.Intn(4)
+		e := randomExpr(rng, k, 3)
+		shared := CompileShared(e, k)
+		oracle := shared.Expand() // same numbering as the compact form
+		baseline := Compile(e, k) // independent per-class compilation
+		if !fa.Equivalent(oracle, baseline) {
+			t.Fatalf("iter %d: shared automaton language differs from baseline; witness %v",
+				i, fa.Distinguish(oracle, baseline))
+		}
+		for w := 0; w < 3; w++ {
+			pairs++
+			word := make([]int, rng.Intn(24))
+			for j := range word {
+				word[j] = rng.Intn(k)
+			}
+			cs, os_, bs := shared.Start(), oracle.Start, baseline.Start
+			for step, a := range word {
+				cs = shared.Next(cs, a)
+				os_ = oracle.Next(os_, a)
+				bs = baseline.Next(bs, a)
+				if cs != os_ {
+					t.Fatalf("iter %d word %d step %d: compact state %d, oracle state %d",
+						i, w, step, cs, os_)
+				}
+				if shared.Accept(cs) != baseline.Accept[bs] {
+					t.Fatalf("iter %d word %d step %d: accept disagrees with baseline", i, w, step)
+				}
+			}
+		}
+	}
+	if pairs < 1000 {
+		t.Fatalf("property exercised only %d expression/word pairs, want ≥1000", pairs)
+	}
+}
+
+// TestHashConsSharesTables pins the cache's point: structurally
+// equivalent expressions over different class alphabets — even with
+// different symbol numbers — share one resident table.
+func TestHashConsSharesTables(t *testing.T) {
+	ResetAutomatonCache()
+	a := CompileShared(algebra.Atom(2), 5)
+	b := CompileShared(algebra.Atom(0), 3)
+	if a.Tab != b.Tab {
+		t.Fatal("alphabet-normalized equivalent expressions did not share a table")
+	}
+	// The remaps must still distinguish the mentioned symbol.
+	if a.SymMap[2] == a.SymMap[0] {
+		t.Fatal("mentioned and unmentioned symbols mapped to the same column")
+	}
+	if a.SymMap[2] != b.SymMap[0] {
+		t.Fatal("the mentioned atom should map to the same normalized column")
+	}
+
+	// Composite shape: sequence(X, Y) with shifted symbols.
+	c := CompileShared(algebra.Sequence(algebra.Atom(1), algebra.Atom(3)), 6)
+	d := CompileShared(algebra.Sequence(algebra.Atom(0), algebra.Atom(5)), 8)
+	if c.Tab != d.Tab {
+		t.Fatal("isomorphic sequences did not share a table")
+	}
+	// sequence(b,a) is isomorphic to sequence(a,b) up to alphabet
+	// renaming — first-occurrence normalization shares the table and the
+	// symbol maps carry the difference.
+	swapped := CompileShared(algebra.Sequence(algebra.Atom(3), algebra.Atom(1)), 6)
+	if swapped.Tab != c.Tab {
+		t.Fatal("swapped sequence should share the normalized table")
+	}
+	if swapped.SymMap[3] != c.SymMap[1] || swapped.SymMap[1] != c.SymMap[3] {
+		t.Fatal("swapped sequence should swap the symbol map")
+	}
+	// A genuinely different structure must not share.
+	e := CompileShared(algebra.Sequence(algebra.Atom(1), algebra.Atom(1)), 6)
+	if e.Tab == c.Tab {
+		t.Fatal("sequence over one atom aliased to the two-atom table")
+	}
+
+	st := AutomatonCacheStats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("cache stats = %d misses / %d hits, want 3/3", st.Misses, st.Hits)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("cache holds %d entries, want 3", st.Entries)
+	}
+	if st.TableBytes == 0 {
+		t.Fatal("resident table bytes not accounted")
+	}
+}
+
+// TestSharedRepeatRegistration: compiling the same expression for the
+// same alphabet twice returns the identical table and counts a hit.
+func TestSharedRepeatRegistration(t *testing.T) {
+	ResetAutomatonCache()
+	e := algebra.Relative(algebra.Atom(0), algebra.Atom(1))
+	a := CompileShared(e, 4)
+	b := CompileShared(e, 4)
+	if a.Tab != b.Tab {
+		t.Fatal("repeat compilation did not hit the cache")
+	}
+	st := AutomatonCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestCompileSharedPanicsOutOfAlphabet mirrors Compile's contract.
+func TestCompileSharedPanicsOutOfAlphabet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-alphabet symbol")
+		}
+	}()
+	CompileShared(algebra.Atom(7), 3)
+}
+
+// TestCombinedCompactBacking checks the footnote-5 product automaton
+// still behaves identically now that its rows live in compact form.
+func TestCombinedCompactBacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 50; i++ {
+		k := 2 + rng.Intn(3)
+		n := 1 + rng.Intn(4)
+		dfas := make([]*fa.DFA, n)
+		for j := range dfas {
+			dfas[j] = Compile(randomExpr(rng, k, 2), k)
+		}
+		comb := Combine(dfas)
+		if comb.Bytes() == 0 {
+			t.Fatal("combined monitor reports zero footprint")
+		}
+		states := make([]int, n)
+		for j, d := range dfas {
+			states[j] = d.Start
+		}
+		cur := comb.Start
+		for step := 0; step < 40; step++ {
+			sym := rng.Intn(k)
+			var want uint64
+			for j, d := range dfas {
+				states[j] = d.Next(states[j], sym)
+				if d.Accept[states[j]] {
+					want |= 1 << uint(j)
+				}
+			}
+			var fired uint64
+			cur, fired = comb.Post(cur, sym)
+			if fired != want {
+				t.Fatalf("iter %d step %d: fire mask %b, want %b", i, step, fired, want)
+			}
+		}
+	}
+}

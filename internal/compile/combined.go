@@ -7,14 +7,16 @@ import "ode/internal/fa"
 // 5 ("In many cases such automata may be combined into one, resulting
 // in a more efficient monitoring"). One transition per posted event
 // advances all triggers; Fire reports, per state, the set of triggers
-// whose event has just occurred.
+// whose event has just occurred. Transitions are stored in the compact
+// row-deduplicated form (product states inherit their constituents'
+// row sharing), with the fire masks dense per state.
 type Combined struct {
 	NumStates  int
 	NumSymbols int
 	Start      int
-	Trans      []int
 	Fire       []uint64 // bitmask of accepting triggers per state
 	Triggers   int
+	tab        *fa.Compact
 }
 
 // Combine builds the product of up to 64 trigger DFAs over a shared
@@ -76,12 +78,10 @@ func Combine(dfas []*fa.DFA) *Combined {
 		NumStates:  len(order),
 		NumSymbols: k,
 		Start:      0,
-		Trans:      make([]int, len(order)*k),
 		Fire:       make([]uint64, len(order)),
 		Triggers:   len(dfas),
 	}
 	for i, states := range order {
-		copy(c.Trans[i*k:(i+1)*k], trans[i])
 		var mask uint64
 		for j, d := range dfas {
 			if d.Accept[states[j]] {
@@ -90,11 +90,18 @@ func Combine(dfas []*fa.DFA) *Combined {
 		}
 		c.Fire[i] = mask
 	}
+	c.tab = fa.NewCompact(len(order), k, 0,
+		func(s, a int) int { return trans[s][a] },
+		func(s int) bool { return c.Fire[s] != 0 })
 	return c
 }
 
 // Next returns the successor of state s on symbol a.
-func (c *Combined) Next(s, a int) int { return c.Trans[s*c.NumSymbols+a] }
+func (c *Combined) Next(s, a int) int { return c.tab.Next(s, a) }
+
+// Bytes returns the resident footprint of the monitor's transition
+// machinery and fire masks.
+func (c *Combined) Bytes() int { return c.tab.Bytes() + len(c.Fire)*8 }
 
 // Post advances the combined state on sym and returns the new state
 // together with the bitmask of triggers that fire at this point.

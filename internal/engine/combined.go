@@ -62,7 +62,7 @@ func buildCombined(c *Class) *combinedMonitor {
 				return nil
 			}
 		}
-		dfas[i] = t.DFA
+		dfas[i] = t.Oracle()
 		order[i] = t.Res.Name
 		for kix, bits := range t.Res.UsedBits {
 			used[kix] |= bits

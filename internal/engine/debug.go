@@ -7,9 +7,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync/atomic"
 
+	"ode/internal/compile"
 	"ode/internal/obs"
 )
 
@@ -22,6 +24,7 @@ var debugEngineSeq atomic.Uint64
 //	/debug/stats       cumulative Stats counters (JSON)
 //	/debug/triggers    per-trigger and per-class metrics (JSON)
 //	/debug/trace?last=N  last N pipeline trace events (JSON)
+//	/debug/automata    resident automaton memory and table sharing (JSON)
 //	/debug/vars        expvar (includes this engine's stats)
 //	/debug/pprof/...   the standard runtime profiles
 //
@@ -35,6 +38,7 @@ func (e *Engine) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/stats", e.handleDebugStats)
 	mux.HandleFunc("/debug/triggers", e.handleDebugTriggers)
 	mux.HandleFunc("/debug/trace", e.handleDebugTrace)
+	mux.HandleFunc("/debug/automata", e.handleDebugAutomata)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -89,6 +93,79 @@ func (e *Engine) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		Enabled bool        `json:"enabled"`
 		Events  []obs.Event `json:"events"`
 	}{Enabled: e.TracingEnabled(), Events: events})
+}
+
+// debugAutomaton is one trigger's row in /debug/automata.
+type debugAutomaton struct {
+	Class   string `json:"class"`
+	Trigger string `json:"trigger"`
+	// Hash identifies the shared table (FNV-1a of the canonical
+	// normalized expression); triggers with the same hash step the same
+	// resident table.
+	Hash       string `json:"table_hash"`
+	States     int    `json:"states"`
+	Symbols    int    `json:"symbols"`
+	Rows       int    `json:"distinct_rows"`
+	Wide       bool   `json:"wide_cells"`
+	TableBytes int    `json:"table_bytes"`
+	// FatBytes is what an unshared states×symbols×8 table over the full
+	// class alphabet would cost — the §5 baseline this engine avoids.
+	FatBytes int `json:"fat_bytes"`
+	// SharedBy counts triggers in this engine stepping the same table.
+	SharedBy int `json:"shared_by"`
+}
+
+func (e *Engine) handleDebugAutomata(w http.ResponseWriter, r *http.Request) {
+	cs := compile.AutomatonCacheStats()
+	e.mu.RLock()
+	sharers := map[*compile.Table]int{}
+	for _, c := range e.classes {
+		for _, t := range c.Triggers {
+			sharers[t.Auto.Tab]++
+		}
+	}
+	var rows []debugAutomaton
+	for _, c := range e.classes {
+		for _, t := range c.Triggers {
+			tab := t.Auto.Tab
+			rows = append(rows, debugAutomaton{
+				Class:      c.Schema.Name,
+				Trigger:    t.Res.Name,
+				Hash:       fmt.Sprintf("%016x", tab.Hash),
+				States:     tab.Compact.NumStates(),
+				Symbols:    tab.Compact.NumSymbols(),
+				Rows:       tab.Compact.NumRows(),
+				Wide:       tab.Compact.Wide(),
+				TableBytes: tab.Compact.Bytes(),
+				FatBytes:   tab.Compact.NumStates() * len(t.Auto.SymMap) * 8,
+				SharedBy:   sharers[tab],
+			})
+		}
+	}
+	summary := struct {
+		Triggers   uint64           `json:"triggers"`
+		Tables     uint64           `json:"distinct_tables"`
+		TableBytes uint64           `json:"resident_table_bytes"`
+		CacheHits  uint64           `json:"compile_cache_hits"`
+		CacheMiss  uint64           `json:"compile_cache_misses"`
+		Automata   []debugAutomaton `json:"automata"`
+	}{
+		Triggers:   e.autoTriggers,
+		Tables:     uint64(len(e.autoTables)),
+		TableBytes: e.autoBytes,
+		CacheHits:  cs.Hits,
+		CacheMiss:  cs.Misses,
+		Automata:   rows,
+	}
+	e.mu.RUnlock()
+	sort.Slice(summary.Automata, func(i, j int) bool {
+		a, b := summary.Automata[i], summary.Automata[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Trigger < b.Trigger
+	})
+	writeJSON(w, summary)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -133,6 +133,13 @@ type Engine struct {
 	classes map[string]*Class
 	funcs   map[string]MaskFunc
 
+	// Automaton memory accounting (under mu): the distinct hash-consed
+	// tables this engine's triggers reference, the resident bytes of
+	// those tables plus any combined monitors, and the trigger count.
+	autoTables   map[*compile.Table]struct{}
+	autoBytes    uint64
+	autoTriggers uint64
+
 	// Whole-history trigger automaton state lives outside the objects,
 	// so transaction rollback does not touch it (§6).
 	wholeMu     sync.Mutex
@@ -188,7 +195,16 @@ type Class struct {
 
 // Trigger is one compiled trigger of a class.
 type Trigger struct {
-	Res    *evlang.TriggerResolution
+	Res *evlang.TriggerResolution
+	// Auto is the stepping automaton: a hash-consed compact transition
+	// table shared process-wide between equivalent triggers, bound to
+	// this class's alphabet by a symbol remap. The posting hot path
+	// steps only this form.
+	Auto *compile.Shared
+	// DFA is the fat class-alphabet oracle automaton (identical state
+	// numbering). It is materialized only under Options.ShadowOracle —
+	// retaining it per trigger would forfeit the shared tables' memory
+	// win — and is nil otherwise; use Oracle() for an on-demand copy.
 	DFA    *fa.DFA
 	View   schema.HistoryView
 	Action ActionFunc
@@ -209,6 +225,17 @@ type Trigger struct {
 // affect this trigger (introspection for tests and tooling).
 func (t *Trigger) RelevantKind(kindIx int) bool { return t.relevant[kindIx] }
 
+// Oracle returns the trigger's fat class-alphabet DFA with state
+// numbering identical to the compact stepping form: the retained
+// shadow copy under Options.ShadowOracle, otherwise a fresh expansion.
+// Introspection and tests use it; the hot path never does.
+func (t *Trigger) Oracle() *fa.DFA {
+	if t.DFA != nil {
+		return t.DFA
+	}
+	return t.Auto.Expand()
+}
+
 // Metrics exposes the trigger's live counters.
 func (t *Trigger) Metrics() *obs.TriggerMetrics { return t.met }
 
@@ -226,13 +253,14 @@ func New(opts Options) (*Engine, error) {
 		start = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
 	e := &Engine{
-		st:           st,
-		txm:          txn.NewManager(st),
-		clk:          clock.NewVirtual(start),
-		classes:      map[string]*Class{},
-		funcs:        map[string]MaskFunc{},
-		whole:        map[instanceKey]int{},
-		wholeShadow:  map[instanceKey][]int{},
+		st:             st,
+		txm:            txn.NewManager(st),
+		clk:            clock.NewVirtual(start),
+		classes:        map[string]*Class{},
+		funcs:          map[string]MaskFunc{},
+		autoTables:     map[*compile.Table]struct{}{},
+		whole:          map[instanceKey]int{},
+		wholeShadow:    map[instanceKey][]int{},
 		shadowOracle:   opts.ShadowOracle,
 		combined:       opts.CombinedAutomata && !opts.ShadowOracle,
 		interpretMasks: opts.InterpretedMasks,
@@ -336,11 +364,18 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 		}
 		t := &Trigger{
 			Res:    tr,
-			DFA:    compile.Compile(tr.Expr, res.Alphabet.NumSymbols),
+			Auto:   compile.CompileShared(tr.Expr, res.Alphabet.NumSymbols),
 			View:   view,
 			Action: action,
 			met:    e.metrics.Trigger(cls.Name, tr.Name),
 			slot:   len(c.Triggers),
+		}
+		// The registration-time analyses below want the fat
+		// class-alphabet form; expand it once here and drop it (except
+		// under the shadow oracle, which keeps it as the §5 shadow).
+		oracle := t.Auto.Expand()
+		if e.shadowOracle {
+			t.DFA = oracle
 		}
 		// Kind-relevance bitmap: a kind matters if the trigger's
 		// expression evaluates a mask on it, or if its (mask-free)
@@ -349,7 +384,7 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 		t.relevant = make([]bool, len(res.Alphabet.Kinds))
 		for kix := range res.Alphabet.Kinds {
 			t.relevant[kix] = tr.UsedBits[kix] != 0 ||
-				!compile.InertSymbol(t.DFA, res.Alphabet.Symbol(kix, 0), tr.Perpetual)
+				!compile.InertSymbol(oracle, res.Alphabet.Symbol(kix, 0), tr.Perpetual)
 		}
 		c.Triggers = append(c.Triggers, t)
 		c.byName[tr.Name] = t
@@ -371,6 +406,16 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 		return nil, fmt.Errorf("engine: class %s already registered", cls.Name)
 	}
 	e.classes[cls.Name] = c
+	for _, t := range c.Triggers {
+		e.autoTriggers++
+		if _, seen := e.autoTables[t.Auto.Tab]; !seen {
+			e.autoTables[t.Auto.Tab] = struct{}{}
+			e.autoBytes += uint64(t.Auto.Tab.Compact.Bytes())
+		}
+	}
+	if c.monitor != nil {
+		e.autoBytes += uint64(c.monitor.comb.Bytes())
+	}
 	return c, nil
 }
 
@@ -451,7 +496,7 @@ func (e *Engine) TriggerState(oid store.OID, trigger string) (state int, active 
 	}
 	act, ok := rec.Triggers[trigger]
 	if !ok {
-		return t.DFA.Start, false, nil
+		return t.Auto.Start(), false, nil
 	}
 	if c.monitor != nil {
 		// Combined monitoring: the single shared state word stands in
@@ -467,7 +512,7 @@ func (e *Engine) TriggerState(oid store.OID, trigger string) (state int, active 
 		if s, ok := e.whole[instanceKey{oid, trigger}]; ok {
 			return s, act.Active, nil
 		}
-		return t.DFA.Start, act.Active, nil
+		return t.Auto.Start(), act.Active, nil
 	}
 	return act.State, act.Active, nil
 }

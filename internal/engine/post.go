@@ -139,16 +139,19 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		}
 		sym := c.Res.Alphabet.Symbol(kindIx, bits)
 
+		// The step itself runs on the compact shared table: a row-index
+		// load, a narrow cell load and a bitset probe, through the
+		// trigger's class-symbol remap.
 		var prev, next int
 		if t.View == schema.WholeView {
 			key := instanceKey{oid, t.Res.Name}
 			tx.e.wholeMu.Lock()
 			cur, ok := tx.e.whole[key]
 			if !ok {
-				cur = t.DFA.Start
+				cur = t.Auto.Start()
 			}
 			prev = cur
-			next = t.DFA.Next(cur, sym)
+			next = t.Auto.Next(cur, sym)
 			tx.e.whole[key] = next
 			if tx.e.shadowOracle {
 				tx.e.wholeShadow[key] = append(tx.e.wholeShadow[key], sym)
@@ -156,7 +159,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			tx.e.wholeMu.Unlock()
 		} else {
 			prev = act.State
-			next = t.DFA.Next(act.State, sym)
+			next = t.Auto.Next(act.State, sym)
 			act.State = next
 			if tx.e.shadowOracle {
 				act.Shadow = append(act.Shadow, sym)
@@ -164,7 +167,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		}
 		tx.e.stats.steps.Add(1)
 		t.met.Step()
-		accepted := t.DFA.Accept[next]
+		accepted := t.Auto.Accept(next)
 		tx.e.traceStep(tx.tx.ID(), oid, rec.Class, t.Res.Name, prev, next, accepted)
 		if tx.e.shadowOracle {
 			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {

@@ -1,6 +1,10 @@
 package engine
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"ode/internal/compile"
+)
 
 // Stats are cumulative engine counters, readable at any time with
 // Engine.Stats. They are monotone except for being zero at startup;
@@ -35,6 +39,21 @@ type Stats struct {
 	// ShadowChecks counts §4 shadow-oracle cross-checks performed
 	// (zero unless Options.ShadowOracle is on).
 	ShadowChecks uint64
+
+	// AutomatonTriggers counts registered triggers stepping a compact
+	// table; AutomatonTables counts the distinct hash-consed tables they
+	// share in this engine, and AutomatonTableBytes is the resident
+	// footprint of those tables plus any combined monitors. Unlike the
+	// counters above these describe current registrations, not
+	// cumulative activity.
+	AutomatonTriggers   uint64
+	AutomatonTables     uint64
+	AutomatonTableBytes uint64
+	// CompileCacheHits and CompileCacheMisses snapshot the process-wide
+	// hash-cons compile cache (shared by every engine in the process,
+	// not just this one).
+	CompileCacheHits   uint64
+	CompileCacheMisses uint64
 }
 
 // statCounters is the engine-internal atomic mirror of Stats.
@@ -56,18 +75,29 @@ type statCounters struct {
 // StatsDelta), which subtracts field-wise and therefore inherits the
 // same per-field exactness.
 func (e *Engine) Stats() Stats {
+	cs := compile.AutomatonCacheStats()
+	e.mu.RLock()
+	autoTriggers := e.autoTriggers
+	autoTables := uint64(len(e.autoTables))
+	autoBytes := e.autoBytes
+	e.mu.RUnlock()
 	return Stats{
-		TxBegun:         e.stats.txBegun.Load(),
-		TxCommitted:     e.stats.txCommitted.Load(),
-		TxAborted:       e.stats.txAborted.Load(),
-		SystemTx:        e.stats.systemTx.Load(),
-		Happenings:      e.stats.happenings.Load(),
-		Steps:           e.stats.steps.Load(),
-		MaskEvals:       e.stats.maskEvals.Load(),
-		Firings:         e.stats.firings.Load(),
-		TimerPosts:      e.stats.timerPosts.Load(),
-		TcompleteRounds: e.stats.tcompleteRounds.Load(),
-		ShadowChecks:    e.stats.shadowChecks.Load(),
+		AutomatonTriggers:   autoTriggers,
+		AutomatonTables:     autoTables,
+		AutomatonTableBytes: autoBytes,
+		CompileCacheHits:    cs.Hits,
+		CompileCacheMisses:  cs.Misses,
+		TxBegun:             e.stats.txBegun.Load(),
+		TxCommitted:         e.stats.txCommitted.Load(),
+		TxAborted:           e.stats.txAborted.Load(),
+		SystemTx:            e.stats.systemTx.Load(),
+		Happenings:          e.stats.happenings.Load(),
+		Steps:               e.stats.steps.Load(),
+		MaskEvals:           e.stats.maskEvals.Load(),
+		Firings:             e.stats.firings.Load(),
+		TimerPosts:          e.stats.timerPosts.Load(),
+		TcompleteRounds:     e.stats.tcompleteRounds.Load(),
+		ShadowChecks:        e.stats.shadowChecks.Load(),
 	}
 }
 
@@ -88,6 +118,12 @@ func (s Stats) Delta(prev Stats) Stats {
 		TimerPosts:      s.TimerPosts - prev.TimerPosts,
 		TcompleteRounds: s.TcompleteRounds - prev.TcompleteRounds,
 		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
+
+		AutomatonTriggers:   s.AutomatonTriggers - prev.AutomatonTriggers,
+		AutomatonTables:     s.AutomatonTables - prev.AutomatonTables,
+		AutomatonTableBytes: s.AutomatonTableBytes - prev.AutomatonTableBytes,
+		CompileCacheHits:    s.CompileCacheHits - prev.CompileCacheHits,
+		CompileCacheMisses:  s.CompileCacheMisses - prev.CompileCacheMisses,
 	}
 }
 

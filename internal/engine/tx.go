@@ -288,7 +288,7 @@ func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) err
 	}
 	act := rec.Trigger(trigger)
 	act.Active = true
-	act.State = t.DFA.Start
+	act.State = t.Auto.Start()
 	act.Shadow = nil
 	act.Params = make(map[string]value.Value, len(params))
 	act.Dense = nil
@@ -305,7 +305,7 @@ func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) err
 	rec.BindSlot(t.slot, trigger, act)
 	if t.View == schema.WholeView {
 		tx.e.wholeMu.Lock()
-		tx.e.whole[instanceKey{oid, trigger}] = t.DFA.Start
+		tx.e.whole[instanceKey{oid, trigger}] = t.Auto.Start()
 		delete(tx.e.wholeShadow, instanceKey{oid, trigger})
 		tx.e.wholeMu.Unlock()
 	}

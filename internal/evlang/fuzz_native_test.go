@@ -1,0 +1,71 @@
+package evlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEvent is the native `go test -fuzz` harness for the surface
+// parser: arbitrary input must never panic, and whatever does parse
+// must render stably (parse ∘ render is the identity on renderings).
+// A short -fuzztime run is wired into `make verify` as a smoke test;
+// longer campaigns run with
+//
+//	go test -fuzz FuzzParseEvent ./internal/evlang/
+func FuzzParseEvent(f *testing.F) {
+	seeds := []string{
+		"after deposit",
+		"after withdraw",
+		"before tcomplete",
+		"after withdraw(i, q) && q > 1000",
+		"after withdraw && q > 100 && authorized(user())",
+		"(after deposit | after withdraw) && n > 0",
+		"after deposit; before withdraw; after withdraw",
+		"relative(after deposit, after withdraw)",
+		"prior(after deposit, after withdraw)",
+		"choose 5 (after tcommit)",
+		"every 5 (after access)",
+		"!(before deposit | after deposit)",
+		"after a & before b",
+		"at time(HR=17)",
+		"after time(HR=2, M=30)",
+		"every time(M=5)",
+		"balance < 500.00",
+		"after withdraw(Item i, int q)",
+		"fa(after deposit, after withdraw, relative(after audit, after audit))",
+		"",
+		"after",
+		"after a | ",
+		"choose (after a)",
+		"at time(BAD=1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cls := fuzzClass()
+	f.Fuzz(func(t *testing.T, src string) {
+		// Pathological inputs get arbitrarily deep; bound the work, not
+		// the grammar.
+		if len(src) > 1<<10 {
+			return
+		}
+		ps := ForClass(cls)
+		ev, err := ps.ParseEvent(src)
+		if err != nil || ev == nil {
+			return // rejecting is fine; panicking is the bug
+		}
+		rendered := ev.String()
+		back, err := ps.ParseEvent(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not reparse:\n  input    %q\n  rendered %q\n  error    %v",
+				src, rendered, err)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("rendering unstable:\n  input  %q\n  first  %q\n  second %q", src, rendered, again)
+		}
+		// Renders must stay printable single-line specs.
+		if strings.ContainsAny(rendered, "\n\r") {
+			t.Fatalf("rendering contains newlines: %q", rendered)
+		}
+	})
+}

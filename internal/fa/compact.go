@@ -1,0 +1,211 @@
+package fa
+
+import "fmt"
+
+// Compact is a read-only DFA representation sized for the detection
+// hot path. Where DFA spends 8 bytes per transition cell and one bool
+// per state, Compact narrows cells to uint16 (uint32 when the state
+// count demands it), deduplicates identical transition rows behind a
+// per-state row index — states of minimized event automata
+// overwhelmingly share rows, because most symbols are inert almost
+// everywhere — and packs acceptance into a bitset. The representation
+// is immutable after construction and safe to share between engines,
+// classes and goroutines.
+//
+// State numbering, the start state and the accept set are exactly
+// those of the automaton it was built from: Compress preserves
+// trajectories state-for-state, which is what lets the fat DFA remain
+// the structural oracle in tests.
+type Compact struct {
+	numStates  int
+	numSymbols int
+	start      int
+	rowIndex   []uint32 // state → deduplicated row id
+	rows16     []uint16 // row cells, narrow form (nil when wide)
+	rows32     []uint32 // row cells, wide form (nil when narrow)
+	accept     []uint64 // acceptance bitset, one bit per state
+}
+
+// Compress converts a complete DFA into its compact form, preserving
+// state numbering, the start state and acceptance exactly.
+func Compress(d *DFA) *Compact {
+	d.validate()
+	return NewCompact(d.NumStates, d.NumSymbols, d.Start, d.Next,
+		func(s int) bool { return d.Accept[s] })
+}
+
+// NewCompact builds a Compact directly from a dense transition
+// function over [0,numStates) × [0,numSymbols). It is the construction
+// hook for table shapes that are not plain DFAs (the footnote-5
+// combined monitor, whose per-state payload is a fire mask rather than
+// a single accept bit).
+func NewCompact(numStates, numSymbols, start int, next func(s, a int) int, accept func(s int) bool) *Compact {
+	if numStates <= 0 {
+		panic("fa: Compact must have at least one state")
+	}
+	if numSymbols < 0 {
+		panic("fa: negative alphabet size")
+	}
+	if start < 0 || start >= numStates {
+		panic("fa: start state out of range")
+	}
+	c := &Compact{
+		numStates:  numStates,
+		numSymbols: numSymbols,
+		start:      start,
+		rowIndex:   make([]uint32, numStates),
+		accept:     make([]uint64, (numStates+63)/64),
+	}
+	wide := numStates > 1<<16 // state values must fit the cell type
+	// Deduplicate rows via their byte image; row ids are assigned in
+	// order of first appearance, so construction is deterministic.
+	seen := make(map[string]uint32, numStates)
+	rowBytes := make([]byte, 4*numSymbols)
+	row32 := make([]uint32, numSymbols)
+	for s := 0; s < numStates; s++ {
+		for a := 0; a < numSymbols; a++ {
+			t := next(s, a)
+			if t < 0 || t >= numStates {
+				panic(fmt.Sprintf("fa: transition (%d,%d) targets out-of-range state %d", s, a, t))
+			}
+			row32[a] = uint32(t)
+			rowBytes[4*a] = byte(t)
+			rowBytes[4*a+1] = byte(t >> 8)
+			rowBytes[4*a+2] = byte(t >> 16)
+			rowBytes[4*a+3] = byte(t >> 24)
+		}
+		id, ok := seen[string(rowBytes)]
+		if !ok {
+			if wide {
+				id = uint32(len(c.rows32) / rowWidth(numSymbols))
+				c.rows32 = append(c.rows32, row32...)
+			} else {
+				id = uint32(len(c.rows16) / rowWidth(numSymbols))
+				for _, t := range row32 {
+					c.rows16 = append(c.rows16, uint16(t))
+				}
+			}
+			seen[string(rowBytes)] = id
+		}
+		c.rowIndex[s] = id
+		if accept(s) {
+			c.accept[s>>6] |= 1 << (s & 63)
+		}
+	}
+	if wide && c.rows32 == nil {
+		// A wide automaton over an empty alphabet still needs the wide
+		// marker; keep rows32 non-nil so Next dispatches consistently.
+		c.rows32 = []uint32{}
+	}
+	if outputValidation.Load() {
+		c.validate()
+	}
+	return c
+}
+
+// NumStates returns the number of states.
+func (c *Compact) NumStates() int { return c.numStates }
+
+// NumSymbols returns the alphabet size.
+func (c *Compact) NumSymbols() int { return c.numSymbols }
+
+// Start returns the start state.
+func (c *Compact) Start() int { return c.start }
+
+// NumRows returns the number of distinct transition rows retained
+// after deduplication (≤ NumStates).
+func (c *Compact) NumRows() int {
+	if c.rows32 != nil {
+		return len(c.rows32) / rowWidth(c.numSymbols)
+	}
+	return len(c.rows16) / rowWidth(c.numSymbols)
+}
+
+// Wide reports whether cells are stored as uint32 (more than 2^16
+// states) rather than uint16.
+func (c *Compact) Wide() bool { return c.rows32 != nil }
+
+// Next returns the successor of state s on symbol a. It is the §5
+// per-event step: one row-index load, one cell load, no allocation.
+func (c *Compact) Next(s, a int) int {
+	i := int(c.rowIndex[s])*c.numSymbols + a
+	if c.rows32 == nil {
+		return int(c.rows16[i])
+	}
+	return int(c.rows32[i])
+}
+
+// Accept reports whether state s is accepting.
+func (c *Compact) Accept(s int) bool {
+	return c.accept[s>>6]&(1<<(s&63)) != 0
+}
+
+// Run consumes word starting from state s and returns the final state.
+func (c *Compact) Run(s int, word []int) int {
+	for _, a := range word {
+		s = c.Next(s, a)
+	}
+	return s
+}
+
+// Accepts reports whether the automaton accepts the input word.
+func (c *Compact) Accepts(word []int) bool {
+	return c.Accept(c.Run(c.start, word))
+}
+
+// Bytes returns the resident footprint of the transition machinery:
+// row index, deduplicated rows and accept bitset. This is the number
+// the E13 experiment compares against the fat representation's
+// NumStates×NumSymbols×8.
+func (c *Compact) Bytes() int {
+	return len(c.rowIndex)*4 + len(c.rows16)*2 + len(c.rows32)*4 + len(c.accept)*8
+}
+
+// rowWidth is the divisor for row-count arithmetic (guarding the
+// degenerate zero-symbol alphabet).
+func rowWidth(numSymbols int) int {
+	if numSymbols < 1 {
+		return 1
+	}
+	return numSymbols
+}
+
+// Expand rebuilds the fat DFA form with identical state numbering —
+// the inverse of Compress, used by introspection and by oracle
+// comparisons.
+func (c *Compact) Expand() *DFA {
+	d := NewDFA(c.numStates, c.numSymbols, c.start)
+	for s := 0; s < c.numStates; s++ {
+		d.Accept[s] = c.Accept(s)
+		for a := 0; a < c.numSymbols; a++ {
+			d.SetNext(s, a, c.Next(s, a))
+		}
+	}
+	return d
+}
+
+// validate panics if the compact structure is internally inconsistent.
+// It runs under the output-validation test hook.
+func (c *Compact) validate() {
+	rows := c.NumRows()
+	if len(c.rowIndex) != c.numStates {
+		panic(fmt.Sprintf("fa: compact row index has %d entries, want %d", len(c.rowIndex), c.numStates))
+	}
+	for s, r := range c.rowIndex {
+		if int(r) >= rows {
+			panic(fmt.Sprintf("fa: compact state %d references out-of-range row %d", s, r))
+		}
+	}
+	cells := rows * c.numSymbols
+	for i := 0; i < cells; i++ {
+		var t int
+		if c.rows32 == nil {
+			t = int(c.rows16[i])
+		} else {
+			t = int(c.rows32[i])
+		}
+		if t < 0 || t >= c.numStates {
+			panic(fmt.Sprintf("fa: compact cell %d targets out-of-range state %d", i, t))
+		}
+	}
+}

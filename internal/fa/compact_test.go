@@ -1,0 +1,146 @@
+package fa
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// TestMain turns on output validation for the whole package: every
+// Determinize/Minimize result and every Compact built during these
+// tests is structurally checked.
+func TestMain(m *testing.M) {
+	SetOutputValidation(true)
+	os.Exit(m.Run())
+}
+
+// TestCompressTrajectoryOracle is the core compact property: for random
+// DFAs and random words, the compact form visits exactly the same state
+// sequence as the fat oracle and agrees on acceptance at every step.
+func TestCompressTrajectoryOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := 1 + rng.Intn(5)
+		d := randomDFA(rng, 40, k)
+		c := Compress(d)
+		if c.NumStates() != d.NumStates || c.NumSymbols() != d.NumSymbols || c.Start() != d.Start {
+			t.Fatalf("iter %d: shape mismatch", i)
+		}
+		s, cs := d.Start, c.Start()
+		for step := 0; step < 64; step++ {
+			if c.Accept(cs) != d.Accept[s] {
+				t.Fatalf("iter %d step %d: accept mismatch at state %d", i, step, s)
+			}
+			a := rng.Intn(k)
+			s, cs = d.Next(s, a), c.Next(cs, a)
+			if s != cs {
+				t.Fatalf("iter %d step %d: trajectory diverged (%d vs %d)", i, step, s, cs)
+			}
+		}
+	}
+}
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		d := randomDFA(rng, 25, 1+rng.Intn(4))
+		e := Compress(d).Expand()
+		if e.NumStates != d.NumStates || e.Start != d.Start {
+			t.Fatalf("iter %d: shape changed across round trip", i)
+		}
+		for s := 0; s < d.NumStates; s++ {
+			if e.Accept[s] != d.Accept[s] {
+				t.Fatalf("iter %d: accept[%d] changed", i, s)
+			}
+			for a := 0; a < d.NumSymbols; a++ {
+				if e.Next(s, a) != d.Next(s, a) {
+					t.Fatalf("iter %d: next(%d,%d) changed", i, s, a)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactRowDedup pins the size win: a DFA in which many states
+// share transition rows must store each distinct row once.
+func TestCompactRowDedup(t *testing.T) {
+	// 100 states, all rows identical: everything maps to state 0.
+	d := NewDFA(100, 4, 0)
+	c := Compress(d)
+	if c.NumRows() != 1 {
+		t.Fatalf("identical rows not deduplicated: %d rows", c.NumRows())
+	}
+	if c.Wide() {
+		t.Fatal("small automaton should use narrow cells")
+	}
+	// rowIndex (100×4) + one row (4×2) + accept (2×8).
+	if got, want := c.Bytes(), 100*4+4*2+2*8; got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+	fat := d.NumStates * d.NumSymbols * 8
+	if c.Bytes()*4 > fat {
+		t.Fatalf("compact %dB not ≥4x smaller than fat %dB", c.Bytes(), fat)
+	}
+}
+
+// TestCompactWide exercises the uint32 cell path with a synthetic
+// automaton too large for uint16 cells.
+func TestCompactWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide automaton construction in -short mode")
+	}
+	n := 1<<16 + 3
+	// next(s,0) = s+1 mod n, next(s,1) = s: every state has a distinct
+	// row, and targets exceed 2^16.
+	c := NewCompact(n, 2, 0,
+		func(s, a int) int {
+			if a == 0 {
+				return (s + 1) % n
+			}
+			return s
+		},
+		func(s int) bool { return s == n-1 })
+	if !c.Wide() {
+		t.Fatal("automaton with >2^16 states should be wide")
+	}
+	if c.NumRows() != n {
+		t.Fatalf("distinct rows collapsed: %d of %d", c.NumRows(), n)
+	}
+	s := c.Start()
+	for i := 0; i < n; i++ {
+		if c.Accept(s) != (s == n-1) {
+			t.Fatalf("accept mismatch at %d", s)
+		}
+		s = c.Next(s, 0)
+	}
+	if s != 0 {
+		t.Fatalf("cycle did not close: at %d", s)
+	}
+}
+
+func TestCompactAcceptsMatchesDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		k := 1 + rng.Intn(3)
+		d := randomDFA(rng, 12, k)
+		c := Compress(d)
+		word := make([]int, rng.Intn(20))
+		for j := range word {
+			word[j] = rng.Intn(k)
+		}
+		if c.Accepts(word) != d.Accepts(word) {
+			t.Fatalf("iter %d: acceptance mismatch on %v", i, word)
+		}
+	}
+}
+
+func TestSetOutputValidationToggle(t *testing.T) {
+	if !OutputValidationEnabled() {
+		t.Fatal("TestMain should have enabled output validation")
+	}
+	prev := SetOutputValidation(false)
+	if !prev {
+		t.Fatal("previous value should have been true")
+	}
+	SetOutputValidation(true)
+}

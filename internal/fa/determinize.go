@@ -88,5 +88,5 @@ func Determinize(n *NFA) *DFA {
 			d.SetNext(s, a, trans[s][a])
 		}
 	}
-	return d
+	return checked(d)
 }

@@ -150,5 +150,5 @@ func Minimize(d *DFA) *DFA {
 			out.SetNext(idx, a, newID[tb])
 		}
 	}
-	return out
+	return checked(out)
 }

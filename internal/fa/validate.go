@@ -1,0 +1,35 @@
+package fa
+
+import "sync/atomic"
+
+// outputValidation gates structural validation of the automata
+// produced by Determinize, Minimize and NewCompact. The checks are
+// O(states × symbols) per construction — cheap next to subset
+// construction, but pure overhead in production — so they run only
+// when a test package turns them on. With the hook enabled, a
+// corrupted table panics at construction instead of silently
+// misdetecting events later.
+var outputValidation atomic.Bool
+
+// SetOutputValidation toggles construction-time validation and returns
+// the previous setting. Test packages enable it in TestMain:
+//
+//	func TestMain(m *testing.M) {
+//		fa.SetOutputValidation(true)
+//		os.Exit(m.Run())
+//	}
+func SetOutputValidation(on bool) (prev bool) {
+	return outputValidation.Swap(on)
+}
+
+// OutputValidationEnabled reports whether the hook is on.
+func OutputValidationEnabled() bool { return outputValidation.Load() }
+
+// checked applies the output-validation hook to a freshly constructed
+// DFA and returns it.
+func checked(d *DFA) *DFA {
+	if outputValidation.Load() {
+		d.validate()
+	}
+	return d
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ode/internal/compile"
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+// E13Result quantifies the compact shared-automaton representation on a
+// fleet workload: many classes declaring the same handful of event
+// expressions, the regime the hash-cons cache and row-deduplicated
+// narrow tables are built for.
+type E13Result struct {
+	Triggers      int     `json:"triggers"`
+	DistinctExprs int     `json:"distinct_exprs"`
+	Tables        uint64  `json:"resident_tables"`
+	FatBytes      uint64  `json:"fat_table_bytes"`
+	CompactBytes  uint64  `json:"compact_table_bytes"`
+	Reduction     float64 `json:"reduction_factor"`
+	CacheHits     uint64  `json:"compile_cache_hits"`
+	CacheMisses   uint64  `json:"compile_cache_misses"`
+	HitRate       float64 `json:"compile_cache_hit_rate"`
+	// Per-transition stepping cost of the compact form (through the
+	// class-symbol remap) vs the fat oracle table, measured on the same
+	// random symbol sequence.
+	CompactNsPerStep float64 `json:"compact_ns_per_step"`
+	OracleNsPerStep  float64 `json:"oracle_ns_per_step"`
+}
+
+// e13Exprs are the distinct event expressions the fleet shares. Every
+// class declares all of them, so triggers/len(e13Exprs) classes share
+// each resident table.
+var e13Exprs = []string{
+	"after deposit",
+	"after withdraw",
+	"after deposit; before withdraw",
+	"after deposit | after withdraw",
+	"after deposit & after withdraw",
+	"!after deposit",
+	"choose 3 (after deposit)",
+	"every 4 (after withdraw)",
+	"relative(after deposit, after withdraw)",
+	"after withdraw; after withdraw",
+}
+
+// RunE13 registers classes×len(e13Exprs) triggers (classes distinct,
+// expressions repeated) and reports the resident transition-table
+// footprint against the unshared states×symbols×8 baseline, the
+// compile-cache hit rate, and raw stepping cost compact vs oracle.
+func RunE13(classes int, seed int64) (E13Result, error) {
+	// Reset the process-wide cache so hit/miss accounting reflects this
+	// workload alone (tables themselves are immutable; resetting is an
+	// accounting matter).
+	compile.ResetAutomatonCache()
+
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E13Result{}, err
+	}
+	defer eng.Close()
+
+	var classNames []string
+	for c := 0; c < classes; c++ {
+		name := fmt.Sprintf("acct%d", c)
+		classNames = append(classNames, name)
+		var triggers []schema.Trigger
+		for i, ev := range e13Exprs {
+			triggers = append(triggers, schema.Trigger{
+				Name:      fmt.Sprintf("T%d", i),
+				Perpetual: true,
+				Event:     ev,
+			})
+		}
+		cls := &schema.Class{
+			Name:   name,
+			Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(0)}},
+			Methods: []schema.Method{
+				{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+				{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			},
+			Triggers: triggers,
+		}
+		impl := engine.ClassImpl{
+			Methods: map[string]engine.MethodImpl{
+				"deposit":  func(ctx *engine.MethodCtx) (value.Value, error) { return value.Null(), nil },
+				"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) { return value.Null(), nil },
+			},
+			Actions: map[string]engine.ActionFunc{},
+		}
+		for _, tr := range triggers {
+			impl.Actions[tr.Name] = func(*engine.ActionCtx) error { return nil }
+		}
+		if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+			return E13Result{}, err
+		}
+	}
+
+	st := eng.Stats()
+	res := E13Result{
+		DistinctExprs: len(e13Exprs),
+		Tables:        st.AutomatonTables,
+		CompactBytes:  st.AutomatonTableBytes,
+		CacheHits:     st.CompileCacheHits,
+		CacheMisses:   st.CompileCacheMisses,
+	}
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.HitRate = float64(res.CacheHits) / float64(total)
+	}
+
+	// The fat baseline: what §5 tables cost if every trigger owned a
+	// private states×symbols×8 array over its class alphabet.
+	for _, name := range classNames {
+		c := eng.Class(name)
+		for _, t := range c.Triggers {
+			res.Triggers++
+			oracle := t.Oracle()
+			res.FatBytes += uint64(oracle.NumStates * oracle.NumSymbols * 8)
+		}
+	}
+	if res.CompactBytes > 0 {
+		res.Reduction = float64(res.FatBytes) / float64(res.CompactBytes)
+	}
+
+	// Raw stepping: the same random symbol sequence through the compact
+	// remapped form and the expanded fat oracle. Use the richest
+	// expression so the automaton is not a trivial two-state loop.
+	t0 := eng.Class(classNames[0]).Triggers[8] // relative(after deposit, after withdraw)
+	shared := t0.Auto
+	oracle := t0.Oracle()
+	rng := rand.New(rand.NewSource(seed))
+	word := make([]int, 1<<16)
+	for i := range word {
+		word[i] = rng.Intn(oracle.NumSymbols)
+	}
+	res.CompactNsPerStep = e13Time(len(word), func() {
+		s := shared.Start()
+		for _, a := range word {
+			s = shared.Next(s, a)
+		}
+		e13Sink = s
+	})
+	res.OracleNsPerStep = e13Time(len(word), func() {
+		s := oracle.Start
+		for _, a := range word {
+			s = oracle.Next(s, a)
+		}
+		e13Sink = s
+	})
+	return res, nil
+}
+
+// e13Sink defeats dead-code elimination of the timed loops.
+var e13Sink int
+
+// e13Time returns the best-of-three per-iteration nanoseconds of fn,
+// which performs iters units of work per call.
+func e13Time(iters int, fn func()) float64 {
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		fn()
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
