@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz verify bench
+.PHONY: build test vet race fuzz sim verify bench
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,18 @@ vet:
 race:
 	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/
 
-# Short fuzz smoke over the event-language parser; longer campaigns:
+# Short fuzz smoke over the event-language and mask parsers; longer
+# campaigns:
 # go test -fuzz FuzzParseEvent ./internal/evlang/
+# go test -fuzz FuzzParseMask ./internal/mask/
 fuzz:
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 5s -run '^$$' ./internal/evlang/
+	$(GO) test -fuzz FuzzParseMask -fuzztime 5s -run '^$$' ./internal/mask/
+
+# Deterministic-simulation smoke (the CI sim-short job); full torture
+# campaigns run via `go run ./cmd/odebench -sim -iters N`.
+sim:
+	$(GO) test -race -run TestSimShort ./internal/sim/
 
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz

@@ -22,14 +22,20 @@
 //	    100-trigger fleet sharing 10 expressions vs the unshared fat
 //	    baseline, compile-cache hit rate, and stepping cost; -out also
 //	    reruns E12 and writes both as JSON (e.g. BENCH_PR4.json)
+//	E14 deterministic-simulation torture (the -sim mode, DESIGN.md §11):
+//	    seeded randomized runs with fault injection, crash/recovery
+//	    cycles and the §4 replay oracle; failing seeds print minimized
+//	    reproduction scripts and fail the process
 //
 // Usage:
 //
-//	odebench                               # run everything
+//	odebench                               # run everything (E1..E13)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
 //	odebench -exp E13 -out BENCH_PR4.json  # compact-automata JSON
+//	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
+//	odebench -sim -iters 1000 -out sim.json
 //
 // Profiling: -cpuprofile and -memprofile write pprof profiles covering
 // whichever experiments run.
@@ -55,7 +61,10 @@ func main() { os.Exit(run()) }
 func run() int {
 	exp := flag.String("exp", "", "experiment id (E1..E13); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
-	out := flag.String("out", "", "write E11/E12/E13 results as JSON to this file")
+	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
+	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
+	iters := flag.Int("iters", 1000, "-sim: number of seeded iterations (iteration i runs seed+i)")
+	simVolatile := flag.Bool("sim-volatile", false, "-sim: use a volatile store (lock faults only, no WAL/crash cycles)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -87,6 +96,10 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "odebench: memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *simMode {
+		return runSim(*iters, *seed, *simVolatile, *out)
 	}
 
 	all := []struct {

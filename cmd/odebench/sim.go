@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ode/internal/sim"
+)
+
+// runSim is the -sim torture mode: many independent seeded simulation
+// runs (persistent store, fault injection, all three oracles), one
+// line of progress per chunk, and a final summary. Every failure
+// prints its seed and a minimized reproduction script; the exit code
+// is nonzero if any iteration failed, so CI can gate on it. With -out
+// the summary (plus failing seeds) is written as JSON — the nightly
+// workflow uploads that file as an artifact.
+func runSim(iters int, seed int64, volatile bool, out string) int {
+	cfg := sim.Defaults(seed)
+	cfg.Persistent = !volatile
+	cfg.Faults = true
+	mode := "persistent store + WAL/lock fault injection"
+	if volatile {
+		mode = "volatile store + lock fault injection"
+	}
+	fmt.Printf("sim torture: %d iterations from seed %d (%s)\n", iters, seed, mode)
+
+	chunk := iters / 20
+	if chunk < 1 {
+		chunk = 1
+	}
+	sum, fails := sim.Torture(sim.TortureOpts{
+		Iters:    iters,
+		Seed:     seed,
+		Cfg:      cfg,
+		Minimize: true,
+		Progress: func(done, failures int) {
+			if done%chunk == 0 || done == iters {
+				fmt.Printf("  %6d/%d done, %d failure(s)\n", done, iters, failures)
+			}
+		},
+	})
+
+	table("", []string{"iterations", "failures", "crashes", "recoveries", "torn tails", "faults injected", "firings", "happenings"},
+		[][]string{{
+			fmt.Sprintf("%d", sum.Iters),
+			fmt.Sprintf("%d", sum.Failures),
+			fmt.Sprintf("%d", sum.Crashes),
+			fmt.Sprintf("%d", sum.Recoveries),
+			fmt.Sprintf("%d", sum.TornTails),
+			fmt.Sprintf("%d", sum.Injected),
+			fmt.Sprintf("%d", sum.Firings),
+			fmt.Sprintf("%d", sum.Happenings),
+		}})
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "\n%v\n", f)
+	}
+
+	if out != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string             `json:"experiment"`
+			Seed       int64              `json:"seed"`
+			Volatile   bool               `json:"volatile"`
+			Summary    sim.TortureSummary `json:"summary"`
+		}{"E14", seed, volatile, sum}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odebench: sim: %v\n", err)
+			return 1
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "odebench: sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  wrote %s\n", out)
+	}
+	if sum.Failures > 0 {
+		return 1
+	}
+	return 0
+}

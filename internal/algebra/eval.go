@@ -191,6 +191,18 @@ func Eval(e *Expr, h []int) []bool {
 	return labels
 }
 
+// FiringPoints returns, for each point p of h, whether the event has
+// just occurred at p — i.e. Occurs(e, h[:p+1]) for every prefix, in a
+// single Eval pass. The two coincide because the §4 semantics are
+// causal: every operator labels point p from h[0..p] alone (suffix
+// operators like relative and fa only ever truncate prefixes away),
+// so evaluating the full history labels each point exactly as
+// evaluating the prefix ending there would. TestPrefixStability pins
+// the property; replay oracles (internal/sim, Engine.VerifyOracle)
+// rely on it to check a whole recorded history in one pass instead of
+// re-evaluating every prefix.
+func FiringPoints(e *Expr, h []int) []bool { return Eval(e, h) }
+
 // Occurs reports whether the event has just occurred at the end of the
 // history — the rightmost history point is labeled (paper §4: "if the
 // rightmost history symbol is labeled then the specified event has

@@ -352,6 +352,32 @@ func TestPrefixStability(t *testing.T) {
 	}
 }
 
+// TestFiringPoints pins the replay-oracle contract: FiringPoints(e, h)
+// equals Occurs(e, h[:p+1]) at every point p (a single pass over the
+// history stands in for evaluating every prefix).
+func TestFiringPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 3
+	for iter := 0; iter < 200; iter++ {
+		e := randomExpr(rng, k, 3)
+		n := rng.Intn(9)
+		h := make([]int, n)
+		for i := range h {
+			h[i] = rng.Intn(k)
+		}
+		got := FiringPoints(e, h)
+		if len(got) != n {
+			t.Fatalf("iter %d: FiringPoints length %d, want %d", iter, len(got), n)
+		}
+		for p := 0; p < n; p++ {
+			if want := Occurs(e, h[:p+1]); got[p] != want {
+				t.Fatalf("iter %d: %s at point %d of %v: FiringPoints=%v Occurs=%v",
+					iter, e, p, h, got[p], want)
+			}
+		}
+	}
+}
+
 func TestStringRendering(t *testing.T) {
 	e := Fa(Atom(0), Prior(Atom(1), Atom(2)), Or(Atom(2), Not(Atom(3))))
 	got := e.String()

@@ -109,6 +109,19 @@ func (c *Virtual) Pending() int {
 	return len(c.timers)
 }
 
+// NextDue returns the due time of the earliest pending timer, or
+// (zero, false) when none is scheduled. Deterministic drivers (the
+// simulation harness) use it to advance exactly to the next firing
+// instead of guessing a step size.
+func (c *Virtual) NextDue() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.timers) == 0 {
+		return time.Time{}, false
+	}
+	return c.timers[0].at, true
+}
+
 // Advance moves the clock forward by d, firing every timer that
 // becomes due, in timestamp order (ties in registration order).
 // Periodic timers fire once per elapsed period. Callbacks run without

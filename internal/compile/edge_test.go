@@ -1,0 +1,100 @@
+package compile
+
+import (
+	"testing"
+
+	"ode/internal/algebra"
+)
+
+// TestCounterEdgeCases pins choose n / every n / prior n at their
+// boundary counts — n=1 (the degenerate form), n exactly the number of
+// occurrences, and n greater than any history can supply — with
+// hand-computed firing points. Each case is checked three ways: the
+// denotational oracle must match the expectation, and the compiled
+// automaton must match the oracle point for point, so a bug in either
+// side (or in both, agreeing) cannot slip through.
+//
+// Histories are over the alphabet {0, 1}: symbol 0 is the counted atom,
+// symbol 1 is noise that advances the history without occurring.
+func TestCounterEdgeCases(t *testing.T) {
+	a := algebra.Atom(0)
+	cases := []struct {
+		name string
+		expr *algebra.Expr
+		h    []int
+		want []bool
+	}{
+		{"choose 1 is the first occurrence only", algebra.Choose(a, 1),
+			[]int{1, 0, 0, 1, 0}, []bool{false, true, false, false, false}},
+		{"choose 1 with no occurrence", algebra.Choose(a, 1),
+			[]int{1, 1, 1}, []bool{false, false, false}},
+		{"choose n lands on the history's last point", algebra.Choose(a, 3),
+			[]int{0, 0, 0}, []bool{false, false, true}},
+		{"choose n exceeding the occurrence count never fires", algebra.Choose(a, 4),
+			[]int{0, 1, 0, 1, 0}, []bool{false, false, false, false, false}},
+		{"choose n exceeding the history length never fires", algebra.Choose(a, 9),
+			[]int{0, 0, 0, 0}, []bool{false, false, false, false}},
+		{"every 1 is the event itself", algebra.Every(a, 1),
+			[]int{0, 1, 0, 0}, []bool{true, false, true, true}},
+		{"every 2 fires at each even occurrence", algebra.Every(a, 2),
+			[]int{0, 0, 1, 0, 0}, []bool{false, true, false, false, true}},
+		{"every n exceeding the history length never fires", algebra.Every(a, 9),
+			[]int{0, 0, 0, 0}, []bool{false, false, false, false}},
+		{"prior 1 is the event itself", algebra.PriorN(a, 1),
+			[]int{1, 0, 1, 0}, []bool{false, true, false, true}},
+		{"prior 2 is every occurrence after the first", algebra.PriorN(a, 2),
+			[]int{0, 1, 0, 0}, []bool{false, false, true, true}},
+		{"prior n exceeding the occurrence count never fires", algebra.PriorN(a, 5),
+			[]int{0, 0, 0, 0}, []bool{false, false, false, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := algebra.FiringPoints(tc.expr, tc.h)
+			for p := range tc.h {
+				if got[p] != tc.want[p] {
+					t.Fatalf("oracle: %s over %v, point %d: got %v want %v",
+						tc.expr, tc.h, p, got[p], tc.want[p])
+				}
+			}
+			checkAgainstOracle(t, tc.expr, 2, tc.h)
+		})
+	}
+}
+
+// TestCounterEdgeExhaustive sweeps every {0,1}-history up to length 6
+// for the boundary counts, comparing automaton against oracle. The
+// n=7 automata must behave exactly like Empty() on every history this
+// short — a counter that saturates early or wraps would show up here.
+func TestCounterEdgeExhaustive(t *testing.T) {
+	a := algebra.Atom(0)
+	exprs := []*algebra.Expr{
+		algebra.Choose(a, 1), algebra.Choose(a, 7),
+		algebra.Every(a, 1), algebra.Every(a, 7),
+		algebra.PriorN(a, 1), algebra.PriorN(a, 7),
+	}
+	allHistories(2, 6, func(h []int) {
+		for _, e := range exprs {
+			checkAgainstOracle(t, e, 2, h)
+		}
+	})
+}
+
+// TestCounterZeroRejected pins the constructor contract: a zero
+// occurrence count is a specification error rejected at construction,
+// never silently treated as "empty" or "always". (The surface parser
+// rejects it earlier still — see evlang's TestParseErrors.)
+func TestCounterZeroRejected(t *testing.T) {
+	a := algebra.Atom(0)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: n=0 accepted, want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("choose", func() { algebra.Choose(a, 0) })
+	mustPanic("every", func() { algebra.Every(a, 0) })
+	mustPanic("prior", func() { algebra.PriorN(a, 0) })
+}

@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 
 	"ode/internal/compile"
+	"ode/internal/fault"
 	"ode/internal/obs"
+	"ode/internal/store"
 )
 
 // debugEngineSeq disambiguates the expvar names of engines opened in
@@ -39,6 +41,7 @@ func (e *Engine) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/triggers", e.handleDebugTriggers)
 	mux.HandleFunc("/debug/trace", e.handleDebugTrace)
 	mux.HandleFunc("/debug/automata", e.handleDebugAutomata)
+	mux.HandleFunc("/debug/faults", e.handleDebugFaults)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -73,6 +76,18 @@ func (e *Engine) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 
 func (e *Engine) handleDebugTriggers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, e.metrics.Snapshot())
+}
+
+func (e *Engine) handleDebugFaults(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, struct {
+		Installed bool               `json:"installed"`
+		Points    []fault.PointStats `json:"points,omitempty"`
+		Recovery  store.RecoveryInfo `json:"recovery"`
+	}{
+		Installed: e.faults != nil,
+		Points:    e.faults.Snapshot(),
+		Recovery:  e.st.Recovery(),
+	})
 }
 
 func (e *Engine) handleDebugTrace(w http.ResponseWriter, r *http.Request) {

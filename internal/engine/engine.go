@@ -31,6 +31,7 @@ import (
 	"ode/internal/compile"
 	"ode/internal/evlang"
 	"ode/internal/fa"
+	"ode/internal/fault"
 	"ode/internal/history"
 	"ode/internal/obs"
 	"ode/internal/schema"
@@ -121,6 +122,11 @@ type Options struct {
 	// baseline the compiled path is measured and cross-checked against.
 	// Meant for tests and benchmarks; production leaves it off.
 	InterpretedMasks bool
+	// Faults optionally installs a fault-injection registry consulted
+	// by the WAL and the lock manager (internal/fault). The simulation
+	// harness (internal/sim) arms it; nil — the production default —
+	// keeps every consult a single branch on the hot path.
+	Faults *fault.Registry
 }
 
 // Engine is an active object database.
@@ -149,6 +155,7 @@ type Engine struct {
 	shadowOracle   bool
 	combined       bool
 	interpretMasks bool
+	faults         *fault.Registry // nil outside the simulation harness
 
 	timers *timerTable
 
@@ -244,7 +251,10 @@ func (c *Class) Trigger(name string) *Trigger { return c.byName[name] }
 
 // New opens an engine.
 func New(opts Options) (*Engine, error) {
-	st, err := store.OpenWith(opts.Dir, store.Options{DisableGroupCommit: opts.DisableGroupCommit})
+	st, err := store.OpenWith(opts.Dir, store.Options{
+		DisableGroupCommit: opts.DisableGroupCommit,
+		Faults:             opts.Faults,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +264,7 @@ func New(opts Options) (*Engine, error) {
 	}
 	e := &Engine{
 		st:             st,
-		txm:            txn.NewManager(st),
+		txm:            txn.NewManagerWith(st, opts.Faults),
 		clk:            clock.NewVirtual(start),
 		classes:        map[string]*Class{},
 		funcs:          map[string]MaskFunc{},
@@ -264,6 +274,7 @@ func New(opts Options) (*Engine, error) {
 		shadowOracle:   opts.ShadowOracle,
 		combined:       opts.CombinedAutomata && !opts.ShadowOracle,
 		interpretMasks: opts.InterpretedMasks,
+		faults:         opts.Faults,
 		metrics:        obs.NewRegistry(),
 	}
 	e.timers = newTimerTable(e)
@@ -306,6 +317,10 @@ func (e *Engine) Clock() *clock.Virtual { return e.clk }
 // Store exposes the object store (read-mostly; examples and tools use
 // it for inspection).
 func (e *Engine) Store() *store.Store { return e.st }
+
+// Faults returns the engine's fault-injection registry (nil unless
+// one was installed via Options.Faults).
+func (e *Engine) Faults() *fault.Registry { return e.faults }
 
 // Checkpoint snapshots the store and truncates the WAL.
 func (e *Engine) Checkpoint() error { return e.st.Checkpoint() }

@@ -39,6 +39,10 @@ type Stats struct {
 	// ShadowChecks counts §4 shadow-oracle cross-checks performed
 	// (zero unless Options.ShadowOracle is on).
 	ShadowChecks uint64
+	// FaultsInjected counts failures fired by the fault-injection
+	// registry (zero unless Options.Faults is installed — i.e. under
+	// the simulation harness).
+	FaultsInjected uint64
 
 	// AutomatonTriggers counts registered triggers stepping a compact
 	// table; AutomatonTables counts the distinct hash-consed tables they
@@ -98,6 +102,7 @@ func (e *Engine) Stats() Stats {
 		TimerPosts:          e.stats.timerPosts.Load(),
 		TcompleteRounds:     e.stats.tcompleteRounds.Load(),
 		ShadowChecks:        e.stats.shadowChecks.Load(),
+		FaultsInjected:      e.faults.Injected(),
 	}
 }
 
@@ -118,6 +123,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		TimerPosts:      s.TimerPosts - prev.TimerPosts,
 		TcompleteRounds: s.TcompleteRounds - prev.TcompleteRounds,
 		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
+		FaultsInjected:  s.FaultsInjected - prev.FaultsInjected,
 
 		AutomatonTriggers:   s.AutomatonTriggers - prev.AutomatonTriggers,
 		AutomatonTables:     s.AutomatonTables - prev.AutomatonTables,

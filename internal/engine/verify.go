@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ode/internal/algebra"
+	"ode/internal/schema"
+	"ode/internal/store"
+)
+
+// ErrOracleDivergence wraps every mismatch VerifyOracle reports.
+var ErrOracleDivergence = errors.New("engine: oracle divergence")
+
+// VerifyOracle replays every trigger instance's recorded symbol
+// history through the instance's compact automaton and through the §4
+// denotational semantics (algebra.FiringPoints), asserting that
+//
+//   - the automaton accepts at exactly the history points the
+//     denotational semantics labels — the trigger-firing sequence of
+//     the instance's current activation epoch, and
+//   - the replayed automaton ends in exactly the state stored on the
+//     object (for committed-view triggers, the state that gob
+//     persistence carried across any crash and recovery).
+//
+// It requires Options.ShadowOracle (which records the histories) and
+// a quiescent engine. Because TrigActivation.Shadow is part of the
+// record, it is rolled back on abort and persisted on commit exactly
+// like State — so after a crash and reopen, VerifyOracle checks that
+// recovery reconstructed automaton states consistent with the §4
+// semantics of the surviving history. Whole-view instances are
+// checked against the engine's volatile whole-history tables instead
+// (those survive aborts but not restarts, matching §6).
+func (e *Engine) VerifyOracle() error {
+	if !e.shadowOracle {
+		return errors.New("engine: VerifyOracle requires Options.ShadowOracle")
+	}
+	oids := e.st.OIDs()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		rec, err := e.st.Get(oid)
+		if err != nil {
+			return err
+		}
+		c, err := e.classOf(rec)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(rec.Triggers))
+		for name := range rec.Triggers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := c.Trigger(name)
+			if t == nil {
+				continue // e.g. the combined-monitor slot
+			}
+			act := rec.Triggers[name]
+			hist := act.Shadow
+			state := act.State
+			if t.View == schema.WholeView {
+				e.wholeMu.Lock()
+				hist = append([]int(nil), e.wholeShadow[instanceKey{oid, name}]...)
+				st, ok := e.whole[instanceKey{oid, name}]
+				if !ok {
+					st = t.Auto.Start()
+				}
+				state = st
+				e.wholeMu.Unlock()
+			}
+			if err := e.verifyInstance(oid, t, hist, state); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyInstance replays one instance's history.
+func (e *Engine) verifyInstance(oid store.OID, t *Trigger, hist []int, state int) error {
+	labels := algebra.FiringPoints(t.Res.Expr, hist)
+	cur := t.Auto.Start()
+	for p, sym := range hist {
+		cur = t.Auto.Next(cur, sym)
+		if got, want := t.Auto.Accept(cur), labels[p]; got != want {
+			return fmt.Errorf("%w: trigger %s at object %d, history point %d/%d (symbol %d): automaton accept=%v, §4 oracle=%v (history %v)",
+				ErrOracleDivergence, t.Res.Name, oid, p, len(hist), sym, got, want, hist)
+		}
+	}
+	if cur != state {
+		return fmt.Errorf("%w: trigger %s at object %d: replayed automaton state %d, stored state %d (history %v)",
+			ErrOracleDivergence, t.Res.Name, oid, cur, state, hist)
+	}
+	return nil
+}

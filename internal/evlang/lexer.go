@@ -97,13 +97,50 @@ func lexAll(src string) ([]tok, error) {
 				}
 				if src[pos] == '\\' && pos+1 < len(src) {
 					pos++
+					// The escape set mirrors what Go's %q renderer emits, so
+					// any accepted literal's rendering re-parses (parse ∘
+					// render is the identity; FuzzParseEvent pins this).
 					switch src[pos] {
 					case 'n':
 						b.WriteByte('\n')
 					case 't':
 						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					case 'a':
+						b.WriteByte('\a')
+					case 'b':
+						b.WriteByte('\b')
+					case 'f':
+						b.WriteByte('\f')
+					case 'v':
+						b.WriteByte('\v')
 					case '\\', '"', '\'':
 						b.WriteByte(src[pos])
+					case 'x':
+						n, np, err := hexEscape(src, pos, 2)
+						if err != nil {
+							return nil, err
+						}
+						b.WriteByte(byte(n))
+						pos = np
+					case 'u':
+						n, np, err := hexEscape(src, pos, 4)
+						if err != nil {
+							return nil, err
+						}
+						b.WriteRune(rune(n))
+						pos = np
+					case 'U':
+						n, np, err := hexEscape(src, pos, 8)
+						if err != nil {
+							return nil, err
+						}
+						if n > 0x10FFFF {
+							return nil, fmt.Errorf("evlang: rune escape out of range at %d", pos)
+						}
+						b.WriteRune(rune(n))
+						pos = np
 					default:
 						return nil, fmt.Errorf("evlang: bad escape \\%c at %d", src[pos], pos)
 					}
@@ -133,4 +170,30 @@ func lexAll(src string) ([]tok, error) {
 			}
 		}
 	}
+}
+
+// hexEscape decodes exactly width hex digits following the escape
+// letter at pos, returning the value and the position of the last
+// digit consumed (the caller's loop increment then steps past it).
+func hexEscape(src string, pos, width int) (uint32, int, error) {
+	if pos+width >= len(src) {
+		return 0, 0, fmt.Errorf("evlang: truncated hex escape at %d", pos)
+	}
+	var n uint32
+	for i := 1; i <= width; i++ {
+		c := src[pos+i]
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, 0, fmt.Errorf("evlang: bad hex digit %q in escape at %d", c, pos+i)
+		}
+		n = n<<4 | d
+	}
+	return n, pos + width, nil
 }

@@ -258,6 +258,8 @@ func TestParseErrors(t *testing.T) {
 		"relative(after a",
 		"choose (after a)",
 		"choose 0 (after a)",
+		"every 0 (after a)",
+		"prior 0 (after a, after b)",
 		"fa(after a, after b)",
 		"fa(after a, after b, after c, after d)",
 		"after",

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	if err := r.Check(WALSync); err != nil {
+		t.Fatalf("nil registry injected: %v", err)
+	}
+	if n, err := r.CheckTear(WALWrite, 42); n != 42 || err != nil {
+		t.Fatalf("nil CheckTear = (%d, %v), want (42, nil)", n, err)
+	}
+	if r.Consults(WALSync) != 0 || r.Injected() != 0 || r.Armed() != 0 {
+		t.Fatal("nil registry reports non-zero counters")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot non-nil")
+	}
+	r.Disarm() // must not panic
+}
+
+func TestArmAtFiresAtExactOrdinal(t *testing.T) {
+	r := New()
+	r.ArmAt(WALSync, 3)
+	for i := 1; i <= 5; i++ {
+		err := r.Check(WALSync)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("consult %d: err=%v", i, err)
+		}
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != WALSync || fe.Consult != 3 {
+				t.Fatalf("bad typed error: %+v", fe)
+			}
+		}
+	}
+	if got := r.Consults(WALSync); got != 5 {
+		t.Fatalf("consults = %d, want 5", got)
+	}
+	if got := r.Injected(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestArmTearClampsToBatch(t *testing.T) {
+	r := New()
+	r.ArmTear(WALWrite, 1, 1000)
+	n, err := r.CheckTear(WALWrite, 64)
+	if err == nil || n != 64 {
+		t.Fatalf("CheckTear = (%d, %v), want (64, injected)", n, err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Tear != 64 {
+		t.Fatalf("tear not clamped in error: %+v", fe)
+	}
+}
+
+func TestPlainPlanTearMeansWriteNothing(t *testing.T) {
+	r := New()
+	r.ArmAt(WALWrite, 1)
+	n, err := r.CheckTear(WALWrite, 64)
+	if err == nil || n != -1 {
+		t.Fatalf("CheckTear = (%d, %v), want (-1, injected)", n, err)
+	}
+}
+
+func TestPlansAreOneShotAndIndependent(t *testing.T) {
+	r := New()
+	r.ArmAt(LockAcquire, 2)
+	r.ArmAt(LockAcquire, 4)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if err := r.Check(LockAcquire); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired at %v, want [2 4]", fired)
+	}
+	if r.Armed() != 0 {
+		t.Fatalf("armed = %d after both fired", r.Armed())
+	}
+}
+
+func TestArmNextAndDisarm(t *testing.T) {
+	r := New()
+	r.Check(WALSync)
+	r.Check(WALSync)
+	r.ArmNext(WALSync) // arms at ordinal 3
+	r.ArmNextTear(WALWrite, 10)
+	if r.Armed() != 2 {
+		t.Fatalf("armed = %d, want 2", r.Armed())
+	}
+	r.Disarm()
+	if r.Armed() != 0 {
+		t.Fatalf("armed after Disarm = %d", r.Armed())
+	}
+	if err := r.Check(WALSync); err != nil {
+		t.Fatalf("disarmed plan fired: %v", err)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := New()
+	r.ArmAt(WALAfterSync, 1)
+	r.Check(WALAfterSync)
+	snap := r.Snapshot()
+	if len(snap) != int(NumPoints) {
+		t.Fatalf("snapshot has %d points, want %d", len(snap), NumPoints)
+	}
+	ps := snap[WALAfterSync]
+	if ps.Point != "wal-after-sync" || ps.Consults != 1 || ps.Injected != 1 || ps.Armed != 0 {
+		t.Fatalf("bad point stats: %+v", ps)
+	}
+}

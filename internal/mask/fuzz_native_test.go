@@ -1,0 +1,62 @@
+package mask
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMask is the native `go test -fuzz` harness for the
+// disjointness-mask parser (§3.2 boolean/relational expressions):
+// arbitrary input must never panic, and whatever parses must render
+// stably (parse ∘ render is the identity on renderings). A short
+// -fuzztime run is wired into `make fuzz`; longer campaigns run with
+//
+//	go test -fuzz FuzzParseMask ./internal/mask/
+func FuzzParseMask(f *testing.F) {
+	seeds := []string{
+		"n > 50",
+		"q >= 1000 && q < 2000",
+		"balance < 500.00",
+		"authorized(user())",
+		"x == y || !(a != b)",
+		"(n + 1) * 2 <= limit - 3",
+		"s == \"widget\"",
+		"inv.qty > reorder(inv.item)",
+		"true && false",
+		"-n < 0",
+		"a.b.c >= d.e",
+		"f(g(h(1)), 2, 3) == 0",
+		"",
+		"n >",
+		"((((((x))))))",
+		"1 +",
+		"\"unterminated",
+		"n ? 1 : 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Pathological inputs get arbitrarily deep; bound the work, not
+		// the grammar.
+		if len(src) > 1<<10 {
+			return
+		}
+		e, err := Parse(src)
+		if err != nil || e == nil {
+			return // rejecting is fine; panicking is the bug
+		}
+		rendered := e.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of accepted input does not reparse:\n  input    %q\n  rendered %q\n  error    %v",
+				src, rendered, err)
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("rendering unstable:\n  input  %q\n  first  %q\n  second %q", src, rendered, again)
+		}
+		if strings.ContainsAny(rendered, "\n\r") {
+			t.Fatalf("rendering contains newlines: %q", rendered)
+		}
+	})
+}

@@ -140,13 +140,47 @@ func (l *lexer) lexString() error {
 		}
 		if c == '\\' && l.pos+1 < len(l.src) {
 			l.pos++
+			// The escape set mirrors what Go's %q renderer emits, so any
+			// accepted literal's rendering re-parses (parse ∘ render is
+			// the identity; the FuzzParseMask harness pins this).
 			switch l.src[l.pos] {
 			case 'n':
 				b.WriteByte('\n')
 			case 't':
 				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'a':
+				b.WriteByte('\a')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'v':
+				b.WriteByte('\v')
 			case '\\', '"', '\'':
 				b.WriteByte(l.src[l.pos])
+			case 'x':
+				n, err := l.hexEscape(2)
+				if err != nil {
+					return err
+				}
+				b.WriteByte(byte(n))
+			case 'u':
+				n, err := l.hexEscape(4)
+				if err != nil {
+					return err
+				}
+				b.WriteRune(rune(n))
+			case 'U':
+				n, err := l.hexEscape(8)
+				if err != nil {
+					return err
+				}
+				if n > 0x10FFFF {
+					return fmt.Errorf("mask: rune escape out of range at offset %d", l.pos)
+				}
+				b.WriteRune(rune(n))
 			default:
 				return fmt.Errorf("mask: unknown escape \\%c at offset %d", l.src[l.pos], l.pos)
 			}
@@ -157,6 +191,32 @@ func (l *lexer) lexString() error {
 		l.pos++
 	}
 	return fmt.Errorf("mask: unterminated string starting at offset %d", start)
+}
+
+// hexEscape consumes exactly width hex digits following the escape
+// letter at l.pos and returns their value.
+func (l *lexer) hexEscape(width int) (uint32, error) {
+	if l.pos+width >= len(l.src) {
+		return 0, fmt.Errorf("mask: truncated hex escape at offset %d", l.pos)
+	}
+	var n uint32
+	for i := 1; i <= width; i++ {
+		c := l.src[l.pos+i]
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("mask: bad hex digit %q in escape at offset %d", c, l.pos+i)
+		}
+		n = n<<4 | d
+	}
+	l.pos += width
+	return n, nil
 }
 
 func (l *lexer) lexOperator() bool {

@@ -174,6 +174,23 @@ type Snapshot struct {
 	Classes  []ClassSnapshot   `json:"classes"`
 }
 
+// Canonical returns a copy of the snapshot with every wall-clock-
+// dependent field (the action-latency histograms) zeroed, leaving
+// only counters that are a pure function of the executed schedule.
+// Deterministic replays (internal/sim) compare Canonical snapshots
+// across runs: two executions of the same seed must agree on every
+// remaining field even though their action latencies differ.
+func (s Snapshot) Canonical() Snapshot {
+	out := Snapshot{
+		Triggers: append([]TriggerSnapshot(nil), s.Triggers...),
+		Classes:  append([]ClassSnapshot(nil), s.Classes...),
+	}
+	for i := range out.Triggers {
+		out.Triggers[i].Latency = HistogramSnapshot{}
+	}
+	return out
+}
+
 // Registry holds the metrics of every registered class and trigger.
 // Lookup is paid once at class-registration time: the engine caches
 // the returned pointers, so hot-path updates are plain atomic adds.

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/value"
+)
+
+// classDef is the static description of one simulated class: schema
+// fields and methods, the fixed trigger pool, and the model-side
+// effect of each method. The fixed pool deliberately spans the §3
+// combinators the engine compiles — masks, sequence, relative, counting,
+// fa-couplings over transaction events, activation parameters, tabort
+// actions and virtual-time atoms — so every run exercises them; the
+// generator adds random non-perpetual triggers on top (see gen.go for
+// why random perpetual triggers are unsafe).
+type classDef struct {
+	name    string
+	fields  []schema.Field
+	methods []schema.Method
+	// fixed triggers; whole-view entries are dropped in persistent runs
+	// (whole-history automaton state is deliberately volatile, §6, so
+	// its restart semantics are not part of the crash contract).
+	triggers []schema.Trigger
+	// apply mutates the model fields exactly as the engine method does.
+	apply func(fields map[string]int64, method string, arg int64)
+}
+
+const (
+	classAcct = 0
+	classMtr  = 1
+)
+
+var classDefs = []classDef{
+	{
+		name: "acct",
+		fields: []schema.Field{
+			{Name: "bal", Kind: value.KindInt, Default: value.Int(1000)},
+		},
+		methods: []schema.Method{
+			{Name: "dep", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "wdr", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "png", Mode: schema.ModeRead},
+		},
+		triggers: []schema.Trigger{
+			{Name: "Masked", Perpetual: true, Event: "after wdr(n) && n > 50"},
+			{Name: "Seq", Perpetual: true, Event: "after dep; after wdr"},
+			{Name: "Rel", Perpetual: true, Event: "relative(after dep, after wdr(n) && n > 50)"},
+			{Name: "Cnt", Perpetual: true, Event: "every 3 (after access)"},
+			{Name: "Chz", Event: "choose 4 (after dep)"},
+			{Name: "Neg", Perpetual: true, Event: "!(after png | after tbegin) & after access"},
+			{Name: "FaW", Perpetual: true, Event: "fa(after tbegin, after wdr, after png)"},
+			{Name: "Deep", Perpetual: true, Event: "fa(relative(after dep, after dep), before tcomplete, after tbegin)"},
+			{Name: "Lim", Perpetual: true, Event: "after dep(n) && n > lim",
+				Params: []schema.Param{{Name: "lim", Kind: value.KindInt}}},
+			{Name: "AbortBig", Perpetual: true, Event: "after wdr(n) && n > 900"},
+			{Name: "Timer", Perpetual: true, Event: "relative(at time(HR=12), after wdr)"},
+			{Name: "Whole", Perpetual: true, Event: "relative(after tabort, after tbegin)", View: schema.WholeView},
+		},
+		apply: func(f map[string]int64, method string, arg int64) {
+			switch method {
+			case "dep":
+				f["bal"] += arg
+			case "wdr":
+				f["bal"] -= arg
+			}
+		},
+	},
+	{
+		name: "mtr",
+		fields: []schema.Field{
+			{Name: "v", Kind: value.KindInt, Default: value.Int(0)},
+			{Name: "sum", Kind: value.KindInt, Default: value.Int(0)},
+		},
+		methods: []schema.Method{
+			{Name: "bump", Mode: schema.ModeUpdate},
+			{Name: "scan", Mode: schema.ModeRead},
+		},
+		triggers: []schema.Trigger{
+			{Name: "Tick", Perpetual: true, Event: "every 2 (after bump)"},
+			{Name: "Pair", Perpetual: true, Event: "after bump; after scan"},
+			{Name: "Prio", Perpetual: true, Event: "prior(after bump, after scan)"},
+		},
+		apply: func(f map[string]int64, method string, arg int64) {
+			if method == "bump" {
+				f["v"]++
+				f["sum"] += f["v"]
+			}
+		},
+	},
+}
+
+// newFields returns the model's initial field values for a class,
+// mirroring schema defaults.
+func (cd *classDef) newFields() map[string]int64 {
+	out := make(map[string]int64, len(cd.fields))
+	for _, f := range cd.fields {
+		out[f.Name] = f.Default.AsInt()
+	}
+	return out
+}
+
+func (cd *classDef) trigger(name string) *schema.Trigger {
+	for i := range cd.triggers {
+		if cd.triggers[i].Name == name {
+			return &cd.triggers[i]
+		}
+	}
+	return nil
+}
+
+// buildClass materializes a fresh schema.Class and impl for one
+// incarnation of the engine. fire is the harness's firing recorder;
+// the AbortBig action additionally raises tabort, exercising
+// action-driven aborts under the oracle.
+func buildClass(ci int, sc *Script, fire func(class, trigger string, ctx *engine.ActionCtx)) (*schema.Class, engine.ClassImpl) {
+	cd := &classDefs[ci]
+	cls := &schema.Class{Name: cd.name}
+	cls.Fields = append(cls.Fields, cd.fields...)
+	cls.Methods = append(cls.Methods, cd.methods...)
+	for _, tr := range cd.triggers {
+		if tr.View == schema.WholeView && sc.Persistent {
+			continue
+		}
+		cls.Triggers = append(cls.Triggers, tr)
+	}
+	if ci < len(sc.RandTriggers) {
+		for _, rt := range sc.RandTriggers[ci] {
+			cls.Triggers = append(cls.Triggers, schema.Trigger{Name: rt.Name, Event: rt.Event})
+		}
+	}
+
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{},
+		Actions: map[string]engine.ActionFunc{},
+	}
+	switch ci {
+	case classAcct:
+		// Get can fail mid-method when an injected lock fault lands on
+		// the access; every impl must surface that, not swallow it.
+		impl.Methods["dep"] = func(ctx *engine.MethodCtx) (value.Value, error) {
+			b, err := ctx.Get("bal")
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Null(), ctx.Set("bal", value.Int(b.AsInt()+ctx.Arg("n").AsInt()))
+		}
+		impl.Methods["wdr"] = func(ctx *engine.MethodCtx) (value.Value, error) {
+			b, err := ctx.Get("bal")
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Null(), ctx.Set("bal", value.Int(b.AsInt()-ctx.Arg("n").AsInt()))
+		}
+		impl.Methods["png"] = func(ctx *engine.MethodCtx) (value.Value, error) {
+			return ctx.Get("bal")
+		}
+	case classMtr:
+		impl.Methods["bump"] = func(ctx *engine.MethodCtx) (value.Value, error) {
+			v, err := ctx.Get("v")
+			if err != nil {
+				return value.Null(), err
+			}
+			if err := ctx.Set("v", value.Int(v.AsInt()+1)); err != nil {
+				return value.Null(), err
+			}
+			s, err := ctx.Get("sum")
+			if err != nil {
+				return value.Null(), err
+			}
+			return value.Null(), ctx.Set("sum", value.Int(s.AsInt()+v.AsInt()+1))
+		}
+		impl.Methods["scan"] = func(ctx *engine.MethodCtx) (value.Value, error) {
+			return ctx.Get("sum")
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown class index %d", ci))
+	}
+
+	name := cd.name
+	for _, tr := range cls.Triggers {
+		trName := tr.Name
+		if trName == "AbortBig" {
+			impl.Actions[trName] = func(ctx *engine.ActionCtx) error {
+				fire(name, trName, ctx)
+				return ctx.Tabort()
+			}
+			continue
+		}
+		impl.Actions[trName] = func(ctx *engine.ActionCtx) error {
+			fire(name, trName, ctx)
+			return nil
+		}
+	}
+	return cls, impl
+}

@@ -1,0 +1,520 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/fault"
+	"ode/internal/store"
+	"ode/internal/txn"
+	"ode/internal/value"
+)
+
+// Result summarizes one deterministic run. Fingerprint is a digest of
+// everything observable — firing log, final object state, activity
+// counters and canonical per-trigger metrics — so two same-seed runs
+// can be compared for bit-identical behaviour with a string equality.
+type Result struct {
+	Seed              int64
+	Firings           []string
+	Stats             engine.Stats
+	Crashes           int
+	Recoveries        int
+	TornTails         int
+	InjectedFaults    uint64
+	InjectedTimerErrs int
+	Fingerprint       string
+}
+
+// Failure is a detected divergence (oracle mismatch, non-atomic
+// recovery, lost commit, model drift). It carries the seed and the
+// full script so the error message alone reproduces the run.
+type Failure struct {
+	Seed   int64
+	Step   int
+	Script *Script
+	Err    error
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("sim: seed %d failed at step %d: %v\nreproduce with:\n%s",
+		f.Seed, f.Step, f.Err, f.Script.String())
+}
+
+func (f *Failure) Unwrap() error { return f.Err }
+
+// objState is the model's view of one object slot: the fields the
+// engine must hold for it after every committed transaction.
+type objState struct {
+	class  int
+	alive  bool
+	oid    store.OID
+	fields map[string]int64
+}
+
+func (o *objState) clone() *objState {
+	c := *o
+	c.fields = make(map[string]int64, len(o.fields))
+	for k, v := range o.fields {
+		c.fields[k] = v
+	}
+	return &c
+}
+
+// txStage holds one transaction's uncommitted model updates; they are
+// folded into the model only when the engine reports the commit
+// durable (or when crash recovery proves the transaction survived).
+type txStage struct {
+	x       *exec
+	touched map[int]*objState
+}
+
+func (s *txStage) view(slot int) *objState {
+	if v, ok := s.touched[slot]; ok {
+		return v
+	}
+	return s.x.slot(slot)
+}
+
+func (s *txStage) put(slot int, v *objState) { s.touched[slot] = v }
+
+func (s *txStage) commit() {
+	for slot, v := range s.touched {
+		s.x.setSlot(slot, v)
+	}
+}
+
+type exec struct {
+	sc  *Script
+	dir string
+	reg *fault.Registry
+	eng *engine.Engine
+
+	model   []*objState
+	firings []string
+
+	stats             engine.Stats // summed across engine incarnations
+	timerErrSeen      int
+	crashes           int
+	recoveries        int
+	tornTails         int
+	injectedTimerErrs int
+}
+
+func (x *exec) slot(i int) *objState {
+	if i < len(x.model) {
+		return x.model[i]
+	}
+	return nil
+}
+
+func (x *exec) setSlot(i int, v *objState) {
+	for len(x.model) <= i {
+		x.model = append(x.model, nil)
+	}
+	x.model[i] = v
+}
+
+// Execute runs a script to completion, checking the model, the §4
+// oracle and recovery atomicity along the way. The returned error, if
+// any, is a *Failure embedding the reproduction script.
+func Execute(sc *Script, dir string) (*Result, error) {
+	if sc.Persistent && dir == "" {
+		return nil, errors.New("sim: persistent script needs a directory")
+	}
+	x := &exec{sc: sc, dir: dir, reg: fault.New()}
+	if err := x.open(time.Time{}); err != nil {
+		return nil, fmt.Errorf("sim: open: %w", err)
+	}
+	defer func() { x.eng.Close() }()
+
+	for i, st := range sc.Steps {
+		if err := x.runStep(st); err != nil {
+			return nil, &Failure{Seed: sc.Seed, Step: i, Script: sc, Err: err}
+		}
+	}
+	final := len(sc.Steps)
+	if err := x.stateErr(nil, false); err != nil {
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err}
+	}
+	if err := x.eng.VerifyOracle(); err != nil {
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err}
+	}
+	x.collectStats()
+	x.stats.FaultsInjected = x.reg.Injected()
+
+	res := &Result{
+		Seed:              sc.Seed,
+		Firings:           x.firings,
+		Stats:             x.stats,
+		Crashes:           x.crashes,
+		Recoveries:        x.recoveries,
+		TornTails:         x.tornTails,
+		InjectedFaults:    x.reg.Injected(),
+		InjectedTimerErrs: x.injectedTimerErrs,
+	}
+	res.Fingerprint = x.fingerprint()
+	return res, nil
+}
+
+// open builds an engine incarnation over the script's classes. start
+// carries the virtual clock across simulated crashes.
+func (x *exec) open(start time.Time) error {
+	opts := engine.Options{Start: start, ShadowOracle: true, Faults: x.reg}
+	if x.sc.Persistent {
+		opts.Dir = x.dir
+	}
+	eng, err := engine.New(opts)
+	if err != nil {
+		return err
+	}
+	for ci := range classDefs {
+		cls, impl := buildClass(ci, x.sc, x.fire)
+		if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+			eng.Close()
+			return err
+		}
+	}
+	x.eng = eng
+	x.timerErrSeen = 0
+	return nil
+}
+
+func (x *exec) fire(class, trigger string, ctx *engine.ActionCtx) {
+	x.firings = append(x.firings,
+		fmt.Sprintf("%s.%s oid=%d on %s", class, trigger, ctx.Self, ctx.EventKind))
+}
+
+func (x *exec) runStep(st Step) error {
+	switch st.Kind {
+	case StepAdvance:
+		x.eng.Clock().Advance(st.Advance)
+		return x.checkTimerErrs()
+	case StepCheckpoint:
+		if !x.sc.Persistent {
+			return nil
+		}
+		if err := x.eng.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		return nil
+	case StepFault:
+		return x.runFault(st)
+	default:
+		return x.runTx(st.Ops, st.Abort)
+	}
+}
+
+func (x *exec) runFault(st Step) error {
+	switch st.Fault.Point {
+	case fault.LockAcquire:
+		x.reg.ArmAt(fault.LockAcquire, x.reg.Consults(fault.LockAcquire)+1+st.Fault.Delay)
+	case fault.WALWrite, fault.WALSync, fault.WALAfterSync:
+		if !x.sc.Persistent {
+			return fmt.Errorf("WAL fault point %v in a volatile script", st.Fault.Point)
+		}
+		if st.Fault.Tear >= 0 {
+			x.reg.ArmNextTear(st.Fault.Point, st.Fault.Tear)
+		} else {
+			x.reg.ArmNext(st.Fault.Point)
+		}
+	default:
+		return fmt.Errorf("unknown fault point %v", st.Fault.Point)
+	}
+	err := x.runTx(st.Ops, false)
+	// A WAL plan must never outlive its fault step: the victim always
+	// dirties slot 0 so the plan fires at its commit, but a minimized
+	// script may have emptied the victim — firing later (e.g. inside a
+	// timer delivery, after which the engine would keep appending past
+	// a torn tail) would not model a fail-stop crash. Lock plans may
+	// linger by design (FaultSpec.Delay); re-arm surviving ones.
+	if x.reg.Armed() > 0 {
+		lockPlans := x.reg.ArmedAt(fault.LockAcquire)
+		x.reg.Disarm()
+		for _, at := range lockPlans {
+			x.reg.ArmAt(fault.LockAcquire, at)
+		}
+	}
+	return err
+}
+
+// runTx executes one transaction worth of ops. Injected lock faults
+// and trigger-raised taborts roll the transaction (and its stage)
+// back; injected WAL faults escalate to a simulated crash.
+func (x *exec) runTx(ops []Op, abort bool) error {
+	stage := &txStage{x: x, touched: map[int]*objState{}}
+	tx := x.eng.Begin()
+	for _, op := range ops {
+		err := x.applyOp(tx, stage, op)
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, engine.ErrTabort) || errors.Is(err, fault.ErrInjected) {
+			if aerr := tx.Abort(); aerr != nil && !errors.Is(aerr, txn.ErrNotActive) {
+				return fmt.Errorf("abort after %v: %w", err, aerr)
+			}
+			return x.checkTimerErrs()
+		}
+		return fmt.Errorf("op %s: %w", op, err)
+	}
+	if abort {
+		if err := tx.Abort(); err != nil {
+			return fmt.Errorf("scripted abort: %w", err)
+		}
+		return x.checkTimerErrs()
+	}
+
+	err := tx.Commit()
+	switch {
+	case err == nil:
+		stage.commit()
+		return x.checkTimerErrs()
+	case errors.Is(err, engine.ErrTabort):
+		// a before-tcomplete trigger raised tabort; clean rollback
+		return x.checkTimerErrs()
+	case errors.Is(err, fault.ErrInjected):
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			return fmt.Errorf("injected error without fault.Error: %w", err)
+		}
+		committed := tx.Underlying().State() == txn.Committed
+		if fe.Point == fault.LockAcquire {
+			// Either the fault hit the tcomplete fixpoint (clean abort)
+			// or it hit post-commit outcome delivery (commit durable).
+			if committed {
+				stage.commit()
+			}
+			return x.checkTimerErrs()
+		}
+		return x.crashCycle(stage, fe, committed)
+	default:
+		return fmt.Errorf("commit: %w", err)
+	}
+}
+
+func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
+	cur := stage.view(op.Obj)
+	switch op.Kind {
+	case OpNew:
+		if cur != nil && cur.alive {
+			return nil // slot occupied (can happen in minimized scripts)
+		}
+		oid, err := tx.NewObject(classDefs[op.Class].name, nil)
+		if err != nil {
+			return err
+		}
+		stage.put(op.Obj, &objState{
+			class: op.Class, alive: true, oid: oid,
+			fields: classDefs[op.Class].newFields(),
+		})
+		return nil
+	case OpDelete:
+		if cur == nil || !cur.alive {
+			return nil
+		}
+		if err := tx.DeleteObject(cur.oid); err != nil {
+			return err
+		}
+		ns := cur.clone()
+		ns.alive = false
+		stage.put(op.Obj, ns)
+		return nil
+	case OpCall:
+		if cur == nil || !cur.alive {
+			return nil
+		}
+		var args []value.Value
+		if op.HasArg {
+			args = append(args, value.Int(op.Arg))
+		}
+		if _, err := tx.Call(cur.oid, op.Method, args...); err != nil {
+			return err
+		}
+		ns := cur.clone()
+		classDefs[ns.class].apply(ns.fields, op.Method, op.Arg)
+		stage.put(op.Obj, ns)
+		return nil
+	case OpActivate:
+		if cur == nil || !cur.alive {
+			return nil
+		}
+		var ps []value.Value
+		for _, p := range op.Params {
+			ps = append(ps, value.Int(p))
+		}
+		return tx.Activate(cur.oid, op.Trigger, ps...)
+	case OpDeactivate:
+		if cur == nil || !cur.alive {
+			return nil
+		}
+		return tx.Deactivate(cur.oid, op.Trigger)
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+}
+
+// crashCycle abandons the current engine at an injected WAL fault,
+// reopens the directory, and reconciles the pending transaction
+// against what recovery produced. fe is the injected fault;
+// committed reports whether the engine had already acknowledged the
+// commit (the fault then hit outcome delivery, so durability is
+// non-negotiable).
+func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error {
+	now := x.eng.Clock().Now()
+	x.collectStats()
+	x.eng.Close()
+	x.reg.Disarm()
+	x.crashes++
+	if err := x.open(now); err != nil {
+		return fmt.Errorf("recovery open after %v: %w", fe, err)
+	}
+	if err := x.eng.RearmTimers(); err != nil {
+		return fmt.Errorf("rearm timers after recovery: %w", err)
+	}
+	x.recoveries++
+	if rec := x.eng.Store().Recovery(); rec.TornTail {
+		x.tornTails++
+	}
+
+	postErr := x.stateErr(stage, true)
+	preErr := x.stateErr(stage, false)
+	post, pre := postErr == nil, preErr == nil
+	switch {
+	case committed && !post:
+		return fmt.Errorf("crash at %v lost an acknowledged commit: %v", fe, postErr)
+	case fe.Point == fault.WALAfterSync && !post:
+		return fmt.Errorf("crash after WAL sync lost a durable commit: %v", postErr)
+	case fe.Point == fault.WALWrite && fe.Tear < 0 && !pre:
+		return fmt.Errorf("crash before WAL write surfaced transaction effects: %v", preErr)
+	case post:
+		stage.commit()
+	case pre:
+		// transaction cleanly rolled away by recovery
+	default:
+		return fmt.Errorf("non-atomic recovery at %v: not post (%v) and not pre (%v)", fe, postErr, preErr)
+	}
+
+	if err := x.eng.VerifyOracle(); err != nil {
+		return fmt.Errorf("oracle after recovery from %v: %w", fe, err)
+	}
+	return x.checkTimerErrs()
+}
+
+// stateErr compares the store against the model, with stage applied
+// (post=true) or ignored (post=false). nil error means exact match:
+// same live objects, same field values, nothing extra.
+func (x *exec) stateErr(stage *txStage, post bool) error {
+	st := x.eng.Store()
+	n := len(x.model)
+	if stage != nil {
+		for slot := range stage.touched {
+			if slot+1 > n {
+				n = slot + 1
+			}
+		}
+	}
+	alive := 0
+	for i := 0; i < n; i++ {
+		v := x.slot(i)
+		if stage != nil {
+			if sv, ok := stage.touched[i]; ok {
+				if post {
+					v = sv
+				} else if v == nil && sv.oid != 0 && st.Exists(sv.oid) {
+					// Object created by the pending transaction must not
+					// survive a pre-state recovery.
+					return fmt.Errorf("slot %d: uncommitted object %d survived recovery", i, sv.oid)
+				}
+			}
+		}
+		if v == nil || !v.alive {
+			// No Exists check for dead slots: after a crash rolls an OID
+			// allocation back the store may legally hand the same OID to a
+			// later object, so a dead slot's OID can alias a live one.
+			// Resurrections are still caught by the Count comparison below.
+			continue
+		}
+		rec, err := st.Get(v.oid)
+		if err != nil {
+			return fmt.Errorf("slot %d: object %d missing: %w", i, v.oid, err)
+		}
+		for f, want := range v.fields {
+			got, ok := rec.Fields[f]
+			if !ok {
+				return fmt.Errorf("slot %d: object %d lost field %s", i, v.oid, f)
+			}
+			if got.AsInt() != want {
+				return fmt.Errorf("slot %d: object %d field %s = %d, model %d", i, v.oid, f, got.AsInt(), want)
+			}
+		}
+		alive++
+	}
+	if c := st.Count(); c != alive {
+		return fmt.Errorf("store holds %d objects, model %d", c, alive)
+	}
+	return nil
+}
+
+// checkTimerErrs drains newly recorded timer-delivery errors.
+// Injected faults landing in timer or outcome-delivery system
+// transactions are expected (the system transaction rolls back
+// cleanly); anything else fails the run.
+func (x *exec) checkTimerErrs() error {
+	errs := x.eng.TimerErrors()
+	for _, err := range errs[x.timerErrSeen:] {
+		if errors.Is(err, fault.ErrInjected) {
+			x.injectedTimerErrs++
+			continue
+		}
+		return fmt.Errorf("timer delivery: %w", err)
+	}
+	x.timerErrSeen = len(errs)
+	return nil
+}
+
+// collectStats folds the current incarnation's activity counters into
+// the run total (registration-state and process-global fields are
+// deliberately excluded; FaultsInjected is taken from the registry at
+// the end of the run since it spans incarnations already).
+func (x *exec) collectStats() {
+	s := x.eng.Stats()
+	x.stats.TxBegun += s.TxBegun
+	x.stats.TxCommitted += s.TxCommitted
+	x.stats.TxAborted += s.TxAborted
+	x.stats.SystemTx += s.SystemTx
+	x.stats.Happenings += s.Happenings
+	x.stats.Steps += s.Steps
+	x.stats.MaskEvals += s.MaskEvals
+	x.stats.Firings += s.Firings
+	x.stats.TimerPosts += s.TimerPosts
+	x.stats.TcompleteRounds += s.TcompleteRounds
+	x.stats.ShadowChecks += s.ShadowChecks
+}
+
+// fingerprint digests everything a deterministic run pins down.
+func (x *exec) fingerprint() string {
+	h := sha256.New()
+	for _, f := range x.firings {
+		fmt.Fprintln(h, f)
+	}
+	for i, v := range x.model {
+		if v == nil || !v.alive {
+			fmt.Fprintf(h, "o%d: dead\n", i)
+			continue
+		}
+		fmt.Fprintf(h, "o%d: oid=%d class=%s", i, v.oid, classDefs[v.class].name)
+		for _, fd := range classDefs[v.class].fields {
+			fmt.Fprintf(h, " %s=%d", fd.Name, v.fields[fd.Name])
+		}
+		fmt.Fprintln(h)
+	}
+	fmt.Fprintf(h, "%+v\n", x.stats)
+	fmt.Fprintf(h, "crashes=%d recoveries=%d torn=%d timererrs=%d\n",
+		x.crashes, x.recoveries, x.tornTails, x.injectedTimerErrs)
+	fmt.Fprintf(h, "%+v\n", x.eng.Metrics().Snapshot().Canonical())
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ode/internal/fault"
+	"ode/internal/schema"
+	"ode/internal/workload"
+)
+
+// Config parameterizes script generation. The zero value is not
+// useful; use Defaults() and override.
+type Config struct {
+	Seed int64
+	// Steps is the number of workload steps after the initial
+	// create/activate transaction.
+	Steps int
+	// Objects is the number of objects created per class up front.
+	Objects int
+	// Persistent runs against a WAL-backed store; required for WAL
+	// fault points and crash/recovery cycles.
+	Persistent bool
+	// Faults enables fault-injection steps.
+	Faults bool
+	// RandTriggers is the number of generated triggers per class.
+	RandTriggers int
+	// Depth bounds generated event-spec nesting.
+	Depth int
+}
+
+// Defaults returns a modest configuration suitable for test budgets.
+func Defaults(seed int64) Config {
+	return Config{Seed: seed, Steps: 30, Objects: 2, RandTriggers: 2, Depth: 2}
+}
+
+// simMethods lists, per class, the method atoms RandomEventSpec may
+// use (must stay in sync with classDefs).
+var simMethods = [][]workload.SimMethod{
+	{{Name: "dep", IntParam: "n"}, {Name: "wdr", IntParam: "n"}, {Name: "png"}},
+	{{Name: "bump"}, {Name: "scan"}},
+}
+
+// Generate derives a deterministic script from cfg. All randomness is
+// consumed here: executing the script involves no random choices, so
+// Generate(cfg) + Execute is replayable from the seed alone.
+//
+// Generated triggers are always non-perpetual: a perpetual trigger
+// whose event can label a "before tcomplete" symbol (any expression
+// under a top-level negation does) re-fires on every round of the §6
+// commit fixpoint and legitimately diverges, which is a property of
+// the specification, not a bug the harness should hunt. The fixed
+// pool covers perpetual and tcomplete-coupled forms with known-safe
+// fa(…) shapes instead.
+func Generate(cfg Config) *Script {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 30
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 2
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := &Script{Seed: cfg.Seed, Persistent: cfg.Persistent}
+
+	sc.RandTriggers = make([][]RandTrigger, len(classDefs))
+	for ci := range classDefs {
+		for i := 0; i < cfg.RandTriggers; i++ {
+			sc.RandTriggers[ci] = append(sc.RandTriggers[ci], RandTrigger{
+				Name:  fmt.Sprintf("R%d", i),
+				Event: workload.RandomEventSpec(rng, simMethods[ci], cfg.Depth),
+			})
+		}
+	}
+
+	// Slot bookkeeping: slot i's class is fixed at generation time.
+	// Slots 0..len(classDefs)-1 are reserved — never deleted — so fault
+	// steps always have a live victim whose commit writes the WAL.
+	var slotClass []int
+	var init []Op
+	for ci := range classDefs {
+		for i := 0; i < cfg.Objects; i++ {
+			slot := len(slotClass)
+			slotClass = append(slotClass, ci)
+			init = append(init, Op{Kind: OpNew, Obj: slot, Class: ci})
+			init = append(init, activateAll(sc, rng, slot, ci)...)
+		}
+	}
+	sc.Steps = append(sc.Steps, Step{Kind: StepTx, Ops: init})
+
+	for s := 0; s < cfg.Steps; s++ {
+		r := rng.Intn(100)
+		switch {
+		case r < 5:
+			// Advance virtual time by 1..30 hours: crosses HR=12
+			// boundaries often enough that the Timer trigger both arms
+			// and fires.
+			sc.Steps = append(sc.Steps, Step{Kind: StepAdvance,
+				Advance: time.Duration(1+rng.Intn(30)) * time.Hour})
+		case r < 8 && cfg.Persistent:
+			sc.Steps = append(sc.Steps, Step{Kind: StepCheckpoint})
+		case r < 16 && cfg.Faults:
+			sc.Steps = append(sc.Steps, genFaultStep(rng, cfg.Persistent))
+		case r < 24:
+			// Deliberate abort after real work: rollback of automaton
+			// state, shadows and timers under load.
+			sc.Steps = append(sc.Steps, Step{Kind: StepTx, Abort: true,
+				Ops: genOps(sc, rng, slotClass, 1+rng.Intn(3), nil)})
+		default:
+			sc.Steps = append(sc.Steps, Step{Kind: StepTx,
+				Ops: genOps(sc, rng, slotClass, 1+rng.Intn(4), &slotClass)})
+		}
+	}
+	return sc
+}
+
+// triggerNames returns the activatable trigger names of class ci for
+// this script (whole-view triggers are absent from persistent runs,
+// generated triggers are appended).
+func triggerPool(sc *Script, ci int) []schema.Trigger {
+	cd := &classDefs[ci]
+	var out []schema.Trigger
+	for _, tr := range cd.triggers {
+		if tr.View == schema.WholeView && sc.Persistent {
+			continue
+		}
+		out = append(out, tr)
+	}
+	if ci < len(sc.RandTriggers) {
+		for _, rt := range sc.RandTriggers[ci] {
+			out = append(out, schema.Trigger{Name: rt.Name, Event: rt.Event})
+		}
+	}
+	return out
+}
+
+// activateAll emits activations for every trigger of class ci,
+// choosing activation parameters where the trigger takes them.
+func activateAll(sc *Script, rng *rand.Rand, slot, ci int) []Op {
+	var ops []Op
+	for _, tr := range triggerPool(sc, ci) {
+		op := Op{Kind: OpActivate, Obj: slot, Trigger: tr.Name}
+		for range tr.Params {
+			op.Params = append(op.Params, int64(25+rng.Intn(400)))
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// genOps emits n transaction operations over the known slots. When
+// grow is non-nil the transaction may create objects (appending their
+// slots) and delete non-reserved ones.
+func genOps(sc *Script, rng *rand.Rand, slotClass []int, n int, grow *[]int) []Op {
+	var ops []Op
+	slots := slotClass
+	for i := 0; i < n; i++ {
+		r := rng.Intn(100)
+		slot := rng.Intn(len(slots))
+		ci := slots[slot]
+		cd := &classDefs[ci]
+		switch {
+		case grow != nil && r < 5:
+			nci := rng.Intn(len(classDefs))
+			ns := len(*grow)
+			*grow = append(*grow, nci)
+			slots = *grow
+			ops = append(ops, Op{Kind: OpNew, Obj: ns, Class: nci})
+			ops = append(ops, activateAll(sc, rng, ns, nci)...)
+		case grow != nil && r < 8 && slot >= len(classDefs):
+			ops = append(ops, Op{Kind: OpDelete, Obj: slot})
+		case r < 14:
+			pool := triggerPool(sc, ci)
+			tr := pool[rng.Intn(len(pool))]
+			op := Op{Kind: OpActivate, Obj: slot, Trigger: tr.Name}
+			for range tr.Params {
+				op.Params = append(op.Params, int64(25+rng.Intn(400)))
+			}
+			ops = append(ops, op)
+		case r < 18:
+			pool := triggerPool(sc, ci)
+			tr := pool[rng.Intn(len(pool))]
+			ops = append(ops, Op{Kind: OpDeactivate, Obj: slot, Trigger: tr.Name})
+		default:
+			m := cd.methods[rng.Intn(len(cd.methods))]
+			op := Op{Kind: OpCall, Obj: slot, Method: m.Name}
+			if len(m.Params) > 0 {
+				op.HasArg = true
+				op.Arg = int64(rng.Intn(250))
+				// Occasionally large enough to trip the AbortBig tabort
+				// trigger (wdr(n) && n > 900).
+				if rng.Intn(10) == 0 {
+					op.Arg = int64(800 + rng.Intn(400))
+				}
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// genFaultStep picks a fault point and a victim transaction. The
+// victim always updates reserved slot 0 (class acct, never deleted)
+// so its commit is guaranteed to consult the WAL.
+func genFaultStep(rng *rand.Rand, persistent bool) Step {
+	victim := []Op{{Kind: OpCall, Obj: 0, Method: "dep", HasArg: true, Arg: int64(1 + rng.Intn(200))}}
+	if !persistent {
+		return Step{Kind: StepFault, Ops: victim,
+			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		// Crash before anything reaches the log.
+		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALWrite, Tear: -1}}
+	case 1:
+		// Torn batch: a short prefix makes it to disk.
+		return Step{Kind: StepFault, Ops: victim,
+			Fault: FaultSpec{Point: fault.WALWrite, Tear: 1 + rng.Intn(64)}}
+	case 2:
+		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALSync, Tear: -1}}
+	case 3:
+		// Crash after durability but before the commit is acknowledged.
+		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALAfterSync, Tear: -1}}
+	default:
+		return Step{Kind: StepFault, Ops: victim,
+			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}
+	}
+}

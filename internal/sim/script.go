@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ode/internal/fault"
+)
+
+// OpKind enumerates the operations a simulated transaction performs.
+type OpKind uint8
+
+const (
+	OpCall OpKind = iota
+	OpActivate
+	OpDeactivate
+	OpNew
+	OpDelete
+)
+
+// Op is one operation inside a simulated transaction. Objects are
+// addressed by slot index into the harness's object table, never by
+// OID: OIDs are allocated by the store at execution time and may be
+// reused after a crash rolls an allocation back, so a script that
+// named OIDs would not survive minimization or replay.
+type Op struct {
+	Kind    OpKind
+	Obj     int    // object slot
+	Class   int    // OpNew: class index
+	Method  string // OpCall
+	Arg     int64  // OpCall: integer argument
+	HasArg  bool   // OpCall: whether Arg is passed
+	Trigger string // OpActivate / OpDeactivate
+	Params  []int64
+}
+
+// StepKind enumerates the top-level script steps.
+type StepKind uint8
+
+const (
+	// StepTx runs Ops in one transaction and commits (or aborts when
+	// Abort is set).
+	StepTx StepKind = iota
+	// StepAdvance moves the virtual clock, delivering due timers.
+	StepAdvance
+	// StepCheckpoint snapshots the store and truncates the WAL.
+	StepCheckpoint
+	// StepFault arms a fault and then runs Ops as the victim
+	// transaction. For WAL points the executor simulates a crash at the
+	// injection and recovers; for LockAcquire the victim (or a later
+	// consult, per Delay) simply fails.
+	StepFault
+)
+
+// FaultSpec describes the fault a StepFault arms.
+type FaultSpec struct {
+	Point fault.Point
+	// Tear, for WALWrite: >=0 writes only that byte prefix of the
+	// batch; <0 writes nothing.
+	Tear int
+	// Delay, for LockAcquire: fire on the (1+Delay)-th consult after
+	// arming, letting the fault land in a later transaction, a mask
+	// evaluation, or a timer delivery.
+	Delay uint64
+}
+
+// Step is one top-level action of a simulation script.
+type Step struct {
+	Kind    StepKind
+	Ops     []Op
+	Abort   bool          // StepTx: deliberately abort after Ops
+	Advance time.Duration // StepAdvance
+	Fault   FaultSpec     // StepFault
+}
+
+// RandTrigger is a generated trigger rendered into the script so the
+// script alone reproduces the schema (the minimizer re-executes
+// scripts in fresh engines).
+type RandTrigger struct {
+	Name  string
+	Event string
+}
+
+// Script is a fully deterministic simulation input: executing the
+// same script twice yields bit-identical firing logs and stats.
+type Script struct {
+	Seed       int64
+	Persistent bool
+	// RandTriggers holds the generated (always non-perpetual) triggers
+	// per class, indexed like classDefs.
+	RandTriggers [][]RandTrigger
+	Steps        []Step
+}
+
+// String renders the script as a human-readable reproduction recipe;
+// failures embed it next to the seed.
+func (sc *Script) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# sim script seed=%d persistent=%v\n", sc.Seed, sc.Persistent)
+	for ci, trs := range sc.RandTriggers {
+		for _, tr := range trs {
+			fmt.Fprintf(&b, "trigger %s.%s: %s\n", classDefs[ci].name, tr.Name, tr.Event)
+		}
+	}
+	for i, st := range sc.Steps {
+		fmt.Fprintf(&b, "%3d: %s\n", i, st.String())
+	}
+	return b.String()
+}
+
+func (st Step) String() string {
+	switch st.Kind {
+	case StepAdvance:
+		return fmt.Sprintf("advance %s", st.Advance)
+	case StepCheckpoint:
+		return "checkpoint"
+	case StepFault:
+		s := fmt.Sprintf("fault %v tear=%d delay=%d; %s", st.Fault.Point, st.Fault.Tear, st.Fault.Delay, opsString(st.Ops))
+		return s
+	default:
+		verb := "tx"
+		if st.Abort {
+			verb = "tx-abort"
+		}
+		return fmt.Sprintf("%s %s", verb, opsString(st.Ops))
+	}
+}
+
+func opsString(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpCall:
+		if op.HasArg {
+			return fmt.Sprintf("o%d.%s(%d)", op.Obj, op.Method, op.Arg)
+		}
+		return fmt.Sprintf("o%d.%s()", op.Obj, op.Method)
+	case OpActivate:
+		if len(op.Params) > 0 {
+			return fmt.Sprintf("o%d.activate(%s, %v)", op.Obj, op.Trigger, op.Params)
+		}
+		return fmt.Sprintf("o%d.activate(%s)", op.Obj, op.Trigger)
+	case OpDeactivate:
+		return fmt.Sprintf("o%d.deactivate(%s)", op.Obj, op.Trigger)
+	case OpNew:
+		return fmt.Sprintf("o%d = new %s", op.Obj, classDefs[op.Class].name)
+	case OpDelete:
+		return fmt.Sprintf("delete o%d", op.Obj)
+	default:
+		return "?"
+	}
+}

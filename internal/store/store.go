@@ -27,10 +27,14 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"ode/internal/fault"
 	"ode/internal/value"
 )
 
@@ -164,14 +168,38 @@ type Options struct {
 	// useful for latency-sensitive single-writer deployments and for
 	// isolating group-commit behavior in tests.
 	DisableGroupCommit bool
+	// Faults optionally installs a fault-injection registry the WAL
+	// consults at its named points (see internal/fault). nil — the
+	// production default — keeps every consult a single branch.
+	Faults *fault.Registry
+}
+
+// RecoveryInfo describes what the last Open recovered from disk.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a checkpoint snapshot was found.
+	SnapshotLoaded bool
+	// WALFrames is the number of complete frames replayed from the log.
+	WALFrames int
+	// TxApplied is the number of committed transactions applied.
+	TxApplied int
+	// TornTail reports that the log ended in a torn or undecodable
+	// trailing record (crash mid-append). The tail was discarded and
+	// the file truncated to the clean prefix before reopening, so
+	// later appends cannot hide committed frames behind garbage.
+	TornTail bool
+	// TornTailBytes is the size of the discarded tail.
+	TornTailBytes int64
+	// TornDetail is the human-readable tear diagnosis.
+	TornDetail string
 }
 
 // Store is an in-memory object heap with optional durability.
 type Store struct {
-	nextOID atomic.Uint64 // next OID to allocate
-	stripes [numStripes]stripe
-	dir     string // "" → volatile
-	opts    Options
+	nextOID  atomic.Uint64 // next OID to allocate
+	stripes  [numStripes]stripe
+	dir      string // "" → volatile
+	opts     Options
+	recovery RecoveryInfo // filled by recover() at Open
 
 	// walMu orders WAL lifecycle against commits: LogCommit holds the
 	// read side for its whole append, Close/Checkpoint take the write
@@ -203,13 +231,17 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(dir, opts.DisableGroupCommit)
+	w, err := openWAL(dir, opts.DisableGroupCommit, opts.Faults)
 	if err != nil {
 		return nil, err
 	}
 	s.wal = w
 	return s, nil
 }
+
+// Recovery returns what the last Open recovered (zero for volatile
+// stores and stores opened on an empty directory).
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 
 // Close releases the WAL file handle. The store must not be used
 // afterwards.
@@ -409,28 +441,44 @@ func (s *Store) Checkpoint() error {
 }
 
 // recover loads the snapshot and replays committed WAL frames. It runs
-// single-threaded at Open, before the store is shared.
+// single-threaded at Open, before the store is shared. A torn trailing
+// WAL record (ErrTornTail) is recorded in RecoveryInfo and repaired by
+// truncating the file to its clean prefix — appending after a torn
+// tail would leave garbage in the middle of the log, and the next
+// recovery would then silently stop at the tear and drop every later
+// committed transaction.
 func (s *Store) recover() error {
 	next, objects, err := readSnapshot(s.dir)
 	if err != nil {
 		return err
 	}
 	if objects != nil {
+		s.recovery.SnapshotLoaded = true
 		s.nextOID.Store(uint64(next))
 		for oid, r := range objects {
 			s.stripeOf(oid).objects[oid] = r
 		}
 	}
-	frames, err := readWAL(s.dir)
+	frames, scan, err := readWAL(s.dir)
 	if err != nil {
-		return err
+		if !errors.Is(err, ErrTornTail) {
+			return err
+		}
+		s.recovery.TornTail = true
+		s.recovery.TornTailBytes = scan.tornBytes
+		s.recovery.TornDetail = err.Error()
+		if terr := os.Truncate(filepath.Join(s.dir, walName), scan.cleanLen); terr != nil {
+			return fmt.Errorf("store: repair torn wal tail: %w", terr)
+		}
 	}
+	s.recovery.WALFrames = len(frames)
 	committed := map[uint64]bool{}
 	for _, f := range frames {
 		if f.Op == opCommit {
 			committed[f.TxID] = true
 		}
 	}
+	s.recovery.TxApplied = len(committed)
 	for _, f := range frames {
 		if !committed[f.TxID] {
 			continue

@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"ode/internal/fault"
 )
 
 // WAL frame operations.
@@ -53,7 +55,8 @@ const (
 // (readWAL), preserving the torn-frame guarantee.
 type walFile struct {
 	f      *os.File
-	direct bool // disable batching: every commit writes and syncs itself
+	direct bool            // disable batching: every commit writes and syncs itself
+	faults *fault.Registry // nil outside the simulation harness
 
 	mu      sync.Mutex // guards queue, dones, leading, and direct-mode writes
 	queue   [][]byte
@@ -61,7 +64,7 @@ type walFile struct {
 	leading bool
 }
 
-func openWAL(dir string, direct bool) (*walFile, error) {
+func openWAL(dir string, direct bool, faults *fault.Registry) (*walFile, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
@@ -69,7 +72,7 @@ func openWAL(dir string, direct bool) (*walFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
-	return &walFile{f: f, direct: direct}, nil
+	return &walFile{f: f, direct: direct, faults: faults}, nil
 }
 
 // commit appends one transaction's pre-encoded frames durably. In
@@ -126,11 +129,43 @@ func (w *walFile) commit(buf []byte) error {
 }
 
 func (w *walFile) writeSync(b []byte) error {
+	if w.faults != nil {
+		// Torn batch write: persist only the first n bytes (synced, so
+		// a simulated crash+reopen deterministically finds the torn
+		// prefix) and surface the failure to every committer in the
+		// batch. n < 0 means nothing reached the file at all.
+		if n, err := w.faults.CheckTear(fault.WALWrite, len(b)); err != nil {
+			if n > 0 {
+				if _, werr := w.f.Write(b[:n]); werr != nil {
+					return fmt.Errorf("store: write wal: %w", werr)
+				}
+				if serr := w.f.Sync(); serr != nil {
+					return fmt.Errorf("store: sync wal: %w", serr)
+				}
+			}
+			return fmt.Errorf("store: write wal: %w", err)
+		}
+	}
 	if _, err := w.f.Write(b); err != nil {
 		return fmt.Errorf("store: write wal: %w", err)
 	}
+	if w.faults != nil {
+		// Sync failure after a full write: the batch bytes are in the
+		// file but were never acknowledged as durable — the classic
+		// indeterminate commit a recovery must resolve atomically.
+		if err := w.faults.Check(fault.WALSync); err != nil {
+			return fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync wal: %w", err)
+	}
+	if w.faults != nil {
+		// Crash after durability but before acknowledgment: the commit
+		// is on disk, yet the committer sees an error.
+		if err := w.faults.Check(fault.WALAfterSync); err != nil {
+			return fmt.Errorf("store: wal ack: %w", err)
+		}
 	}
 	return nil
 }
@@ -162,30 +197,60 @@ func encodeFrame(buf *bytes.Buffer, fr frame) error {
 	return nil
 }
 
-// readWAL parses all complete frames; a torn trailing frame (crash
-// mid-append) is ignored.
-func readWAL(dir string) ([]frame, error) {
+// ErrTornTail reports that the log ended in a torn or undecodable
+// trailing record — the expected residue of a crash mid-append.
+// readWAL still returns every intact frame before the tear; callers
+// decide whether to repair (truncate to the clean prefix) or refuse.
+var ErrTornTail = errors.New("store: torn wal tail")
+
+// walScan summarizes one readWAL pass: the byte length of the clean
+// frame prefix and how many trailing bytes fall after it.
+type walScan struct {
+	cleanLen  int64
+	tornBytes int64
+}
+
+// readWAL parses all complete frames. A torn trailing frame (crash
+// mid-append) or any undecodable tail is reported via an error
+// wrapping ErrTornTail — alongside the intact frames, never silently
+// dropped — so recovery can record and repair it.
+func readWAL(dir string) ([]frame, walScan, error) {
+	var sc walScan
 	data, err := os.ReadFile(filepath.Join(dir, walName))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, sc, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: read wal: %w", err)
+		return nil, sc, fmt.Errorf("store: read wal: %w", err)
 	}
+	total := int64(len(data))
 	var frames []frame
-	for len(data) >= 4 {
+	reason := ""
+	for len(data) > 0 {
+		if len(data) < 4 {
+			reason = fmt.Sprintf("%d-byte length-prefix fragment", len(data))
+			break
+		}
 		n := binary.LittleEndian.Uint32(data[:4])
 		if len(data) < int(4+n) {
-			break // torn frame
+			reason = fmt.Sprintf("frame promises %d body bytes, only %d present", n, len(data)-4)
+			break
 		}
 		var fr frame
 		if err := gob.NewDecoder(bytes.NewReader(data[4 : 4+n])).Decode(&fr); err != nil {
-			break // corrupt tail; everything before it is intact
+			reason = fmt.Sprintf("undecodable frame body: %v", err)
+			break
 		}
 		frames = append(frames, fr)
 		data = data[4+n:]
+		sc.cleanLen += int64(4 + n)
 	}
-	return frames, nil
+	sc.tornBytes = total - sc.cleanLen
+	if sc.tornBytes > 0 {
+		return frames, sc, fmt.Errorf("store: wal has %d trailing byte(s) after %d clean frame(s) (%s): %w",
+			sc.tornBytes, len(frames), reason, ErrTornTail)
+	}
+	return frames, sc, nil
 }
 
 // snapshotImage is the gob payload of a checkpoint.

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ode/internal/fault"
 	"ode/internal/store"
 )
 
@@ -110,10 +111,11 @@ type lockManager struct {
 	shards [numLockShards]lockShard
 	txs    [numLockShards]txShard
 	graph  waitGraph
+	faults *fault.Registry // nil outside the simulation harness
 }
 
-func newLockManager() *lockManager {
-	lm := &lockManager{}
+func newLockManager(faults *fault.Registry) *lockManager {
+	lm := &lockManager{faults: faults}
 	for i := range lm.shards {
 		lm.shards[i].holder = make(map[store.OID]uint64)
 		lm.shards[i].waitq = make(map[store.OID][]chan struct{})
@@ -139,6 +141,13 @@ func (lm *lockManager) txShardOf(txID uint64) *txShard {
 // returns immediately. A request that would close a waits-for cycle
 // fails with ErrDeadlock instead of blocking.
 func (lm *lockManager) lock(txID uint64, oid store.OID) error {
+	if lm.faults != nil {
+		// Simulated lock-acquire timeout: surfaces to the requester
+		// exactly like a deadlock victim — it must abort.
+		if err := lm.faults.Check(fault.LockAcquire); err != nil {
+			return fmt.Errorf("txn: lock %d: %w", uint64(oid), err)
+		}
+	}
 	sh := lm.shardOf(oid)
 	sh.mu.Lock()
 	for {

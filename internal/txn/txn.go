@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ode/internal/fault"
 	"ode/internal/store"
 	"ode/internal/value"
 )
@@ -54,8 +55,13 @@ type Manager struct {
 }
 
 // NewManager returns a transaction manager over s.
-func NewManager(s *store.Store) *Manager {
-	m := &Manager{store: s, locks: newLockManager()}
+func NewManager(s *store.Store) *Manager { return NewManagerWith(s, nil) }
+
+// NewManagerWith is NewManager with a fault-injection registry the
+// lock manager consults at lock-acquire time (internal/fault). A nil
+// registry — the production default — costs one branch per acquire.
+func NewManagerWith(s *store.Store, faults *fault.Registry) *Manager {
+	m := &Manager{store: s, locks: newLockManager(faults)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }

@@ -7,6 +7,8 @@ package value
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -144,7 +146,16 @@ func (v Value) String() string {
 	case KindInt:
 		return fmt.Sprintf("%d", v.I)
 	case KindFloat:
-		return fmt.Sprintf("%g", v.F)
+		// Decimal, never scientific (%g emits 1e+06): expression
+		// renderings must re-lex, and the evlang/mask lexers accept
+		// only digits '.' digits. Integral values keep a trailing ".0"
+		// so they re-lex as floats; NaN/±Inf (unreachable from parsed
+		// literals) pass through untouched.
+		s := strconv.FormatFloat(v.F, 'f', -1, 64)
+		if !strings.Contains(s, ".") && !strings.ContainsAny(s, "NI") {
+			s += ".0"
+		}
+		return s
 	case KindBool:
 		return fmt.Sprintf("%t", v.B)
 	case KindString:
