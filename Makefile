@@ -33,10 +33,11 @@ sim:
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz
 
-# Engine benchmarks plus the E13 compact-automata and E12 hot-path
-# numbers (committed as BENCH_PR4.json; BENCH_PR3.json is the previous
-# PR's baseline and is regenerated with
-# `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`).
+# Engine benchmarks plus the E15 open-loop latency numbers with the
+# E12 hot-path rerun riding along (committed as BENCH_PR6.json;
+# earlier baselines are regenerated with
+# `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`,
+# `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E13 -out BENCH_PR4.json
+	$(GO) run ./cmd/odebench -exp E15 -out BENCH_PR6.json

@@ -176,3 +176,66 @@ func TestQueryHistoryRootErrors(t *testing.T) {
 		t.Fatalf("query without recording: %v", err)
 	}
 }
+
+// TestExplainAndFlightThroughRootAPI: the PR 6 observability surfaces
+// — firing provenance and the always-on flight recorder — through the
+// public facade, including the Options knobs.
+func TestExplainAndFlightThroughRootAPI(t *testing.T) {
+	db, err := ode.Open(ode.Options{FlightBuffer: 128, ProvenanceDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	f := newFires()
+	err = balanceMethods(db.NewClass("account")).
+		Trigger("Audit(): prior(after deposit, after withdraw) ==> act", f.action("Audit")).
+		Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct ode.OID
+	db.Transact(func(tx *ode.Tx) error {
+		acct, _ = tx.NewObject("account", nil)
+		return tx.Activate(acct, "Audit")
+	})
+	if err := db.Transact(func(tx *ode.Tx) error {
+		if _, err := tx.Call(acct, "deposit", ode.Int(50)); err != nil {
+			return err
+		}
+		_, err := tx.Call(acct, "withdraw", ode.Int(20))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f.count("Audit") != 1 {
+		t.Fatalf("fires = %d", f.count("Audit"))
+	}
+
+	ex, err := db.Explain("Audit", acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Fired || !ex.Complete || len(ex.Steps) != 2 {
+		t.Fatalf("explanation %+v", ex)
+	}
+	if ex.Steps[0].Kind != "after deposit" || !ex.Steps[1].Accepted {
+		t.Fatalf("chain %+v", ex.Steps)
+	}
+
+	events := db.FlightEvents(0)
+	if len(events) == 0 {
+		t.Fatal("flight recorder empty")
+	}
+	var sawFire bool
+	for _, ev := range events {
+		if ev.Stage == ode.StageFire && ev.Trigger == "Audit" {
+			sawFire = true
+		}
+	}
+	if !sawFire {
+		t.Fatalf("no fire event among %d flight events", len(events))
+	}
+	if s := db.Stats(); s.FlightEvents == 0 || s.ProvenanceSteps == 0 {
+		t.Fatalf("stats missing obs counters: %+v", s)
+	}
+}

@@ -25,15 +25,22 @@
 //	E14 deterministic-simulation torture (the -sim mode, DESIGN.md §11):
 //	    seeded randomized runs with fault injection, crash/recovery
 //	    cycles and the §4 replay oracle; failing seeds print minimized
-//	    reproduction scripts and fail the process
+//	    reproduction scripts and fail the process; with -out, failures
+//	    also dump the flight recorder to <out>-flight.json
+//	E15 open-loop latency: the banking mix posted on a fixed arrival
+//	    schedule at several target rates, latency measured from each
+//	    transaction's intended start (coordinated-omission-safe), with
+//	    p50/p90/p99/p99.9; -out also reruns E12 and writes both as JSON
+//	    (e.g. BENCH_PR6.json)
 //
 // Usage:
 //
-//	odebench                               # run everything (E1..E13)
+//	odebench                               # run everything (E1..E13, E15)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
 //	odebench -exp E13 -out BENCH_PR4.json  # compact-automata JSON
+//	odebench -exp E15 -out BENCH_PR6.json  # open-loop latency JSON
 //	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
 //	odebench -sim -iters 1000 -out sim.json
 //
@@ -59,7 +66,7 @@ func main() { os.Exit(run()) }
 // run carries the real main body; returning instead of os.Exit lets the
 // profiling defers flush before the process dies.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13, E15; E14 is -sim); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
 	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
@@ -119,6 +126,7 @@ func run() int {
 		{"E11", func() error { return e11(*seed, *out) }},
 		{"E12", func() error { return e12(*seed, *out) }},
 		{"E13", func() error { return e13(*seed, *out) }},
+		{"E15", func() error { return e15(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -449,6 +457,62 @@ func e13(seed int64, out string) error {
 	}
 	fmt.Printf("  wrote %s\n", out)
 	return nil
+}
+
+func e15(seed int64, out string) error {
+	rates := []float64{2000, 10000, 50000}
+	rows, err := workload.RunE15(2000, 32, 16, seed, rates)
+	if err != nil {
+		return err
+	}
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			fmt.Sprintf("%.0f", r.TargetRate),
+			fmt.Sprintf("%.0f", r.AchievedRate),
+			us(r.P50Ns),
+			us(r.P90Ns),
+			us(r.P99Ns),
+			us(r.P999Ns),
+			us(r.MaxNs),
+			fmt.Sprintf("%d", r.Late),
+		})
+	}
+	table("E15 — open-loop latency from intended start (coordinated-omission-safe)",
+		[]string{"target/s", "achieved/s", "p50", "p90", "p99", "p99.9", "max", "late"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	// The zero-alloc posting guarantee rides along, as in E13: rerun
+	// E12 so the JSON shows the hot path did not regress under the
+	// always-on flight recorder and provenance rings.
+	hot, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		OpenLoop   []workload.E15Row `json:"open_loop"`
+		HotPath    []workload.E12Row `json:"hot_path"`
+	}{"E15", gomaxprocs, numCPU, rows, hot}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+// us renders a nanosecond latency as microseconds for the tables.
+func us(ns uint64) string {
+	return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
 }
 
 func e8(seed int64) error {

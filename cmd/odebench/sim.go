@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 
+	"ode/internal/obs"
 	"ode/internal/sim"
 )
 
@@ -13,8 +15,10 @@ import (
 // line of progress per chunk, and a final summary. Every failure
 // prints its seed and a minimized reproduction script; the exit code
 // is nonzero if any iteration failed, so CI can gate on it. With -out
-// the summary (plus failing seeds) is written as JSON — the nightly
-// workflow uploads that file as an artifact.
+// the summary (plus failing seeds) is written as JSON, and any
+// failures additionally dump their flight-recorder captures — the
+// pipeline events leading into each divergence — to
+// <out>-flight.json; the nightly workflow uploads both as artifacts.
 func runSim(iters int, seed int64, volatile bool, out string) int {
 	cfg := sim.Defaults(seed)
 	cfg.Persistent = !volatile
@@ -73,9 +77,41 @@ func runSim(iters int, seed int64, volatile bool, out string) int {
 			return 1
 		}
 		fmt.Printf("  wrote %s\n", out)
+		if len(fails) > 0 {
+			if err := writeFlightDump(out, fails); err != nil {
+				fmt.Fprintf(os.Stderr, "odebench: sim: %v\n", err)
+				return 1
+			}
+		}
 	}
 	if sum.Failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeFlightDump persists each failure's flight-recorder capture next
+// to the summary JSON, so a nightly failure ships its own crash dump.
+func writeFlightDump(out string, fails []*sim.Failure) error {
+	type dump struct {
+		Seed   int64             `json:"seed"`
+		Step   int               `json:"step"`
+		Error  string            `json:"error"`
+		Events []obs.FlightEvent `json:"events"`
+	}
+	dumps := make([]dump, 0, len(fails))
+	for _, f := range fails {
+		dumps = append(dumps, dump{Seed: f.Seed, Step: f.Step, Error: f.Err.Error(), Events: f.Flight})
+	}
+	blob, err := json.MarshalIndent(dumps, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	path := strings.TrimSuffix(out, ".json") + "-flight.json"
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s (%d failure flight dump(s))\n", path, len(dumps))
+	return nil
 }

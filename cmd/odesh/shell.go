@@ -148,6 +148,8 @@ func (sh *shell) exec(line string) error {
 		return sh.trace(rest)
 	case ".stats":
 		return sh.stats()
+	case ".why":
+		return sh.why(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -184,6 +186,8 @@ func (sh *shell) help() {
   automata NAME              trigger automaton sizes for a class
   .trace on|off|show [N]     pipeline tracing (show prints the last N events, default 20)
   .stats                     engine counters and per-trigger metrics
+  .why @oid TRIGGER          firing provenance: the happening chain behind the
+                             trigger's current state / most recent firing
   quit
 `)
 }
@@ -597,6 +601,46 @@ func (sh *shell) stats() error {
 		}
 		if ts.ActionErrors > 0 {
 			fmt.Fprintf(sh.out, ", %d action errors", ts.ActionErrors)
+		}
+		fmt.Fprintln(sh.out)
+	}
+	return nil
+}
+
+func (sh *shell) why(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: .why @oid TRIGGER")
+	}
+	oid, err := parseOID(fields[0])
+	if err != nil {
+		return err
+	}
+	ex, err := sh.db.Explain(fields[1], oid)
+	if err != nil {
+		return err
+	}
+	status := "has not fired"
+	if ex.Fired {
+		status = "fired"
+	}
+	fmt.Fprintf(sh.out, "%s.%s at @%d: %s; state=%d active=%v\n",
+		ex.Class, ex.Trigger, ex.OID, status, ex.State, ex.Active)
+	if len(ex.Steps) == 0 {
+		fmt.Fprintln(sh.out, "  no transitions recorded since activation")
+		return nil
+	}
+	if !ex.Complete {
+		fmt.Fprintf(sh.out, "  (chain truncated: ring holds %d of %d transitions)\n",
+			len(ex.Steps), ex.TotalSteps)
+	}
+	for _, s := range ex.Steps {
+		fmt.Fprintf(sh.out, "  %4d  %-24s tx=%d %d→%d", s.Seq, s.Kind, s.TxID, s.From, s.To)
+		if s.Bits != 0 {
+			fmt.Fprintf(sh.out, " bits=%#x", s.Bits)
+		}
+		if s.Accepted {
+			fmt.Fprint(sh.out, "  ** fires")
 		}
 		fmt.Fprintln(sh.out)
 	}

@@ -163,3 +163,48 @@ func TestShellTraceUsage(t *testing.T) {
 		t.Fatalf("expected 2 errors, got %d:\n%s", n, out)
 	}
 }
+
+// TestShellWhy: the .why command renders a fired trigger's provenance
+// chain, and an unfired one's partial state.
+func TestShellWhy(t *testing.T) {
+	out := runScript(t,
+		"defclass account balance:int=1000",
+		"defmethod account deposit update a:int",
+		"defmethod account withdraw update a:int",
+		"deftrigger account Audit(): prior(after deposit, after withdraw) ==> print",
+		"deftrigger account Fresh(): perpetual after deposit ==> print",
+		"register account",
+		"new account",
+		"activate @1 Audit",
+		"activate @1 Fresh",
+		"begin",
+		"call @1 deposit 50",
+		"call @1 withdraw 20",
+		"commit",
+		".why @1 Audit",
+		"deactivate @1 Fresh",
+		"activate @1 Fresh",
+		".why @1 Fresh",
+	)
+	for _, want := range []string{
+		"[Audit] fired at @1",
+		"account.Audit at @1: fired",
+		"after deposit",
+		"after withdraw",
+		"** fires",
+		"account.Fresh at @1: has not fired",
+		"no transitions recorded since activation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error:") {
+		t.Fatalf("script raised errors:\n%s", out)
+	}
+	// Usage and unknown-trigger errors surface as shell errors.
+	out = runScript(t, ".why @1", ".why @1 NoSuch")
+	if c := strings.Count(out, "error:"); c != 2 {
+		t.Fatalf("want 2 errors, got %d:\n%s", c, out)
+	}
+}

@@ -27,21 +27,24 @@ var debugEngineSeq atomic.Uint64
 //	/debug/triggers    per-trigger and per-class metrics (JSON)
 //	/debug/trace?last=N  last N pipeline trace events (JSON)
 //	/debug/automata    resident automaton memory and table sharing (JSON)
+//	/debug/metrics     Prometheus/OpenMetrics text exposition
+//	/debug/why?trigger=T&oid=N  firing provenance of one instance (JSON)
+//	/debug/flight?last=N  flight-recorder dump (JSON)
 //	/debug/vars        expvar (includes this engine's stats)
 //	/debug/pprof/...   the standard runtime profiles
 //
 // The handler reads live state; it never blocks posting.
 func (e *Engine) DebugHandler() http.Handler {
-	e.debugVar.Do(func() {
-		name := fmt.Sprintf("ode.engine.%d", debugEngineSeq.Add(1)-1)
-		expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
-	})
+	e.publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/stats", e.handleDebugStats)
 	mux.HandleFunc("/debug/triggers", e.handleDebugTriggers)
 	mux.HandleFunc("/debug/trace", e.handleDebugTrace)
 	mux.HandleFunc("/debug/automata", e.handleDebugAutomata)
 	mux.HandleFunc("/debug/faults", e.handleDebugFaults)
+	mux.HandleFunc("/debug/metrics", e.handleDebugMetrics)
+	mux.HandleFunc("/debug/why", e.handleDebugWhy)
+	mux.HandleFunc("/debug/flight", e.handleDebugFlight)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -70,8 +73,104 @@ func (e *Engine) ServeDebug(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// publishExpvar publishes this engine's Stats under a process-unique
+// expvar name (once).
+func (e *Engine) publishExpvar() {
+	e.debugVar.Do(func() {
+		name := fmt.Sprintf("ode.engine.%d", debugEngineSeq.Add(1)-1)
+		e.debugMu.Lock()
+		e.expvarName = name
+		e.debugMu.Unlock()
+		expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	})
+}
+
+// ExpvarName publishes (if needed) and returns the expvar key this
+// engine's Stats appear under in /debug/vars — tests use it to check
+// the expvar and /debug/metrics views agree.
+func (e *Engine) ExpvarName() string {
+	e.publishExpvar()
+	e.debugMu.Lock()
+	defer e.debugMu.Unlock()
+	return e.expvarName
+}
+
 func (e *Engine) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, e.Stats())
+}
+
+// promExtras renders the engine-global Stats as exposition-format
+// series alongside the registry's per-trigger families. Counters keep
+// the _total suffix; the registration-state automaton fields are
+// gauges.
+func (e *Engine) promExtras() []obs.PromMetric {
+	s := e.Stats()
+	return []obs.PromMetric{
+		{Name: "ode_engine_tx_begun_total", Help: "User transactions started.", Value: float64(s.TxBegun)},
+		{Name: "ode_engine_tx_committed_total", Help: "User transactions committed.", Value: float64(s.TxCommitted)},
+		{Name: "ode_engine_tx_aborted_total", Help: "User transactions aborted.", Value: float64(s.TxAborted)},
+		{Name: "ode_engine_system_tx_total", Help: "System transactions run.", Value: float64(s.SystemTx)},
+		{Name: "ode_engine_happenings_total", Help: "Happenings posted to objects.", Value: float64(s.Happenings)},
+		{Name: "ode_engine_steps_total", Help: "Trigger-automaton transitions taken.", Value: float64(s.Steps)},
+		{Name: "ode_engine_mask_evals_total", Help: "Logical-event mask evaluations.", Value: float64(s.MaskEvals)},
+		{Name: "ode_engine_firings_total", Help: "Trigger actions executed.", Value: float64(s.Firings)},
+		{Name: "ode_engine_timer_posts_total", Help: "Time-event deliveries.", Value: float64(s.TimerPosts)},
+		{Name: "ode_engine_tcomplete_rounds_total", Help: "Rounds of the before-tcomplete commit fixpoint.", Value: float64(s.TcompleteRounds)},
+		{Name: "ode_engine_shadow_checks_total", Help: "Shadow-oracle cross-checks performed.", Value: float64(s.ShadowChecks)},
+		{Name: "ode_engine_faults_injected_total", Help: "Failures fired by the fault-injection registry.", Value: float64(s.FaultsInjected)},
+		{Name: "ode_engine_flight_events_total", Help: "Events captured by the flight recorder.", Value: float64(s.FlightEvents)},
+		{Name: "ode_engine_provenance_steps_total", Help: "Transitions appended to firing-provenance rings.", Value: float64(s.ProvenanceSteps)},
+		{Name: "ode_engine_automaton_triggers", Help: "Registered triggers stepping a compact table.", Type: "gauge", Value: float64(s.AutomatonTriggers)},
+		{Name: "ode_engine_automaton_tables", Help: "Distinct hash-consed automaton tables resident.", Type: "gauge", Value: float64(s.AutomatonTables)},
+		{Name: "ode_engine_automaton_table_bytes", Help: "Resident automaton table bytes.", Type: "gauge", Value: float64(s.AutomatonTableBytes)},
+		{Name: "ode_engine_compile_cache_hits_total", Help: "Process-wide automaton compile-cache hits.", Value: float64(s.CompileCacheHits)},
+		{Name: "ode_engine_compile_cache_misses_total", Help: "Process-wide automaton compile-cache misses.", Value: float64(s.CompileCacheMisses)},
+	}
+}
+
+func (e *Engine) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, e.metrics.Snapshot(), e.promExtras())
+}
+
+func (e *Engine) handleDebugWhy(w http.ResponseWriter, r *http.Request) {
+	trigger := r.URL.Query().Get("trigger")
+	oidStr := r.URL.Query().Get("oid")
+	if trigger == "" || oidStr == "" {
+		http.Error(w, "need trigger and oid parameters", http.StatusBadRequest)
+		return
+	}
+	oid, err := strconv.ParseUint(oidStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad oid parameter", http.StatusBadRequest)
+		return
+	}
+	ex, err := e.Explain(trigger, store.OID(oid))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, ex)
+}
+
+func (e *Engine) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if s := r.URL.Query().Get("last"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad last parameter", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	events := e.FlightEvents(last)
+	if events == nil {
+		events = []obs.FlightEvent{}
+	}
+	writeJSON(w, struct {
+		Total  uint64            `json:"total"`
+		Events []obs.FlightEvent `json:"events"`
+	}{Total: e.flight.Total(), Events: events})
 }
 
 func (e *Engine) handleDebugTriggers(w http.ResponseWriter, r *http.Request) {

@@ -127,6 +127,15 @@ type Options struct {
 	// harness (internal/sim) arms it; nil — the production default —
 	// keeps every consult a single branch on the hot path.
 	Faults *fault.Registry
+	// FlightBuffer sizes the always-on flight recorder (rounded up to a
+	// power of two; 0 picks obs.DefaultFlightCapacity). The recorder
+	// cannot be disabled — its record path is a handful of atomic
+	// stores, cheap enough to leave on permanently.
+	FlightBuffer int
+	// ProvenanceDepth sets the per-(object, trigger) firing-provenance
+	// ring depth (0 picks obs.DefaultProvDepth; < 0 disables provenance
+	// capture entirely).
+	ProvenanceDepth int
 }
 
 // Engine is an active object database.
@@ -170,13 +179,22 @@ type Engine struct {
 
 	// Observability: traceBox is nil when tracing is disabled (the
 	// hot-path emit helpers in trace.go check it with one atomic
-	// load); metrics is always on.
-	traceBox atomic.Pointer[tracerBox]
-	metrics  *obs.Registry
+	// load); metrics, the flight recorder and firing provenance are
+	// always on. names interns class/trigger/kind strings to the
+	// uint16 IDs the flight recorder stores.
+	traceBox  atomic.Pointer[tracerBox]
+	metrics   *obs.Registry
+	flight    *obs.Flight
+	names     *obs.Interner
+	txUserID  uint16 // interned "user" / "system" for tx flight records
+	txSysID   uint16
+	prov      provTable
+	provDepth int // < 0 disables provenance capture
 
-	debugMu   sync.Mutex
-	debugSrvs []*http.Server
-	debugVar  sync.Once
+	debugMu    sync.Mutex
+	debugSrvs  []*http.Server
+	debugVar   sync.Once
+	expvarName string
 }
 
 type instanceKey struct {
@@ -195,6 +213,11 @@ type Class struct {
 	parser   *evlang.Parser    // retained for history queries (defines)
 	monitor  *combinedMonitor  // non-nil → footnote-5 combined monitoring
 	met      *obs.ClassMetrics // per-class counters, cached at registration
+	// nameID and kindIDs are the interned flight-recorder IDs of the
+	// class name and of each alphabet kind (indexed by kindIx), computed
+	// at registration so hot-path records never touch a string.
+	nameID  uint16
+	kindIDs []uint16
 	// dispatch[kindIx] lists the triggers a happening of that kind can
 	// affect, with their compiled mask programs (see dispatch.go).
 	dispatch [][]dispatchEntry
@@ -216,6 +239,7 @@ type Trigger struct {
 	View   schema.HistoryView
 	Action ActionFunc
 	met    *obs.TriggerMetrics // per-trigger counters, cached at registration
+	nameID uint16              // interned flight-recorder ID of the trigger name
 	// slot is the trigger's stable index within its class (its position
 	// in Class.Triggers), addressing the record's dense activation
 	// slots without a name-map probe.
@@ -276,7 +300,12 @@ func New(opts Options) (*Engine, error) {
 		interpretMasks: opts.InterpretedMasks,
 		faults:         opts.Faults,
 		metrics:        obs.NewRegistry(),
+		names:          obs.NewInterner(),
+		provDepth:      opts.ProvenanceDepth,
 	}
+	e.flight = obs.NewFlight(opts.FlightBuffer, e.names)
+	e.txUserID = e.names.Intern("user")
+	e.txSysID = e.names.Intern("system")
 	e.timers = newTimerTable(e)
 	switch {
 	case opts.RecordHistories > 0:
@@ -364,7 +393,11 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 		return nil, err
 	}
 	c := &Class{Schema: cls, Res: res, Impl: impl, byName: map[string]*Trigger{}, parser: ps,
-		met: e.metrics.Class(cls.Name)}
+		met: e.metrics.Class(cls.Name), nameID: e.names.Intern(cls.Name)}
+	c.kindIDs = make([]uint16, len(res.Alphabet.Kinds))
+	for kix := range res.Alphabet.Kinds {
+		c.kindIDs[kix] = e.names.Intern(res.Alphabet.Kinds[kix].Kind.String())
+	}
 	for _, tr := range res.Triggers {
 		view := schema.CommittedView
 		if st := cls.Trigger(tr.Name); st != nil {
@@ -383,6 +416,7 @@ func (e *Engine) RegisterClass(cls *schema.Class, impl ClassImpl, ps *evlang.Par
 			View:   view,
 			Action: action,
 			met:    e.metrics.Trigger(cls.Name, tr.Name),
+			nameID: e.names.Intern(tr.Name),
 			slot:   len(c.Triggers),
 		}
 		// The registration-time analyses below want the fat

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ode/internal/obs"
+	"ode/internal/schema"
+	"ode/internal/store"
+)
+
+// Firing provenance: each trigger instance keeps a small ring of its
+// state-changing (or accepting) automaton transitions, reset whenever
+// the instance is (re-)activated. Non-accepting self-loops — the vast
+// majority of steps under the masked non-firing workload — append
+// nothing, so the ring's few dozen slots span a long happening history
+// and the hot path pays one branch. Explain walks the retained steps
+// backward along matching from/to states to reconstruct the exact
+// happening sequence that drove the automaton from its start state to
+// acceptance.
+
+// provShards fixes the table's shard count; instances hash by object,
+// the same unit the lock manager serializes on.
+const provShards = 64
+
+type provTable struct {
+	shards [provShards]provShard
+}
+
+type provShard struct {
+	mu sync.Mutex
+	m  map[instanceKey]*obs.ProvRing
+}
+
+// provRing returns (creating if needed) the instance's ring; nil when
+// provenance is disabled. Creation allocates once per instance — the
+// first recorded step of a WAL-recovered activation lands here — and
+// every later call is a shard-mutex map probe.
+func (e *Engine) provRing(oid store.OID, trig string) *obs.ProvRing {
+	if e.provDepth < 0 {
+		return nil
+	}
+	s := &e.prov.shards[uint64(oid)%provShards]
+	k := instanceKey{oid, trig}
+	s.mu.Lock()
+	r := s.m[k]
+	if r == nil {
+		r = obs.NewProvRing(e.provDepth)
+		if s.m == nil {
+			s.m = map[instanceKey]*obs.ProvRing{}
+		}
+		s.m[k] = r
+	}
+	s.mu.Unlock()
+	return r
+}
+
+// provLookup returns the instance's ring without creating one.
+func (e *Engine) provLookup(oid store.OID, trig string) *obs.ProvRing {
+	s := &e.prov.shards[uint64(oid)%provShards]
+	s.mu.Lock()
+	r := s.m[instanceKey{oid, trig}]
+	s.mu.Unlock()
+	return r
+}
+
+// Explanation answers "why did (or didn't) trigger T fire on object
+// O": the instance's current automaton state plus the retained
+// provenance chain leading to it.
+type Explanation struct {
+	OID     store.OID `json:"oid"`
+	Class   string    `json:"class"`
+	Trigger string    `json:"trigger"`
+	Active  bool      `json:"active"`
+	// State is the instance's current automaton state, Start the
+	// automaton's start state.
+	State int `json:"state"`
+	Start int `json:"start"`
+	// Fired reports whether an accepting transition is retained; the
+	// chain then ends at that firing.
+	Fired bool `json:"fired"`
+	// Complete reports whether the chain reaches back to the start
+	// state — false when the ring has already evicted the oldest
+	// contributing steps.
+	Complete bool `json:"complete"`
+	// Steps is the contributing happening sequence in order: each step
+	// names the happening kind, the §5 mask valuation, the alphabet
+	// symbol and the from→to state move.
+	Steps []obs.ProvStep `json:"steps"`
+	// TotalSteps counts every step the instance ever recorded,
+	// including ones the ring has evicted.
+	TotalSteps uint64 `json:"total_steps"`
+}
+
+// Explain reconstructs the provenance of trigger on oid. For a fired
+// trigger the returned steps are the exact contributing happening
+// sequence — the ordered transitions that moved the automaton from
+// start to acceptance; for an unfired one they are the chain leading
+// to the current state.
+func (e *Engine) Explain(trigger string, oid store.OID) (*Explanation, error) {
+	rec, err := e.st.Get(oid)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.classOf(rec)
+	if err != nil {
+		return nil, err
+	}
+	t := c.Trigger(trigger)
+	if t == nil {
+		return nil, fmt.Errorf("engine: class %s has no trigger %q", rec.Class, trigger)
+	}
+	if c.monitor != nil {
+		return nil, fmt.Errorf("engine: class %s uses combined monitoring; per-trigger provenance is not recorded", rec.Class)
+	}
+	if e.provDepth < 0 {
+		return nil, fmt.Errorf("engine: provenance capture is disabled (Options.ProvenanceDepth < 0)")
+	}
+
+	ex := &Explanation{
+		OID:     oid,
+		Class:   rec.Class,
+		Trigger: trigger,
+		Start:   t.Auto.Start(),
+		State:   t.Auto.Start(),
+	}
+	if act, ok := rec.Triggers[trigger]; ok {
+		ex.Active = act.Active
+		ex.State = act.State
+	}
+	if t.View == schema.WholeView {
+		e.wholeMu.Lock()
+		if s, ok := e.whole[instanceKey{oid, trigger}]; ok {
+			ex.State = s
+		}
+		e.wholeMu.Unlock()
+	}
+
+	r := e.provLookup(oid, trigger)
+	if r == nil {
+		return ex, nil
+	}
+	steps := r.Steps()
+	ex.TotalSteps = r.Total()
+	for i := range steps {
+		steps[i].Kind = e.names.Name(steps[i].KindID)
+	}
+
+	// Anchor the chain at the most recent accepting transition (the
+	// firing being explained); an instance that never fired is explained
+	// up to its latest step.
+	anchor := len(steps) - 1
+	for i := len(steps) - 1; i >= 0; i-- {
+		if steps[i].Accepted {
+			anchor = i
+			ex.Fired = true
+			break
+		}
+	}
+	if anchor < 0 {
+		return ex, nil
+	}
+
+	// Walk backward along matching states: a step belongs to the chain
+	// when it produced the state the next chain step consumed. Steps
+	// that roll back and diverge (an aborted transaction's residue)
+	// break the link and are excluded.
+	lo := anchor
+	for steps[lo].From != ex.Start && lo > 0 && steps[lo-1].To == steps[lo].From {
+		lo--
+	}
+	ex.Steps = steps[lo : anchor+1]
+	ex.Complete = len(ex.Steps) > 0 && ex.Steps[0].From == ex.Start
+	return ex, nil
+}

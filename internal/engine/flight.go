@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"ode/internal/obs"
+	"ode/internal/store"
+)
+
+// The always-on flight recorder. Unlike the optional tracer
+// (trace.go), these record points run unconditionally: each is a
+// handful of atomic stores with interned uint16 name IDs, no
+// allocation and no lock, so the masked non-firing posting hot path
+// keeps its zero-alloc budget. The recorder captures pipeline-level
+// events only — happenings, firings, timer deliveries and transaction
+// lifecycle — one record per happening regardless of how many triggers
+// it touches; per-trigger transition detail lives in the provenance
+// rings (explain.go).
+
+// Flight exposes the engine's flight recorder.
+func (e *Engine) Flight() *obs.Flight { return e.flight }
+
+// FlightEvents dumps the last recorder entries in chronological order
+// (last <= 0 means the full retained window).
+func (e *Engine) FlightEvents(last int) []obs.FlightEvent {
+	return e.flight.Events(last)
+}
+
+// flightHappening records the pipeline entry of one happening.
+func (e *Engine) flightHappening(atNs int64, txid uint64, oid store.OID, classID, kindID uint16) {
+	e.flight.Record(obs.StageHappening, atNs, txid, uint64(oid), classID, 0, kindID, 0, 0, true, 0)
+}
+
+// flightFire records one trigger firing with its action latency.
+func (e *Engine) flightFire(txid uint64, oid store.OID, classID, trigID uint16, ok bool, durNs int64) {
+	e.flight.Record(obs.StageFire, e.clk.Now().UnixNano(), txid, uint64(oid), classID, trigID, 0, 0, 0, ok, durNs)
+}
+
+// flightTimer records one time-event delivery; the timer key is
+// interned (a mutexed map probe — timer posts are off the zero-alloc
+// path).
+func (e *Engine) flightTimer(oid store.OID, key, onlyTrigger string) {
+	var trigID uint16
+	if onlyTrigger != "" {
+		trigID = e.names.Intern(onlyTrigger)
+	}
+	e.flight.Record(obs.StageTimer, e.clk.Now().UnixNano(), 0, uint64(oid),
+		0, trigID, e.names.Intern(key), 0, 0, true, 0)
+}
+
+// flightTx records a transaction lifecycle stage; the kind slot
+// carries the interned "user" / "system" marker.
+func (e *Engine) flightTx(stage obs.Stage, txid uint64, system bool) {
+	kind := e.txUserID
+	if system {
+		kind = e.txSysID
+	}
+	e.flight.Record(stage, e.clk.Now().UnixNano(), txid, 0, 0, 0, kind, 0, 0, true, 0)
+}

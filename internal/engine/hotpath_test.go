@@ -54,6 +54,64 @@ func TestHotPathAllocBudget(t *testing.T) {
 	if rec.count() != 0 {
 		t.Fatalf("no trigger should have fired, got %v", rec.list())
 	}
+	// The flight recorder is always on: the loop above recorded one
+	// event per happening without breaking the budget.
+	if e.flight.Total() == 0 {
+		t.Fatal("flight recorder captured nothing")
+	}
+}
+
+// TestHotPathAllocBudgetProvenance extends the contract to
+// state-changing non-firing steps: with firing provenance on (the
+// default), a composite trigger bouncing between states appends to its
+// provenance ring on every transition and must still allocate nothing.
+func TestHotPathAllocBudgetProvenance(t *testing.T) {
+	rec := &recorder{}
+	cls, impl := accountClass(rec,
+		// sequence(E, F): a deposit moves to the "just saw E" state; a
+		// withdraw failing its mask is neither E nor F and resets. Every
+		// happening below is a state change → a provenance append.
+		schema.Trigger{Name: "Chain", Perpetual: true,
+			Event: "sequence(after deposit, after withdraw(a) && a > 100)"})
+	e := newEngine(t, Options{})
+	oid := setup(t, e, cls, impl, "Chain")
+
+	tx := e.Begin()
+	defer tx.Abort()
+	r, err := tx.access(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := event.Happening{
+		Kind:   event.MethodKind(event.After, "deposit"),
+		Params: map[string]value.Value{"amount": value.Int(1)},
+		Dense:  []value.Value{value.Int(1)},
+		TxID:   tx.ID(),
+		At:     e.clk.Now(),
+	}
+	wd := dep
+	wd.Kind = event.MethodKind(event.After, "withdraw")
+	avg := testing.AllocsPerRun(500, func() {
+		for _, h := range [2]event.Happening{dep, wd} {
+			fired, err := tx.step(oid, r, h, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fired {
+				t.Fatal("withdraw(1) must not complete the sequence")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("state-changing non-firing steps allocate %.2f objects/op; want 0", avg)
+	}
+	ring := e.provLookup(oid, "Chain")
+	if ring == nil || ring.Total() < 1000 {
+		t.Fatalf("provenance did not record the state churn (ring=%v)", ring)
+	}
+	if rec.count() != 0 {
+		t.Fatalf("no trigger should have fired, got %v", rec.list())
+	}
 }
 
 // errInject aborts a workload transaction on purpose.

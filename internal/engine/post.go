@@ -88,6 +88,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 	tx.e.recordHappening(oid, h)
 	tx.e.stats.happenings.Add(1)
 	c.met.Happening()
+	tx.e.flightHappening(h.At.UnixNano(), tx.tx.ID(), oid, c.nameID, c.kindIDs[kindIx])
 	tx.e.traceHappening(tx.tx.ID(), oid, rec.Class, h.Kind)
 
 	// Dense trigger slots: bind the record's slot table lazily (fresh
@@ -103,7 +104,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		if err != nil {
 			return false, err
 		}
-		if err := tx.fire(oid, rec.Class, h, fired); err != nil {
+		if err := tx.fire(oid, c, h, fired); err != nil {
 			return true, err
 		}
 		return len(fired) > 0, nil
@@ -168,6 +169,21 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 		tx.e.stats.steps.Add(1)
 		t.met.Step()
 		accepted := t.Auto.Accept(next)
+		// Firing provenance: non-accepting self-loops (the masked
+		// non-firing common case) append nothing, so the per-instance
+		// ring spans a long history and this costs one branch. Skipping
+		// them preserves the chain walk — the state is unchanged across
+		// the gap.
+		if next != prev || accepted {
+			if r := tx.e.provRing(oid, t.Res.Name); r != nil {
+				r.Append(obs.ProvStep{
+					TxID: tx.tx.ID(), AtNs: h.At.UnixNano(),
+					KindID: c.kindIDs[kindIx], Bits: bits, Sym: sym,
+					From: prev, To: next, Accepted: accepted,
+				})
+				tx.e.stats.provSteps.Add(1)
+			}
+		}
 		tx.e.traceStep(tx.tx.ID(), oid, rec.Class, t.Res.Name, prev, next, accepted)
 		if tx.e.shadowOracle {
 			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {
@@ -190,7 +206,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 			tx.e.timers.disarm(oid, f.t)
 		}
 	}
-	err = tx.fire(oid, rec.Class, h, fired)
+	err = tx.fire(oid, c, h, fired)
 	n := len(fired)
 	tx.fired = tx.fired[:base]
 	if err != nil {
@@ -203,7 +219,7 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 // action's wall-clock latency in the trigger's metrics (and trace,
 // when enabled). The first action error stops the run — the engine's
 // pre-existing semantics: a failing action aborts the posting.
-func (tx *Tx) fire(oid store.OID, class string, h event.Happening, fired []firedTrigger) error {
+func (tx *Tx) fire(oid store.OID, c *Class, h event.Happening, fired []firedTrigger) error {
 	for _, f := range fired {
 		// The ActionCtx lives on the Tx and is reused across firings;
 		// save/restore by value keeps nested firings (an action whose
@@ -220,7 +236,8 @@ func (tx *Tx) fire(oid store.OID, class string, h event.Happening, fired []fired
 		d := time.Since(start)
 		tx.actCtx = saved
 		f.t.met.Fire(d, err)
-		tx.e.traceFire(tx.tx.ID(), oid, class, f.t.Res.Name, d, err)
+		tx.e.flightFire(tx.tx.ID(), oid, c.nameID, f.t.nameID, err == nil, d.Nanoseconds())
+		tx.e.traceFire(tx.tx.ID(), oid, c.Schema.Name, f.t.Res.Name, d, err)
 		if err != nil {
 			return err
 		}

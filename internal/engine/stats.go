@@ -43,6 +43,13 @@ type Stats struct {
 	// registry (zero unless Options.Faults is installed — i.e. under
 	// the simulation harness).
 	FaultsInjected uint64
+	// FlightEvents counts events captured by the always-on flight
+	// recorder (including ones its ring has overwritten).
+	FlightEvents uint64
+	// ProvenanceSteps counts transitions appended to firing-provenance
+	// rings — state-changing or accepting steps only; non-accepting
+	// self-loops are skipped by design.
+	ProvenanceSteps uint64
 
 	// AutomatonTriggers counts registered triggers stepping a compact
 	// table; AutomatonTables counts the distinct hash-consed tables they
@@ -65,6 +72,7 @@ type statCounters struct {
 	txBegun, txCommitted, txAborted, systemTx atomic.Uint64
 	happenings, steps, maskEvals, firings     atomic.Uint64
 	timerPosts, tcompleteRounds, shadowChecks atomic.Uint64
+	provSteps                                 atomic.Uint64
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -103,6 +111,8 @@ func (e *Engine) Stats() Stats {
 		TcompleteRounds:     e.stats.tcompleteRounds.Load(),
 		ShadowChecks:        e.stats.shadowChecks.Load(),
 		FaultsInjected:      e.faults.Injected(),
+		FlightEvents:        e.flight.Total(),
+		ProvenanceSteps:     e.stats.provSteps.Load(),
 	}
 }
 
@@ -124,6 +134,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		TcompleteRounds: s.TcompleteRounds - prev.TcompleteRounds,
 		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
 		FaultsInjected:  s.FaultsInjected - prev.FaultsInjected,
+		FlightEvents:    s.FlightEvents - prev.FlightEvents,
+		ProvenanceSteps: s.ProvenanceSteps - prev.ProvenanceSteps,
 
 		AutomatonTriggers:   s.AutomatonTriggers - prev.AutomatonTriggers,
 		AutomatonTables:     s.AutomatonTables - prev.AutomatonTables,

@@ -118,8 +118,10 @@ func (e *Engine) traceFire(txid uint64, oid store.OID, class, trigger string, d 
 }
 
 // traceTimer instruments one time-event delivery (before its happening
-// enters the pipeline).
+// enters the pipeline). The always-on flight recorder captures the
+// delivery too, tracer or no tracer.
 func (e *Engine) traceTimer(oid store.OID, key, onlyTrigger string) {
+	e.flightTimer(oid, key, onlyTrigger)
 	t := e.tracer()
 	if t == nil {
 		return
@@ -130,8 +132,10 @@ func (e *Engine) traceTimer(oid store.OID, key, onlyTrigger string) {
 	})
 }
 
-// traceTx instruments transaction lifecycle stages.
+// traceTx instruments transaction lifecycle stages. The always-on
+// flight recorder captures them too, tracer or no tracer.
 func (e *Engine) traceTx(stage obs.Stage, txid uint64, system bool) {
+	e.flightTx(stage, txid, system)
 	t := e.tracer()
 	if t == nil {
 		return

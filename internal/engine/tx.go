@@ -303,6 +303,14 @@ func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) err
 	// just created) activation.
 	c.ensureSlots(rec)
 	rec.BindSlot(t.slot, trigger, act)
+	// Activation restarts the automaton, so the previous incarnation's
+	// provenance no longer explains the instance: reset its ring
+	// (creating it — every activation gets one).
+	if c.monitor == nil {
+		if r := tx.e.provRing(oid, trigger); r != nil {
+			r.Reset()
+		}
+	}
 	if t.View == schema.WholeView {
 		tx.e.wholeMu.Lock()
 		tx.e.whole[instanceKey{oid, trigger}] = t.Auto.Start()

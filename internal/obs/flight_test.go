@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecordAndDump(t *testing.T) {
+	in := NewInterner()
+	f := NewFlight(8, in)
+	acct := in.Intern("account")
+	big := in.Intern("Big")
+	dep := in.Intern("after deposit")
+
+	f.Record(StageHappening, 100, 7, 3, acct, 0, dep, 0, 0, true, 0)
+	f.Record(StageFire, 200, 7, 3, acct, big, dep, 1, 2, true, 50)
+
+	if got := f.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+	evs := f.Events(0)
+	if len(evs) != 2 {
+		t.Fatalf("Events = %d entries, want 2", len(evs))
+	}
+	if evs[0].Stage != StageHappening || evs[0].Class != "account" || evs[0].Kind != "after deposit" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Stage != StageFire || evs[1].Trigger != "Big" || evs[1].From != 1 || evs[1].To != 2 || evs[1].DurNs != 50 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatalf("events out of order: %d then %d", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+func TestFlightWrapKeepsMostRecent(t *testing.T) {
+	in := NewInterner()
+	f := NewFlight(4, in)
+	for i := 1; i <= 10; i++ {
+		f.Record(StageHappening, int64(i), 0, 0, 0, 0, 0, 0, 0, true, 0)
+	}
+	evs := f.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.AtNs != want {
+			t.Fatalf("event %d at %d, want %d", i, ev.AtNs, want)
+		}
+	}
+	if got := f.Events(2); len(got) != 2 || got[1].AtNs != 10 {
+		t.Fatalf("Events(2) = %+v", got)
+	}
+}
+
+func TestFlightCapacityRounding(t *testing.T) {
+	f := NewFlight(3, NewInterner())
+	if len(f.slots) != 4 {
+		t.Fatalf("capacity 3 rounded to %d slots, want 4", len(f.slots))
+	}
+	f = NewFlight(0, NewInterner())
+	if len(f.slots) != DefaultFlightCapacity {
+		t.Fatalf("default capacity = %d, want %d", len(f.slots), DefaultFlightCapacity)
+	}
+}
+
+func TestFlightConcurrentRecordDump(t *testing.T) {
+	in := NewInterner()
+	f := NewFlight(64, in)
+	id := in.Intern("x")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Record(StageStep, int64(i), uint64(w), uint64(i), id, id, id, i, i+1, i%2 == 0, 0)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, ev := range f.Events(0) {
+			// Published slots must be internally consistent: the packed
+			// word always carries StageStep and the interned name.
+			if ev.Stage != StageStep || ev.Kind != "x" {
+				t.Errorf("torn event leaked: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightRecordDoesNotAllocate(t *testing.T) {
+	in := NewInterner()
+	f := NewFlight(16, in)
+	id := in.Intern("account")
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Record(StageHappening, 1, 2, 3, id, id, id, 0, 1, true, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	if got := in.Intern(""); got != 0 {
+		t.Fatalf("Intern(\"\") = %d, want 0", got)
+	}
+	a := in.Intern("a")
+	b := in.Intern("b")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids not distinct: a=%d b=%d", a, b)
+	}
+	if in.Intern("a") != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if in.Name(a) != "a" || in.Name(b) != "b" || in.Name(0) != "" {
+		t.Fatal("Name round-trip failed")
+	}
+	if in.Name(9999) != "" {
+		t.Fatal("unknown ID should resolve to empty string")
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotReconciliation hammers Observe from several
+// goroutines while snapshotting: every snapshot must satisfy
+// bucketSum <= Count (the clamp repairs the bucket-before-count update
+// order), and the final quiescent snapshot must be exact.
+func TestHistogramSnapshotReconciliation(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 4
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(1+(w*perW+i)%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := h.Snapshot()
+		var bucketSum uint64
+		for _, b := range s.Buckets {
+			bucketSum += b.Count
+		}
+		if bucketSum > s.Count {
+			t.Fatalf("snapshot torn: bucket sum %d > count %d", bucketSum, s.Count)
+		}
+		select {
+		case <-done:
+			final := h.Snapshot()
+			var sum uint64
+			for _, b := range final.Buckets {
+				sum += b.Count
+			}
+			if final.Count != workers*perW || sum != final.Count {
+				t.Fatalf("quiescent snapshot inexact: count=%d bucketSum=%d want %d",
+					final.Count, sum, workers*perW)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 90 observations near 1µs, 10 near 1ms: p50 lands in the µs
+	// bucket, p99 in the ms bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	p99 := s.Quantile(0.99)
+	if p50 >= p99 {
+		t.Fatalf("p50 %dns >= p99 %dns", p50, p99)
+	}
+	if p50 < 512 || p50 >= 1<<12 {
+		t.Fatalf("p50 = %dns, want in the ~1µs bucket range", p50)
+	}
+	if p99 < 1<<19 {
+		t.Fatalf("p99 = %dns, want in the ~1ms bucket range", p99)
+	}
+	// Quantiles clamp to the observed maximum, and out-of-range q is
+	// tolerated.
+	if got := s.Quantile(1); got > s.MaxNs {
+		t.Fatalf("p100 = %d exceeds max %d", got, s.MaxNs)
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Fatalf("q>1 not clamped: %d vs %d", got, s.Quantile(1))
+	}
+	if got := s.Quantile(-1); got == 0 {
+		t.Fatalf("q<=0 should clamp to the smallest rank, got 0")
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -61,22 +62,60 @@ type HistogramSnapshot struct {
 
 // Snapshot captures the histogram. Counters are read one by one, so a
 // snapshot taken while observations are in flight may be off by the
-// in-flight observations; it is exact when quiescent.
+// in-flight observations; it is exact when quiescent. Observe updates
+// the bucket before the total, so a racing read can see more bucketed
+// observations than Count — Snapshot reconciles by clamping Count up
+// to the bucket sum, keeping the invariant bucketSum <= Count that
+// the exposition format (and Quantile) relies on.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),
 		SumNs: h.sumNs.Load(),
 		MaxNs: h.maxNs.Load(),
 	}
-	if s.Count > 0 {
-		s.MeanNs = float64(s.SumNs) / float64(s.Count)
-	}
+	var bucketSum uint64
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
 			s.Buckets = append(s.Buckets, Bucket{UpperNs: 1<<uint(i) - 1, Count: n})
+			bucketSum += n
 		}
 	}
+	if bucketSum > s.Count {
+		s.Count = bucketSum
+	}
+	if s.Count > 0 {
+		s.MeanNs = float64(s.SumNs) / float64(s.Count)
+	}
 	return s
+}
+
+// Quantile returns the upper bound (in nanoseconds) of the bucket
+// holding the q-th quantile observation, clamped to the observed
+// maximum. q outside (0, 1] is clamped; an empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			if s.MaxNs > 0 && b.UpperNs > s.MaxNs {
+				return s.MaxNs
+			}
+			return b.UpperNs
+		}
+	}
+	return s.MaxNs
 }
 
 // TriggerMetrics are the per-(class, trigger) counters. All update

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders the registry's metrics in the Prometheus text
+// exposition format (version 0.0.4, the OpenMetrics-compatible subset
+// every scraper accepts), hand-rolled so the engine's /debug/metrics
+// endpoint needs no dependency. One metric family per counter, with
+// per-trigger series labelled {class, trigger} and the action-latency
+// histograms exposed as cumulative le-bucketed series in seconds.
+
+// PromMetric is one extra single-valued series appended after the
+// registry families — the engine uses it for its global Stats
+// counters and gauges.
+type PromMetric struct {
+	Name  string
+	Help  string
+	Type  string // "counter" or "gauge"
+	Value float64
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func promHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// WriteProm renders the snapshot plus any extra metrics to w in
+// Prometheus text exposition format.
+func WriteProm(w io.Writer, snap Snapshot, extra []PromMetric) {
+	trigLabels := func(t TriggerSnapshot) string {
+		return fmt.Sprintf(`class="%s",trigger="%s"`, promEscape(t.Class), promEscape(t.Trigger))
+	}
+
+	type trigCounter struct {
+		name, help string
+		value      func(TriggerSnapshot) uint64
+	}
+	families := []trigCounter{
+		{"ode_trigger_firings_total", "Trigger actions executed.",
+			func(t TriggerSnapshot) uint64 { return t.Firings }},
+		{"ode_trigger_steps_total", "Trigger-automaton transitions taken.",
+			func(t TriggerSnapshot) uint64 { return t.Steps }},
+		{"ode_trigger_mask_evals_total", "Logical-event mask evaluations.",
+			func(t TriggerSnapshot) uint64 { return t.MaskEvals }},
+		{"ode_trigger_mask_false_total", "Mask evaluations that came out false.",
+			func(t TriggerSnapshot) uint64 { return t.MaskFalse }},
+		{"ode_trigger_action_errors_total", "Trigger actions that returned an error.",
+			func(t TriggerSnapshot) uint64 { return t.ActionErrors }},
+	}
+	for _, f := range families {
+		promHeader(w, f.name, f.help, "counter")
+		for _, t := range snap.Triggers {
+			fmt.Fprintf(w, "%s{%s} %d\n", f.name, trigLabels(t), f.value(t))
+		}
+	}
+
+	promHeader(w, "ode_class_happenings_total", "Happenings posted to objects of the class.", "counter")
+	for _, c := range snap.Classes {
+		fmt.Fprintf(w, "ode_class_happenings_total{class=\"%s\"} %d\n", promEscape(c.Class), c.Happenings)
+	}
+
+	const hist = "ode_trigger_action_latency_seconds"
+	promHeader(w, hist, "Trigger action wall-clock latency.", "histogram")
+	for _, t := range snap.Triggers {
+		labels := trigLabels(t)
+		var cum uint64
+		for _, b := range t.Latency.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n",
+				hist, labels, float64(b.UpperNs)/1e9, cum)
+		}
+		// Snapshot clamps Count to at least the bucket sum, so +Inf is
+		// never below the last cumulative bucket.
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", hist, labels, t.Latency.Count)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", hist, labels, float64(t.Latency.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", hist, labels, t.Latency.Count)
+	}
+
+	for _, m := range extra {
+		typ := m.Type
+		if typ == "" {
+			typ = "counter"
+		}
+		promHeader(w, m.Name, m.Help, typ)
+		fmt.Fprintf(w, "%s %g\n", m.Name, m.Value)
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseProm is a strict miniature parser for the Prometheus text
+// exposition format: every line must be a comment (# HELP / # TYPE) or
+// a sample `name{labels} value`, HELP/TYPE must precede their family's
+// samples, and label values must be properly quoted. It returns the
+// samples keyed by full series (name + sorted raw label string).
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: bad metric type %q", ln+1, parts[3])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, series)
+			}
+			name = series[:i]
+			for _, lbl := range splitLabels(series[i+1 : len(series)-1]) {
+				eq := strings.IndexByte(lbl, '=')
+				if eq < 0 || len(lbl) < eq+3 || lbl[eq+1] != '"' || lbl[len(lbl)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, lbl)
+				}
+			}
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE", ln+1, name)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = val
+	}
+	return samples
+}
+
+// splitLabels splits a raw label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestWritePromExposition(t *testing.T) {
+	reg := NewRegistry()
+	tm := reg.Trigger("account", "Big")
+	cm := reg.Class("account")
+	cm.Happening()
+	cm.Happening()
+	tm.Step()
+	tm.MaskEval(true)
+	tm.MaskEval(false)
+	tm.Fire(3*time.Millisecond, nil)
+	tm.Fire(40*time.Microsecond, fmt.Errorf("boom"))
+
+	var buf bytes.Buffer
+	WriteProm(&buf, reg.Snapshot(), []PromMetric{
+		{Name: "ode_engine_tx_begun_total", Help: "Transactions begun.", Value: 5},
+		{Name: "ode_engine_active_triggers", Help: "Active instances.", Type: "gauge", Value: 2},
+	})
+	text := buf.String()
+	samples := parseProm(t, text)
+
+	labels := `{class="account",trigger="Big"}`
+	checks := map[string]float64{
+		"ode_trigger_firings_total" + labels:                                                 2,
+		"ode_trigger_steps_total" + labels:                                                   1,
+		"ode_trigger_mask_evals_total" + labels:                                              2,
+		"ode_trigger_mask_false_total" + labels:                                              1,
+		"ode_trigger_action_errors_total" + labels:                                           1,
+		`ode_class_happenings_total{class="account"}`:                                        2,
+		`ode_trigger_action_latency_seconds_count` + labels:                                  2,
+		`ode_trigger_action_latency_seconds_bucket{class="account",trigger="Big",le="+Inf"}`: 2,
+		"ode_engine_tx_begun_total":                                                          5,
+		"ode_engine_active_triggers":                                                         2,
+	}
+	for series, want := range checks {
+		got, ok := samples[series]
+		if !ok {
+			t.Fatalf("missing series %s in:\n%s", series, text)
+		}
+		if got != want {
+			t.Fatalf("%s = %g, want %g", series, got, want)
+		}
+	}
+
+	// Histogram buckets must be cumulative (monotone non-decreasing in
+	// le order) and end at the +Inf count.
+	var prev float64
+	var seen int
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "ode_trigger_action_latency_seconds_bucket") {
+			continue
+		}
+		seen++
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+	if seen == 0 {
+		t.Fatal("no histogram bucket lines emitted")
+	}
+	if prev != 2 {
+		t.Fatalf("final (+Inf) bucket = %g, want 2", prev)
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Trigger(`we"ird`, "line\nbreak\\x").Step()
+	var buf bytes.Buffer
+	WriteProm(&buf, reg.Snapshot(), nil)
+	text := buf.String()
+	if !strings.Contains(text, `class="we\"ird"`) {
+		t.Fatalf("quote not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `trigger="line\nbreak\\x"`) {
+		t.Fatalf("newline/backslash not escaped:\n%s", text)
+	}
+	parseProm(t, text)
+}

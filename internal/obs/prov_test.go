@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+func TestProvRingAppendStepsReset(t *testing.T) {
+	r := NewProvRing(4)
+	for i := 1; i <= 3; i++ {
+		r.Append(ProvStep{From: i - 1, To: i, Sym: i})
+	}
+	steps := r.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("Steps = %d entries, want 3", len(steps))
+	}
+	for i, s := range steps {
+		if s.Seq != uint64(i+1) || s.To != i+1 {
+			t.Fatalf("step %d = %+v", i, s)
+		}
+	}
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", r.Total())
+	}
+
+	r.Reset()
+	if r.Total() != 0 || len(r.Steps()) != 0 {
+		t.Fatalf("ring not empty after Reset: total=%d steps=%v", r.Total(), r.Steps())
+	}
+	r.Append(ProvStep{To: 9})
+	if s := r.Steps(); len(s) != 1 || s[0].Seq != 1 || s[0].To != 9 {
+		t.Fatalf("post-reset steps = %+v", s)
+	}
+}
+
+func TestProvRingWrapKeepsMostRecent(t *testing.T) {
+	r := NewProvRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Append(ProvStep{Sym: i})
+	}
+	steps := r.Steps()
+	if len(steps) != 4 {
+		t.Fatalf("retained %d steps, want 4", len(steps))
+	}
+	for i, s := range steps {
+		if want := 7 + i; s.Sym != want || s.Seq != uint64(want) {
+			t.Fatalf("step %d = %+v, want sym/seq %d", i, s, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+}
+
+func TestProvRingDefaultDepth(t *testing.T) {
+	r := NewProvRing(0)
+	if len(r.buf) != DefaultProvDepth {
+		t.Fatalf("default depth = %d, want %d", len(r.buf), DefaultProvDepth)
+	}
+}
+
+func TestProvRingAppendDoesNotAllocate(t *testing.T) {
+	r := NewProvRing(8)
+	step := ProvStep{TxID: 1, KindID: 2, Bits: 3, Sym: 4, From: 0, To: 1}
+	allocs := testing.AllocsPerRun(200, func() { r.Append(step) })
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"ode/internal/engine"
 	"ode/internal/fault"
+	"ode/internal/obs"
 	"ode/internal/store"
 	"ode/internal/txn"
 	"ode/internal/value"
@@ -38,11 +39,16 @@ type Failure struct {
 	Step   int
 	Script *Script
 	Err    error
+	// Flight is the engine's flight-recorder dump at the moment of
+	// failure — the last pipeline events leading into the divergence.
+	// When the failing step simulated a crash it is the pre-crash
+	// capture, taken before the incarnation was torn down.
+	Flight []obs.FlightEvent
 }
 
 func (f *Failure) Error() string {
-	return fmt.Sprintf("sim: seed %d failed at step %d: %v\nreproduce with:\n%s",
-		f.Seed, f.Step, f.Err, f.Script.String())
+	return fmt.Sprintf("sim: seed %d failed at step %d: %v (%d flight-recorder events attached)\nreproduce with:\n%s",
+		f.Seed, f.Step, f.Err, len(f.Flight), f.Script.String())
 }
 
 func (f *Failure) Unwrap() error { return f.Err }
@@ -96,6 +102,10 @@ type exec struct {
 
 	model   []*objState
 	firings []string
+	// flight, when non-nil, is a flight-recorder capture saved just
+	// before a crashed incarnation was closed; failFlight prefers it
+	// over the live engine's (post-recovery) recorder.
+	flight []obs.FlightEvent
 
 	stats             engine.Stats // summed across engine incarnations
 	timerErrSeen      int
@@ -122,7 +132,7 @@ func (x *exec) setSlot(i int, v *objState) {
 // Execute runs a script to completion, checking the model, the §4
 // oracle and recovery atomicity along the way. The returned error, if
 // any, is a *Failure embedding the reproduction script.
-func Execute(sc *Script, dir string) (*Result, error) {
+func Execute(sc *Script, dir string) (res *Result, err error) {
 	if sc.Persistent && dir == "" {
 		return nil, errors.New("sim: persistent script needs a directory")
 	}
@@ -131,23 +141,34 @@ func Execute(sc *Script, dir string) (*Result, error) {
 		return nil, fmt.Errorf("sim: open: %w", err)
 	}
 	defer func() { x.eng.Close() }()
+	// A panic anywhere in the run becomes a Failure carrying the flight
+	// recorder: the crash dump that makes the aftermath debuggable.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &Failure{Seed: sc.Seed, Step: -1, Script: sc,
+				Err: fmt.Errorf("panic: %v", r), Flight: x.failFlight()}
+		}
+	}()
 
 	for i, st := range sc.Steps {
+		x.flight = nil
 		if err := x.runStep(st); err != nil {
-			return nil, &Failure{Seed: sc.Seed, Step: i, Script: sc, Err: err}
+			return nil, &Failure{Seed: sc.Seed, Step: i, Script: sc, Err: err, Flight: x.failFlight()}
 		}
 	}
 	final := len(sc.Steps)
+	x.flight = nil
 	if err := x.stateErr(nil, false); err != nil {
-		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err}
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
 	if err := x.eng.VerifyOracle(); err != nil {
-		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err}
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
 	x.collectStats()
 	x.stats.FaultsInjected = x.reg.Injected()
 
-	res := &Result{
+	res = &Result{
 		Seed:              sc.Seed,
 		Firings:           x.firings,
 		Stats:             x.stats,
@@ -366,6 +387,10 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error {
 	now := x.eng.Clock().Now()
 	x.collectStats()
+	// The doomed incarnation's recorder dies with it; save the capture
+	// so a failure diagnosed after recovery still shows the pipeline
+	// events leading into the crash.
+	x.flight = x.eng.FlightEvents(0)
 	x.eng.Close()
 	x.reg.Disarm()
 	x.crashes++
@@ -493,6 +518,21 @@ func (x *exec) collectStats() {
 	x.stats.TimerPosts += s.TimerPosts
 	x.stats.TcompleteRounds += s.TcompleteRounds
 	x.stats.ShadowChecks += s.ShadowChecks
+	x.stats.FlightEvents += s.FlightEvents
+	x.stats.ProvenanceSteps += s.ProvenanceSteps
+}
+
+// failFlight is the flight-recorder dump attached to a Failure: the
+// pre-crash capture when the failing step crashed an incarnation,
+// otherwise the live engine's recent events.
+func (x *exec) failFlight() []obs.FlightEvent {
+	if x.flight != nil {
+		return x.flight
+	}
+	if x.eng == nil {
+		return nil
+	}
+	return x.eng.FlightEvents(0)
 }
 
 // fingerprint digests everything a deterministic run pins down.

@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"ode/internal/fault"
 )
@@ -302,5 +303,44 @@ func TestTortureSmoke(t *testing.T) {
 	}
 	if sum.Iters != 5 || sum.Failures != 0 {
 		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+// TestSimFlightDump: every run counts its flight-recorder events (at
+// least one per happening, across crash incarnations), and a Failure
+// built mid-run carries the recorder's recent events — the pre-crash
+// capture when one exists, the live engine's otherwise.
+func TestSimFlightDump(t *testing.T) {
+	cfg := Defaults(7)
+	cfg.Persistent = true
+	cfg.Faults = true
+	cfg.Steps = 30
+	sc := Generate(cfg)
+	res, err := ExecuteTemp(sc, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FlightEvents < res.Stats.Happenings || res.Stats.FlightEvents == 0 {
+		t.Fatalf("flight events %d < happenings %d", res.Stats.FlightEvents, res.Stats.Happenings)
+	}
+
+	x := &exec{sc: sc, dir: t.TempDir(), reg: fault.New()}
+	if err := x.open(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	defer x.eng.Close()
+	for i, st := range sc.Steps {
+		if err := x.runStep(st); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	live := x.failFlight()
+	if len(live) == 0 {
+		t.Fatal("failure dump empty after a worked script")
+	}
+	// A saved pre-crash capture must win over the live recorder.
+	x.flight = live[:1]
+	if got := x.failFlight(); len(got) != 1 {
+		t.Fatalf("pre-crash capture not preferred: got %d events", len(got))
 	}
 }

@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/obs"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E15Row is one open-loop measurement: transactions arrive on a fixed
+// schedule at TargetRate regardless of how fast the engine drains
+// them, and each latency is measured from the transaction's *intended*
+// start — the schedule slot — not from when a worker got around to
+// issuing it. A closed loop (issue, wait, issue) silently pauses the
+// arrival process whenever the system stalls, so the stall's queueing
+// delay never appears in the numbers (coordinated omission); anchoring
+// at intended start makes stalls show up as the tail latency a real
+// open-world client would see.
+type E15Row struct {
+	TargetRate float64 `json:"target_rate_per_sec"`
+	Workers    int     `json:"workers"`
+	Txs        int     `json:"txs"`
+	// AchievedRate is completions over the wall-clock window; it sags
+	// below TargetRate when the engine cannot keep up.
+	AchievedRate float64 `json:"achieved_rate_per_sec"`
+	Firings      uint64  `json:"firings"`
+	// Latency quantiles (intended-start to completion), from the same
+	// power-of-two histogram the per-trigger metrics use.
+	P50Ns  uint64  `json:"p50_ns"`
+	P90Ns  uint64  `json:"p90_ns"`
+	P99Ns  uint64  `json:"p99_ns"`
+	P999Ns uint64  `json:"p999_ns"`
+	MaxNs  uint64  `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+	// Late counts transactions that started behind schedule (their slot
+	// had already passed when a worker picked them up) — the open-loop
+	// backlog signal.
+	Late int `json:"late"`
+}
+
+// RunE15 drives the E11 banking mix open-loop at each target arrival
+// rate: a fixed schedule of txs transactions is computed up front
+// (slot i at start + i/rate), workers pull the next unclaimed slot,
+// sleep until its intended time, run the transaction, and observe
+// completion − intended start. Workers are sized generously relative
+// to the rate so the arrival process never blocks on a busy worker —
+// the open-loop property the measurement depends on.
+func RunE15(txs, objects, workers int, seed int64, rates []float64) ([]E15Row, error) {
+	rows := make([]E15Row, 0, len(rates))
+	for _, rate := range rates {
+		r, err := runE15Once(txs, objects, workers, seed, rate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func runE15Once(txs, objects, workers int, seed int64, rate float64) (E15Row, error) {
+	if rate <= 0 {
+		return E15Row{}, fmt.Errorf("workload: E15 rate must be positive, got %g", rate)
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E15Row{}, err
+	}
+	defer eng.Close()
+
+	oids, err := setupBanking(eng, objects)
+	if err != nil {
+		return E15Row{}, err
+	}
+
+	// Warm-up: lazy allocations and first-touch faults happen before
+	// the measured window.
+	err = eng.Transact(func(tx *engine.Tx) error {
+		for j := 0; j < 64; j++ {
+			if _, err := tx.Call(oids[j%len(oids)], "deposit", value.Int(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E15Row{}, err
+	}
+
+	// The fixed arrival schedule: slot i fires at start + i*interval.
+	// It exists before any work runs, so a slow transaction delays its
+	// successors' *execution*, never their intended times.
+	interval := time.Duration(float64(time.Second) / rate)
+	var hist obs.Histogram
+	var next atomic.Int64
+	var late atomic.Int64
+	errs := make([]error, workers)
+
+	start := time.Now().Add(5 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(txs) {
+					return
+				}
+				intended := start.Add(time.Duration(i) * interval)
+				if d := time.Until(intended); d > 0 {
+					time.Sleep(d)
+				} else {
+					late.Add(1)
+				}
+				// Unlike E11's disjoint partitions, open-loop workers share
+				// the whole object pool; touching objects in ascending
+				// order keeps lock acquisition globally consistent so
+				// concurrent transactions cannot deadlock.
+				picks := [4]int{rng.Intn(len(oids)), rng.Intn(len(oids)), rng.Intn(len(oids)), rng.Intn(len(oids))}
+				sort.Ints(picks[:])
+				err := eng.Transact(func(tx *engine.Tx) error {
+					for _, p := range picks {
+						amount := value.Int(int64(rng.Intn(300)))
+						method := "deposit"
+						if rng.Intn(2) == 0 {
+							method = "withdraw"
+						}
+						if _, err := tx.Call(oids[p], method, amount); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// Coordinated-omission-safe: latency anchors at the
+				// schedule slot, so time spent queued behind a stall is
+				// charged to this transaction.
+				hist.Observe(time.Since(intended))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return E15Row{}, err
+		}
+	}
+
+	stats := eng.Stats()
+	snap := hist.Snapshot()
+	if snap.Count != uint64(txs) {
+		return E15Row{}, fmt.Errorf("workload: E15 observed %d latencies, want %d", snap.Count, txs)
+	}
+	return E15Row{
+		TargetRate:   rate,
+		Workers:      workers,
+		Txs:          txs,
+		AchievedRate: float64(txs) / elapsed.Seconds(),
+		Firings:      stats.Firings,
+		P50Ns:        snap.Quantile(0.50),
+		P90Ns:        snap.Quantile(0.90),
+		P99Ns:        snap.Quantile(0.99),
+		P999Ns:       snap.Quantile(0.999),
+		MaxNs:        snap.MaxNs,
+		MeanNs:       snap.MeanNs,
+		Late:         int(late.Load()),
+	}, nil
+}
+
+// bankingClass is the shared E11/E15 benchmark class: two update
+// methods and three triggers (a masked one, a composite, an unmasked
+// perpetual) with no-op actions.
+func bankingClass() (*schema.Class, engine.ClassImpl) {
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{
+			{Name: "Large", Perpetual: true, Event: "after withdraw(a) && a > 100"},
+			{Name: "Pair", Perpetual: true, Event: "prior(after deposit, after withdraw)"},
+			{Name: "AnyDep", Perpetual: true, Event: "after deposit"},
+		},
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("a").AsInt()))
+			},
+			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{
+			"Large":  func(*engine.ActionCtx) error { return nil },
+			"Pair":   func(*engine.ActionCtx) error { return nil },
+			"AnyDep": func(*engine.ActionCtx) error { return nil },
+		},
+	}
+	return cls, impl
+}
+
+// setupBanking registers the E11 banking class and creates objects
+// accounts with every trigger active.
+func setupBanking(eng *engine.Engine, objects int) ([]store.OID, error) {
+	cls, impl := bankingClass()
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return nil, err
+	}
+	oids := make([]store.OID, objects)
+	err := eng.Transact(func(tx *engine.Tx) error {
+		for i := range oids {
+			oid, err := tx.NewObject("account", nil)
+			if err != nil {
+				return err
+			}
+			oids[i] = oid
+			for _, tr := range cls.Triggers {
+				if err := tx.Activate(oid, tr.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return oids, nil
+}

@@ -1,0 +1,47 @@
+package workload
+
+import "testing"
+
+// TestRunE15Smoke runs a short open-loop measurement and checks the
+// row invariants: every scheduled transaction is observed, quantiles
+// are monotone, and the firing count is plausible for the mix.
+func TestRunE15Smoke(t *testing.T) {
+	rows, err := RunE15(200, 8, 4, 92, []float64{4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.TargetRate != 4000 || r.Txs != 200 || r.Workers != 4 {
+		t.Fatalf("row echoes wrong config: %+v", r)
+	}
+	if r.AchievedRate <= 0 {
+		t.Fatalf("achieved rate %g", r.AchievedRate)
+	}
+	if r.P50Ns == 0 || r.P50Ns > r.P90Ns || r.P90Ns > r.P99Ns || r.P99Ns > r.P999Ns {
+		t.Fatalf("quantiles not monotone: %+v", r)
+	}
+	if r.P999Ns > r.MaxNs {
+		t.Fatalf("p99.9 %d exceeds max %d", r.P999Ns, r.MaxNs)
+	}
+	if r.MeanNs <= 0 {
+		t.Fatalf("mean %g", r.MeanNs)
+	}
+	// 200 txs × 4 calls, half deposits: AnyDep alone fires ~400 times.
+	if r.Firings == 0 {
+		t.Fatal("workload fired nothing")
+	}
+	if r.Late < 0 || r.Late > r.Txs {
+		t.Fatalf("late count %d out of range", r.Late)
+	}
+}
+
+// TestRunE15RejectsBadRate: a non-positive arrival rate is a usage
+// error, not a hang.
+func TestRunE15RejectsBadRate(t *testing.T) {
+	if _, err := RunE15(10, 2, 2, 1, []float64{0}); err == nil {
+		t.Fatal("rate 0 should be rejected")
+	}
+}

@@ -9,8 +9,6 @@ import (
 	"time"
 
 	"ode/internal/engine"
-	"ode/internal/schema"
-	"ode/internal/store"
 	"ode/internal/value"
 )
 
@@ -67,56 +65,7 @@ func runE11Once(txsPerG, objectsPerG int, seed int64, persistent bool, g int) (E
 	}
 	defer eng.Close()
 
-	cls := &schema.Class{
-		Name:   "account",
-		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
-		Methods: []schema.Method{
-			{Name: "deposit", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
-			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
-		},
-		Triggers: []schema.Trigger{
-			{Name: "Large", Perpetual: true, Event: "after withdraw(a) && a > 100"},
-			{Name: "Pair", Perpetual: true, Event: "prior(after deposit, after withdraw)"},
-			{Name: "AnyDep", Perpetual: true, Event: "after deposit"},
-		},
-	}
-	impl := engine.ClassImpl{
-		Methods: map[string]engine.MethodImpl{
-			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
-				b, _ := ctx.Get("balance")
-				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("a").AsInt()))
-			},
-			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
-				b, _ := ctx.Get("balance")
-				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
-			},
-		},
-		Actions: map[string]engine.ActionFunc{
-			"Large":  func(*engine.ActionCtx) error { return nil },
-			"Pair":   func(*engine.ActionCtx) error { return nil },
-			"AnyDep": func(*engine.ActionCtx) error { return nil },
-		},
-	}
-	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
-		return E11Row{}, err
-	}
-
-	oids := make([]store.OID, g*objectsPerG)
-	err = eng.Transact(func(tx *engine.Tx) error {
-		for i := range oids {
-			oid, err := tx.NewObject("account", nil)
-			if err != nil {
-				return err
-			}
-			oids[i] = oid
-			for _, tr := range cls.Triggers {
-				if err := tx.Activate(oid, tr.Name); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	})
+	oids, err := setupBanking(eng, g*objectsPerG)
 	if err != nil {
 		return E11Row{}, err
 	}

@@ -90,6 +90,15 @@ type (
 	// per-class metrics (firing counts, mask evaluations, action-latency
 	// histograms). It marshals to JSON.
 	MetricsSnapshot = obs.Snapshot
+	// Explanation is a trigger instance's firing provenance: the
+	// recorded happening chain that drove its automaton to the current
+	// state (see Database.Explain).
+	Explanation = engine.Explanation
+	// ProvStep is one recorded provenance step (happening kind, mask
+	// bits, automaton from→to transition).
+	ProvStep = obs.ProvStep
+	// FlightEvent is one entry of the always-on flight recorder.
+	FlightEvent = obs.FlightEvent
 )
 
 // Value kinds.
@@ -189,6 +198,15 @@ type Options struct {
 	// registration — the baseline the compiled hot path is benchmarked
 	// and cross-checked against. Intended for tests and benchmarks.
 	InterpretedMasks bool
+	// FlightBuffer sizes the always-on flight recorder (rounded up to a
+	// power of two; 0 = the default capacity). The recorder cannot be
+	// disabled — it is the post-incident record of recent pipeline
+	// events and costs a handful of atomic stores per happening.
+	FlightBuffer int
+	// ProvenanceDepth sets how many automaton transitions are retained
+	// per (object, trigger) instance for Explain (0 = the default
+	// depth); a negative value disables provenance capture.
+	ProvenanceDepth int
 }
 
 // Database is an active object database.
@@ -208,6 +226,8 @@ func Open(opts Options) (*Database, error) {
 		DebugAddr:          opts.DebugAddr,
 		DisableGroupCommit: opts.DisableGroupCommit,
 		InterpretedMasks:   opts.InterpretedMasks,
+		FlightBuffer:       opts.FlightBuffer,
+		ProvenanceDepth:    opts.ProvenanceDepth,
 	})
 	if err != nil {
 		return nil, err
@@ -294,9 +314,23 @@ func (db *Database) TraceEvents(last int) []TraceEvent { return db.eng.TraceEven
 // Metrics are always collected; they do not require tracing.
 func (db *Database) Metrics() MetricsSnapshot { return db.eng.Metrics().Snapshot() }
 
+// Explain returns the firing provenance of a trigger instance: the
+// recorded chain of happenings (with mask bits and automaton from→to
+// transitions) that drove it to its current state, ending at its most
+// recent firing if it has fired. It answers "why did this trigger
+// fire?" from the live system, no tracing required.
+func (db *Database) Explain(trigger string, oid OID) (*Explanation, error) {
+	return db.eng.Explain(trigger, oid)
+}
+
+// FlightEvents returns the most recent events from the always-on
+// flight recorder in chronological order (last <= 0 means all
+// retained).
+func (db *Database) FlightEvents(last int) []FlightEvent { return db.eng.FlightEvents(last) }
+
 // DebugHandler returns the live introspection HTTP handler serving
-// /debug/stats, /debug/triggers, /debug/trace?last=N, /debug/vars and
-// /debug/pprof/.
+// /debug/stats, /debug/triggers, /debug/trace?last=N, /debug/why,
+// /debug/metrics, /debug/flight, /debug/vars and /debug/pprof/.
 func (db *Database) DebugHandler() http.Handler { return db.eng.DebugHandler() }
 
 // ServeDebug starts an HTTP listener serving DebugHandler on addr
