@@ -33,11 +33,12 @@ sim:
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz
 
-# Engine benchmarks plus the E15 open-loop latency numbers with the
-# E12 hot-path rerun riding along (committed as BENCH_PR6.json;
-# earlier baselines are regenerated with
+# Engine benchmarks plus the E16 batch-posting numbers with the E12
+# hot-path rerun riding along (committed as BENCH_PR7.json; earlier
+# baselines are regenerated with
 # `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`,
-# `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`).
+# `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`,
+# `go run ./cmd/odebench -exp E15 -out BENCH_PR6.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E15 -out BENCH_PR6.json
+	$(GO) run ./cmd/odebench -exp E16 -out BENCH_PR7.json

@@ -32,15 +32,20 @@
 //	    transaction's intended start (coordinated-omission-safe), with
 //	    p50/p90/p99/p99.9; -out also reruns E12 and writes both as JSON
 //	    (e.g. BENCH_PR6.json)
+//	E16 batch posting: Tx.PostBatch at batch sizes 16/64/256/1024 vs
+//	    the single-post E12 volatile baseline — ns and amortized allocs
+//	    per happening, happenings/sec, speedup; -out also reruns E12
+//	    and writes both as JSON (e.g. BENCH_PR7.json)
 //
 // Usage:
 //
-//	odebench                               # run everything (E1..E13, E15)
+//	odebench                               # run everything (E1..E13, E15, E16)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
 //	odebench -exp E13 -out BENCH_PR4.json  # compact-automata JSON
 //	odebench -exp E15 -out BENCH_PR6.json  # open-loop latency JSON
+//	odebench -exp E16 -out BENCH_PR7.json  # batch-posting JSON
 //	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
 //	odebench -sim -iters 1000 -out sim.json
 //
@@ -66,7 +71,7 @@ func main() { os.Exit(run()) }
 // run carries the real main body; returning instead of os.Exit lets the
 // profiling defers flush before the process dies.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13, E15; E14 is -sim); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13, E15, E16; E14 is -sim); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
 	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
@@ -127,6 +132,7 @@ func run() int {
 		{"E12", func() error { return e12(*seed, *out) }},
 		{"E13", func() error { return e13(*seed, *out) }},
 		{"E15", func() error { return e15(*seed, *out) }},
+		{"E16", func() error { return e16(*out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -499,6 +505,55 @@ func e15(seed int64, out string) error {
 		OpenLoop   []workload.E15Row `json:"open_loop"`
 		HotPath    []workload.E12Row `json:"hot_path"`
 	}{"E15", gomaxprocs, numCPU, rows, hot}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+func e16(out string) error {
+	rows, err := workload.RunE16(131072, []int{16, 64, 256, 1024})
+	if err != nil {
+		return err
+	}
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Scenario,
+			r.Mode,
+			fmt.Sprintf("%d", r.BatchSize),
+			fmt.Sprintf("%.0f", r.NsPerH),
+			fmt.Sprintf("%.2f", r.AllocsPerH),
+			fmt.Sprintf("%.0f", r.PerSec),
+			fmt.Sprintf("%.2fx", r.SpeedupSingle),
+		})
+	}
+	table("E16 — batch posting: Tx.PostBatch batch-size sweep vs the single-post volatile baseline",
+		[]string{"scenario", "mode", "batch", "ns/happening", "allocs/happening", "happenings/sec", "speedup"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	// The single-post guarantee rides along, as in E13/E15: rerun E12
+	// so the JSON shows the Tx.Call hot path did not regress while the
+	// batch path was added.
+	hot, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		Batch      []workload.E16Row `json:"batch"`
+		HotPath    []workload.E12Row `json:"hot_path"`
+	}{"E16", gomaxprocs, numCPU, rows, hot}, "", "  ")
 	if err != nil {
 		return err
 	}

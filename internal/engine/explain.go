@@ -98,9 +98,18 @@ type Explanation struct {
 // start to acceptance; for an unfired one they are the chain leading
 // to the current state.
 func (e *Engine) Explain(trigger string, oid store.OID) (*Explanation, error) {
-	rec, err := e.st.Get(oid)
-	if err != nil {
-		return nil, err
+	// Prefer the store's lock-free epoch view: Explain is typically
+	// called from the /debug endpoint's goroutine, and the committed
+	// version is a stable clone no in-flight transaction mutates. An
+	// object that has never committed (created by a still-open
+	// transaction) falls back to the live record.
+	rec, ok := e.st.GetCommitted(oid)
+	if !ok {
+		var err error
+		rec, err = e.st.Get(oid)
+		if err != nil {
+			return nil, err
+		}
 	}
 	c, err := e.classOf(rec)
 	if err != nil {

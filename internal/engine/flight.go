@@ -29,6 +29,13 @@ func (e *Engine) flightHappening(atNs int64, txid uint64, oid store.OID, classID
 	e.flight.Record(obs.StageHappening, atNs, txid, uint64(oid), classID, 0, kindID, 0, 0, true, 0)
 }
 
+// flightBatch records one PostBatch happening run: count happenings of
+// one kind, summarized as a single StageBatch event (count rides in the
+// from slot).
+func (e *Engine) flightBatch(atNs int64, txid uint64, classID, kindID uint16, count uint64) {
+	e.flight.Record(obs.StageBatch, atNs, txid, 0, classID, 0, kindID, int(count), 0, true, 0)
+}
+
 // flightFire records one trigger firing with its action latency.
 func (e *Engine) flightFire(txid uint64, oid store.OID, classID, trigID uint16, ok bool, durNs int64) {
 	e.flight.Record(obs.StageFire, e.clk.Now().UnixNano(), txid, uint64(oid), classID, trigID, 0, 0, 0, ok, durNs)

@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"fmt"
+
+	"ode/internal/event"
+	"ode/internal/mask"
+	"ode/internal/obs"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// Batch posting: the one-at-a-time hot path (tx.Call → step) already
+// avoids allocation, but it still pays per-happening costs that only
+// exist because each call arrives alone — a map-backed argument bind,
+// an atomic metric update per step and per mask evaluation, a
+// per-call MethodCtx allocation, and repeated method/kind resolution.
+// PostBatch amortizes all of them: a Batch is a columnar run of method
+// calls against objects of one class, and posting it resolves each
+// distinct method once into a cached plan (bound map, dense arena row,
+// dispatch slices, kind ids), then streams the entries through a tight
+// loop that accumulates metrics in plain integers and flushes them
+// once per batch.
+//
+// Semantics are exactly those of calling tx.Call for each entry in
+// order and discarding the results: identical happenings, firing
+// order, provenance, traces, and error positions; execution stops at
+// the first error. The equivalence is tested against randomized
+// workloads run both ways under the §4 shadow oracle.
+
+// Batch is a columnar buffer of method calls against objects of one
+// class. Build it with NewBatch and Call, post it with Tx.PostBatch or
+// Database.PostBatch, and Reset it to reuse the buffer (and its cached
+// posting plan) for the next batch. A Batch is not safe for concurrent
+// use, and must not be posted again from inside a method or trigger
+// action that a posting of the same Batch is executing.
+type Batch struct {
+	class  string
+	oids   []store.OID
+	meth   []uint16 // index into methods, per entry
+	argOff []uint32 // prefix offsets into args; len(oids)+1 entries
+	args   []value.Value
+	// methods interns each distinct method name once; meth references
+	// it so the per-entry footprint stays fixed-width.
+	methods []string
+
+	// Cached posting plan, rebuilt lazily when the batch first meets an
+	// engine/class or after new methods were interned. Reset keeps it.
+	planE *Engine
+	planC *Class
+	planN int
+	plan  []batchMethod
+	arena mask.Arena
+}
+
+// NewBatch returns an empty batch for objects of the named class, with
+// room for capacity entries before the first append grows it.
+func NewBatch(class string, capacity int) *Batch {
+	return &Batch{
+		class:  class,
+		oids:   make([]store.OID, 0, capacity),
+		meth:   make([]uint16, 0, capacity),
+		argOff: append(make([]uint32, 0, capacity+1), 0),
+	}
+}
+
+// Call appends one method call to the batch.
+func (b *Batch) Call(oid store.OID, method string, args ...value.Value) {
+	mi := -1
+	for i, m := range b.methods {
+		if m == method {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 {
+		mi = len(b.methods)
+		b.methods = append(b.methods, method)
+	}
+	b.oids = append(b.oids, oid)
+	b.meth = append(b.meth, uint16(mi))
+	b.args = append(b.args, args...)
+	b.argOff = append(b.argOff, uint32(len(b.args)))
+}
+
+// Len returns the number of entries in the batch.
+func (b *Batch) Len() int { return len(b.oids) }
+
+// Reset empties the batch for reuse, keeping the interned method names
+// and the cached posting plan — a steady-state fill/post/Reset cycle
+// allocates nothing.
+func (b *Batch) Reset() {
+	b.oids = b.oids[:0]
+	b.meth = b.meth[:0]
+	b.args = b.args[:0]
+	b.argOff = b.argOff[:1]
+}
+
+// batchPhase is the posting plan for one phase (before/after) of one
+// method: the resolved kind, its dispatch slice, and per-dispatch-entry
+// metric accumulators that flush once per batch.
+type batchPhase struct {
+	kind    event.Kind
+	kindIx  int
+	kindID  uint16
+	entries []dispatchEntry // aliases the class dispatch table
+	// count is the happenings of this kind the batch posted, flushed as
+	// one StageBatch flight summary (per-event stamping would dominate
+	// the loop; see obs.StageBatch).
+	count uint64
+	// Parallel to entries; flushed to each trigger's metrics and zeroed
+	// by flushBatch.
+	steps, evals, falses []uint64
+}
+
+// batchMethod is the cached posting plan for one interned method.
+type batchMethod struct {
+	name string
+	m    *schema.Method
+	impl MethodImpl
+	// bound and dense are overwritten in place per entry (all entries
+	// of a method bind the same parameter names); dense lives in the
+	// batch arena.
+	bound         map[string]value.Value
+	dense         []value.Value
+	mctx          MethodCtx
+	before, after batchPhase
+	// err records a plan-time failure (unknown method, kind outside the
+	// alphabet), reported when the first entry using the method
+	// executes — the position tx.Call would report it from. errStep
+	// marks errors tx.Call surfaces through propagate (aborting).
+	err     error
+	errStep bool
+}
+
+// batchCounters accumulates the engine-wide statistics one PostBatch
+// call generates, flushed with one atomic add per counter.
+type batchCounters struct {
+	happenings, steps, maskEvals, provSteps uint64
+}
+
+// buildPlan resolves every interned method against the engine/class
+// pair. Plan errors are recorded per method, not returned: a batch may
+// carry entries for a bad method that execution never reaches.
+func (b *Batch) buildPlan(e *Engine, c *Class) {
+	b.planE, b.planC, b.planN = e, c, len(b.methods)
+	b.arena.Reset()
+	b.plan = make([]batchMethod, len(b.methods))
+	for i, name := range b.methods {
+		bm := &b.plan[i]
+		bm.name = name
+		m := c.Schema.Method(name)
+		if m == nil {
+			bm.err = fmt.Errorf("engine: class %s has no method %q", c.Schema.Name, name)
+			continue
+		}
+		bm.m = m
+		bm.impl = c.Impl.Methods[name]
+		if len(m.Params) > 0 {
+			bm.bound = make(map[string]value.Value, len(m.Params))
+			bm.dense = b.arena.Row(len(m.Params))
+		}
+		bm.before.kind = event.MethodKind(event.Before, name)
+		bm.after.kind = event.MethodKind(event.After, name)
+		for _, ph := range [...]*batchPhase{&bm.before, &bm.after} {
+			kix := c.Res.Alphabet.KindIndex(ph.kind)
+			if kix < 0 {
+				// Unreachable for a schema method (the alphabet carries a
+				// before/after pair per method), but keep step()'s report.
+				bm.err = fmt.Errorf("engine: class %s cannot experience %s", c.Schema.Name, ph.kind)
+				bm.errStep = true
+				break
+			}
+			ph.kindIx = kix
+			ph.kindID = c.kindIDs[kix]
+			ph.entries = c.dispatch[kix]
+			ph.steps = make([]uint64, len(ph.entries))
+			ph.evals = make([]uint64, len(ph.entries))
+			ph.falses = make([]uint64, len(ph.entries))
+		}
+	}
+}
+
+// PostBatch executes the batch's method calls in order within this
+// transaction, exactly as tx.Call would, stopping at the first error.
+// Return values of the methods are discarded. See Batch for the
+// reuse/aliasing rules; like every Tx operation it must run on the
+// transaction's goroutine.
+func (tx *Tx) PostBatch(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	c := tx.e.Class(b.class)
+	if c == nil {
+		return fmt.Errorf("engine: unregistered class %q", b.class)
+	}
+	if c.monitor != nil || tx.e.interpretMasks {
+		// Combined monitoring and interpreted masks take paths the batch
+		// plan does not compile; fall back to the definitionally
+		// equivalent loop.
+		return tx.postBatchSlow(b)
+	}
+	if b.planE != tx.e || b.planC != c || b.planN != len(b.methods) {
+		b.buildPlan(tx.e, c)
+	}
+
+	// One timestamp per batch: the virtual clock only advances between
+	// transactions, so every happening of this transaction already
+	// shares it.
+	now := tx.e.clk.Now()
+	txid := tx.tx.ID()
+	var bc batchCounters
+	defer tx.flushBatch(c, b, &bc, now.UnixNano(), txid)
+
+	for i := range b.oids {
+		bm := &b.plan[b.meth[i]]
+		if bm.err != nil {
+			if bm.errStep {
+				return tx.propagate(bm.err)
+			}
+			return bm.err
+		}
+		rec, err := tx.batchAccess(b.oids[i])
+		if err != nil {
+			return err
+		}
+		if rec.Class != b.class {
+			return fmt.Errorf("engine: batch for class %s posted to object %d of class %s",
+				b.class, b.oids[i], rec.Class)
+		}
+		args := b.args[b.argOff[i]:b.argOff[i+1]]
+		if len(args) != len(bm.m.Params) {
+			return fmt.Errorf("engine: %s.%s takes %d argument(s), got %d",
+				rec.Class, bm.name, len(bm.m.Params), len(args))
+		}
+		for j := range args {
+			cv, err := coerce(args[j], bm.m.Params[j].Kind)
+			if err != nil {
+				return fmt.Errorf("engine: %s.%s parameter %s: %w",
+					rec.Class, bm.name, bm.m.Params[j].Name, err)
+			}
+			bm.bound[bm.m.Params[j].Name] = cv
+			bm.dense[j] = cv
+		}
+
+		h := event.Happening{
+			Kind:   bm.before.kind,
+			Params: bm.bound,
+			Dense:  bm.dense,
+			TxID:   txid,
+			At:     now,
+		}
+		// A phase no trigger listens on and no observer (history book,
+		// tracer) can see reduces to its counters; skipping the full step
+		// saves real time on before-kinds, which most triggers ignore.
+		if len(bm.before.entries) == 0 && tx.e.book.Load() == nil && tx.e.traceBox.Load() == nil {
+			bc.happenings++
+			bm.before.count++
+		} else if err := tx.stepBatch(c, &bm.before, b.oids[i], rec, &h, &bc); err != nil {
+			return tx.propagate(err)
+		}
+
+		// The MethodCtx lives on the plan and is reused by address;
+		// save/restore by value keeps re-entrant calls of the same
+		// method (an action invoking it via tx.Call) correct. Like the
+		// trigger ActionCtx, implementations must not retain the pointer
+		// past their return.
+		saved := bm.mctx
+		bm.mctx = MethodCtx{Tx: tx, Self: b.oids[i], Args: bm.bound}
+		_, err = bm.impl(&bm.mctx)
+		bm.mctx = saved
+		if err != nil {
+			return tx.propagate(err)
+		}
+
+		h.Kind = bm.after.kind
+		if len(bm.after.entries) == 0 && tx.e.book.Load() == nil && tx.e.traceBox.Load() == nil {
+			bc.happenings++
+			bm.after.count++
+		} else if err := tx.stepBatch(c, &bm.after, b.oids[i], rec, &h, &bc); err != nil {
+			return tx.propagate(err)
+		}
+	}
+	return nil
+}
+
+// postBatchSlow executes the batch through the one-at-a-time path —
+// the semantic definition of PostBatch.
+func (tx *Tx) postBatchSlow(b *Batch) error {
+	for i := range b.oids {
+		args := b.args[b.argOff[i]:b.argOff[i+1]]
+		if _, err := tx.Call(b.oids[i], b.methods[b.meth[i]], args...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchAccess is tx.access with the transaction's single-entry record
+// cache primed, so consecutive batch entries (and the field accesses
+// of the method implementations they run) hitting the same object skip
+// the lock-table and store lookups.
+func (tx *Tx) batchAccess(oid store.OID) (*store.Record, error) {
+	if tx.cachedRec != nil && oid == tx.cachedOID {
+		return tx.cachedRec, nil
+	}
+	rec, err := tx.access(oid)
+	if err != nil {
+		return nil, err
+	}
+	tx.cachedOID, tx.cachedRec = oid, rec
+	return rec, nil
+}
+
+// stepBatch is step() specialized to a prepared batchPhase: the kind is
+// pre-resolved, the dispatch slice is hoisted, mask programs evaluate
+// through mask.EvalBits, and metrics accumulate in the phase/counter
+// scratch instead of paying atomic updates per happening. Combined
+// monitoring and onlyTrigger delivery never reach here (PostBatch
+// routes monitored classes through postBatchSlow; timers post
+// one-at-a-time).
+func (tx *Tx) stepBatch(c *Class, ph *batchPhase, oid store.OID, rec *store.Record,
+	h *event.Happening, bc *batchCounters) error {
+	tx.e.recordHappening(oid, *h)
+	bc.happenings++
+	ph.count++
+	tx.e.traceHappening(h.TxID, oid, rec.Class, h.Kind)
+	c.ensureSlots(rec)
+
+	base := len(tx.fired)
+	for i := range ph.entries {
+		d := &ph.entries[i]
+		t := d.t
+		act := rec.Slot(t.slot)
+		if act == nil || !act.Active {
+			continue
+		}
+		var bits uint32
+		if d.used != 0 {
+			saved := tx.penv
+			tx.penv = progHost{tx: tx, self: oid, rec: rec, cls: c}
+			got, evals, falses, err := mask.EvalBits(d.progs, d.used, h.Dense, trigDense(t, act), &tx.penv)
+			tx.penv = saved
+			ph.evals[i] += uint64(evals)
+			ph.falses[i] += uint64(falses)
+			bc.maskEvals += uint64(evals)
+			if err != nil {
+				tx.fired = tx.fired[:base]
+				return fmt.Errorf("engine: trigger %s mask: %w", t.Res.Name, err)
+			}
+			bits = got
+			tx.e.traceMask(h.TxID, oid, rec.Class, t.Res.Name, d.used, bits)
+		}
+		sym := c.Res.Alphabet.Symbol(ph.kindIx, bits)
+
+		var prev, next int
+		if t.View == schema.WholeView {
+			key := instanceKey{oid, t.Res.Name}
+			tx.e.wholeMu.Lock()
+			cur, ok := tx.e.whole[key]
+			if !ok {
+				cur = t.Auto.Start()
+			}
+			prev = cur
+			next = t.Auto.Next(cur, sym)
+			tx.e.whole[key] = next
+			if tx.e.shadowOracle {
+				tx.e.wholeShadow[key] = append(tx.e.wholeShadow[key], sym)
+			}
+			tx.e.wholeMu.Unlock()
+		} else {
+			prev = act.State
+			next = t.Auto.Next(act.State, sym)
+			act.State = next
+			if tx.e.shadowOracle {
+				act.Shadow = append(act.Shadow, sym)
+			}
+		}
+		bc.steps++
+		ph.steps[i]++
+		accepted := t.Auto.Accept(next)
+		if next != prev || accepted {
+			if r := tx.e.provRing(oid, t.Res.Name); r != nil {
+				r.Append(obs.ProvStep{
+					TxID: h.TxID, AtNs: h.At.UnixNano(),
+					KindID: ph.kindID, Bits: bits, Sym: sym,
+					From: prev, To: next, Accepted: accepted,
+				})
+				bc.provSteps++
+			}
+		}
+		tx.e.traceStep(h.TxID, oid, rec.Class, t.Res.Name, prev, next, accepted)
+		if tx.e.shadowOracle {
+			if err := tx.e.shadowCheck(oid, t, act, accepted); err != nil {
+				tx.fired = tx.fired[:base]
+				return err
+			}
+		}
+		if accepted {
+			tx.fired = append(tx.fired, firedTrigger{t, act})
+		}
+	}
+
+	fired := tx.fired[base:]
+	if len(fired) == 0 {
+		tx.fired = tx.fired[:base]
+		return nil
+	}
+	for _, f := range fired {
+		if !f.t.Res.Perpetual {
+			f.act.Active = false
+			tx.e.timers.disarm(oid, f.t)
+		}
+	}
+	// ActionCtx documents its EventParams map as retainable, but this
+	// happening's Params is the plan's reused bound map: detach a copy
+	// before any action sees it. The firing path is allowed to allocate
+	// — the zero-allocation promise covers the non-firing common case.
+	if h.Params != nil {
+		params := make(map[string]value.Value, len(h.Params))
+		for k, v := range h.Params {
+			params[k] = v
+		}
+		h.Params = params
+	}
+	err := tx.fire(oid, c, *h, fired)
+	tx.fired = tx.fired[:base]
+	// Actions run arbitrary engine operations; drop the record cache
+	// rather than reason about what they touched.
+	tx.cachedRec = nil
+	return err
+}
+
+// flushBatch publishes the batch's accumulated statistics — one atomic
+// add per engine counter, one per (trigger, phase) metric stream — and
+// the per-phase StageBatch flight summaries.
+func (tx *Tx) flushBatch(c *Class, b *Batch, bc *batchCounters, atNs int64, txid uint64) {
+	if bc.happenings != 0 {
+		tx.e.stats.happenings.Add(bc.happenings)
+		c.met.HappeningN(bc.happenings)
+	}
+	if bc.steps != 0 {
+		tx.e.stats.steps.Add(bc.steps)
+	}
+	if bc.maskEvals != 0 {
+		tx.e.stats.maskEvals.Add(bc.maskEvals)
+	}
+	if bc.provSteps != 0 {
+		tx.e.stats.provSteps.Add(bc.provSteps)
+	}
+	for pi := range b.plan {
+		bm := &b.plan[pi]
+		for _, ph := range [...]*batchPhase{&bm.before, &bm.after} {
+			if ph.count != 0 {
+				tx.e.flightBatch(atNs, txid, c.nameID, ph.kindID, ph.count)
+				ph.count = 0
+			}
+			for i := range ph.entries {
+				if ph.steps[i] != 0 {
+					ph.entries[i].t.met.StepN(ph.steps[i])
+					ph.steps[i] = 0
+				}
+				if ph.evals[i] != 0 || ph.falses[i] != 0 {
+					ph.entries[i].t.met.MaskEvalN(ph.evals[i], ph.falses[i])
+					ph.evals[i], ph.falses[i] = 0, 0
+				}
+			}
+		}
+	}
+}

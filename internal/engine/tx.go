@@ -31,6 +31,16 @@ type Tx struct {
 	evArena []value.Value  // dense event-parameter arena (Call)
 	penv    progHost       // compiled-mask host (dispatch.go)
 	actCtx  ActionCtx      // action context storage (fire)
+
+	// Single-entry record cache, primed only by PostBatch (batchAccess).
+	// A non-nil cachedRec certifies the transaction is active and has
+	// already accessed cachedOID — so the lock is held, the before-image
+	// exists, and after-tbegin was posted — which makes returning it
+	// from access equivalent to a repeat Access. Every site that could
+	// break the certificate (commit, abort, delete, trigger firing)
+	// clears it.
+	cachedOID store.OID
+	cachedRec *store.Record
 }
 
 // Begin starts a transaction.
@@ -86,6 +96,9 @@ func (tx *Tx) DependOn(other *Tx) { tx.tx.DependOn(other.tx) }
 // transaction's first access to it (§3.1: posted "only immediately
 // before the object is first accessed by the transaction").
 func (tx *Tx) access(oid store.OID) (*store.Record, error) {
+	if tx.cachedRec != nil && oid == tx.cachedOID {
+		return tx.cachedRec, nil
+	}
 	rec, first, err := tx.tx.Access(oid)
 	if err != nil {
 		return nil, err
@@ -152,6 +165,7 @@ func (tx *Tx) DeleteObject(oid store.OID) error {
 		return tx.propagate(err)
 	}
 	tx.e.timers.disarmObject(oid)
+	tx.cachedRec = nil
 	return tx.tx.Delete(oid)
 }
 
@@ -381,6 +395,7 @@ func (tx *Tx) Commit() error {
 	}
 
 	accessed := tx.tx.Accessed()
+	tx.cachedRec = nil
 	if err := tx.tx.Commit(); err != nil {
 		tx.finished = true
 		return err
@@ -413,6 +428,7 @@ func (tx *Tx) doAbort() {
 	if tx.finished {
 		return
 	}
+	tx.cachedRec = nil
 	accessed := tx.tx.Accessed()
 	if !tx.tx.System() && !tx.aborting {
 		tx.aborting = true
@@ -438,6 +454,7 @@ func (tx *Tx) doAbort() {
 			_, _ = tx.step(oid, rec, h, "")
 		}
 	}
+	tx.cachedRec = nil // abort-path postings may have re-primed it
 	_ = tx.tx.Abort()
 	tx.finished = true
 	if !tx.tx.System() {

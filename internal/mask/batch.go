@@ -1,0 +1,63 @@
+package mask
+
+import "ode/internal/value"
+
+// Batch evaluation support: the posting engine's PostBatch hot path
+// evaluates many compiled programs per batch and cannot afford the
+// per-evaluation atomic metric updates (or per-row allocations) the
+// one-at-a-time path pays. EvalBits runs one trigger's mask bits and
+// reports counts for a deferred flush; Arena hands out reusable dense
+// value rows for batch argument binding.
+
+// EvalBits evaluates the compiled program of every mask bit set in
+// used over the dense event and trigger parameter slices, returning
+// the verdict bits. evals and falses report how many programs ran and
+// how many returned false, so callers can batch their metric updates
+// instead of paying one atomic add per bit. progs[bit] must be
+// non-nil for every used bit (the engine compiles exactly the used
+// bits at registration). The first evaluation error aborts the scan;
+// the erroring evaluation is included in evals.
+func EvalBits(progs []*Program, used uint32, ev, trig []value.Value, h Host) (bits uint32, evals, falses uint32, err error) {
+	for bit := range progs {
+		if used&(1<<uint(bit)) == 0 {
+			continue
+		}
+		evals++
+		ok, perr := progs[bit].EvalBool(ev, trig, h)
+		if perr != nil {
+			return 0, evals, falses, perr
+		}
+		if ok {
+			bits |= 1 << uint(bit)
+		} else {
+			falses++
+		}
+	}
+	return bits, evals, falses, nil
+}
+
+// Arena hands out dense value rows backed by one growable buffer.
+// Rows stay valid until Reset; Reset recycles the whole buffer at
+// once (every previously returned row is dead). The batch-posting
+// plan allocates one row per method at plan-build time and overwrites
+// it in place per entry, so steady-state posting allocates nothing.
+type Arena struct {
+	buf []value.Value
+}
+
+// Row carves a zeroed n-value row out of the arena. The row's
+// capacity is clipped, so appends through it can never clobber a
+// neighboring row.
+func (a *Arena) Row(n int) []value.Value {
+	base := len(a.buf)
+	for i := 0; i < n; i++ {
+		a.buf = append(a.buf, value.Value{})
+	}
+	return a.buf[base:len(a.buf):len(a.buf)]
+}
+
+// Reset recycles the arena. Rows handed out before the call must not
+// be used again.
+func (a *Arena) Reset() {
+	a.buf = a.buf[:0]
+}

@@ -71,8 +71,9 @@ type progFn func(ev, trig []value.Value, h Host) (value.Value, error)
 
 // Program is a compiled mask expression.
 type Program struct {
-	fn  progFn
-	src *Expr
+	fn   progFn
+	src  *Expr
+	fast *fastCmp
 }
 
 // String renders the source expression the program was compiled from.
@@ -84,9 +85,86 @@ func (p *Program) Eval(ev, trig []value.Value, h Host) (value.Value, error) {
 	return p.fn(ev, trig, h)
 }
 
+// fastCmp is the straight-line fast path for the commonest mask shape:
+// one event parameter compared against an integer literal (`n > 100`).
+// CompileExpr detects it after folding; EvalBool takes it only when the
+// parameter is present and holds an int, so every other case — missing
+// slot, non-int value, any other expression — falls through to the
+// closure tree and keeps its exact semantics and error text.
+// rhs is held as float64 because value.Compare and value.Equal put all
+// numeric pairs through AsFloat — the fast path must round exactly
+// where they round.
+type fastCmp struct {
+	ix  int
+	op  uint8
+	rhs float64
+}
+
+const (
+	cmpLT uint8 = iota
+	cmpLE
+	cmpGT
+	cmpGE
+	cmpEQ
+	cmpNE
+)
+
+// detectFastCmp recognizes Binary(cmp, Var(event param), IntLit) in the
+// folded expression. Int-vs-int comparison through value.Compare and
+// equality through value.Equal are both plain numeric comparison, so
+// the inline verdict cannot diverge from the closure tree.
+func detectFastCmp(e *Expr, r Resolver) *fastCmp {
+	if e.op != opBinary {
+		return nil
+	}
+	var op uint8
+	switch e.binop {
+	case "<":
+		op = cmpLT
+	case "<=":
+		op = cmpLE
+	case ">":
+		op = cmpGT
+	case ">=":
+		op = cmpGE
+	case "==":
+		op = cmpEQ
+	case "!=":
+		op = cmpNE
+	default:
+		return nil
+	}
+	v, lit := e.args[0], e.args[1]
+	if v.op != opVar || lit.op != opLit || lit.val.Kind != value.KindInt {
+		return nil
+	}
+	s, ok := r.ResolveVar(v.name)
+	if !ok || s.Kind != SlotEventParam {
+		return nil
+	}
+	return &fastCmp{ix: s.Index, op: op, rhs: float64(lit.val.AsInt())}
+}
+
 // EvalBool runs the program and requires a boolean verdict — the mask
 // checking entry point, mirroring Expr.EvalBool.
 func (p *Program) EvalBool(ev, trig []value.Value, h Host) (bool, error) {
+	if f := p.fast; f != nil && f.ix < len(ev) && ev[f.ix].Kind == value.KindInt {
+		l := float64(ev[f.ix].AsInt())
+		switch f.op {
+		case cmpLT:
+			return l < f.rhs, nil
+		case cmpLE:
+			return l <= f.rhs, nil
+		case cmpGT:
+			return l > f.rhs, nil
+		case cmpGE:
+			return l >= f.rhs, nil
+		case cmpEQ:
+			return l == f.rhs, nil
+		default:
+			return l != f.rhs, nil
+		}
+	}
 	v, err := p.fn(ev, trig, h)
 	if err != nil {
 		return false, err
@@ -107,7 +185,7 @@ func CompileExpr(e *Expr, r Resolver) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{fn: fn, src: e}, nil
+	return &Program{fn: fn, src: e, fast: detectFastCmp(folded, r)}, nil
 }
 
 // foldConst rewrites constant subtrees to literals. Folding evaluates

@@ -91,3 +91,50 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Fatalf("q<=0 should clamp to the smallest rank, got 0")
 	}
 }
+
+// TestHistogramQuantileInterpolation pins the linear interpolation
+// within a bucket against exact percentiles. Observing every value in
+// [512, 1023] exactly once fills one bucket uniformly, which is the
+// distribution the interpolation assumes — so the estimate must match
+// the true percentile to within one interpolation step.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	for ns := 512; ns <= 1023; ns++ {
+		h.Observe(time.Duration(ns) * time.Nanosecond)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("expected one bucket, got %d", len(s.Buckets))
+	}
+	exact := func(q float64) uint64 {
+		// The sorted observations are 512, 513, ..., 1023; the q-th
+		// percentile is the value at 1-based rank ceil(q*512).
+		rank := int(q*512 + 0.9999999)
+		return uint64(512 + rank - 1)
+	}
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
+		got := s.Quantile(q)
+		want := exact(q)
+		diff := int64(got) - int64(want)
+		if diff < -1 || diff > 1 {
+			t.Errorf("Quantile(%.2f) = %d, exact percentile %d (off by %d)", q, got, want, diff)
+		}
+	}
+	// Distinct quantiles inside one bucket must no longer collapse to
+	// the shared bucket bound, and estimates must be monotone in q.
+	if p50, p90 := s.Quantile(0.5), s.Quantile(0.9); p50 >= p90 {
+		t.Fatalf("p50 %d >= p90 %d: interpolation collapsed within a bucket", p50, p90)
+	}
+	prev := uint64(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := s.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%.2f gives %d < %d", q, cur, prev)
+		}
+		prev = cur
+	}
+	// The top of the bucket clamps to the observed maximum.
+	if got := s.Quantile(1); got != s.MaxNs {
+		t.Fatalf("Quantile(1) = %d, want max %d", got, s.MaxNs)
+	}
+}

@@ -89,9 +89,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile returns the upper bound (in nanoseconds) of the bucket
-// holding the q-th quantile observation, clamped to the observed
-// maximum. q outside (0, 1] is clamped; an empty snapshot reports 0.
+// Quantile estimates the q-th quantile observation in nanoseconds.
+// The bucket holding the rank is located by cumulative count; within
+// it the estimate interpolates linearly across the bucket's value
+// range [2^(i-1), 2^i), assuming observations are spread uniformly
+// inside the bucket. Returning the raw bucket upper bound instead —
+// the previous behavior — collapses every quantile that lands in a
+// populated bucket onto the same power-of-two boundary (1048575,
+// 2097151, ...), which made E15's p50 and p90 indistinguishable
+// whenever they shared a bucket. The estimate is clamped to the
+// observed maximum; q outside (0, 1] is clamped; an empty snapshot
+// reports 0.
 func (s HistogramSnapshot) Quantile(q float64) uint64 {
 	if s.Count == 0 {
 		return 0
@@ -108,12 +116,25 @@ func (s HistogramSnapshot) Quantile(q float64) uint64 {
 	var cum uint64
 	for _, b := range s.Buckets {
 		cum += b.Count
-		if cum >= rank {
-			if s.MaxNs > 0 && b.UpperNs > s.MaxNs {
-				return s.MaxNs
-			}
-			return b.UpperNs
+		if cum < rank {
+			continue
 		}
+		if b.UpperNs == 0 {
+			// Bucket 0 holds only zero-duration observations.
+			return 0
+		}
+		lo := (b.UpperNs + 1) / 2 // the bucket's lower bound, 2^(i-1)
+		hi := b.UpperNs
+		if s.MaxNs > 0 && hi > s.MaxNs {
+			hi = s.MaxNs
+		}
+		if hi <= lo {
+			return hi
+		}
+		// 1-based position of the rank among this bucket's Count
+		// observations: position Count maps to hi, position 0 to lo.
+		pos := rank - (cum - b.Count)
+		return lo + uint64(float64(hi-lo)*float64(pos)/float64(b.Count))
 	}
 	return s.MaxNs
 }
@@ -140,6 +161,15 @@ func (m *TriggerMetrics) Step() {
 	}
 }
 
+// StepN counts n automaton transitions at once. Batch posting
+// accumulates per-trigger counts locally and flushes them here, one
+// atomic add per batch instead of one per happening.
+func (m *TriggerMetrics) StepN(n uint64) {
+	if m != nil && n > 0 {
+		m.steps.Add(n)
+	}
+}
+
 // MaskEval counts one mask evaluation and its verdict.
 func (m *TriggerMetrics) MaskEval(ok bool) {
 	if m == nil {
@@ -148,6 +178,18 @@ func (m *TriggerMetrics) MaskEval(ok bool) {
 	m.maskEvals.Add(1)
 	if !ok {
 		m.maskFalse.Add(1)
+	}
+}
+
+// MaskEvalN counts evals mask evaluations of which falses were false.
+// The batch-posting flush counterpart of MaskEval.
+func (m *TriggerMetrics) MaskEvalN(evals, falses uint64) {
+	if m == nil || evals == 0 {
+		return
+	}
+	m.maskEvals.Add(evals)
+	if falses > 0 {
+		m.maskFalse.Add(falses)
 	}
 }
 
@@ -182,6 +224,13 @@ type ClassMetrics struct {
 func (m *ClassMetrics) Happening() {
 	if m != nil {
 		m.happenings.Add(1)
+	}
+}
+
+// HappeningN counts n happenings at once (the batch-posting flush).
+func (m *ClassMetrics) HappeningN(n uint64) {
+	if m != nil && n > 0 {
+		m.happenings.Add(n)
 	}
 }
 

@@ -51,6 +51,13 @@ const (
 	// fixpoint ran; From is the round number, OK whether any trigger
 	// fired (another round follows while OK).
 	StageTcomplete
+	// StageBatch: a PostBatch run of happenings of one kind; From holds
+	// the happening count. The batch path records one such summary per
+	// (method, phase) instead of a flight event per happening — the
+	// recorder is a lossy diagnostic ring, and per-event stamping is the
+	// dominant cost of an otherwise tight loop. Firings within the batch
+	// still record individual StageFire events.
+	StageBatch
 )
 
 var stageNames = [...]string{
@@ -63,6 +70,7 @@ var stageNames = [...]string{
 	StageTxCommit:  "tx-commit",
 	StageTxAbort:   "tx-abort",
 	StageTcomplete: "tcomplete",
+	StageBatch:     "batch",
 }
 
 func (s Stage) String() string {

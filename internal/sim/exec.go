@@ -359,6 +359,39 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 		classDefs[ns.class].apply(ns.fields, op.Method, op.Arg)
 		stage.put(op.Obj, ns)
 		return nil
+	case OpBatch:
+		// Build the engine batch from the entries whose slot is live,
+		// exactly the entries OpCall semantics would execute; the model
+		// applies the same subset after the engine succeeds. A failure
+		// (tabort, injected fault) discards the whole stage along with
+		// the transaction, so partial engine application cannot drift.
+		b := engine.NewBatch(classDefs[op.Class].name, len(op.Batch))
+		live := make([]BatchCall, 0, len(op.Batch))
+		for _, e := range op.Batch {
+			ec := stage.view(e.Obj)
+			if ec == nil || !ec.alive || ec.class != op.Class {
+				continue
+			}
+			if e.HasArg {
+				b.Call(ec.oid, e.Method, value.Int(e.Arg))
+			} else {
+				b.Call(ec.oid, e.Method)
+			}
+			live = append(live, e)
+		}
+		if b.Len() == 0 {
+			return nil
+		}
+		if err := tx.PostBatch(b); err != nil {
+			return err
+		}
+		for _, e := range live {
+			ec := stage.view(e.Obj)
+			ns := ec.clone()
+			classDefs[ns.class].apply(ns.fields, e.Method, e.Arg)
+			stage.put(e.Obj, ns)
+		}
+		return nil
 	case OpActivate:
 		if cur == nil || !cur.alive {
 			return nil

@@ -103,7 +103,7 @@ func Generate(cfg Config) *Script {
 		case r < 8 && cfg.Persistent:
 			sc.Steps = append(sc.Steps, Step{Kind: StepCheckpoint})
 		case r < 16 && cfg.Faults:
-			sc.Steps = append(sc.Steps, genFaultStep(rng, cfg.Persistent))
+			sc.Steps = append(sc.Steps, genFaultStep(rng, cfg))
 		case r < 24:
 			// Deliberate abort after real work: rollback of automaton
 			// state, shadows and timers under load.
@@ -184,6 +184,32 @@ func genOps(sc *Script, rng *rand.Rand, slotClass []int, n int, grow *[]int) []O
 			pool := triggerPool(sc, ci)
 			tr := pool[rng.Intn(len(pool))]
 			ops = append(ops, Op{Kind: OpDeactivate, Obj: slot, Trigger: tr.Name})
+		case r < 28:
+			// Batched method run over the class's known slots — the
+			// engine's PostBatch hot path under the same oracle and model
+			// checks as singles. Slots that are dead at execution time are
+			// skipped by the executor, like OpCall.
+			var members []int
+			for s, c := range slots {
+				if c == ci {
+					members = append(members, s)
+				}
+			}
+			n := 2 + rng.Intn(7)
+			batch := make([]BatchCall, 0, n)
+			for j := 0; j < n; j++ {
+				m := cd.methods[rng.Intn(len(cd.methods))]
+				e := BatchCall{Obj: members[rng.Intn(len(members))], Method: m.Name}
+				if len(m.Params) > 0 {
+					e.HasArg = true
+					e.Arg = int64(rng.Intn(250))
+					if rng.Intn(10) == 0 {
+						e.Arg = int64(800 + rng.Intn(400)) // trip AbortBig mid-batch
+					}
+				}
+				batch = append(batch, e)
+			}
+			ops = append(ops, Op{Kind: OpBatch, Class: ci, Batch: batch})
 		default:
 			m := cd.methods[rng.Intn(len(cd.methods))]
 			op := Op{Kind: OpCall, Obj: slot, Method: m.Name}
@@ -205,13 +231,13 @@ func genOps(sc *Script, rng *rand.Rand, slotClass []int, n int, grow *[]int) []O
 // genFaultStep picks a fault point and a victim transaction. The
 // victim always updates reserved slot 0 (class acct, never deleted)
 // so its commit is guaranteed to consult the WAL.
-func genFaultStep(rng *rand.Rand, persistent bool) Step {
+func genFaultStep(rng *rand.Rand, cfg Config) Step {
 	victim := []Op{{Kind: OpCall, Obj: 0, Method: "dep", HasArg: true, Arg: int64(1 + rng.Intn(200))}}
-	if !persistent {
+	if !cfg.Persistent {
 		return Step{Kind: StepFault, Ops: victim,
 			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}
 	}
-	switch rng.Intn(5) {
+	switch rng.Intn(6) {
 	case 0:
 		// Crash before anything reaches the log.
 		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALWrite, Tear: -1}}
@@ -224,6 +250,28 @@ func genFaultStep(rng *rand.Rand, persistent bool) Step {
 	case 3:
 		// Crash after durability but before the commit is acknowledged.
 		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALAfterSync, Tear: -1}}
+	case 4:
+		// Crash mid-batch-WAL-frame: the victim is a PostBatch whose
+		// commit (two dirty acct objects when the script created them)
+		// logs one multi-record opPutN frame, and the write tears partway
+		// through it. Recovery must drop the torn frame whole — the
+		// record set is all-or-nothing, never a prefix.
+		n := 2 + rng.Intn(4)
+		maxSlot := 0
+		if cfg.Objects >= 2 {
+			maxSlot = 1 // slots 0 and 1 are both class acct and reserved
+		}
+		batch := make([]BatchCall, 0, n)
+		for j := 0; j < n; j++ {
+			batch = append(batch, BatchCall{Obj: rng.Intn(maxSlot + 1), Method: "dep",
+				HasArg: true, Arg: int64(1 + rng.Intn(200))})
+		}
+		if maxSlot == 1 {
+			batch[0].Obj, batch[1].Obj = 0, 1 // guarantee a multi-record commit
+		}
+		return Step{Kind: StepFault,
+			Ops:   []Op{{Kind: OpBatch, Class: classAcct, Batch: batch}},
+			Fault: FaultSpec{Point: fault.WALWrite, Tear: 1 + rng.Intn(256)}}
 	default:
 		return Step{Kind: StepFault, Ops: victim,
 			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}

@@ -17,7 +17,19 @@ const (
 	OpDeactivate
 	OpNew
 	OpDelete
+	// OpBatch posts a columnar run of method calls against objects of
+	// one class through Tx.PostBatch — the engine's batch hot path.
+	// Entries whose slot is dead are skipped, mirroring OpCall.
+	OpBatch
 )
+
+// BatchCall is one entry of an OpBatch.
+type BatchCall struct {
+	Obj    int
+	Method string
+	Arg    int64
+	HasArg bool
+}
 
 // Op is one operation inside a simulated transaction. Objects are
 // addressed by slot index into the harness's object table, never by
@@ -33,6 +45,9 @@ type Op struct {
 	HasArg  bool   // OpCall: whether Arg is passed
 	Trigger string // OpActivate / OpDeactivate
 	Params  []int64
+	// Batch holds the entries of an OpBatch; Class names their class
+	// (every entry of a batch addresses objects of one class).
+	Batch []BatchCall
 }
 
 // StepKind enumerates the top-level script steps.
@@ -153,6 +168,16 @@ func (op Op) String() string {
 		return fmt.Sprintf("o%d = new %s", op.Obj, classDefs[op.Class].name)
 	case OpDelete:
 		return fmt.Sprintf("delete o%d", op.Obj)
+	case OpBatch:
+		parts := make([]string, len(op.Batch))
+		for i, e := range op.Batch {
+			if e.HasArg {
+				parts[i] = fmt.Sprintf("o%d.%s(%d)", e.Obj, e.Method, e.Arg)
+			} else {
+				parts[i] = fmt.Sprintf("o%d.%s()", e.Obj, e.Method)
+			}
+		}
+		return fmt.Sprintf("batch %s [%s]", classDefs[op.Class].name, strings.Join(parts, " "))
 	default:
 		return "?"
 	}

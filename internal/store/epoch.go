@@ -1,0 +1,164 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based copy-on-write committed view.
+//
+// The live object heap (stripes) holds records that in-flight
+// transactions mutate in place under object locks; reading it
+// consistently requires going through the lock manager. The epoch view
+// is a second, lock-free index over the same objects that holds only
+// *committed* versions: immutable deep clones published by the
+// transaction manager at commit time, while the committing transaction
+// still holds its object locks. Readers — Snapshot-style queries,
+// `/debug` introspection, Explain — load two atomic pointers and never
+// touch a lock, so they cannot stall a writer and a writer cannot
+// stall them.
+//
+// Structure: one epochStripe per heap stripe. Each stripe holds an
+// atomic pointer to an immutable map[OID] → cell, where a cell is an
+// atomic pointer to the object's latest committed Record clone.
+// Updating an existing object swaps the cell's pointer (no map copy);
+// creating or deleting an object copies the stripe's map — the slow
+// path, paid once per object lifetime rather than once per commit.
+// A per-stripe publish mutex serializes map rebuilds; readers never
+// take it.
+//
+// Consistency contract: a published version is a complete committed
+// state of its object (clones are taken under the committer's object
+// locks, after the WAL append succeeded), and per object the view
+// steps monotonically through the object's commit history — a reader
+// can never observe version n after having observed version n+1, and
+// never observes uncommitted or aborted writes (rollback restores the
+// live heap but deliberately leaves the epoch view alone: the last
+// committed version is still the right answer). Across objects the
+// view is updated one object at a time, so a reader racing a
+// multi-object commit may see some of its objects already updated and
+// others not yet — the same read-committed granularity the lock-based
+// Get path offers between two separate calls.
+type epochStripe struct {
+	pubMu sync.Mutex
+	cells atomic.Pointer[map[OID]*atomic.Pointer[Record]]
+}
+
+// initEpochView installs empty committed maps; called at Open before
+// the store is shared.
+func (s *Store) initEpochView() {
+	for i := range s.epochs {
+		m := make(map[OID]*atomic.Pointer[Record])
+		s.epochs[i].cells.Store(&m)
+	}
+}
+
+// seedEpochView publishes every recovered record as its object's
+// committed version. Runs single-threaded at Open, after recover():
+// everything the heap holds at that point came from committed WAL
+// frames or the checkpoint snapshot.
+func (s *Store) seedEpochView() {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		m := make(map[OID]*atomic.Pointer[Record], len(st.objects))
+		for oid, r := range st.objects {
+			cell := new(atomic.Pointer[Record])
+			cell.Store(r.clone())
+			m[oid] = cell
+		}
+		s.epochs[i].cells.Store(&m)
+	}
+}
+
+// PublishCommitted makes the current live state of the dirty objects,
+// and the absence of the deleted ones, visible to epoch readers, then
+// advances the epoch counter. The caller (the transaction manager)
+// must still hold the objects' transaction locks and must have already
+// made the commit durable — this is the in-memory analogue of the WAL
+// commit frame. Dirty objects no longer in the heap were deleted later
+// in the same transaction and are skipped (the deleted list covers
+// them).
+func (s *Store) PublishCommitted(dirty, deleted []OID) {
+	for _, oid := range dirty {
+		st := s.stripeOf(oid)
+		st.mu.RLock()
+		r, ok := st.objects[oid]
+		st.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		// The committer still holds the object's lock, so the clone is a
+		// consistent post-commit image.
+		img := r.clone()
+		es := &s.epochs[uint64(oid)%numStripes]
+		es.pubMu.Lock()
+		cur := *es.cells.Load()
+		if cell, ok := cur[oid]; ok {
+			cell.Store(img)
+		} else {
+			next := make(map[OID]*atomic.Pointer[Record], len(cur)+1)
+			for k, v := range cur {
+				next[k] = v
+			}
+			cell := new(atomic.Pointer[Record])
+			cell.Store(img)
+			next[oid] = cell
+			es.cells.Store(&next)
+		}
+		es.pubMu.Unlock()
+	}
+	for _, oid := range deleted {
+		es := &s.epochs[uint64(oid)%numStripes]
+		es.pubMu.Lock()
+		cur := *es.cells.Load()
+		if _, ok := cur[oid]; ok {
+			next := make(map[OID]*atomic.Pointer[Record], len(cur))
+			for k, v := range cur {
+				if k != oid {
+					next[k] = v
+				}
+			}
+			es.cells.Store(&next)
+		}
+		es.pubMu.Unlock()
+	}
+	s.epoch.Add(1)
+}
+
+// Epoch returns the number of commit publications so far. Two equal
+// Epoch readings around a set of GetCommitted calls prove no commit
+// was published in between.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// GetCommitted returns the latest committed version of oid without
+// taking any lock: two atomic loads. The returned record is an
+// immutable shared clone — callers must treat it as read-only. ok is
+// false for objects that have never committed (including objects
+// created by still-running transactions) and for committed-deleted
+// objects.
+func (s *Store) GetCommitted(oid OID) (*Record, bool) {
+	cur := *s.epochs[uint64(oid)%numStripes].cells.Load()
+	cell, ok := cur[oid]
+	if !ok {
+		return nil, false
+	}
+	r := cell.Load()
+	if r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// CommittedOIDs returns the identities of every object with a
+// committed version, unordered, without locking. Stripes are read at
+// independent instants, like OIDs.
+func (s *Store) CommittedOIDs() []OID {
+	var out []OID
+	for i := range s.epochs {
+		cur := *s.epochs[i].cells.Load()
+		for oid := range cur {
+			out = append(out, oid)
+		}
+	}
+	return out
+}

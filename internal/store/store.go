@@ -206,6 +206,12 @@ type Store struct {
 	// side. Lock order is always walMu → stripe locks.
 	walMu sync.RWMutex
 	wal   *walFile
+
+	// Epoch-based copy-on-write committed view (see epoch.go): one
+	// epochStripe per heap stripe plus a publication counter, giving
+	// lock-free read-committed access for queries and introspection.
+	epochs [numStripes]epochStripe
+	epoch  atomic.Uint64
 }
 
 func (s *Store) stripeOf(oid OID) *stripe {
@@ -226,11 +232,13 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		s.stripes[i].objects = make(map[OID]*Record)
 	}
 	if dir == "" {
+		s.initEpochView()
 		return s, nil
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	s.seedEpochView()
 	w, err := openWAL(dir, opts.DisableGroupCommit, opts.Faults)
 	if err != nil {
 		return nil, err
@@ -370,11 +378,12 @@ func (s *Store) OIDs() []OID {
 }
 
 // LogCommit durably records a committed transaction: a Begin frame,
-// one Put frame per dirty surviving object, one Delete frame per
-// deleted object, then a Commit frame. The frames are encoded into one
-// contiguous buffer and handed to the WAL's group committer, which
-// coalesces concurrent commits into a single write and Sync. It is a
-// no-op for volatile stores.
+// the dirty surviving objects (one Put frame each, or a single PutN
+// frame when the transaction dirtied more than one object — the batch
+// posting path), one Delete frame per deleted object, then a Commit
+// frame. The frames are encoded into one contiguous buffer and handed
+// to the WAL's group committer, which coalesces concurrent commits
+// into a single write and Sync. It is a no-op for volatile stores.
 func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
@@ -385,6 +394,7 @@ func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
 	if err := encodeFrame(&buf, frame{Op: opBegin, TxID: txID}); err != nil {
 		return err
 	}
+	var recs []*Record
 	for _, oid := range dirty {
 		st := s.stripeOf(oid)
 		st.mu.RLock()
@@ -395,7 +405,15 @@ func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
 		}
 		// The committing transaction still holds the object's lock, so
 		// the clone cannot race with another writer.
-		if err := encodeFrame(&buf, frame{Op: opPut, TxID: txID, Rec: r.clone()}); err != nil {
+		recs = append(recs, r.clone())
+	}
+	switch {
+	case len(recs) == 1:
+		if err := encodeFrame(&buf, frame{Op: opPut, TxID: txID, Rec: recs[0]}); err != nil {
+			return err
+		}
+	case len(recs) > 1:
+		if err := encodeFrame(&buf, frame{Op: opPutN, TxID: txID, Recs: recs}); err != nil {
 			return err
 		}
 	}
@@ -485,13 +503,23 @@ func (s *Store) recover() error {
 		}
 		switch f.Op {
 		case opPut:
-			s.stripeOf(f.Rec.OID).objects[f.Rec.OID] = f.Rec
-			if uint64(f.Rec.OID) >= s.nextOID.Load() {
-				s.nextOID.Store(uint64(f.Rec.OID) + 1)
+			s.applyPut(f.Rec)
+		case opPutN:
+			for _, r := range f.Recs {
+				s.applyPut(r)
 			}
 		case opDelete:
 			delete(s.stripeOf(f.OID).objects, f.OID)
 		}
 	}
 	return nil
+}
+
+// applyPut installs one recovered committed record and bumps the OID
+// allocator past it. Runs single-threaded at Open.
+func (s *Store) applyPut(r *Record) {
+	s.stripeOf(r.OID).objects[r.OID] = r
+	if uint64(r.OID) >= s.nextOID.Load() {
+		s.nextOID.Store(uint64(r.OID) + 1)
+	}
 }

@@ -20,6 +20,12 @@ const (
 	opPut
 	opDelete
 	opCommit
+	// opPutN carries every dirty record of one transaction in a single
+	// frame (frame.Recs). Batch commits use it so a transaction that
+	// touched N objects appends one record frame instead of N — one gob
+	// header, one length prefix — and a torn tail can only lose the
+	// whole record set, never a prefix of it.
+	opPutN
 )
 
 // frame is one WAL record. Frames are length-prefixed independent gob
@@ -30,6 +36,7 @@ type frame struct {
 	TxID uint64
 	OID  OID
 	Rec  *Record
+	Recs []*Record // opPutN only; absent (nil) in all other frames
 }
 
 const (

@@ -247,6 +247,11 @@ func (tx *Tx) Commit() error {
 		tx.rollback()
 		return fmt.Errorf("txn: commit logging failed: %w", err)
 	}
+	// Publish the committed versions to the store's lock-free epoch
+	// view while this transaction still holds its object locks — the
+	// records cannot change under the clone, and a reader that sees the
+	// new epoch sees exactly the state the WAL just made durable.
+	tx.mgr.store.PublishCommitted(dirty, deleted)
 	tx.setState(Committed)
 	tx.mgr.locks.releaseAll(tx.id)
 	tx.mgr.broadcast()

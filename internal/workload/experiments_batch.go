@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"runtime"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E16Row is one batch-posting measurement: the same happening stream
+// posted through Tx.PostBatch at a given batch size, or singly through
+// Tx.Call (the E12 volatile baseline, batch size 1).
+type E16Row struct {
+	Scenario      string  `json:"scenario"`
+	Mode          string  `json:"mode"` // "single" or "batch"
+	BatchSize     int     `json:"batch_size"`
+	Happenings    int     `json:"happenings"`
+	NsPerH        float64 `json:"ns_per_happening"`
+	AllocsPerH    float64 `json:"allocs_per_happening"`
+	PerSec        float64 `json:"happenings_per_sec"`
+	SpeedupSingle float64 `json:"speedup_vs_single"`
+	Firings       uint64  `json:"firings"`
+}
+
+// e16Scenario shapes one batch benchmark: the active trigger and the
+// method every entry posts.
+type e16Scenario struct {
+	name    string
+	trigger schema.Trigger
+	method  string
+	arg     int64
+}
+
+func e16Scenarios() []e16Scenario {
+	return []e16Scenario{
+		{
+			// The PR's target: masked happenings that never fire. This is
+			// the path the 0 amortized allocs/happening budget covers.
+			name:    "masked non-firing",
+			trigger: schema.Trigger{Name: "Big", Perpetual: true, Event: "after deposit(n) && n > 1000000"},
+			method:  "deposit", arg: 1,
+		},
+		{
+			// Every entry fires: the batch loop pays the collect-then-fire
+			// bookkeeping and the per-firing params clone.
+			name:    "firing",
+			trigger: schema.Trigger{Name: "Any", Perpetual: true, Event: "after deposit(n) && n >= 0"},
+			method:  "deposit", arg: 1,
+		},
+	}
+}
+
+// RunE16 measures batch posting across a batch-size sweep against the
+// single-post baseline, per scenario. Measurements are hand-rolled
+// (time + runtime.MemStats mallocs) like RunE12 so the workload
+// package does not import testing; TestHotPathAllocBudgetPostBatch
+// pins the zero-alloc claim under `go test`.
+func RunE16(happenings int, sizes []int) ([]E16Row, error) {
+	rows := make([]E16Row, 0, len(e16Scenarios())*(1+len(sizes)))
+	for _, sc := range e16Scenarios() {
+		single, err := e16Measure(sc, 0, happenings)
+		if err != nil {
+			return nil, err
+		}
+		single.SpeedupSingle = 1
+		rows = append(rows, single)
+		for _, bs := range sizes {
+			r, err := e16Measure(sc, bs, happenings)
+			if err != nil {
+				return nil, err
+			}
+			if r.NsPerH > 0 {
+				r.SpeedupSingle = single.NsPerH / r.NsPerH
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+func e16Measure(sc e16Scenario, batchSize, happenings int) (E16Row, error) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E16Row{}, err
+	}
+	defer eng.Close()
+
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+			{Name: "withdraw", Params: []schema.Param{{Name: "a", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{sc.trigger},
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("n").AsInt()))
+			},
+			"withdraw": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()-ctx.Arg("a").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{
+			sc.trigger.Name: func(*engine.ActionCtx) error { return nil },
+		},
+	}
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E16Row{}, err
+	}
+
+	var oid store.OID
+	err = eng.Transact(func(tx *engine.Tx) error {
+		var err error
+		if oid, err = tx.NewObject("account", nil); err != nil {
+			return err
+		}
+		return tx.Activate(oid, sc.trigger.Name)
+	})
+	if err != nil {
+		return E16Row{}, err
+	}
+
+	tx := eng.Begin()
+	defer tx.Abort()
+	arg := value.Int(sc.arg)
+
+	var post func() error
+	n := happenings
+	if batchSize > 0 {
+		b := engine.NewBatch("account", batchSize)
+		for i := 0; i < batchSize; i++ {
+			b.Call(oid, sc.method, arg)
+		}
+		post = func() error { return tx.PostBatch(b) }
+		// Round to whole batches so per-happening math divides evenly.
+		n = (happenings / batchSize) * batchSize
+	} else {
+		post = func() error {
+			_, err := tx.Call(oid, sc.method, arg)
+			return err
+		}
+	}
+	iters := n
+	per := 1
+	if batchSize > 0 {
+		iters = n / batchSize
+		per = batchSize
+	}
+
+	// Warm up: slot binding, plan compilation, arena growth,
+	// copy-on-write record clone.
+	for i := 0; i < 8; i++ {
+		if err := post(); err != nil {
+			return E16Row{}, err
+		}
+	}
+
+	// Best of three timed repetitions, as in RunE12: the first
+	// repetition absorbs one-time costs that would skew whichever
+	// configuration runs first.
+	bestNs := 0.0
+	bestAllocs := 0.0
+	var before, after runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := post(); err != nil {
+				return E16Row{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(iters*per)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(iters*per)
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+
+	mode := "single"
+	bs := 1
+	if batchSize > 0 {
+		mode = "batch"
+		bs = batchSize
+	}
+	return E16Row{
+		Scenario:   sc.name,
+		Mode:       mode,
+		BatchSize:  bs,
+		Happenings: n,
+		NsPerH:     bestNs,
+		AllocsPerH: bestAllocs,
+		PerSec:     1e9 / bestNs,
+		Firings:    eng.Stats().Firings,
+	}, nil
+}

@@ -249,6 +249,25 @@ func (db *Database) Transact(fn func(*Tx) error) error { return db.eng.Transact(
 // time events. Advance it outside of transactions.
 func (db *Database) Clock() *Clock { return db.eng.Clock() }
 
+// Batch is a columnar buffer of method calls against objects of one
+// class, posted with Tx.PostBatch or Database.PostBatch. Posting a
+// batch is semantically identical to issuing tx.Call for each entry in
+// order (results discarded, stopping at the first error) but amortizes
+// per-call costs — method resolution, argument binding, metric updates
+// — across the whole run. Reset and refill a Batch to reuse its cached
+// posting plan.
+type Batch = engine.Batch
+
+// NewBatch returns an empty batch for objects of the named class with
+// room for capacity entries.
+func NewBatch(class string, capacity int) *Batch { return engine.NewBatch(class, capacity) }
+
+// PostBatch executes the batch's method calls in one transaction,
+// committing on success and aborting on the first error.
+func (db *Database) PostBatch(b *Batch) error {
+	return db.eng.Transact(func(tx *Tx) error { return tx.PostBatch(b) })
+}
+
 // RegisterFunc installs a global mask function (e.g. user()).
 func (db *Database) RegisterFunc(name string, fn MaskFunc) { db.eng.RegisterFunc(name, fn) }
 
