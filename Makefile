@@ -13,9 +13,11 @@ vet:
 
 # Race-sensitive packages: the engine posts from many goroutines and
 # the observability layer is read while posting; the txn and store
-# substrates are exercised by the concurrency stress tests.
+# substrates are exercised by the concurrency stress tests; the
+# partitioned layer routes concurrent producers into single-writer
+# loops over the cross-partition bus.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/
+	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/ ./internal/part/
 
 # Short fuzz smoke over the event-language and mask parsers; longer
 # campaigns:
@@ -25,20 +27,24 @@ fuzz:
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 5s -run '^$$' ./internal/evlang/
 	$(GO) test -fuzz FuzzParseMask -fuzztime 5s -run '^$$' ./internal/mask/
 
-# Deterministic-simulation smoke (the CI sim-short job); full torture
+# Deterministic-simulation smoke (the CI sim-short job): single-engine
+# seeded runs plus the multi-partition scripts (per-partition WAL
+# faults, independent recovery, bus determinism). Full torture
 # campaigns run via `go run ./cmd/odebench -sim -iters N`.
 sim:
-	$(GO) test -race -run TestSimShort ./internal/sim/
+	$(GO) test -race -run 'TestSimShort|TestMultipart' ./internal/sim/
 
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz
 
-# Engine benchmarks plus the E16 batch-posting numbers with the E12
-# hot-path rerun riding along (committed as BENCH_PR7.json; earlier
-# baselines are regenerated with
+# Engine benchmarks plus the E17 partitioned-scaling sweep with the
+# E12 hot-path and E16 batch-posting reruns riding along — the reruns
+# prove the single-engine paths did not regress (committed as
+# BENCH_PR8.json; earlier baselines are regenerated with
 # `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`,
 # `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`,
-# `go run ./cmd/odebench -exp E15 -out BENCH_PR6.json`).
+# `go run ./cmd/odebench -exp E15 -out BENCH_PR6.json`,
+# `go run ./cmd/odebench -exp E16 -out BENCH_PR7.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E16 -out BENCH_PR7.json
+	$(GO) run ./cmd/odebench -exp E17 -out BENCH_PR8.json

@@ -153,6 +153,16 @@ func (b *ClassBuilder) Register() error {
 		}
 		b.impl.Actions[ra.trigger] = action
 	}
+	if parts := b.db.parts; parts != nil {
+		// Partitioned mode: an object of any class may live in any
+		// partition, so the class registers with every partition's
+		// engine. Each registration clones the shared parser; the schema
+		// and implementation maps are read-only after this point.
+		return parts.Register(func(_ int, e *engine.Engine) error {
+			_, err := e.RegisterClass(b.cls, b.impl, b.parser())
+			return err
+		})
+	}
 	_, err := b.db.eng.RegisterClass(b.cls, b.impl, b.parser())
 	return err
 }

@@ -36,16 +36,22 @@
 //	    the single-post E12 volatile baseline — ns and amortized allocs
 //	    per happening, happenings/sec, speedup; -out also reruns E12
 //	    and writes both as JSON (e.g. BENCH_PR7.json)
+//	E17 partitioned scaling: the E11 volatile banking mix at 1/2/4/8
+//	    single-writer partitions × producer goroutines × batch sizes,
+//	    aggregate happenings/sec and speedup vs the unpartitioned
+//	    single-call baseline; -out also reruns E12 and E16 and writes
+//	    all three as JSON (e.g. BENCH_PR8.json)
 //
 // Usage:
 //
-//	odebench                               # run everything (E1..E13, E15, E16)
+//	odebench                               # run everything (E1..E13, E15..E17)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
 //	odebench -exp E13 -out BENCH_PR4.json  # compact-automata JSON
 //	odebench -exp E15 -out BENCH_PR6.json  # open-loop latency JSON
 //	odebench -exp E16 -out BENCH_PR7.json  # batch-posting JSON
+//	odebench -exp E17 -out BENCH_PR8.json  # partitioned-scaling JSON
 //	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
 //	odebench -sim -iters 1000 -out sim.json
 //
@@ -71,7 +77,7 @@ func main() { os.Exit(run()) }
 // run carries the real main body; returning instead of os.Exit lets the
 // profiling defers flush before the process dies.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13, E15, E16; E14 is -sim); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13, E15..E17; E14 is -sim); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
 	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
@@ -133,6 +139,7 @@ func run() int {
 		{"E13", func() error { return e13(*seed, *out) }},
 		{"E15", func() error { return e15(*seed, *out) }},
 		{"E16", func() error { return e16(*out) }},
+		{"E17", func() error { return e17(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -554,6 +561,61 @@ func e16(out string) error {
 		Batch      []workload.E16Row `json:"batch"`
 		HotPath    []workload.E12Row `json:"hot_path"`
 	}{"E16", gomaxprocs, numCPU, rows, hot}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+func e17(seed int64, out string) error {
+	rows, err := workload.RunE17(40000, 32, seed,
+		[]int{1, 2, 4, 8}, []int{1, 4}, []int{1, 64})
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	fmt.Printf("E17 — partitioned scaling: single-writer loops × producers × batch (GOMAXPROCS=%d, NumCPU=%d)\n",
+		gomaxprocs, numCPU)
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			fmt.Sprintf("%d", r.Partitions),
+			fmt.Sprintf("%d", r.Goroutines),
+			fmt.Sprintf("%d", r.Batch),
+			fmt.Sprintf("%d", r.Calls),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2fx", r.SpeedupVsP1),
+		})
+	}
+	table("", []string{"partitions", "goroutines", "batch", "calls", "happenings/sec", "vs P=1 single"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	// The no-regression guarantees ride along: rerun E12 (single-post
+	// hot path) and E16 (single-engine batch posting) so the JSON shows
+	// neither path regressed while the partitioned layer was added.
+	hot, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	batch, err := workload.RunE16(131072, []int{64, 256})
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		Scaling    []workload.E17Row `json:"scaling"`
+		HotPath    []workload.E12Row `json:"hot_path"`
+		Batch      []workload.E16Row `json:"batch"`
+	}{"E17", gomaxprocs, numCPU, rows, hot, batch}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -100,11 +100,17 @@ func (e *Engine) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // promExtras renders the engine-global Stats as exposition-format
-// series alongside the registry's per-trigger families. Counters keep
-// the _total suffix; the registration-state automaton fields are
-// gauges.
+// series alongside the registry's per-trigger families.
 func (e *Engine) promExtras() []obs.PromMetric {
-	s := e.Stats()
+	return PromExtras(e.Stats())
+}
+
+// PromExtras renders a Stats snapshot as exposition-format series —
+// shared by the engine's own /debug/metrics and the partitioned
+// aggregate endpoint (internal/part), so both expose the same family
+// names. Counters keep the _total suffix; the registration-state
+// automaton fields are gauges.
+func PromExtras(s Stats) []obs.PromMetric {
 	return []obs.PromMetric{
 		{Name: "ode_engine_tx_begun_total", Help: "User transactions started.", Value: float64(s.TxBegun)},
 		{Name: "ode_engine_tx_committed_total", Help: "User transactions committed.", Value: float64(s.TxCommitted)},

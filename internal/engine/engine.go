@@ -136,6 +136,22 @@ type Options struct {
 	// ring depth (0 picks obs.DefaultProvDepth; < 0 disables provenance
 	// capture entirely).
 	ProvenanceDepth int
+	// OIDBase and OIDStride restrict this engine's OID allocation to an
+	// arithmetic progression (see store.Options): partition p of N runs
+	// with base p+1, stride N, so partitions allocate disjoint OID sets
+	// and ownership is recomputable from the OID alone. Zero values mean
+	// base 1, stride 1 — every OID, the unpartitioned default.
+	OIDBase   uint64
+	OIDStride uint64
+	// SingleWriter promises that exactly one goroutine drives all
+	// transactions over this engine — a partition's event loop — and
+	// switches the transaction manager into lock-free mode (see
+	// txn.Manager.SetSingleWriter). The hot path then never touches the
+	// lock manager.
+	SingleWriter bool
+	// Partition is this engine's partition id, stamped onto flight-
+	// recorder dumps and debug output. 0 for unpartitioned engines.
+	Partition int
 }
 
 // Engine is an active object database.
@@ -164,6 +180,7 @@ type Engine struct {
 	shadowOracle   bool
 	combined       bool
 	interpretMasks bool
+	partition      int             // partition id (0 for unpartitioned engines)
 	faults         *fault.Registry // nil outside the simulation harness
 
 	timers *timerTable
@@ -278,6 +295,8 @@ func New(opts Options) (*Engine, error) {
 	st, err := store.OpenWith(opts.Dir, store.Options{
 		DisableGroupCommit: opts.DisableGroupCommit,
 		Faults:             opts.Faults,
+		OIDBase:            opts.OIDBase,
+		OIDStride:          opts.OIDStride,
 	})
 	if err != nil {
 		return nil, err
@@ -302,6 +321,10 @@ func New(opts Options) (*Engine, error) {
 		metrics:        obs.NewRegistry(),
 		names:          obs.NewInterner(),
 		provDepth:      opts.ProvenanceDepth,
+		partition:      opts.Partition,
+	}
+	if opts.SingleWriter {
+		e.txm.SetSingleWriter(true)
 	}
 	e.flight = obs.NewFlight(opts.FlightBuffer, e.names)
 	e.txUserID = e.names.Intern("user")

@@ -18,10 +18,22 @@ import (
 // Flight exposes the engine's flight recorder.
 func (e *Engine) Flight() *obs.Flight { return e.flight }
 
+// Partition returns the engine's partition id (0 for unpartitioned
+// engines; see Options.Partition).
+func (e *Engine) Partition() int { return e.partition }
+
 // FlightEvents dumps the last recorder entries in chronological order
-// (last <= 0 means the full retained window).
+// (last <= 0 means the full retained window), stamped with the
+// engine's partition id — each partition owns its own recorder, so the
+// stamp happens here at dump time, never on the record path.
 func (e *Engine) FlightEvents(last int) []obs.FlightEvent {
-	return e.flight.Events(last)
+	evs := e.flight.Events(last)
+	if e.partition != 0 {
+		for i := range evs {
+			evs[i].Part = e.partition
+		}
+	}
+	return evs
 }
 
 // flightHappening records the pipeline entry of one happening.

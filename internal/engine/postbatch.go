@@ -87,6 +87,17 @@ func (b *Batch) Call(oid store.OID, method string, args ...value.Value) {
 // Len returns the number of entries in the batch.
 func (b *Batch) Len() int { return len(b.oids) }
 
+// Class returns the class the batch posts against.
+func (b *Batch) Class() string { return b.class }
+
+// Entry returns entry i: the target OID, the method name, and the
+// argument run (aliasing the batch's pool — callers must not mutate
+// or retain it past the batch's next Reset). The partition router uses
+// it to re-post entries into per-partition batches.
+func (b *Batch) Entry(i int) (store.OID, string, []value.Value) {
+	return b.oids[i], b.methods[b.meth[i]], b.args[b.argOff[i]:b.argOff[i+1]]
+}
+
 // Reset empties the batch for reuse, keeping the interned method names
 // and the cached posting plan — a steady-state fill/post/Reset cycle
 // allocates nothing.

@@ -95,9 +95,13 @@ func (f *Flight) Total() uint64 { return f.cursor.Load() }
 // Names exposes the recorder's intern table.
 func (f *Flight) Names() *Interner { return f.names }
 
-// FlightEvent is one dumped recorder entry, JSON-ready.
+// FlightEvent is one dumped recorder entry, JSON-ready. Part is the
+// id of the partition whose engine recorded the event — stamped at
+// dump time by the owner (each partition has its own recorder), so
+// the record path stays a handful of atomic stores.
 type FlightEvent struct {
 	Seq     uint64 `json:"seq"`
+	Part    int    `json:"part"`
 	AtNs    int64  `json:"at_ns"`
 	Stage   Stage  `json:"stage"`
 	TxID    uint64 `json:"tx,omitempty"`

@@ -1,0 +1,94 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots combines per-partition metric snapshots into one
+// aggregate view: trigger rows with the same (class, trigger) key and
+// class rows with the same class sum their counters, and latency
+// histograms merge bucket-wise. Rows are ordered by name (class, then
+// trigger) — registration order is per-partition and has no global
+// meaning. The result carries the same consistency caveat as any
+// individual snapshot: exact when every source engine is quiescent.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	if len(snaps) == 1 {
+		return snaps[0]
+	}
+	trig := map[[2]string]*TriggerSnapshot{}
+	cls := map[string]*ClassSnapshot{}
+	for _, s := range snaps {
+		for _, t := range s.Triggers {
+			key := [2]string{t.Class, t.Trigger}
+			acc, ok := trig[key]
+			if !ok {
+				c := t
+				trig[key] = &c
+				continue
+			}
+			acc.Firings += t.Firings
+			acc.Steps += t.Steps
+			acc.MaskEvals += t.MaskEvals
+			acc.MaskFalse += t.MaskFalse
+			acc.ActionErrors += t.ActionErrors
+			acc.Latency = mergeHistograms(acc.Latency, t.Latency)
+		}
+		for _, c := range s.Classes {
+			acc, ok := cls[c.Class]
+			if !ok {
+				cc := c
+				cls[c.Class] = &cc
+				continue
+			}
+			acc.Happenings += c.Happenings
+			acc.Firings += c.Firings
+			acc.Steps += c.Steps
+			acc.MaskEvals += c.MaskEvals
+		}
+	}
+	var out Snapshot
+	for _, t := range trig {
+		out.Triggers = append(out.Triggers, *t)
+	}
+	for _, c := range cls {
+		out.Classes = append(out.Classes, *c)
+	}
+	sort.Slice(out.Triggers, func(i, j int) bool {
+		a, b := out.Triggers[i], out.Triggers[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Trigger < b.Trigger
+	})
+	sort.Slice(out.Classes, func(i, j int) bool {
+		return out.Classes[i].Class < out.Classes[j].Class
+	})
+	return out
+}
+
+// mergeHistograms sums two histogram snapshots bucket-wise.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		SumNs: a.SumNs + b.SumNs,
+		MaxNs: a.MaxNs,
+	}
+	if b.MaxNs > out.MaxNs {
+		out.MaxNs = b.MaxNs
+	}
+	byUpper := map[uint64]uint64{}
+	for _, bk := range a.Buckets {
+		byUpper[bk.UpperNs] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byUpper[bk.UpperNs] += bk.Count
+	}
+	for up, n := range byUpper {
+		out.Buckets = append(out.Buckets, Bucket{UpperNs: up, Count: n})
+	}
+	sort.Slice(out.Buckets, func(i, j int) bool {
+		return out.Buckets[i].UpperNs < out.Buckets[j].UpperNs
+	})
+	if out.Count > 0 {
+		out.MeanNs = float64(out.SumNs) / float64(out.Count)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package part
+
+import (
+	"ode/internal/engine"
+)
+
+// Ingest coalescing. A single-writer loop owns its partition
+// exclusively, so it can safely hold one transaction open across
+// consecutive batch posts and commit every IngestWindow posts —
+// amortizing copy-on-write record cloning, transaction-boundary
+// happenings and commit fan-out over the whole window. A shared
+// lock-based engine cannot do this without stalling every other
+// writer for the duration of the window, which is exactly where the
+// E11 parallel-posting curve plateaued. Ingested state is uncommitted
+// (invisible to committed-view triggers and not yet durable) until the
+// window fills, FlushIngest runs, or the database closes.
+
+// ingestWindow returns the partition's configured window size.
+func (p *Partition) ingestWindow() int {
+	if w := p.db.opts.IngestWindow; w >= 1 {
+		return w
+	}
+	return 16
+}
+
+// postIngest appends b into the partition's open ingest transaction
+// (beginning one if needed) and commits once the window fills. Runs on
+// the loop goroutine only.
+func (p *Partition) postIngest(e *engine.Engine, b *engine.Batch) error {
+	if p.ingest == nil {
+		p.ingest = e.Begin()
+		p.ingestPosts = 0
+	}
+	if err := p.ingest.PostBatch(b); err != nil {
+		// The window is poisoned: roll the whole transaction away so a
+		// bad batch cannot leak earlier posts' effects ambiguously.
+		p.ingest.Abort()
+		p.ingest = nil
+		return err
+	}
+	p.ingestPosts++
+	if p.ingestPosts >= p.ingestWindow() {
+		return p.flushIngest()
+	}
+	return nil
+}
+
+// flushIngest commits the open ingest transaction, if any. Runs on the
+// loop goroutine only.
+func (p *Partition) flushIngest() error {
+	if p.ingest == nil {
+		return nil
+	}
+	tx := p.ingest
+	p.ingest = nil
+	p.ingestPosts = 0
+	return tx.Commit()
+}
+
+// PostBatchIngest routes b's entries by owning partition (the same
+// split as PostBatch) and appends each piece to its partition's open
+// ingest transaction, waiting for all pieces to be accepted. Unlike
+// PostBatch, the pieces do not commit per post: each partition
+// coalesces Options.IngestWindow pieces into one transaction. Call
+// FlushIngest to force everything posted so far to commit; Close
+// flushes implicitly. Mixing PostBatchIngest with same-partition work
+// that must observe the ingested state requires a flush in between.
+func (db *DB) PostBatchIngest(b *engine.Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	outs, err := db.SplitBatch(b, nil)
+	if err != nil {
+		return err
+	}
+	dones := make([]chan error, 0, len(outs))
+	for p, piece := range outs {
+		if piece.Len() == 0 {
+			continue
+		}
+		pt := db.parts[p]
+		pc := piece
+		done := make(chan error, 1)
+		db.pending.Add(1)
+		pt.in <- job{fn: func(e *engine.Engine) error { return pt.postIngest(e, pc) }, done: done, ingest: true}
+		dones = append(dones, done)
+	}
+	var first error
+	for _, done := range dones {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FlushIngest commits every partition's open ingest transaction. It is
+// the barrier between bulk ingest and reads that must observe it.
+// (Every non-ingest job submitted through Do/Transact flushes
+// implicitly; this returns the commit error to the caller instead of
+// the partition's relay-error log.)
+func (db *DB) FlushIngest() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	var first error
+	for _, pt := range db.parts {
+		pt := pt
+		done := make(chan error, 1)
+		db.pending.Add(1)
+		pt.in <- job{fn: func(*engine.Engine) error { return pt.flushIngest() }, done: done, ingest: true}
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,161 @@
+package part
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/obs"
+	"ode/internal/schema"
+	"ode/internal/store"
+)
+
+var timerStart = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+// timerTriggers returns the extra timer triggers used by the
+// partition-aware timer tests.
+func timerTriggers() []schema.Trigger {
+	return []schema.Trigger{
+		{Name: "Tick", Perpetual: true, Event: "every time(M=10)"},
+		{Name: "Daily", Perpetual: true, Event: "at time(HR=17)"},
+	}
+}
+
+// TestTimersFireInOwningPartition is the regression test for
+// partition-aware timer delivery: `every` and `at` triggers on objects
+// in different partitions fire under the shared virtual clock, each
+// inside its owning partition's loop (the fire events land in the
+// owning partition's flight recorder), with per-partition timer-post
+// counters advancing.
+func TestTimersFireInOwningPartition(t *testing.T) {
+	log := &fireLog{}
+	db := openBank(t, 3, "", log, engine.Options{Start: timerStart}, timerTriggers()...)
+	defer db.Close()
+	oids := newAccounts(t, db)
+	for _, oid := range oids {
+		if err := db.Activate(oid, "Tick"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Activate(oid, "Daily"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 08:00 → 09:00: six 10-minute ticks per object, no Daily yet.
+	if err := db.Advance(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for p, oid := range oids {
+		want := fmt.Sprintf("Tick/%d", oid)
+		got := 0
+		for _, f := range log.list() {
+			if f == want {
+				got++
+			}
+		}
+		if got != 6 {
+			t.Fatalf("partition %d object %d: %d ticks after 1h, want 6 (%v)", p, oid, got, log.list())
+		}
+		for _, errs := range [][]error{db.Partition(p).Engine().TimerErrors()} {
+			if len(errs) != 0 {
+				t.Fatalf("partition %d timer errors: %v", p, errs)
+			}
+		}
+	}
+
+	// 09:00 → 18:00 crosses 17:00: Daily fires once per object.
+	if err := db.Advance(9 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for p, oid := range oids {
+		want := fmt.Sprintf("Daily/%d", oid)
+		got := 0
+		for _, f := range log.list() {
+			if f == want {
+				got++
+			}
+		}
+		if got != 1 {
+			t.Fatalf("partition %d object %d: Daily fired %d times, want 1", p, oid, got)
+		}
+	}
+
+	// The owning-loop property, observably: every fire event sits in the
+	// flight recorder of the partition that owns the fired object.
+	for _, ev := range db.FlightEvents(0) {
+		if ev.Stage != obs.StageFire {
+			continue
+		}
+		if own := db.PartitionOf(store.OID(ev.OID)); ev.Part != own {
+			t.Fatalf("fire of %s on object %d recorded by partition %d, owner is %d",
+				ev.Trigger, ev.OID, ev.Part, own)
+		}
+	}
+	// Each partition posted its own timer happenings.
+	for p, s := range db.PartitionStats() {
+		if s.TimerPosts == 0 {
+			t.Fatalf("partition %d posted no timer events", p)
+		}
+	}
+}
+
+// TestRearmTimersPartitionAware reopens a persistent multi-partition
+// database and rearms: every partition re-creates its own volatile
+// timer schedule inside its own loop, and a subsequent Advance fires
+// the timers of objects on every partition again.
+func TestRearmTimersPartitionAware(t *testing.T) {
+	dir := t.TempDir()
+	log := &fireLog{}
+	db := openBank(t, 3, dir, log, engine.Options{Start: timerStart}, timerTriggers()...)
+	oids := newAccounts(t, db)
+	for _, oid := range oids {
+		if err := db.Activate(oid, "Tick"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Advance(30 * time.Minute); err != nil { // 3 ticks per object
+		t.Fatal(err)
+	}
+	before := log.count()
+	if before == 0 {
+		t.Fatal("no ticks before crash")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: timers are volatile, so nothing fires until RearmTimers.
+	log2 := &fireLog{}
+	db2 := openBank(t, 3, dir, log2, engine.Options{Start: timerStart.Add(30 * time.Minute)}, timerTriggers()...)
+	defer db2.Close()
+	if err := db2.Advance(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := log2.count(); got != 0 {
+		t.Fatalf("timers fired before rearm: %v", log2.list())
+	}
+	if err := db2.RearmTimers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Advance(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for p, oid := range oids {
+		want := fmt.Sprintf("Tick/%d", oid)
+		got := 0
+		for _, f := range log2.list() {
+			if f == want {
+				got++
+			}
+		}
+		if got == 0 {
+			t.Fatalf("partition %d object %d: no ticks after rearm (%v)", p, oid, log2.list())
+		}
+	}
+	for p := 0; p < db2.N(); p++ {
+		if errs := db2.Partition(p).Engine().TimerErrors(); len(errs) != 0 {
+			t.Fatalf("partition %d timer errors after rearm: %v", p, errs)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package part
+
+import (
+	"fmt"
+
+	"ode/internal/engine"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// PartitionOf returns the partition that owns oid. Ownership is pure
+// arithmetic over the OID — partition p allocates the residue class
+// p+1 (mod N) — so the answer never changes across restarts and needs
+// no directory. OID 0 (never allocated) maps to partition 0.
+func (db *DB) PartitionOf(oid store.OID) int {
+	if oid == 0 {
+		return 0
+	}
+	return int((uint64(oid) - 1) % uint64(len(db.parts)))
+}
+
+// PartitionOf is the routing function as a free function: the owner of
+// oid among n partitions.
+func PartitionOf(oid store.OID, n int) int {
+	if oid == 0 || n <= 1 {
+		return 0
+	}
+	return int((uint64(oid) - 1) % uint64(n))
+}
+
+// NewObject creates an object of the named class on partition p (in
+// its own transaction) and returns its OID — which, by construction,
+// routes back to p.
+func (db *DB) NewObject(p int, class string, fields map[string]value.Value) (store.OID, error) {
+	var oid store.OID
+	err := db.Transact(p, func(tx *engine.Tx) error {
+		var ierr error
+		oid, ierr = tx.NewObject(class, fields)
+		return ierr
+	})
+	return oid, err
+}
+
+// Call invokes a method on oid in its own transaction inside the
+// owning partition's loop and returns the result.
+func (db *DB) Call(oid store.OID, method string, args ...value.Value) (value.Value, error) {
+	var out value.Value
+	err := db.Transact(db.PartitionOf(oid), func(tx *engine.Tx) error {
+		var ierr error
+		out, ierr = tx.Call(oid, method, args...)
+		return ierr
+	})
+	return out, err
+}
+
+// Activate activates a trigger on oid inside the owning partition.
+func (db *DB) Activate(oid store.OID, trigger string, params ...value.Value) error {
+	return db.Transact(db.PartitionOf(oid), func(tx *engine.Tx) error {
+		return tx.Activate(oid, trigger, params...)
+	})
+}
+
+// SplitBatch routes the entries of one logical batch to per-partition
+// batches: entry order within each partition is the logical order (the
+// split is stable), and every entry lands in exactly the partition
+// PartitionOf assigns its OID — the same route a single post of that
+// entry would take. outs must have one (possibly nil) slot per
+// partition; non-nil slots are reused via Reset, nil slots are
+// allocated, and the filled slice is returned. Entries of different
+// partitions commit in different transactions: the logical batch's
+// atomicity becomes per-partition atomicity, which is the documented
+// partitioned semantics.
+func (db *DB) SplitBatch(b *engine.Batch, outs []*engine.Batch) ([]*engine.Batch, error) {
+	n := len(db.parts)
+	if len(outs) != n {
+		outs = make([]*engine.Batch, n)
+	}
+	for p := 0; p < n; p++ {
+		if outs[p] == nil {
+			outs[p] = engine.NewBatch(b.Class(), b.Len()/n+1)
+		} else {
+			outs[p].Reset()
+		}
+	}
+	for i := 0; i < b.Len(); i++ {
+		oid, method, args := b.Entry(i)
+		outs[db.PartitionOf(oid)].Call(oid, method, args...)
+	}
+	return outs, nil
+}
+
+// PostBatch splits the batch by owning partition and posts each piece
+// inside its partition's loop (each piece in its own transaction),
+// waiting for all. The first error is returned; pieces on other
+// partitions may have committed — atomicity is per partition.
+func (db *DB) PostBatch(b *engine.Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	outs, err := db.SplitBatch(b, nil)
+	if err != nil {
+		return err
+	}
+	dones := make([]chan error, 0, len(outs))
+	for p, piece := range outs {
+		if piece.Len() == 0 {
+			continue
+		}
+		pc := piece
+		done := make(chan error, 1)
+		db.DoAsync(p, func(e *engine.Engine) error {
+			return e.Transact(func(tx *engine.Tx) error { return tx.PostBatch(pc) })
+		}, done)
+		dones = append(dones, done)
+	}
+	var first error
+	for _, done := range dones {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CheckOwnership verifies that every live object sits in the partition
+// the router assigns it — the invariant the OID allocation stride
+// maintains. Tests call it after recovery.
+func (db *DB) CheckOwnership() error {
+	for p, pt := range db.parts {
+		for _, oid := range pt.eng.Store().OIDs() {
+			if got := db.PartitionOf(oid); got != p {
+				return fmt.Errorf("part: object %d lives in partition %d but routes to %d", oid, p, got)
+			}
+		}
+	}
+	return nil
+}

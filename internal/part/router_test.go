@@ -1,0 +1,247 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+
+	"ode/internal/engine"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// TestRoutingIsTotalAndStable is the router property test: every OID
+// routes to exactly one partition (the function is total and in
+// range), the routing is pure arithmetic (free function and method
+// agree), and it is stable across restarts — the same OID maps to the
+// same partition in a reopened database because no directory state is
+// involved.
+func TestRoutingIsTotalAndStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		seen := make(map[store.OID]int)
+		for i := 0; i < 2000; i++ {
+			oid := store.OID(rng.Uint64()%1_000_000 + 1)
+			p := PartitionOf(oid, n)
+			if p < 0 || p >= n {
+				t.Fatalf("n=%d: PartitionOf(%d) = %d out of range", n, oid, p)
+			}
+			if prev, ok := seen[oid]; ok && prev != p {
+				t.Fatalf("n=%d: OID %d routed to both %d and %d", n, oid, prev, p)
+			}
+			seen[oid] = p
+		}
+		// Residue-class shape: consecutive OIDs cycle through partitions.
+		for oid := store.OID(1); oid <= store.OID(3*n); oid++ {
+			if got, want := PartitionOf(oid, n), int((uint64(oid)-1)%uint64(n)); got != want {
+				t.Fatalf("n=%d: PartitionOf(%d) = %d, want %d", n, oid, got, want)
+			}
+		}
+	}
+
+	// Stability across restart: allocate in a persistent DB, reopen, and
+	// verify both that the method agrees with the free function and that
+	// every recovered object still routes to the partition holding it.
+	dir := t.TempDir()
+	db := openBank(t, 4, dir, nil, engine.Options{})
+	oids := newAccounts(t, db)
+	routes := make(map[store.OID]int)
+	for _, oid := range oids {
+		routes[oid] = db.PartitionOf(oid)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openBank(t, 4, dir, nil, engine.Options{})
+	defer db2.Close()
+	for oid, p := range routes {
+		if got := db2.PartitionOf(oid); got != p {
+			t.Fatalf("OID %d routed to %d before restart and %d after", oid, p, got)
+		}
+		if got := PartitionOf(oid, 4); got != p {
+			t.Fatalf("method and free function disagree for OID %d: %d vs %d", oid, p, got)
+		}
+	}
+	if err := db2.CheckOwnership(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitBatchMatchesSingleCallRoute is the seeded property test
+// pinning batch splitting to the single-post route: a random batch of
+// deposits/withdrawals over objects on every partition, posted once
+// via PostBatch (split per partition) and once as individual Call
+// posts on an identically seeded second database, must produce the
+// same balances, the same trigger states and the same per-class
+// happening counts.
+func TestSplitBatchMatchesSingleCallRoute(t *testing.T) {
+	const parts, objsPer, entries = 4, 3, 200
+	logA, logB := &fireLog{}, &fireLog{}
+	dbA := openBank(t, parts, "", logA, engine.Options{})
+	defer dbA.Close()
+	dbB := openBank(t, parts, "", logB, engine.Options{})
+	defer dbB.Close()
+
+	// Both databases allocate identically (same creation order), so the
+	// OID sets coincide.
+	var oidsA, oidsB []store.OID
+	for i := 0; i < parts*objsPer; i++ {
+		p := i % parts
+		for _, dst := range []struct {
+			db   *DB
+			oids *[]store.OID
+		}{{dbA, &oidsA}, {dbB, &oidsB}} {
+			err := dst.db.Transact(p, func(tx *engine.Tx) error {
+				oid, err := tx.NewObject("account", nil)
+				if err != nil {
+					return err
+				}
+				*dst.oids = append(*dst.oids, oid)
+				for _, name := range []string{"Large", "Pair", "AnyDep"} {
+					if err := tx.Activate(oid, name); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range oidsA {
+		if oidsA[i] != oidsB[i] {
+			t.Fatalf("allocation diverged: %v vs %v", oidsA, oidsB)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	b := engine.NewBatch("account", entries)
+	type entry struct {
+		oid    store.OID
+		method string
+		amt    int64
+	}
+	var plan []entry
+	for i := 0; i < entries; i++ {
+		oid := oidsA[rng.Intn(len(oidsA))]
+		method := "deposit"
+		if rng.Intn(2) == 1 {
+			method = "withdraw"
+		}
+		amt := int64(rng.Intn(300))
+		plan = append(plan, entry{oid, method, amt})
+		b.Call(oid, method, value.Int(amt))
+	}
+
+	// Route A: one logical batch through the splitter.
+	if err := dbA.PostBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	dbA.Drain()
+	// Route B: every entry posted singly through the router.
+	for _, e := range plan {
+		if _, err := dbB.Call(e.oid, e.method, value.Int(e.amt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dbB.Drain()
+
+	for _, oid := range oidsA {
+		p := dbA.PartitionOf(oid)
+		var balA, balB int64
+		if err := dbA.Transact(p, func(tx *engine.Tx) error {
+			v, err := tx.Get(oid, "balance")
+			balA = v.AsInt()
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dbB.Transact(p, func(tx *engine.Tx) error {
+			v, err := tx.Get(oid, "balance")
+			balB = v.AsInt()
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if balA != balB {
+			t.Fatalf("OID %d: batch route balance %d != single route balance %d", oid, balA, balB)
+		}
+		for _, trig := range []string{"Large", "Pair", "AnyDep"} {
+			stA, actA, errA := dbA.TriggerState(oid, trig)
+			stB, actB, errB := dbB.TriggerState(oid, trig)
+			if errA != nil || errB != nil {
+				t.Fatalf("TriggerState(%d, %s): %v / %v", oid, trig, errA, errB)
+			}
+			if stA != stB || actA != actB {
+				t.Fatalf("OID %d trigger %s: batch route (%d,%v) != single route (%d,%v)",
+					oid, trig, stA, actA, stB, actB)
+			}
+		}
+	}
+	// Happenings are not compared: the single route runs one transaction
+	// per entry and each transaction posts its own tbegin/tcommit
+	// happenings. Firings are route-invariant.
+	sa, sb := dbA.Stats(), dbB.Stats()
+	if sa.Firings != sb.Firings {
+		t.Fatalf("batch route fired %d, single route fired %d", sa.Firings, sb.Firings)
+	}
+	if logA.count() != logB.count() {
+		t.Fatalf("batch route fired %d actions, single route %d", logA.count(), logB.count())
+	}
+}
+
+// FuzzSplitBatchRoute fuzzes the splitter against the router: every
+// entry of a batch built from fuzzed bytes must land in the partition
+// that a single post of that entry would use, with per-partition entry
+// order preserving logical order.
+func FuzzSplitBatchRoute(f *testing.F) {
+	f.Add(uint8(4), []byte{1, 2, 3, 200, 9})
+	f.Add(uint8(1), []byte{0})
+	f.Add(uint8(8), []byte{255, 254, 17, 17, 17})
+	f.Fuzz(func(t *testing.T, nRaw uint8, oidBytes []byte) {
+		n := int(nRaw%8) + 1
+		db := openBank(t, n, "", nil, engine.Options{})
+		defer db.Close()
+
+		b := engine.NewBatch("account", len(oidBytes))
+		for _, raw := range oidBytes {
+			oid := store.OID(uint64(raw) + 1)
+			b.Call(oid, "deposit", value.Int(int64(raw)))
+		}
+		outs, err := db.SplitBatch(b, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		var prevIdx []int = make([]int, n) // logical cursor per partition
+		for p, piece := range outs {
+			total += piece.Len()
+			for i := 0; i < piece.Len(); i++ {
+				oid, method, args := piece.Entry(i)
+				if got := db.PartitionOf(oid); got != p {
+					t.Fatalf("entry for OID %d in partition %d's piece, routes to %d", oid, p, got)
+				}
+				if method != "deposit" || len(args) != 1 {
+					t.Fatalf("entry mangled: %s %v", method, args)
+				}
+				// Order check: this piece's entries appear in the same order
+				// as in the logical batch.
+				found := -1
+				for j := prevIdx[p]; j < b.Len(); j++ {
+					loid, _, largs := b.Entry(j)
+					if loid == oid && largs[0].AsInt() == args[0].AsInt() {
+						found = j
+						break
+					}
+				}
+				if found < 0 {
+					t.Fatalf("partition %d entry %d (%d, %v) out of logical order", p, i, oid, args)
+				}
+				prevIdx[p] = found + 1
+			}
+		}
+		if total != b.Len() {
+			t.Fatalf("split lost entries: %d in, %d out", b.Len(), total)
+		}
+	})
+}

@@ -318,7 +318,14 @@ func (x *exec) runTx(ops []Op, abort bool) error {
 }
 
 func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
-	cur := stage.view(op.Obj)
+	return applyOpTx(tx, stage.view, stage.put, op)
+}
+
+// applyOpTx executes one scripted op against tx, resolving and staging
+// model state through view/put. Shared by the single-engine executor
+// (txStage) and the partitioned executor (mStage in multipart.go).
+func applyOpTx(tx *engine.Tx, view func(int) *objState, put func(int, *objState), op Op) error {
+	cur := view(op.Obj)
 	switch op.Kind {
 	case OpNew:
 		if cur != nil && cur.alive {
@@ -328,7 +335,7 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 		if err != nil {
 			return err
 		}
-		stage.put(op.Obj, &objState{
+		put(op.Obj, &objState{
 			class: op.Class, alive: true, oid: oid,
 			fields: classDefs[op.Class].newFields(),
 		})
@@ -342,7 +349,7 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 		}
 		ns := cur.clone()
 		ns.alive = false
-		stage.put(op.Obj, ns)
+		put(op.Obj, ns)
 		return nil
 	case OpCall:
 		if cur == nil || !cur.alive {
@@ -357,7 +364,7 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 		}
 		ns := cur.clone()
 		classDefs[ns.class].apply(ns.fields, op.Method, op.Arg)
-		stage.put(op.Obj, ns)
+		put(op.Obj, ns)
 		return nil
 	case OpBatch:
 		// Build the engine batch from the entries whose slot is live,
@@ -368,7 +375,7 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 		b := engine.NewBatch(classDefs[op.Class].name, len(op.Batch))
 		live := make([]BatchCall, 0, len(op.Batch))
 		for _, e := range op.Batch {
-			ec := stage.view(e.Obj)
+			ec := view(e.Obj)
 			if ec == nil || !ec.alive || ec.class != op.Class {
 				continue
 			}
@@ -386,10 +393,10 @@ func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
 			return err
 		}
 		for _, e := range live {
-			ec := stage.view(e.Obj)
+			ec := view(e.Obj)
 			ns := ec.clone()
 			classDefs[ns.class].apply(ns.fields, e.Method, e.Arg)
-			stage.put(e.Obj, ns)
+			put(e.Obj, ns)
 		}
 		return nil
 	case OpActivate:
@@ -466,27 +473,41 @@ func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error
 // (post=true) or ignored (post=false). nil error means exact match:
 // same live objects, same field values, nothing extra.
 func (x *exec) stateErr(stage *txStage, post bool) error {
-	st := x.eng.Store()
-	n := len(x.model)
+	var touched map[int]*objState
 	if stage != nil {
-		for slot := range stage.touched {
-			if slot+1 > n {
-				n = slot + 1
-			}
+		touched = stage.touched
+	}
+	return modelStateErr(x.eng.Store(), x.model, touched, post)
+}
+
+// modelStateErr is the ledger check shared by the single-engine and
+// partitioned executors: the store must hold exactly the model's live
+// objects with exactly the model's field values, with the pending
+// transaction's updates (touched) applied (post=true) or ignored
+// (post=false).
+func modelStateErr(st *store.Store, model []*objState, touched map[int]*objState, post bool) error {
+	n := len(model)
+	for slot := range touched {
+		if slot+1 > n {
+			n = slot + 1
 		}
+	}
+	slotAt := func(i int) *objState {
+		if i < len(model) {
+			return model[i]
+		}
+		return nil
 	}
 	alive := 0
 	for i := 0; i < n; i++ {
-		v := x.slot(i)
-		if stage != nil {
-			if sv, ok := stage.touched[i]; ok {
-				if post {
-					v = sv
-				} else if v == nil && sv.oid != 0 && st.Exists(sv.oid) {
-					// Object created by the pending transaction must not
-					// survive a pre-state recovery.
-					return fmt.Errorf("slot %d: uncommitted object %d survived recovery", i, sv.oid)
-				}
+		v := slotAt(i)
+		if sv, ok := touched[i]; ok {
+			if post {
+				v = sv
+			} else if v == nil && sv.oid != 0 && st.Exists(sv.oid) {
+				// Object created by the pending transaction must not
+				// survive a pre-state recovery.
+				return fmt.Errorf("slot %d: uncommitted object %d survived recovery", i, sv.oid)
 			}
 		}
 		if v == nil || !v.alive {

@@ -172,6 +172,15 @@ type Options struct {
 	// consults at its named points (see internal/fault). nil — the
 	// production default — keeps every consult a single branch.
 	Faults *fault.Registry
+	// OIDBase and OIDStride restrict allocation to the arithmetic
+	// progression base, base+stride, base+2·stride, … — partition p of N
+	// opens its store with base p+1 and stride N so every partition
+	// allocates from a disjoint residue class and an OID's owner can be
+	// recomputed from the OID alone ((oid-1) mod N), stable across
+	// restarts by construction. Zero values mean base 1, stride 1 (the
+	// unpartitioned default: every OID).
+	OIDBase   uint64
+	OIDStride uint64
 }
 
 // RecoveryInfo describes what the last Open recovered from disk.
@@ -196,6 +205,7 @@ type RecoveryInfo struct {
 // Store is an in-memory object heap with optional durability.
 type Store struct {
 	nextOID  atomic.Uint64 // next OID to allocate
+	oidStep  uint64        // allocation stride (Options.OIDStride, ≥1)
 	stripes  [numStripes]stripe
 	dir      string // "" → volatile
 	opts     Options
@@ -227,7 +237,15 @@ func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
 // OpenWith is Open with explicit Options.
 func OpenWith(dir string, opts Options) (*Store, error) {
 	s := &Store{dir: dir, opts: opts}
-	s.nextOID.Store(1)
+	s.oidStep = opts.OIDStride
+	if s.oidStep == 0 {
+		s.oidStep = 1
+	}
+	base := opts.OIDBase
+	if base == 0 {
+		base = 1
+	}
+	s.nextOID.Store(base)
 	for i := range s.stripes {
 		s.stripes[i].objects = make(map[OID]*Record)
 	}
@@ -268,7 +286,7 @@ func (s *Store) Close() error {
 // returns its identity. Durability happens when the creating
 // transaction commits (LogCommit).
 func (s *Store) Create(class string, fields map[string]value.Value) *Record {
-	oid := OID(s.nextOID.Add(1) - 1)
+	oid := OID(s.nextOID.Add(s.oidStep) - s.oidStep)
 	if fields == nil {
 		fields = map[string]value.Value{}
 	}
@@ -516,10 +534,11 @@ func (s *Store) recover() error {
 }
 
 // applyPut installs one recovered committed record and bumps the OID
-// allocator past it. Runs single-threaded at Open.
+// allocator past it (by the store's stride — recovered OIDs are always
+// in this store's residue class). Runs single-threaded at Open.
 func (s *Store) applyPut(r *Record) {
 	s.stripeOf(r.OID).objects[r.OID] = r
 	if uint64(r.OID) >= s.nextOID.Load() {
-		s.nextOID.Store(uint64(r.OID) + 1)
+		s.nextOID.Store(uint64(r.OID) + s.oidStep)
 	}
 }

@@ -48,6 +48,7 @@ var (
 type Manager struct {
 	store  *store.Store
 	locks  *lockManager
+	single bool // single-writer mode: bypass the lock manager entirely
 	nextID atomic.Uint64
 
 	mu   sync.Mutex
@@ -68,6 +69,39 @@ func NewManagerWith(s *store.Store, faults *fault.Registry) *Manager {
 
 // Store returns the underlying object store.
 func (m *Manager) Store() *store.Store { return m.store }
+
+// SetSingleWriter switches the manager into single-writer mode: every
+// lock acquisition becomes a no-op (Holds reports true, releaseAll
+// does nothing), because exactly one goroutine — a partition's event
+// loop — drives all transactions over this store, so mutual exclusion
+// is structural rather than negotiated. Deadlocks cannot occur (there
+// is never a second writer to wait for) and the LockAcquire fault
+// point is not consulted (partitioned simulation injects WAL faults
+// instead). Must be called before the manager is shared; it is not
+// safe to toggle while transactions are in flight.
+func (m *Manager) SetSingleWriter(on bool) { m.single = on }
+
+// lock acquires oid for txID, or is a no-op in single-writer mode.
+func (m *Manager) lock(txID uint64, oid store.OID) error {
+	if m.single {
+		return nil
+	}
+	return m.locks.lock(txID, oid)
+}
+
+func (m *Manager) releaseAll(txID uint64) {
+	if m.single {
+		return
+	}
+	m.locks.releaseAll(txID)
+}
+
+func (m *Manager) holds(txID uint64, oid store.OID) bool {
+	if m.single {
+		return true
+	}
+	return m.locks.holds(txID, oid)
+}
 
 // Begin starts a transaction. A Tx must be used from a single
 // goroutine.
@@ -146,7 +180,7 @@ func (tx *Tx) Access(oid store.OID) (rec *store.Record, first bool, err error) {
 	if tx.State() != Active {
 		return nil, false, ErrNotActive
 	}
-	if err := tx.mgr.locks.lock(tx.id, oid); err != nil {
+	if err := tx.mgr.lock(tx.id, oid); err != nil {
 		return nil, false, err
 	}
 	rec, err = tx.mgr.store.Get(oid)
@@ -175,7 +209,7 @@ func (tx *Tx) Create(class string, fields map[string]value.Value) (*store.Record
 		return nil, ErrNotActive
 	}
 	rec := tx.mgr.store.Create(class, fields)
-	if err := tx.mgr.locks.lock(tx.id, rec.OID); err != nil {
+	if err := tx.mgr.lock(tx.id, rec.OID); err != nil {
 		// Freshly created: the lock cannot contend, but stay defensive.
 		tx.mgr.store.Remove(rec.OID)
 		return nil, err
@@ -253,7 +287,7 @@ func (tx *Tx) Commit() error {
 	// new epoch sees exactly the state the WAL just made durable.
 	tx.mgr.store.PublishCommitted(dirty, deleted)
 	tx.setState(Committed)
-	tx.mgr.locks.releaseAll(tx.id)
+	tx.mgr.releaseAll(tx.id)
 	tx.mgr.broadcast()
 	return nil
 }
@@ -279,7 +313,7 @@ func (tx *Tx) rollback() {
 		}
 	}
 	tx.setState(Aborted)
-	tx.mgr.locks.releaseAll(tx.id)
+	tx.mgr.releaseAll(tx.id)
 	tx.mgr.broadcast()
 }
 
@@ -304,7 +338,7 @@ func (m *Manager) broadcast() {
 }
 
 // Holds reports whether the transaction currently holds oid's lock.
-func (tx *Tx) Holds(oid store.OID) bool { return tx.mgr.locks.holds(tx.id, oid) }
+func (tx *Tx) Holds(oid store.OID) bool { return tx.mgr.holds(tx.id, oid) }
 
 // Peek locks oid and returns its live record without counting the
 // access: no before-image, no entry in Accessed(), so no transaction
@@ -316,7 +350,7 @@ func (tx *Tx) Peek(oid store.OID) (*store.Record, error) {
 	if tx.State() != Active {
 		return nil, ErrNotActive
 	}
-	if err := tx.mgr.locks.lock(tx.id, oid); err != nil {
+	if err := tx.mgr.lock(tx.id, oid); err != nil {
 		return nil, err
 	}
 	return tx.mgr.store.Get(oid)

@@ -1,0 +1,358 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ode/internal/engine"
+	"ode/internal/obs"
+	"ode/internal/part"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E17Row is one partitioned-scaling measurement: the E11 volatile
+// banking mix driven at a partition count × producer-goroutine count ×
+// batch size. Partitions=1 with Batch=1 is the direct unpartitioned
+// Transact+Call path — the PR 7 baseline — and every row's speedup is
+// relative to that row at the same goroutine count, so the table
+// decomposes the partitioned engine's aggregate gain into its two
+// sources: columnar batch amortization and lock-free single-writer
+// loops.
+type E17Row struct {
+	Partitions  int     `json:"partitions"`
+	Goroutines  int     `json:"goroutines"`
+	Batch       int     `json:"batch"`
+	Calls       int     `json:"calls"`
+	Firings     uint64  `json:"firings"`
+	OpsPerSec   float64 `json:"happenings_per_sec"`
+	SpeedupVsP1 float64 `json:"speedup_vs_p1_single"`
+}
+
+// RunE17 sweeps partitions × goroutines × batch sizes over the E11
+// volatile banking workload. Every producer issues callsPerG method
+// calls (rounded to whole transactions/batches); after each cell the
+// per-trigger metrics — merged across partitions — are reconciled
+// against the aggregate engine counters, so the partitioned
+// observability plane doubles as the correctness oracle for the cell.
+// parts must start with 1 and batches with 1: cell (P=1, B=1) anchors
+// the speedup column for its goroutine count.
+func RunE17(callsPerG, objectsPerPartition int, seed int64, parts, gs, batches []int) ([]E17Row, error) {
+	if len(parts) == 0 || parts[0] != 1 || len(batches) == 0 || batches[0] != 1 {
+		return nil, fmt.Errorf("workload: E17 needs parts[0]==1 and batches[0]==1 to anchor speedups")
+	}
+	var rows []E17Row
+	for _, g := range gs {
+		var base float64
+		for _, p := range parts {
+			for _, b := range batches {
+				// Best of two repetitions per cell, as in E12/E16: one
+				// fresh-engine rep can eat a GC cycle or scheduler hiccup
+				// whole at these short runtimes.
+				var row E17Row
+				for rep := 0; rep < 2; rep++ {
+					var (
+						r   E17Row
+						err error
+					)
+					if p == 1 {
+						r, err = runE17Direct(callsPerG, objectsPerPartition, seed, g, b)
+					} else {
+						r, err = runE17Partitioned(callsPerG, objectsPerPartition, seed, p, g, b)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("workload: E17 P=%d g=%d batch=%d: %w", p, g, b, err)
+					}
+					if rep == 0 || r.OpsPerSec > row.OpsPerSec {
+						row = r
+					}
+				}
+				if p == 1 && b == 1 {
+					base = row.OpsPerSec
+				}
+				row.SpeedupVsP1 = row.OpsPerSec / base
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// e17Window is how many batches one transaction absorbs on the
+// batched paths (the partitioned side's Options.IngestWindow and the
+// direct side's explicit commit cadence).
+const e17Window = 16
+
+// e17Call draws one call of the E17 mix: the E11 banking class driven
+// at a monitoring-shaped distribution — 1/16 deposits (AnyDep and Pair
+// fire), the rest withdrawals bounded under Large's mask (a > 100
+// never passes). Active-database monitoring posts masses of happenings
+// that mostly do NOT fire (§1: triggers watch for rare conditions);
+// E11's 50/50 unbounded mix fires on ~90% of calls, which measures the
+// firing pipeline (E16's "firing" scenario, ~1.5µs flat regardless of
+// path) rather than detection. This mix keeps the hot path on the
+// masked automaton-step route the partitioned loops amortize, with
+// enough firings to stay non-vacuous.
+func e17Call(rng *rand.Rand) (method string, amount value.Value) {
+	if rng.Intn(16) == 0 {
+		return "deposit", value.Int(int64(rng.Intn(300)))
+	}
+	return "withdraw", value.Int(int64(rng.Intn(100)))
+}
+
+// e17Mix fills batch b with batchSize calls of the E17 mix against oids.
+func e17Mix(rng *rand.Rand, b *engine.Batch, oids []store.OID, batchSize int) {
+	b.Reset()
+	for j := 0; j < batchSize; j++ {
+		method, amount := e17Call(rng)
+		b.Call(oids[rng.Intn(len(oids))], method, amount)
+	}
+}
+
+// runE17Direct measures the unpartitioned engine: batch=1 is the
+// E11-shaped Transact+Call transaction (4 calls); batch>1 posts
+// rebuilt batches through Tx.PostBatch, one transaction per batch.
+func runE17Direct(callsPerG, objectsPerG int, seed int64, g, batchSize int) (E17Row, error) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E17Row{}, err
+	}
+	defer eng.Close()
+	oids, err := setupBanking(eng, g*objectsPerG)
+	if err != nil {
+		return E17Row{}, err
+	}
+	// Warm up lazy allocations and first-touch growth, as in E11.
+	err = eng.Transact(func(tx *engine.Tx) error {
+		for j := 0; j < 64; j++ {
+			if _, err := tx.Call(oids[j%len(oids)], "deposit", value.Int(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return E17Row{}, err
+	}
+
+	per := 4
+	if batchSize > 1 {
+		per = batchSize
+	}
+	iters := callsPerG / per
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := oids[w*objectsPerG : (w+1)*objectsPerG]
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			if batchSize > 1 {
+				// Symmetric to the partitioned ingest path: one open
+				// transaction absorbs e17Window batches before committing,
+				// so both sides amortize copy-on-write cloning and commit
+				// fan-out identically and the row isolates the routing +
+				// loop cost.
+				b := engine.NewBatch("account", batchSize)
+				var tx *engine.Tx
+				for i := 0; i < iters; i++ {
+					if tx == nil {
+						tx = eng.Begin()
+					}
+					e17Mix(rng, b, mine, batchSize)
+					if err := tx.PostBatch(b); err != nil {
+						errs[w] = err
+						return
+					}
+					if (i+1)%e17Window == 0 {
+						if err := tx.Commit(); err != nil {
+							errs[w] = err
+							return
+						}
+						tx = nil
+					}
+				}
+				if tx != nil {
+					if err := tx.Commit(); err != nil {
+						errs[w] = err
+					}
+				}
+				return
+			}
+			for i := 0; i < iters; i++ {
+				err := eng.Transact(func(tx *engine.Tx) error {
+					for j := 0; j < 4; j++ {
+						method, amount := e17Call(rng)
+						if _, err := tx.Call(mine[rng.Intn(len(mine))], method, amount); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return E17Row{}, err
+		}
+	}
+
+	stats := eng.Stats()
+	if err := e17Reconcile(eng.Metrics().Snapshot().Triggers, stats.Firings); err != nil {
+		return E17Row{}, err
+	}
+	calls := g * iters * per
+	return E17Row{
+		Partitions: 1, Goroutines: g, Batch: batchSize,
+		Calls: calls, Firings: stats.Firings,
+		OpsPerSec: float64(calls) / elapsed.Seconds(),
+	}, nil
+}
+
+// runE17Partitioned measures the partitioned engine: p single-writer
+// loops behind the router. Producers target partitions round-robin;
+// batch=1 goes through the routed per-transaction path (DB.Transact on
+// the owner), batch>1 builds owner-homogeneous batches and posts them
+// through DB.PostBatch — the split layer routes every entry by OID and
+// the owning loop consumes the piece lock-free.
+func runE17Partitioned(callsPerG, objectsPerPartition int, seed int64, p, g, batchSize int) (E17Row, error) {
+	db, err := part.Open(part.Options{N: p, IngestWindow: e17Window})
+	if err != nil {
+		return E17Row{}, err
+	}
+	defer db.Close()
+	cls, impl := bankingClass()
+	err = db.Register(func(_ int, e *engine.Engine) error {
+		_, rerr := e.RegisterClass(cls, impl, nil)
+		return rerr
+	})
+	if err != nil {
+		return E17Row{}, err
+	}
+	oids := make([][]store.OID, p)
+	for q := 0; q < p; q++ {
+		err := db.Transact(q, func(tx *engine.Tx) error {
+			for i := 0; i < objectsPerPartition; i++ {
+				oid, err := tx.NewObject("account", nil)
+				if err != nil {
+					return err
+				}
+				oids[q] = append(oids[q], oid)
+				for _, tr := range cls.Triggers {
+					if err := tx.Activate(oid, tr.Name); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return E17Row{}, err
+		}
+		// Warm each loop and its engine.
+		err = db.Transact(q, func(tx *engine.Tx) error {
+			for j := 0; j < 16; j++ {
+				if _, err := tx.Call(oids[q][j%len(oids[q])], "deposit", value.Int(1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return E17Row{}, err
+		}
+	}
+
+	per := 4
+	if batchSize > 1 {
+		per = batchSize
+	}
+	iters := callsPerG / per
+	errs := make([]error, g)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var b *engine.Batch
+			if batchSize > 1 {
+				b = engine.NewBatch("account", batchSize)
+			}
+			for i := 0; i < iters; i++ {
+				q := (w + i) % p
+				if batchSize > 1 {
+					e17Mix(rng, b, oids[q], batchSize)
+					if err := db.PostBatchIngest(b); err != nil {
+						errs[w] = err
+						return
+					}
+					continue
+				}
+				err := db.Transact(q, func(tx *engine.Tx) error {
+					for j := 0; j < 4; j++ {
+						method, amount := e17Call(rng)
+						if _, err := tx.Call(oids[q][rng.Intn(len(oids[q]))], method, amount); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := db.FlushIngest(); err != nil {
+		return E17Row{}, err
+	}
+	db.Drain()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return E17Row{}, err
+		}
+	}
+
+	stats := db.Stats()
+	if err := e17Reconcile(db.Metrics().Triggers, stats.Firings); err != nil {
+		return E17Row{}, err
+	}
+	calls := g * iters * per
+	return E17Row{
+		Partitions: p, Goroutines: g, Batch: batchSize,
+		Calls: calls, Firings: stats.Firings,
+		OpsPerSec: float64(calls) / elapsed.Seconds(),
+	}, nil
+}
+
+// e17Reconcile checks the E11 metric invariant on a (possibly merged)
+// per-trigger snapshot: firings and latency-histogram counts must both
+// equal the aggregate engine counter exactly.
+func e17Reconcile(triggers []obs.TriggerSnapshot, want uint64) error {
+	var firings, latCount uint64
+	for _, ts := range triggers {
+		firings += ts.Firings
+		latCount += ts.Latency.Count
+	}
+	if firings != want || latCount != want {
+		return fmt.Errorf("metric invariant broken: per-trigger firings %d, latency counts %d, stats firings %d",
+			firings, latCount, want)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package workload
+
+import "testing"
+
+// TestRunE17Small runs a reduced partitions × goroutines × batch sweep
+// and checks the rows' shape and the anchored speedup column. The full
+// scaling claim is measured by `make bench` (BENCH_PR8.json); here the
+// cells just have to run, reconcile their merged metrics and anchor
+// correctly.
+func TestRunE17Small(t *testing.T) {
+	rows, err := RunE17(512, 8, 42, []int{1, 2}, []int{1, 2}, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Calls == 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.Firings == 0 {
+			t.Fatalf("banking mix fired nothing: %+v", r)
+		}
+		if r.Partitions == 1 && r.Batch == 1 && r.SpeedupVsP1 != 1 {
+			t.Fatalf("anchor row speedup = %f, want 1: %+v", r.SpeedupVsP1, r)
+		}
+	}
+}
+
+// TestRunE17RejectsUnanchored pins the anchoring contract.
+func TestRunE17RejectsUnanchored(t *testing.T) {
+	if _, err := RunE17(64, 4, 1, []int{2}, []int{1}, []int{1}); err == nil {
+		t.Fatal("parts without leading 1 must be rejected")
+	}
+	if _, err := RunE17(64, 4, 1, []int{1}, []int{1}, []int{16}); err == nil {
+		t.Fatal("batches without leading 1 must be rejected")
+	}
+}

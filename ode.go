@@ -41,6 +41,7 @@
 package ode
 
 import (
+	"fmt"
 	"net/http"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"ode/internal/evlang"
 	"ode/internal/history"
 	"ode/internal/obs"
+	"ode/internal/part"
 	"ode/internal/schema"
 	"ode/internal/store"
 	"ode/internal/txn"
@@ -207,16 +209,28 @@ type Options struct {
 	// per (object, trigger) instance for Explain (0 = the default
 	// depth); a negative value disables provenance capture.
 	ProvenanceDepth int
+	// Partitions splits the database into that many single-writer
+	// partitions, each an event-loop goroutine owning a disjoint OID
+	// residue class with its own store, WAL and committed view; a
+	// sequenced bus forwards cross-partition events (see internal/part).
+	// Values <= 1 (the default) keep today's single-engine semantics —
+	// one engine, shared by all callers under object locking. With
+	// Partitions >= 2, transactions are partition-local: use TransactOn
+	// to place work, Advance (not Clock().Advance) to move time, and
+	// RelayCall to forward events across partitions. Begin is not
+	// available in partitioned mode.
+	Partitions int
 }
 
 // Database is an active object database.
 type Database struct {
-	eng *engine.Engine
+	eng   *engine.Engine
+	parts *part.DB // non-nil iff Options.Partitions >= 2
 }
 
 // Open creates or reopens a database.
 func Open(opts Options) (*Database, error) {
-	eng, err := engine.New(engine.Options{
+	eopts := engine.Options{
 		Dir:                opts.Dir,
 		Start:              opts.Start,
 		RecordHistories:    opts.RecordHistories,
@@ -228,7 +242,15 @@ func Open(opts Options) (*Database, error) {
 		InterpretedMasks:   opts.InterpretedMasks,
 		FlightBuffer:       opts.FlightBuffer,
 		ProvenanceDepth:    opts.ProvenanceDepth,
-	})
+	}
+	if opts.Partitions >= 2 {
+		parts, err := part.Open(part.Options{N: opts.Partitions, Dir: opts.Dir, Engine: eopts})
+		if err != nil {
+			return nil, err
+		}
+		return &Database{eng: parts.Partition(0).Engine(), parts: parts}, nil
+	}
+	eng, err := engine.New(eopts)
 	if err != nil {
 		return nil, err
 	}
@@ -236,18 +258,118 @@ func Open(opts Options) (*Database, error) {
 }
 
 // Close releases the database.
-func (db *Database) Close() error { return db.eng.Close() }
+func (db *Database) Close() error {
+	if db.parts != nil {
+		return db.parts.Close()
+	}
+	return db.eng.Close()
+}
+
+// Partitions returns the partition count (1 for an unpartitioned
+// database).
+func (db *Database) Partitions() int {
+	if db.parts == nil {
+		return 1
+	}
+	return db.parts.N()
+}
+
+// PartitionOf returns the partition owning oid (always 0 when
+// unpartitioned). Routing is arithmetic over the OID — (oid-1) mod N —
+// so it is stable across restarts.
+func (db *Database) PartitionOf(oid OID) int {
+	if db.parts == nil {
+		return 0
+	}
+	return db.parts.PartitionOf(oid)
+}
+
+// Parts exposes the partitioned runtime (nil when unpartitioned) for
+// advanced integration — per-partition engines, the bus, aggregate
+// debug endpoints.
+func (db *Database) Parts() *part.DB { return db.parts }
 
 // Begin starts a transaction; the caller must Commit or Abort it.
-func (db *Database) Begin() *Tx { return db.eng.Begin() }
+// Not available in partitioned mode (transactions must run inside
+// their partition's loop): use Transact or TransactOn instead.
+func (db *Database) Begin() *Tx {
+	if db.parts != nil {
+		panic("ode: Begin is not available with Partitions >= 2; use TransactOn")
+	}
+	return db.eng.Begin()
+}
 
 // Transact runs fn in a transaction, committing on nil and aborting on
-// error.
-func (db *Database) Transact(fn func(*Tx) error) error { return db.eng.Transact(fn) }
+// error. In partitioned mode the transaction runs inside partition 0's
+// loop and sees only partition 0's objects; use TransactOn to place
+// work on other partitions.
+func (db *Database) Transact(fn func(*Tx) error) error {
+	if db.parts != nil {
+		return db.parts.Transact(0, fn)
+	}
+	return db.eng.Transact(fn)
+}
+
+// TransactOn runs fn in a transaction inside partition p's event loop.
+// The transaction is partition-local: it sees exactly the objects
+// partition p owns, and objects it creates are owned by p. On an
+// unpartitioned database p must be 0.
+func (db *Database) TransactOn(p int, fn func(*Tx) error) error {
+	if db.parts != nil {
+		return db.parts.Transact(p, fn)
+	}
+	if p != 0 {
+		return fmt.Errorf("ode: partition %d does not exist (database is unpartitioned)", p)
+	}
+	return db.eng.Transact(fn)
+}
+
+// RelayCall forwards a method call to oid's owning partition across
+// the sequenced cross-partition bus: it is posted there in its own
+// transaction, after the partition's current work, in deterministic
+// (source, sequence) order. src is the sending partition's id (what
+// TransactOn ran on), or a negative value for external senders. On an
+// unpartitioned database the call executes synchronously in its own
+// transaction. Call Drain to wait for relayed work.
+func (db *Database) RelayCall(src int, oid OID, method string, args ...Value) {
+	if db.parts != nil {
+		db.parts.RelayCall(src, oid, method, args...)
+		return
+	}
+	db.eng.Transact(func(tx *Tx) error {
+		_, err := tx.Call(oid, method, args...)
+		return err
+	})
+}
+
+// Drain blocks until every submitted transaction and every in-flight
+// bus message has executed (no-op when unpartitioned). The barrier is
+// only meaningful once concurrent submitters have stopped.
+func (db *Database) Drain() {
+	if db.parts != nil {
+		db.parts.Drain()
+	}
+}
 
 // Clock returns the database's virtual clock; advancing it fires due
-// time events. Advance it outside of transactions.
+// time events. Advance it outside of transactions. In partitioned mode
+// this is partition 0's clock and is read-only for callers — use
+// Database.Advance, which moves every partition's clock inside its own
+// loop.
 func (db *Database) Clock() *Clock { return db.eng.Clock() }
+
+// Advance moves virtual time forward by d and delivers due time
+// events. In partitioned mode every partition's clock advances inside
+// its own event loop, so `every`/`at` triggers fire in the loop that
+// owns their object; unpartitioned databases advance the single clock
+// directly.
+func (db *Database) Advance(d time.Duration) error {
+	if db.parts != nil {
+		return db.parts.Advance(d)
+	}
+	db.eng.Clock().Advance(d)
+	return nil
+}
 
 // Batch is a columnar buffer of method calls against objects of one
 // class, posted with Tx.PostBatch or Database.PostBatch. Posting a
@@ -263,25 +385,58 @@ type Batch = engine.Batch
 func NewBatch(class string, capacity int) *Batch { return engine.NewBatch(class, capacity) }
 
 // PostBatch executes the batch's method calls in one transaction,
-// committing on success and aborting on the first error.
+// committing on success and aborting on the first error. In
+// partitioned mode the batch's columns are split by owning partition
+// and each piece posts inside its partition's loop — entry order is
+// preserved within each partition and atomicity is per partition.
 func (db *Database) PostBatch(b *Batch) error {
+	if db.parts != nil {
+		return db.parts.PostBatch(b)
+	}
 	return db.eng.Transact(func(tx *Tx) error { return tx.PostBatch(b) })
 }
 
-// RegisterFunc installs a global mask function (e.g. user()).
-func (db *Database) RegisterFunc(name string, fn MaskFunc) { db.eng.RegisterFunc(name, fn) }
+// RegisterFunc installs a global mask function (e.g. user()) on every
+// partition.
+func (db *Database) RegisterFunc(name string, fn MaskFunc) {
+	if db.parts != nil {
+		db.parts.Register(func(_ int, e *engine.Engine) error {
+			e.RegisterFunc(name, fn)
+			return nil
+		})
+		return
+	}
+	db.eng.RegisterFunc(name, fn)
+}
 
-// Checkpoint snapshots the store and truncates the write-ahead log.
-func (db *Database) Checkpoint() error { return db.eng.Checkpoint() }
+// Checkpoint snapshots the store and truncates the write-ahead log
+// (every partition's, in partition order, when partitioned).
+func (db *Database) Checkpoint() error {
+	if db.parts != nil {
+		return db.parts.Checkpoint()
+	}
+	return db.eng.Checkpoint()
+}
 
 // RearmTimers reschedules time events for active triggers after
-// reopening a persistent database.
-func (db *Database) RearmTimers() error { return db.eng.RearmTimers() }
+// reopening a persistent database. In partitioned mode each
+// partition's timers rearm inside its own loop, so rearmed timers
+// fire — like all timers — in the loop owning their object.
+func (db *Database) RearmTimers() error {
+	if db.parts != nil {
+		return db.parts.RearmTimers()
+	}
+	return db.eng.RearmTimers()
+}
 
 // TriggerState reports a trigger instance's automaton state and
 // activation flag — the paper's "one word per active trigger per
-// object" is directly inspectable.
+// object" is directly inspectable. Routed through the owning
+// partition's loop when partitioned.
 func (db *Database) TriggerState(oid OID, trigger string) (state int, active bool, err error) {
+	if db.parts != nil {
+		return db.parts.TriggerState(oid, trigger)
+	}
 	return db.eng.TriggerState(oid, trigger)
 }
 
@@ -305,8 +460,16 @@ func (db *Database) Engine() *engine.Engine { return db.eng }
 type Stats = engine.Stats
 
 // Stats returns cumulative engine counters (transactions, happenings,
-// automaton steps, mask evaluations, firings, timer deliveries).
-func (db *Database) Stats() Stats { return db.eng.Stats() }
+// automaton steps, mask evaluations, firings, timer deliveries). In
+// partitioned mode the snapshot is the field-wise sum over every
+// partition (compile-cache counters, which are process-wide, are taken
+// once); use Parts().PartitionStats for the per-partition breakdown.
+func (db *Database) Stats() Stats {
+	if db.parts != nil {
+		return db.parts.Stats()
+	}
+	return db.eng.Stats()
+}
 
 // StatsDelta returns cur - prev field-wise: the activity between two
 // Stats snapshots.
@@ -330,32 +493,63 @@ func (db *Database) TracingEnabled() bool { return db.eng.TracingEnabled() }
 func (db *Database) TraceEvents(last int) []TraceEvent { return db.eng.TraceEvents(last) }
 
 // Metrics returns a snapshot of the per-trigger and per-class metrics.
-// Metrics are always collected; they do not require tracing.
-func (db *Database) Metrics() MetricsSnapshot { return db.eng.Metrics().Snapshot() }
+// Metrics are always collected; they do not require tracing. In
+// partitioned mode the snapshot merges every partition's registry
+// (counters summed, latency histograms merged bucket-wise).
+func (db *Database) Metrics() MetricsSnapshot {
+	if db.parts != nil {
+		return db.parts.Metrics()
+	}
+	return db.eng.Metrics().Snapshot()
+}
 
 // Explain returns the firing provenance of a trigger instance: the
 // recorded chain of happenings (with mask bits and automaton from→to
 // transitions) that drove it to its current state, ending at its most
 // recent firing if it has fired. It answers "why did this trigger
-// fire?" from the live system, no tracing required.
+// fire?" from the live system, no tracing required. Routed through the
+// owning partition when partitioned.
 func (db *Database) Explain(trigger string, oid OID) (*Explanation, error) {
+	if db.parts != nil {
+		return db.parts.Explain(trigger, oid)
+	}
 	return db.eng.Explain(trigger, oid)
 }
 
 // FlightEvents returns the most recent events from the always-on
 // flight recorder in chronological order (last <= 0 means all
-// retained).
-func (db *Database) FlightEvents(last int) []FlightEvent { return db.eng.FlightEvents(last) }
+// retained). In partitioned mode every partition's window is merged by
+// virtual timestamp, and each event's Part field reports the partition
+// whose recorder captured it.
+func (db *Database) FlightEvents(last int) []FlightEvent {
+	if db.parts != nil {
+		return db.parts.FlightEvents(last)
+	}
+	return db.eng.FlightEvents(last)
+}
 
 // DebugHandler returns the live introspection HTTP handler serving
 // /debug/stats, /debug/triggers, /debug/trace?last=N, /debug/why,
-// /debug/metrics, /debug/flight, /debug/vars and /debug/pprof/.
-func (db *Database) DebugHandler() http.Handler { return db.eng.DebugHandler() }
+// /debug/metrics, /debug/flight, /debug/vars and /debug/pprof/. A
+// partitioned database serves aggregate /debug/stats, /debug/metrics
+// and /debug/flight, with each partition's full handler mounted under
+// /debug/partition/<p>/.
+func (db *Database) DebugHandler() http.Handler {
+	if db.parts != nil {
+		return db.parts.DebugHandler()
+	}
+	return db.eng.DebugHandler()
+}
 
 // ServeDebug starts an HTTP listener serving DebugHandler on addr
 // ("auto" binds a free localhost port) and returns the bound address.
 // The listener runs until Close.
-func (db *Database) ServeDebug(addr string) (string, error) { return db.eng.ServeDebug(addr) }
+func (db *Database) ServeDebug(addr string) (string, error) {
+	if db.parts != nil {
+		return db.parts.ServeDebug(addr)
+	}
+	return db.eng.ServeDebug(addr)
+}
 
 // P declares a parameter for Method/Update/Read/TriggerP builders.
 func P(name string, kind Kind) schema.Param { return schema.Param{Name: name, Kind: kind} }
