@@ -37,14 +37,16 @@ sim:
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz
 
-# Engine benchmarks plus the E17 partitioned-scaling sweep with the
-# E12 hot-path and E16 batch-posting reruns riding along — the reruns
-# prove the single-engine paths did not regress (committed as
-# BENCH_PR8.json; earlier baselines are regenerated with
+# Engine benchmarks plus the E18 timer-storm sweep with the E12
+# hot-path, E16 batch-posting and E17 partitioned-scaling reruns
+# riding along — the reruns prove the existing paths did not regress
+# while the timing wheel and cohort delivery replaced the timer core
+# (committed as BENCH_PR9.json; earlier baselines are regenerated with
 # `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`,
 # `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`,
 # `go run ./cmd/odebench -exp E15 -out BENCH_PR6.json`,
-# `go run ./cmd/odebench -exp E16 -out BENCH_PR7.json`).
+# `go run ./cmd/odebench -exp E16 -out BENCH_PR7.json`,
+# `go run ./cmd/odebench -exp E17 -out BENCH_PR8.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E17 -out BENCH_PR8.json
+	$(GO) run ./cmd/odebench -exp E18 -out BENCH_PR9.json

@@ -41,10 +41,17 @@
 //	    aggregate happenings/sec and speedup vs the unpartitioned
 //	    single-call baseline; -out also reruns E12 and E16 and writes
 //	    all three as JSON (e.g. BENCH_PR8.json)
+//	E18 timer storm: an IoT fleet arming one canonical `every`
+//	    heartbeat per object, swept whole periods at a time — cohort
+//	    delivery (timing wheel + columnar stepBatch, one system
+//	    transaction per class and tick) vs the per-object baseline
+//	    (one clock timer and one transaction per object per tick),
+//	    single-engine and partitioned; -out also reruns E12, E16 and
+//	    E17 and writes all four as JSON (e.g. BENCH_PR9.json)
 //
 // Usage:
 //
-//	odebench                               # run everything (E1..E13, E15..E17)
+//	odebench                               # run everything (E1..E13, E15..E18)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
@@ -52,6 +59,7 @@
 //	odebench -exp E15 -out BENCH_PR6.json  # open-loop latency JSON
 //	odebench -exp E16 -out BENCH_PR7.json  # batch-posting JSON
 //	odebench -exp E17 -out BENCH_PR8.json  # partitioned-scaling JSON
+//	odebench -exp E18 -out BENCH_PR9.json  # timer-storm JSON
 //	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
 //	odebench -sim -iters 1000 -out sim.json
 //
@@ -77,7 +85,7 @@ func main() { os.Exit(run()) }
 // run carries the real main body; returning instead of os.Exit lets the
 // profiling defers flush before the process dies.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13, E15..E17; E14 is -sim); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13, E15..E18; E14 is -sim); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
 	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
@@ -140,6 +148,7 @@ func run() int {
 		{"E15", func() error { return e15(*seed, *out) }},
 		{"E16", func() error { return e16(*out) }},
 		{"E17", func() error { return e17(*seed, *out) }},
+		{"E18", func() error { return e18(*seed, *out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -616,6 +625,68 @@ func e17(seed int64, out string) error {
 		HotPath    []workload.E12Row `json:"hot_path"`
 		Batch      []workload.E16Row `json:"batch"`
 	}{"E17", gomaxprocs, numCPU, rows, hot, batch}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
+	return nil
+}
+
+func e18(seed int64, out string) error {
+	rows, err := workload.RunE18([]int{10000, 100000}, 10, []int{2, 8})
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	fmt.Printf("E18 — timer storm: cohort wheel delivery vs one transaction per object per tick (GOMAXPROCS=%d, NumCPU=%d)\n",
+		gomaxprocs, numCPU)
+	tbl := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Layout,
+			fmt.Sprintf("%d", r.Partitions),
+			fmt.Sprintf("%d", r.Objects),
+			fmt.Sprintf("%d", r.Posts),
+			fmt.Sprintf("%d", r.Firings),
+			fmt.Sprintf("%.0f", r.PostsPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	table("", []string{"layout", "partitions", "objects", "timer posts", "firings", "posts/sec", "vs per-object"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	// The no-regression guarantees ride along: rerun E12 (single-post
+	// hot path), E16 (batch posting) and E17 (partitioned scaling) so
+	// the JSON shows none of them regressed while the timing wheel and
+	// cohort delivery replaced the timer core.
+	hot, err := workload.RunE12(20000)
+	if err != nil {
+		return err
+	}
+	batch, err := workload.RunE16(131072, []int{64, 256})
+	if err != nil {
+		return err
+	}
+	scaling, err := workload.RunE17(40000, 32, seed,
+		[]int{1, 2, 4, 8}, []int{4}, []int{1, 64})
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string            `json:"experiment"`
+		GOMAXPROCS int               `json:"gomaxprocs"`
+		NumCPU     int               `json:"num_cpu"`
+		Timer      []workload.E18Row `json:"timer_storm"`
+		HotPath    []workload.E12Row `json:"hot_path"`
+		Batch      []workload.E16Row `json:"batch"`
+		Scaling    []workload.E17Row `json:"scaling"`
+	}{"E18", gomaxprocs, numCPU, rows, hot, batch, scaling}, "", "  ")
 	if err != nil {
 		return err
 	}

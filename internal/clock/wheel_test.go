@@ -1,0 +1,311 @@
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWheelCascade arms timers across every wheel level and checks a
+// single large Advance fires them all in timestamp order: each one
+// must cascade down through lower levels as the cursor approaches.
+func TestWheelCascade(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	// One timer per level: deltas 1, 64, 64^2, ... ticks (ms).
+	deltas := []time.Duration{
+		1 * time.Millisecond,
+		64 * time.Millisecond,
+		4096 * time.Millisecond,
+		64 * 4096 * time.Millisecond,
+		time.Duration(64*64*4096) * time.Millisecond,
+	}
+	var got []time.Duration
+	for _, d := range deltas {
+		d := d
+		c.After(d, func(at time.Time) {
+			got = append(got, at.Sub(start))
+		})
+	}
+	c.Advance(deltas[len(deltas)-1] + time.Second)
+	if len(got) != len(deltas) {
+		t.Fatalf("fired %d of %d timers", len(got), len(deltas))
+	}
+	for i, d := range deltas {
+		if got[i] != d {
+			t.Fatalf("firing %d at %v, want %v", i, got[i], d)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending %d after all fired", c.Pending())
+	}
+}
+
+// TestWheelOverflow arms a timer beyond the wheel horizon (64^7 ms ≈
+// 139 years) and checks it still fires at the right time.
+func TestWheelOverflow(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	far := time.Duration(200*365*24) * time.Hour
+	fired := time.Time{}
+	c.After(far, func(at time.Time) { fired = at })
+	if due, ok := c.NextDue(); !ok || !due.Equal(start.Add(far)) {
+		t.Fatalf("NextDue = %v, %v; want %v", due, ok, start.Add(far))
+	}
+	c.Advance(far - time.Hour)
+	if !fired.IsZero() {
+		t.Fatal("fired before due")
+	}
+	c.Advance(2 * time.Hour)
+	if !fired.Equal(start.Add(far)) {
+		t.Fatalf("fired at %v, want %v", fired, start.Add(far))
+	}
+}
+
+// TestWheelLazyCancel cancels timers that share a slot with a live one
+// and checks the live timer still fires exactly once at its due time,
+// Pending reflects the cancels immediately, and NextDue never reports
+// a cancelled timer.
+func TestWheelLazyCancel(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	var ids []TimerID
+	fires := 0
+	// Ten timers in the same far slot; cancel all but the last.
+	for i := 0; i < 10; i++ {
+		d := 5*time.Second + time.Duration(i)*time.Millisecond
+		ids = append(ids, c.After(d, func(time.Time) { fires++ }))
+	}
+	for _, id := range ids[:9] {
+		c.Cancel(id)
+	}
+	if got := c.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	wantDue := start.Add(5*time.Second + 9*time.Millisecond)
+	if due, ok := c.NextDue(); !ok || !due.Equal(wantDue) {
+		t.Fatalf("NextDue = %v, %v; want %v", due, ok, wantDue)
+	}
+	c.Advance(10 * time.Second)
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1", fires)
+	}
+}
+
+// TestWheelSubTickOrder schedules timers inside the same millisecond
+// tick at different nanosecond offsets and checks they fire in (at,
+// id) order with the clock reading each exact due time, and that a
+// deadline falling inside a tick does not fire the later part of it.
+func TestWheelSubTickOrder(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	var got []time.Duration
+	rec := func(at time.Time) { got = append(got, at.Sub(start)) }
+	c.At(start.Add(10*time.Millisecond+800*time.Microsecond), rec)
+	c.At(start.Add(10*time.Millisecond+200*time.Microsecond), rec)
+	c.At(start.Add(10*time.Millisecond+500*time.Microsecond), rec)
+	// Deadline lands mid-tick: only the first two may fire.
+	c.Advance(10*time.Millisecond + 600*time.Microsecond)
+	want := []time.Duration{
+		10*time.Millisecond + 200*time.Microsecond,
+		10*time.Millisecond + 500*time.Microsecond,
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	c.Advance(time.Millisecond)
+	if len(got) != 3 || got[2] != 10*time.Millisecond+800*time.Microsecond {
+		t.Fatalf("after second advance got %v", got)
+	}
+}
+
+// TestWheelStorm is the cohort shape at per-object scale: many
+// periodic timers with one shared period, fired over several windows.
+// It guards the bulk due-queue path (sorted drain, no quadratic
+// insert).
+func TestWheelStorm(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	const n = 20000
+	fires := 0
+	for i := 0; i < n; i++ {
+		c.Every(time.Second, func(time.Time) { fires++ })
+	}
+	for w := 0; w < 3; w++ {
+		c.Advance(time.Second)
+	}
+	if fires != 3*n {
+		t.Fatalf("fires = %d, want %d", fires, 3*n)
+	}
+	if c.Pending() != n {
+		t.Fatalf("Pending = %d, want %d", c.Pending(), n)
+	}
+}
+
+// TestWheelRandomVsReference drives the wheel and a simple sorted-list
+// reference with the same random schedule of arms, cancels, and
+// advances, comparing firing sequences exactly.
+func TestWheelRandomVsReference(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(42))
+	c := NewVirtual(start)
+
+	type refTimer struct {
+		seq    int
+		at     time.Time
+		period time.Duration
+		dead   bool
+	}
+	var (
+		ref     []*refTimer
+		refNow  = start
+		gotLog  []string
+		wantLog []string
+		ids     []TimerID
+		refs    []*refTimer
+	)
+	refFire := func(deadline time.Time) {
+		for {
+			var best *refTimer
+			for _, rt := range ref {
+				if rt.dead || rt.at.After(deadline) {
+					continue
+				}
+				if best == nil || rt.at.Before(best.at) || (rt.at.Equal(best.at) && rt.seq < best.seq) {
+					best = rt
+				}
+			}
+			if best == nil {
+				break
+			}
+			if best.at.After(refNow) {
+				refNow = best.at
+			}
+			wantLog = append(wantLog, fmt.Sprintf("%d@%v", best.seq, refNow.Sub(start)))
+			if best.period > 0 {
+				best.at = best.at.Add(best.period)
+			} else {
+				best.dead = true
+			}
+		}
+		if deadline.After(refNow) {
+			refNow = deadline
+		}
+	}
+
+	seq := 0
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(4) {
+		case 0: // one-shot, sometimes in the past
+			d := time.Duration(rng.Intn(20000)-1000) * time.Millisecond
+			d += time.Duration(rng.Intn(1000)) * time.Microsecond
+			s := seq
+			seq++
+			ids = append(ids, c.After(d, func(at time.Time) {
+				gotLog = append(gotLog, fmt.Sprintf("%d@%v", s, at.Sub(start)))
+			}))
+			refs = append(refs, &refTimer{seq: s, at: refNow.Add(d)})
+			ref = append(ref, refs[len(refs)-1])
+		case 1: // periodic
+			p := time.Duration(1+rng.Intn(5000)) * time.Millisecond
+			s := seq
+			seq++
+			ids = append(ids, c.Every(p, func(at time.Time) {
+				gotLog = append(gotLog, fmt.Sprintf("%d@%v", s, at.Sub(start)))
+			}))
+			refs = append(refs, &refTimer{seq: s, at: refNow.Add(p), period: p})
+			ref = append(ref, refs[len(refs)-1])
+		case 2: // cancel a random prior timer
+			if len(ids) > 0 {
+				i := rng.Intn(len(ids))
+				c.Cancel(ids[i])
+				refs[i].dead = true
+			}
+		case 3: // advance
+			d := time.Duration(rng.Intn(8000)) * time.Millisecond
+			c.Advance(d)
+			refFire(refNow.Add(d))
+			if !c.Now().Equal(refNow) {
+				t.Fatalf("op %d: now %v, ref %v", op, c.Now(), refNow)
+			}
+		}
+	}
+	c.Advance(100 * time.Second)
+	refFire(refNow.Add(100 * time.Second))
+
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("fired %d, reference %d", len(gotLog), len(wantLog))
+	}
+	for i := range gotLog {
+		if gotLog[i] != wantLog[i] {
+			lo := i - 3
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("divergence at %d: got %v, want %v", i, gotLog[lo:i+1], wantLog[lo:i+1])
+		}
+	}
+	// Pending must agree with the reference's live periodic count.
+	livePeriodic := 0
+	for _, rt := range ref {
+		if !rt.dead && rt.period > 0 {
+			livePeriodic++
+		}
+	}
+	liveOneShot := 0
+	for _, rt := range ref {
+		if !rt.dead && rt.period == 0 {
+			liveOneShot++
+		}
+	}
+	if c.Pending() != livePeriodic+liveOneShot {
+		t.Fatalf("Pending = %d, reference %d", c.Pending(), livePeriodic+liveOneShot)
+	}
+}
+
+// TestWheelNextDueAcrossLevels checks NextDue stays exact as timers
+// spread across levels and earlier ones are cancelled.
+func TestWheelNextDueAcrossLevels(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtual(start)
+	var ids []TimerID
+	ds := []time.Duration{
+		30 * time.Millisecond,
+		700 * time.Millisecond,
+		90 * time.Second,
+		3 * time.Hour,
+	}
+	for _, d := range ds {
+		ids = append(ids, c.After(d, func(time.Time) {}))
+	}
+	for i := range ds {
+		due, ok := c.NextDue()
+		if !ok || !due.Equal(start.Add(ds[i])) {
+			t.Fatalf("after %d cancels: NextDue = %v, %v; want %v", i, due, ok, start.Add(ds[i]))
+		}
+		c.Cancel(ids[i])
+	}
+	if _, ok := c.NextDue(); ok {
+		t.Fatal("NextDue reported a timer after all cancelled")
+	}
+}
+
+// BenchmarkWheelStorm measures one Advance window over n same-period
+// timers — the shape the cohort layer reduces to a handful of entries,
+// and the per-object baseline leaves at full width.
+func BenchmarkWheelStorm(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+			c := NewVirtual(start)
+			for i := 0; i < n; i++ {
+				c.Every(time.Second, func(time.Time) {})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Advance(time.Second)
+			}
+		})
+	}
+}

@@ -121,6 +121,9 @@ func PromExtras(s Stats) []obs.PromMetric {
 		{Name: "ode_engine_mask_evals_total", Help: "Logical-event mask evaluations.", Value: float64(s.MaskEvals)},
 		{Name: "ode_engine_firings_total", Help: "Trigger actions executed.", Value: float64(s.Firings)},
 		{Name: "ode_engine_timer_posts_total", Help: "Time-event deliveries.", Value: float64(s.TimerPosts)},
+		{Name: "ode_engine_timer_errors_dropped_total", Help: "Timer-delivery errors evicted from the bounded error ring.", Value: float64(s.TimerErrsDropped)},
+		{Name: "ode_engine_timers_pending", Help: "Timers currently armed on the virtual clock.", Type: "gauge", Value: float64(s.TimersPending)},
+		{Name: "ode_engine_timer_cohorts", Help: "Live shared timer schedules (cohorts).", Type: "gauge", Value: float64(s.TimerCohorts)},
 		{Name: "ode_engine_tcomplete_rounds_total", Help: "Rounds of the before-tcomplete commit fixpoint.", Value: float64(s.TcompleteRounds)},
 		{Name: "ode_engine_shadow_checks_total", Help: "Shadow-oracle cross-checks performed.", Value: float64(s.ShadowChecks)},
 		{Name: "ode_engine_faults_injected_total", Help: "Failures fired by the fault-injection registry.", Value: float64(s.FaultsInjected)},

@@ -122,6 +122,13 @@ type Options struct {
 	// baseline the compiled path is measured and cross-checked against.
 	// Meant for tests and benchmarks; production leaves it off.
 	InterpretedMasks bool
+	// PerObjectTimers restores the pre-cohort timer layout: one shared
+	// clock timer per (object, spec) and one system transaction per
+	// delivery, instead of one cohort per (class, spec, phase) delivered
+	// through the columnar batch path. This is the semantic baseline the
+	// cohort path is equivalence-tested and benchmarked against; meant
+	// for tests and benchmarks, production leaves it off.
+	PerObjectTimers bool
 	// Faults optionally installs a fault-injection registry consulted
 	// by the WAL and the lock manager (internal/fault). The simulation
 	// harness (internal/sim) arms it; nil — the production default —
@@ -189,8 +196,13 @@ type Engine struct {
 	// pointer keeps recordHappening from serializing parallel posters.
 	book atomic.Pointer[history.Book]
 
+	// timerErrs is a fixed-size ring (timerErrRingCap): a persistent
+	// delivery failure must not grow memory without bound. timerErrAt is
+	// the overwrite cursor once full; overwritten errors count into
+	// stats.timerErrsDropped.
 	timerErrMu sync.Mutex
 	timerErrs  []error
+	timerErrAt int
 
 	stats statCounters
 
@@ -329,7 +341,7 @@ func New(opts Options) (*Engine, error) {
 	e.flight = obs.NewFlight(opts.FlightBuffer, e.names)
 	e.txUserID = e.names.Intern("user")
 	e.txSysID = e.names.Intern("system")
-	e.timers = newTimerTable(e)
+	e.timers = newTimerTable(e, opts.PerObjectTimers)
 	switch {
 	case opts.RecordHistories > 0:
 		e.book.Store(history.NewBook(opts.RecordHistories))
@@ -589,19 +601,33 @@ func (e *Engine) TriggerState(oid store.OID, trigger string) (state int, active 
 	return act.State, act.Active, nil
 }
 
-// TimerErrors returns errors raised while delivering time events
-// (empty in healthy runs).
+// timerErrRingCap bounds the retained timer-delivery errors; older
+// errors are dropped (and counted in Stats.TimerErrsDropped) once the
+// ring is full.
+const timerErrRingCap = 64
+
+// TimerErrors returns the most recent errors raised while delivering
+// time events, oldest first (empty in healthy runs). At most
+// timerErrRingCap errors are retained; Stats().TimerErrsDropped counts
+// the overwritten ones.
 func (e *Engine) TimerErrors() []error {
 	e.timerErrMu.Lock()
 	defer e.timerErrMu.Unlock()
-	out := make([]error, len(e.timerErrs))
-	copy(out, e.timerErrs)
+	out := make([]error, 0, len(e.timerErrs))
+	out = append(out, e.timerErrs[e.timerErrAt:]...)
+	out = append(out, e.timerErrs[:e.timerErrAt]...)
 	return out
 }
 
 func (e *Engine) recordTimerErr(err error) {
 	e.timerErrMu.Lock()
-	e.timerErrs = append(e.timerErrs, err)
+	if len(e.timerErrs) < timerErrRingCap {
+		e.timerErrs = append(e.timerErrs, err)
+	} else {
+		e.timerErrs[e.timerErrAt] = err
+		e.timerErrAt = (e.timerErrAt + 1) % timerErrRingCap
+		e.stats.timerErrsDropped.Add(1)
+	}
 	e.timerErrMu.Unlock()
 }
 
@@ -634,7 +660,7 @@ func (e *Engine) rearmObject(oid store.OID) error {
 			continue
 		}
 		if t := c.Trigger(name); t != nil {
-			e.timers.arm(oid, t)
+			e.timers.arm(oid, c, t)
 		}
 	}
 	return nil

@@ -328,9 +328,9 @@ func (tx *Tx) batchAccess(oid store.OID) (*store.Record, error) {
 // pre-resolved, the dispatch slice is hoisted, mask programs evaluate
 // through mask.EvalBits, and metrics accumulate in the phase/counter
 // scratch instead of paying atomic updates per happening. Combined
-// monitoring and onlyTrigger delivery never reach here (PostBatch
-// routes monitored classes through postBatchSlow; timers post
-// one-at-a-time).
+// monitoring and onlyTrigger delivery never reach here (PostBatch and
+// cohort timer delivery route monitored classes through the per-call
+// paths; 'after' one-shots post one-at-a-time via postTimer).
 func (tx *Tx) stepBatch(c *Class, ph *batchPhase, oid store.OID, rec *store.Record,
 	h *event.Happening, bc *batchCounters) error {
 	tx.e.recordHappening(oid, *h)
@@ -383,9 +383,22 @@ func (tx *Tx) stepBatch(c *Class, ph *batchPhase, oid store.OID, rec *store.Reco
 		} else {
 			prev = act.State
 			next = t.Auto.Next(act.State, sym)
-			act.State = next
-			if tx.e.shadowOracle {
-				act.Shadow = append(act.Shadow, sym)
+			if next != prev || tx.e.shadowOracle {
+				// First in-place mutation of a narrow-stepped record:
+				// register its narrow before-image (idempotent after the
+				// first call). Self-looping instances skip this entirely —
+				// the record is bit-identical after the step, so it needs
+				// no undo, no WAL record, and no epoch republication.
+				if tx.narrowStep {
+					if _, _, err := tx.tx.AccessNarrow(oid); err != nil {
+						tx.fired = tx.fired[:base]
+						return err
+					}
+				}
+				act.State = next
+				if tx.e.shadowOracle {
+					act.Shadow = append(act.Shadow, sym)
+				}
 			}
 		}
 		bc.steps++
@@ -417,6 +430,20 @@ func (tx *Tx) stepBatch(c *Class, ph *batchPhase, oid store.OID, rec *store.Reco
 	if len(fired) == 0 {
 		tx.fired = tx.fired[:base]
 		return nil
+	}
+	if tx.narrowStep {
+		// The narrow image covers only activation scalars, but the
+		// actions about to run may mutate anything: register the object
+		// (it may be pristine — an accepting self-loop) and promote it
+		// to a full before-image while its fields are still untouched.
+		_, _, err := tx.tx.AccessNarrow(oid)
+		if err == nil {
+			err = tx.tx.Promote(oid)
+		}
+		if err != nil {
+			tx.fired = tx.fired[:base]
+			return err
+		}
 	}
 	for _, f := range fired {
 		if !f.t.Res.Perpetual {

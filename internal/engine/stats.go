@@ -31,6 +31,17 @@ type Stats struct {
 	Firings uint64
 	// TimerPosts counts time-event deliveries.
 	TimerPosts uint64
+	// TimerErrsDropped counts timer-delivery errors evicted from the
+	// bounded TimerErrors ring.
+	TimerErrsDropped uint64
+	// TimersPending gauges the timers currently armed on the virtual
+	// clock ('after' one-shots plus one per cohort or shared spec).
+	// TimerCohorts gauges the live shared-schedule entries — cohorts, or
+	// per-object shared timers under Options.PerObjectTimers. Like the
+	// Automaton* fields below these describe current state, not
+	// cumulative activity.
+	TimersPending uint64
+	TimerCohorts  uint64
 	// TcompleteRounds counts rounds of the §6 before-tcomplete commit
 	// fixpoint (every commit of a user transaction runs at least one;
 	// triggers firing on tcomplete add more, up to the divergence
@@ -72,7 +83,7 @@ type statCounters struct {
 	txBegun, txCommitted, txAborted, systemTx atomic.Uint64
 	happenings, steps, maskEvals, firings     atomic.Uint64
 	timerPosts, tcompleteRounds, shadowChecks atomic.Uint64
-	provSteps                                 atomic.Uint64
+	provSteps, timerErrsDropped               atomic.Uint64
 }
 
 // Stats returns a snapshot of the cumulative counters.
@@ -108,6 +119,9 @@ func (e *Engine) Stats() Stats {
 		MaskEvals:           e.stats.maskEvals.Load(),
 		Firings:             e.stats.firings.Load(),
 		TimerPosts:          e.stats.timerPosts.Load(),
+		TimerErrsDropped:    e.stats.timerErrsDropped.Load(),
+		TimersPending:       uint64(e.clk.Pending()),
+		TimerCohorts:        uint64(e.timers.sharedCount()),
 		TcompleteRounds:     e.stats.tcompleteRounds.Load(),
 		ShadowChecks:        e.stats.shadowChecks.Load(),
 		FaultsInjected:      e.faults.Injected(),
@@ -130,8 +144,11 @@ func (s Stats) Delta(prev Stats) Stats {
 		Steps:           s.Steps - prev.Steps,
 		MaskEvals:       s.MaskEvals - prev.MaskEvals,
 		Firings:         s.Firings - prev.Firings,
-		TimerPosts:      s.TimerPosts - prev.TimerPosts,
-		TcompleteRounds: s.TcompleteRounds - prev.TcompleteRounds,
+		TimerPosts:       s.TimerPosts - prev.TimerPosts,
+		TimerErrsDropped: s.TimerErrsDropped - prev.TimerErrsDropped,
+		TimersPending:    s.TimersPending - prev.TimersPending,
+		TimerCohorts:     s.TimerCohorts - prev.TimerCohorts,
+		TcompleteRounds:  s.TcompleteRounds - prev.TcompleteRounds,
 		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
 		FaultsInjected:  s.FaultsInjected - prev.FaultsInjected,
 		FlightEvents:    s.FlightEvents - prev.FlightEvents,

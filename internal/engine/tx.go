@@ -32,6 +32,13 @@ type Tx struct {
 	penv    progHost       // compiled-mask host (dispatch.go)
 	actCtx  ActionCtx      // action context storage (fire)
 
+	// narrowStep marks a cohort timer delivery transaction: stepBatch
+	// registers objects with the txn layer lazily — a narrow
+	// activation-scalar image at the first in-place mutation, promoted
+	// to a full image before any trigger action runs. Off (the
+	// default), batchAccess has already taken full images.
+	narrowStep bool
+
 	// Single-entry record cache, primed only by PostBatch (batchAccess).
 	// A non-nil cachedRec certifies the transaction is active and has
 	// already accessed cachedOID — so the lock is held, the before-image
@@ -331,7 +338,7 @@ func (tx *Tx) Activate(oid store.OID, trigger string, params ...value.Value) err
 		delete(tx.e.wholeShadow, instanceKey{oid, trigger})
 		tx.e.wholeMu.Unlock()
 	}
-	tx.e.timers.arm(oid, t)
+	tx.e.timers.arm(oid, c, t)
 	return nil
 }
 

@@ -324,6 +324,32 @@ func (db *DB) Advance(d time.Duration) error {
 	return first
 }
 
+// AdvanceConcurrent moves every partition's virtual clock forward by d
+// with all loops advancing — and delivering their due timers — in
+// parallel, then drains relayed work. Per-partition semantics match
+// Advance exactly (due timers post from the owning loop); only the
+// cross-partition interleaving is relaxed from Advance's partition
+// order, which no single partition can observe anyway. This is the
+// path a timer storm needs at P>1: with Advance, one slow partition's
+// delivery serializes everyone behind it.
+func (db *DB) AdvanceConcurrent(d time.Duration) error {
+	done := make(chan error, len(db.parts))
+	for p := range db.parts {
+		db.DoAsync(p, func(e *engine.Engine) error {
+			e.Clock().Advance(d)
+			return nil
+		}, done)
+	}
+	var first error
+	for range db.parts {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	db.Drain() // timers may have relayed cross-partition work
+	return first
+}
+
 // Now returns partition 0's virtual time (Advance keeps all partition
 // clocks in lockstep).
 func (db *DB) Now() time.Time { return db.parts[0].eng.Clock().Now() }

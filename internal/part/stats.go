@@ -53,8 +53,11 @@ func addStats(a, b engine.Stats) engine.Stats {
 		Steps:           a.Steps + b.Steps,
 		MaskEvals:       a.MaskEvals + b.MaskEvals,
 		Firings:         a.Firings + b.Firings,
-		TimerPosts:      a.TimerPosts + b.TimerPosts,
-		TcompleteRounds: a.TcompleteRounds + b.TcompleteRounds,
+		TimerPosts:       a.TimerPosts + b.TimerPosts,
+		TimerErrsDropped: a.TimerErrsDropped + b.TimerErrsDropped,
+		TimersPending:    a.TimersPending + b.TimersPending,
+		TimerCohorts:     a.TimerCohorts + b.TimerCohorts,
+		TcompleteRounds:  a.TcompleteRounds + b.TcompleteRounds,
 		ShadowChecks:    a.ShadowChecks + b.ShadowChecks,
 		FaultsInjected:  a.FaultsInjected + b.FaultsInjected,
 		FlightEvents:    a.FlightEvents + b.FlightEvents,

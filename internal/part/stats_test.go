@@ -216,6 +216,65 @@ func TestMergeSnapshotsTotals(t *testing.T) {
 	}
 }
 
+// TestPartitionedTimerGauges: the aggregate /debug/metrics exposition
+// sums the per-partition timer gauges — every partition tracks its own
+// cohorts over the objects it owns.
+func TestPartitionedTimerGauges(t *testing.T) {
+	db := openBank(t, 3, "", &fireLog{}, engine.Options{Start: timerStart}, timerTriggers()...)
+	defer db.Close()
+	for _, oid := range newAccounts(t, db) {
+		if err := db.Activate(oid, "Tick"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Activate(oid, "Daily"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Drain()
+
+	var wantPending, wantCohorts uint64
+	for _, s := range db.PartitionStats() {
+		if s.TimersPending == 0 || s.TimerCohorts == 0 {
+			t.Fatalf("partition without timer state: %+v", s)
+		}
+		wantPending += s.TimersPending
+		wantCohorts += s.TimerCohorts
+	}
+
+	srv := httptest.NewServer(db.DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if sp := strings.LastIndex(line, " "); sp >= 0 {
+			if v, err := strconv.ParseFloat(line[sp+1:], 64); err == nil {
+				samples[line[:sp]] = v
+			}
+		}
+	}
+	for name, want := range map[string]uint64{
+		"ode_engine_timers_pending":             wantPending,
+		"ode_engine_timer_cohorts":              wantCohorts,
+		"ode_engine_timer_errors_dropped_total": 0,
+	} {
+		got, ok := samples[name]
+		if !ok {
+			t.Fatalf("missing series %s", name)
+		}
+		if uint64(got) != want {
+			t.Fatalf("%s = %g, want %d", name, got, want)
+		}
+	}
+}
+
 func getJSON(t *testing.T, srv *httptest.Server, path string, v any) {
 	t.Helper()
 	resp, err := http.Get(srv.URL + path)

@@ -57,6 +57,7 @@ var classDefs = []classDef{
 				Params: []schema.Param{{Name: "lim", Kind: value.KindInt}}},
 			{Name: "AbortBig", Perpetual: true, Event: "after wdr(n) && n > 900"},
 			{Name: "Timer", Perpetual: true, Event: "relative(at time(HR=12), after wdr)"},
+			{Name: "Beat", Perpetual: true, Event: "every time(M=30)"},
 			{Name: "Whole", Perpetual: true, Event: "relative(after tabort, after tbegin)", View: schema.WholeView},
 		},
 		apply: func(f map[string]int64, method string, arg int64) {
@@ -82,6 +83,8 @@ var classDefs = []classDef{
 			{Name: "Tick", Perpetual: true, Event: "every 2 (after bump)"},
 			{Name: "Pair", Perpetual: true, Event: "after bump; after scan"},
 			{Name: "Prio", Perpetual: true, Event: "prior(after bump, after scan)"},
+			{Name: "Poll", Perpetual: true, Event: "every time(HR=2)"},
+			{Name: "Warm", Event: "after time(M=45)"},
 		},
 		apply: func(f map[string]int64, method string, arg int64) {
 			if method == "bump" {
@@ -90,6 +93,16 @@ var classDefs = []classDef{
 			}
 		},
 	},
+}
+
+// timerTrigNames lists, per class index, the fixed triggers whose
+// event specs carry timer atoms — the set OpArmTimers (re)activates.
+// Must stay in sync with classDefs: acct carries a calendar 'at' (via
+// relative) and a periodic 'every'; mtr a coarser 'every' plus an
+// 'after' one-shot, so scripts grow both cohorts and one-shots.
+var timerTrigNames = [][]string{
+	{"Timer", "Beat"},
+	{"Poll", "Warm"},
 }
 
 // newFields returns the model's initial field values for a class,

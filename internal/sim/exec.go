@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"ode/internal/engine"
+	"ode/internal/evlang"
 	"ode/internal/fault"
 	"ode/internal/obs"
 	"ode/internal/store"
@@ -163,6 +165,9 @@ func Execute(sc *Script, dir string) (res *Result, err error) {
 		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
 	if err := x.eng.VerifyOracle(); err != nil {
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
+	}
+	if err := timerScheduleErr(x.eng); err != nil {
 		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
 	x.collectStats()
@@ -399,6 +404,16 @@ func applyOpTx(tx *engine.Tx, view func(int) *objState, put func(int, *objState)
 			put(e.Obj, ns)
 		}
 		return nil
+	case OpArmTimers:
+		if cur == nil || !cur.alive {
+			return nil
+		}
+		for _, name := range timerTrigNames[cur.class] {
+			if err := tx.Activate(cur.oid, name); err != nil {
+				return err
+			}
+		}
+		return nil
 	case OpActivate:
 		if cur == nil || !cur.alive {
 			return nil
@@ -439,6 +454,9 @@ func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error
 	}
 	if err := x.eng.RearmTimers(); err != nil {
 		return fmt.Errorf("rearm timers after recovery: %w", err)
+	}
+	if err := timerScheduleErr(x.eng); err != nil {
+		return fmt.Errorf("rearm reconciliation after %v: %w", fe, err)
 	}
 	x.recoveries++
 	if rec := x.eng.Store().Recovery(); rec.TornTail {
@@ -534,6 +552,49 @@ func modelStateErr(st *store.Store, model []*objState, touched map[int]*objState
 	}
 	if c := st.Count(); c != alive {
 		return fmt.Errorf("store holds %d objects, model %d", c, alive)
+	}
+	return nil
+}
+
+// timerScheduleErr verifies the engine's live timer schedule against
+// its store: every active trigger instance whose spec carries a
+// non-'after' timer requirement must occupy exactly one schedule
+// entry ('after' one-shots are excluded from the schedule by
+// contract — their per-(object,trigger) anchors are not derivable
+// from durable state alone). Run after RearmTimers this proves
+// reconciliation rebuilt the cohorts from the recovered store; run at
+// end of script it proves the churn of activation, deactivation,
+// deletion and aborts converged to exactly the active instances.
+func timerScheduleErr(e *engine.Engine) error {
+	var want []string
+	for _, oid := range e.Store().OIDs() {
+		rec, err := e.Store().Get(oid)
+		if err != nil {
+			continue
+		}
+		c := e.Class(rec.Class)
+		if c == nil {
+			return fmt.Errorf("object %d has unregistered class %q", oid, rec.Class)
+		}
+		for name, act := range rec.Triggers {
+			if !act.Active {
+				continue
+			}
+			tr := c.Trigger(name)
+			if tr == nil {
+				return fmt.Errorf("object %d holds unknown trigger %q", oid, name)
+			}
+			for _, req := range tr.Res.Timers {
+				if req.Mode == evlang.TimeAfter {
+					continue
+				}
+				want = append(want, fmt.Sprintf("%d %s %s", oid, req.Key, name))
+			}
+		}
+	}
+	sort.Strings(want)
+	if got := e.TimerSchedule(); fmt.Sprint(got) != fmt.Sprint(want) {
+		return fmt.Errorf("timer schedule diverged from store:\n got:  %v\n want: %v", got, want)
 	}
 	return nil
 }

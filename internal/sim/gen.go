@@ -184,6 +184,11 @@ func genOps(sc *Script, rng *rand.Rand, slotClass []int, n int, grow *[]int) []O
 			pool := triggerPool(sc, ci)
 			tr := pool[rng.Intn(len(pool))]
 			ops = append(ops, Op{Kind: OpDeactivate, Obj: slot, Trigger: tr.Name})
+		case r < 21:
+			// (Re)arm the class's timer-bearing triggers: cohort joins on
+			// live cohorts, idempotent re-joins, and re-activation of fired
+			// one-shots, interleaved with the deactivations above.
+			ops = append(ops, Op{Kind: OpArmTimers, Obj: slot})
 		case r < 28:
 			// Batched method run over the class's known slots — the
 			// engine's PostBatch hot path under the same oracle and model

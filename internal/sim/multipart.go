@@ -341,6 +341,9 @@ func ExecuteMulti(sc *MultiScript, dir string) (*MultiResult, error) {
 		if err := modelStateErr(x.db.Partition(p).Engine().Store(), x.model[p], nil, false); err != nil {
 			return nil, fmt.Errorf("sim: multipart seed %d: final ledger, partition %d: %w", sc.Seed, p, err)
 		}
+		if err := timerScheduleErr(x.db.Partition(p).Engine()); err != nil {
+			return nil, fmt.Errorf("sim: multipart seed %d: partition %d: %w", sc.Seed, p, err)
+		}
 	}
 	if err := x.db.VerifyOracle(); err != nil {
 		return nil, fmt.Errorf("sim: multipart seed %d: final oracle: %w", sc.Seed, err)
@@ -560,6 +563,13 @@ func (x *mexec) crashCycle(p int, stage *mStage, fe *fault.Error, committed bool
 	}
 	if err := x.db.RearmTimers(); err != nil {
 		return fmt.Errorf("rearm timers after recovery: %w", err)
+	}
+	// Every partition — victim or not — must rebuild its cohort
+	// schedule from its own recovered store alone.
+	for q := 0; q < x.sc.Partitions; q++ {
+		if err := timerScheduleErr(x.db.Partition(q).Engine()); err != nil {
+			return fmt.Errorf("rearm reconciliation on partition %d after %v: %w", q, fe, err)
+		}
 	}
 	x.recoveries++
 	for q := 0; q < x.sc.Partitions; q++ {

@@ -21,6 +21,11 @@ const (
 	// one class through Tx.PostBatch — the engine's batch hot path.
 	// Entries whose slot is dead are skipped, mirroring OpCall.
 	OpBatch
+	// OpArmTimers (re)activates every fixed trigger of the slot's class
+	// whose event spec carries timer atoms, growing the class's timer
+	// cohorts mid-run. Activation is idempotent, so re-arming an
+	// already-armed instance keeps its original schedule (§3.1 sharing).
+	OpArmTimers
 )
 
 // BatchCall is one entry of an OpBatch.
@@ -178,6 +183,8 @@ func (op Op) String() string {
 			}
 		}
 		return fmt.Sprintf("batch %s [%s]", classDefs[op.Class].name, strings.Join(parts, " "))
+	case OpArmTimers:
+		return fmt.Sprintf("o%d.arm-timers", op.Obj)
 	default:
 		return "?"
 	}

@@ -79,6 +79,17 @@ func (s *Store) seedEpochView() {
 // in the same transaction and are skipped (the deleted list covers
 // them).
 func (s *Store) PublishCommitted(dirty, deleted []OID) {
+	// Objects already in the view take the fast path: swap the cell's
+	// pointer. Objects new to the view are deferred per epoch stripe
+	// and inserted in one map rebuild per stripe below, so a transaction
+	// creating k objects in a stripe pays one copy instead of k
+	// (publishing a bulk load one object at a time is quadratic).
+	type pendingPub struct {
+		oid OID
+		img *Record
+	}
+	var missing [numStripes][]pendingPub
+	anyMissing := false
 	for _, oid := range dirty {
 		st := s.stripeOf(oid)
 		st.mu.RLock()
@@ -95,17 +106,34 @@ func (s *Store) PublishCommitted(dirty, deleted []OID) {
 		cur := *es.cells.Load()
 		if cell, ok := cur[oid]; ok {
 			cell.Store(img)
-		} else {
-			next := make(map[OID]*atomic.Pointer[Record], len(cur)+1)
+			es.pubMu.Unlock()
+			continue
+		}
+		es.pubMu.Unlock()
+		i := int(uint64(oid) % numStripes)
+		missing[i] = append(missing[i], pendingPub{oid, img})
+		anyMissing = true
+	}
+	if anyMissing {
+		for i := range missing {
+			if len(missing[i]) == 0 {
+				continue
+			}
+			es := &s.epochs[i]
+			es.pubMu.Lock()
+			cur := *es.cells.Load()
+			next := make(map[OID]*atomic.Pointer[Record], len(cur)+len(missing[i]))
 			for k, v := range cur {
 				next[k] = v
 			}
-			cell := new(atomic.Pointer[Record])
-			cell.Store(img)
-			next[oid] = cell
+			for _, pp := range missing[i] {
+				cell := new(atomic.Pointer[Record])
+				cell.Store(pp.img)
+				next[pp.oid] = cell
+			}
 			es.cells.Store(&next)
+			es.pubMu.Unlock()
 		}
-		es.pubMu.Unlock()
 	}
 	for _, oid := range deleted {
 		es := &s.epochs[uint64(oid)%numStripes]
@@ -119,6 +147,42 @@ func (s *Store) PublishCommitted(dirty, deleted []OID) {
 				}
 			}
 			es.cells.Store(&next)
+		}
+		es.pubMu.Unlock()
+	}
+	s.epoch.Add(1)
+}
+
+// PublishCommittedNarrow is PublishCommitted for objects whose commit
+// changed only trigger-activation state (the transaction manager's
+// narrow-access path, used by cohort timer delivery): each new image is
+// built by cloneNarrow from the previous committed image, sharing the
+// untouched Fields map instead of deep-copying the record. Objects
+// with no committed image yet fall back to the general path. The same
+// caller obligations apply: object locks held, commit already durable.
+func (s *Store) PublishCommittedNarrow(dirty []OID) {
+	for _, oid := range dirty {
+		es := &s.epochs[uint64(oid)%numStripes]
+		es.pubMu.Lock()
+		cur := *es.cells.Load()
+		cell, ok := cur[oid]
+		var prev *Record
+		if ok {
+			prev = cell.Load()
+		}
+		if prev == nil {
+			es.pubMu.Unlock()
+			// Never published (or committed-deleted then recreated): the
+			// general path handles the map rebuild.
+			s.PublishCommitted([]OID{oid}, nil)
+			continue
+		}
+		st := s.stripeOf(oid)
+		st.mu.RLock()
+		r, rok := st.objects[oid]
+		st.mu.RUnlock()
+		if rok {
+			cell.Store(r.cloneNarrow(prev))
 		}
 		es.pubMu.Unlock()
 	}

@@ -130,6 +130,47 @@ func (r *Record) BindSlot(i int, name string, act *TrigActivation) {
 	r.slots[i] = trigSlot{name: name, act: act}
 }
 
+// ActImage is a narrow before-image of one activation: exactly the
+// scalars a committed-view automaton step mutates in place (paper §6 —
+// the automaton state is part of the object data structure). Shadow is
+// captured as a length because the oracle history only ever appends;
+// restoring truncates.
+type ActImage struct {
+	Name      string
+	Active    bool
+	State     int
+	ShadowLen int
+}
+
+// CaptureActs appends one ActImage per activation of r to buf and
+// returns the extended slice. Callers own buf — the transaction
+// manager uses a per-transaction arena so capturing allocates nothing
+// per object after the arena warms.
+func (r *Record) CaptureActs(buf []ActImage) []ActImage {
+	for k, a := range r.Triggers {
+		buf = append(buf, ActImage{Name: k, Active: a.Active, State: a.State, ShadowLen: len(a.Shadow)})
+	}
+	return buf
+}
+
+// RestoreActs applies narrow images onto r's activations by name.
+// Activations absent from r are skipped (under the narrow-access
+// contract none disappear between capture and restore; the lookup is
+// defensive).
+func (r *Record) RestoreActs(imgs []ActImage) {
+	for i := range imgs {
+		im := &imgs[i]
+		a, ok := r.Triggers[im.Name]
+		if !ok {
+			continue
+		}
+		a.Active, a.State = im.Active, im.State
+		if len(a.Shadow) > im.ShadowLen {
+			a.Shadow = a.Shadow[:im.ShadowLen]
+		}
+	}
+}
+
 // clone deep-copies the record (before-image support).
 func (r *Record) clone() *Record {
 	c := &Record{OID: r.OID, Class: r.Class}
@@ -147,6 +188,28 @@ func (r *Record) clone() *Record {
 		c.slots = make([]trigSlot, len(r.slots))
 		for i, s := range r.slots {
 			c.slots[i] = trigSlot{name: s.name, act: c.Triggers[s.name]}
+		}
+	}
+	return c
+}
+
+// cloneNarrow builds a committed image for an object whose commit
+// changed only trigger-activation state, sharing everything else with
+// prev, the object's previous committed image. The share is sound
+// because prev is immutable by construction and the narrow contract
+// guarantees Fields did not change this commit; within each
+// activation, Params and Dense are replaced wholesale by Activate
+// (never mutated in place) and Shadow only appends, so a
+// length-bounded shared slice header stays immutable to readers. The
+// image carries no dense slot index — only the engine's live records
+// need one.
+func (r *Record) cloneNarrow(prev *Record) *Record {
+	c := &Record{OID: r.OID, Class: r.Class, Fields: prev.Fields}
+	c.Triggers = make(map[string]*TrigActivation, len(r.Triggers))
+	for k, a := range r.Triggers {
+		c.Triggers[k] = &TrigActivation{
+			Active: a.Active, State: a.State,
+			Params: a.Params, Dense: a.Dense, Shadow: a.Shadow,
 		}
 	}
 	return c

@@ -1,0 +1,119 @@
+package txn
+
+import (
+	"testing"
+
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// narrowSetup commits one object with a field and an activation, then
+// returns the manager and OID.
+func narrowSetup(t *testing.T) (*Manager, store.OID) {
+	t.Helper()
+	m := newManager(t)
+	setup := m.Begin()
+	rec, err := setup.Create("acct", map[string]value.Value{"balance": value.Int(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec.Trigger("Watch")
+	a.Active, a.State = true, 1
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return m, rec.OID
+}
+
+func TestNarrowAbortRestoresActivationScalars(t *testing.T) {
+	m, oid := narrowSetup(t)
+	tx := m.Begin()
+	rec, first, err := tx.AccessNarrow(oid)
+	if err != nil || !first {
+		t.Fatalf("AccessNarrow: first=%v err=%v", first, err)
+	}
+	a := rec.Trigger("Watch")
+	a.State = 7
+	a.Active = false
+	a.Shadow = append(a.Shadow, 3)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Store().Get(oid)
+	ga := got.Trigger("Watch")
+	if !ga.Active || ga.State != 1 || len(ga.Shadow) != 0 {
+		t.Fatalf("rollback left Active=%v State=%d Shadow=%v", ga.Active, ga.State, ga.Shadow)
+	}
+}
+
+func TestNarrowCommitPublishesSharedImage(t *testing.T) {
+	m, oid := narrowSetup(t)
+	before, _ := m.Store().GetCommitted(oid)
+	tx := m.Begin()
+	rec, _, err := tx.AccessNarrow(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Trigger("Watch").State = 9
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := m.Store().GetCommitted(oid)
+	if !ok || after == before {
+		t.Fatalf("narrow commit did not publish a fresh image")
+	}
+	if after.Trigger("Watch").State != 9 {
+		t.Fatalf("published State = %d, want 9", after.Trigger("Watch").State)
+	}
+	if !after.Fields["balance"].Equal(value.Int(100)) {
+		t.Fatalf("published balance %v", after.Fields["balance"])
+	}
+}
+
+// TestNarrowPromoteOnAccessCoversFieldWrites pins the automatic
+// upgrade: a general Access after a narrow one takes a full image, so
+// rollback restores field mutations made through the general path.
+func TestNarrowPromoteOnAccessCoversFieldWrites(t *testing.T) {
+	m, oid := narrowSetup(t)
+	tx := m.Begin()
+	rec, _, err := tx.AccessNarrow(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Trigger("Watch").State = 4 // scalar step under the narrow image
+	rec2, _, err := tx.Access(oid) // general access licenses any mutation
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.Fields["balance"] = value.Int(0)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Store().Get(oid)
+	if !got.Fields["balance"].Equal(value.Int(100)) || got.Trigger("Watch").State != 1 {
+		t.Fatalf("rollback left balance=%v State=%d", got.Fields["balance"], got.Trigger("Watch").State)
+	}
+}
+
+func TestNarrowDeleteResurrectsOnAbort(t *testing.T) {
+	m, oid := narrowSetup(t)
+	tx := m.Begin()
+	rec, _, err := tx.AccessNarrow(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Trigger("Watch").State = 3
+	if err := tx.Delete(oid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Store().Get(oid)
+	if err != nil {
+		t.Fatalf("object not resurrected: %v", err)
+	}
+	if got.Trigger("Watch").State != 1 || !got.Fields["balance"].Equal(value.Int(100)) {
+		t.Fatalf("resurrected State=%d balance=%v", got.Trigger("Watch").State, got.Fields["balance"])
+	}
+}

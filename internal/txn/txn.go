@@ -118,12 +118,26 @@ type Tx struct {
 	deleted  map[store.OID]bool // objects deleted by this transaction
 	deps     []*Tx              // commit dependencies (footnote 6)
 	system   bool               // system transactions post tcommit/tabort events
+
+	// Narrow-access state (AccessNarrow): narrowSeen holds the objects
+	// whose before-image is currently narrow — captured activation
+	// scalars in the actImgs arena instead of a deep record clone.
+	// Promote moves an object out of narrowSeen by taking a full image
+	// into promoUndo; rollback restores promoUndo images first, then
+	// replays undo, so a promoted object ends at its full image with
+	// the narrow scalars overlaid on top.
+	narrowSeen map[store.OID]bool
+	actImgs    []store.ActImage
+	promoUndo  []undoEntry
 }
 
 type undoEntry struct {
 	created bool
+	narrow  bool
 	oid     store.OID
-	img     *store.Record // nil when created
+	img     *store.Record // nil when created or narrow
+	actOff  int           // narrow: range into Tx.actImgs
+	actLen  int
 }
 
 // Begin starts a new transaction.
@@ -198,8 +212,76 @@ func (tx *Tx) Access(oid store.OID) (rec *store.Record, first bool, err error) {
 			}
 			tx.undo = append(tx.undo, undoEntry{oid: oid, img: img})
 		}
+	} else if tx.narrowSeen[oid] {
+		// The object's image is narrow but the caller is taking the
+		// general access path, which licenses arbitrary mutation:
+		// promote to a full image first.
+		if err := tx.Promote(oid); err != nil {
+			return nil, false, err
+		}
 	}
 	return rec, first, nil
+}
+
+// AccessNarrow is Access for callers that promise to mutate nothing
+// but trigger-activation scalars (Active, State, Shadow appends) until
+// the object is Promoted — the cohort timer delivery contract. The
+// first-access before-image is a narrow capture of those scalars into
+// the transaction's arena rather than a deep record clone; a later
+// Access or Delete of the same object promotes it automatically, and
+// the engine promotes before running trigger actions. Commit publishes
+// narrow objects to the epoch view by structure sharing
+// (PublishCommittedNarrow).
+func (tx *Tx) AccessNarrow(oid store.OID) (rec *store.Record, first bool, err error) {
+	if tx.State() != Active {
+		return nil, false, ErrNotActive
+	}
+	if err := tx.mgr.lock(tx.id, oid); err != nil {
+		return nil, false, err
+	}
+	rec, err = tx.mgr.store.Get(oid)
+	if err != nil {
+		return nil, false, err
+	}
+	first = !tx.seen[oid]
+	if first {
+		tx.seen[oid] = true
+		tx.accessed = append(tx.accessed, oid)
+		if !tx.created[oid] {
+			if tx.narrowSeen == nil {
+				tx.narrowSeen = map[store.OID]bool{}
+			}
+			tx.narrowSeen[oid] = true
+			off := len(tx.actImgs)
+			tx.actImgs = rec.CaptureActs(tx.actImgs)
+			tx.undo = append(tx.undo, undoEntry{
+				narrow: true, oid: oid, actOff: off, actLen: len(tx.actImgs) - off,
+			})
+		}
+	}
+	return rec, first, nil
+}
+
+// Promote upgrades a narrow-imaged object to a full before-image taken
+// now. Sound because the narrow contract holds up to this call: the
+// record differs from its pre-transaction state only in activation
+// scalars, so rollback — this full image restored first, the narrow
+// scalar overlay applied on top — reproduces the pre-transaction state
+// exactly. A no-op for objects without a narrow image.
+func (tx *Tx) Promote(oid store.OID) error {
+	if tx.State() != Active {
+		return ErrNotActive
+	}
+	if !tx.narrowSeen[oid] {
+		return nil
+	}
+	img, err := tx.mgr.store.Snapshot(oid)
+	if err != nil {
+		return err
+	}
+	delete(tx.narrowSeen, oid)
+	tx.promoUndo = append(tx.promoUndo, undoEntry{oid: oid, img: img})
+	return nil
 }
 
 // Create allocates a new object owned by this transaction. The object
@@ -229,6 +311,8 @@ func (tx *Tx) Delete(oid store.OID) error {
 	if _, _, err := tx.Access(oid); err != nil {
 		return err
 	}
+	// Access promoted any narrow image, so rollback can resurrect the
+	// object from a full record clone.
 	if err := tx.mgr.store.Delete(oid); err != nil {
 		return err
 	}
@@ -285,7 +369,22 @@ func (tx *Tx) Commit() error {
 	// view while this transaction still holds its object locks — the
 	// records cannot change under the clone, and a reader that sees the
 	// new epoch sees exactly the state the WAL just made durable.
-	tx.mgr.store.PublishCommitted(dirty, deleted)
+	// Objects still narrow at commit changed only activation scalars
+	// and publish by structure sharing instead of a deep clone.
+	if len(tx.narrowSeen) == 0 {
+		tx.mgr.store.PublishCommitted(dirty, deleted)
+	} else {
+		var fullD, narrowD []store.OID
+		for _, oid := range dirty {
+			if tx.narrowSeen[oid] {
+				narrowD = append(narrowD, oid)
+			} else {
+				fullD = append(fullD, oid)
+			}
+		}
+		tx.mgr.store.PublishCommitted(fullD, deleted)
+		tx.mgr.store.PublishCommittedNarrow(narrowD)
+	}
 	tx.setState(Committed)
 	tx.mgr.releaseAll(tx.id)
 	tx.mgr.broadcast()
@@ -303,12 +402,24 @@ func (tx *Tx) Abort() error {
 }
 
 func (tx *Tx) rollback() {
+	// Promotion images first: a promoted object's full image captures
+	// its mid-transaction state (pre-action fields, post-step scalars);
+	// the narrow overlay replayed below then rewinds the scalars to
+	// their pre-transaction values.
+	for i := len(tx.promoUndo) - 1; i >= 0; i-- {
+		tx.mgr.store.Restore(tx.promoUndo[i].img)
+	}
 	// Restore before-images in reverse order of first access.
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
-		if u.created {
+		switch {
+		case u.created:
 			tx.mgr.store.Remove(u.oid)
-		} else {
+		case u.narrow:
+			if r, err := tx.mgr.store.Get(u.oid); err == nil {
+				r.RestoreActs(tx.actImgs[u.actOff : u.actOff+u.actLen])
+			}
+		default:
 			tx.mgr.store.Restore(u.img)
 		}
 	}
