@@ -15,38 +15,43 @@ vet:
 # the observability layer is read while posting; the txn and store
 # substrates are exercised by the concurrency stress tests; the
 # partitioned layer routes concurrent producers into single-writer
-# loops over the cross-partition bus.
+# loops over the cross-partition bus; the egress feed is tailed by
+# concurrent subscribers while commits append to it.
 race:
-	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/ ./internal/part/
+	$(GO) test -race ./internal/engine/ ./internal/obs/ ./internal/txn/ ./internal/store/ ./internal/part/ ./internal/egress/
 
-# Short fuzz smoke over the event-language and mask parsers; longer
-# campaigns:
+# Short fuzz smoke over the event-language and mask parsers and the
+# egress record codec; longer campaigns:
 # go test -fuzz FuzzParseEvent ./internal/evlang/
 # go test -fuzz FuzzParseMask ./internal/mask/
+# go test -fuzz FuzzRecordCodec ./internal/egress/
 fuzz:
 	$(GO) test -fuzz FuzzParseEvent -fuzztime 5s -run '^$$' ./internal/evlang/
 	$(GO) test -fuzz FuzzParseMask -fuzztime 5s -run '^$$' ./internal/mask/
+	$(GO) test -fuzz FuzzRecordCodec -fuzztime 5s -run '^$$' ./internal/egress/
 
 # Deterministic-simulation smoke (the CI sim-short job): single-engine
-# seeded runs plus the multi-partition scripts (per-partition WAL
-# faults, independent recovery, bus determinism). Full torture
-# campaigns run via `go run ./cmd/odebench -sim -iters N`.
+# seeded runs, the multi-partition scripts (per-partition WAL faults,
+# independent recovery, bus determinism), and the egress family
+# (deliverer crashes, cursor tears, exactly-once ledger; -short keeps
+# the egress torture at smoke size). Full torture campaigns run via
+# `go run ./cmd/odebench -sim -iters N`.
 sim:
-	$(GO) test -race -run 'TestSimShort|TestMultipart' ./internal/sim/
+	$(GO) test -race -short -run 'TestSimShort|TestMultipart|TestEgress' ./internal/sim/
 
 # The tier-1 verification gate (see ROADMAP.md).
 verify: build test vet race fuzz
 
-# Engine benchmarks plus the E18 timer-storm sweep with the E12
-# hot-path, E16 batch-posting and E17 partitioned-scaling reruns
-# riding along — the reruns prove the existing paths did not regress
-# while the timing wheel and cohort delivery replaced the timer core
-# (committed as BENCH_PR9.json; earlier baselines are regenerated with
+# Engine benchmarks plus the E19 egress-overhead sweep: the E12
+# single-post and E16 batch hot paths rerun with the durable firing
+# feed on vs off, plus deliverer drain throughput (committed as
+# BENCH_PR10.json; earlier baselines are regenerated with
 # `go run ./cmd/odebench -exp E12 -out BENCH_PR3.json`,
 # `go run ./cmd/odebench -exp E13 -out BENCH_PR4.json`,
 # `go run ./cmd/odebench -exp E15 -out BENCH_PR6.json`,
 # `go run ./cmd/odebench -exp E16 -out BENCH_PR7.json`,
-# `go run ./cmd/odebench -exp E17 -out BENCH_PR8.json`).
+# `go run ./cmd/odebench -exp E17 -out BENCH_PR8.json`,
+# `go run ./cmd/odebench -exp E18 -out BENCH_PR9.json`).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem .
-	$(GO) run ./cmd/odebench -exp E18 -out BENCH_PR9.json
+	$(GO) run ./cmd/odebench -exp E19 -out BENCH_PR10.json

@@ -48,10 +48,15 @@
 //	    (one clock timer and one transaction per object per tick),
 //	    single-engine and partitioned; -out also reruns E12, E16 and
 //	    E17 and writes all four as JSON (e.g. BENCH_PR9.json)
+//	E19 egress overhead: the E12 single-post and E16 batch hot paths
+//	    rerun with the durable firing feed on vs off (Options.
+//	    DisableEgress), plus deliverer drain throughput with and
+//	    without a durable cursor; -out writes everything as JSON
+//	    (e.g. BENCH_PR10.json)
 //
 // Usage:
 //
-//	odebench                               # run everything (E1..E13, E15..E18)
+//	odebench                               # run everything (E1..E13, E15..E19)
 //	odebench -exp E4                       # one experiment
 //	odebench -exp E11 -out BENCH_PR2.json  # parallel numbers as JSON
 //	odebench -exp E12 -out BENCH_PR3.json  # hot-path + parallel JSON
@@ -60,6 +65,7 @@
 //	odebench -exp E16 -out BENCH_PR7.json  # batch-posting JSON
 //	odebench -exp E17 -out BENCH_PR8.json  # partitioned-scaling JSON
 //	odebench -exp E18 -out BENCH_PR9.json  # timer-storm JSON
+//	odebench -exp E19 -out BENCH_PR10.json # egress-overhead JSON
 //	odebench -sim -iters 10000 -seed 1     # E14 torture campaign
 //	odebench -sim -iters 1000 -out sim.json
 //
@@ -85,7 +91,7 @@ func main() { os.Exit(run()) }
 // run carries the real main body; returning instead of os.Exit lets the
 // profiling defers flush before the process dies.
 func run() int {
-	exp := flag.String("exp", "", "experiment id (E1..E13, E15..E18; E14 is -sim); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E13, E15..E19; E14 is -sim); empty = all")
 	seed := flag.Int64("seed", 42, "workload seed")
 	out := flag.String("out", "", "write E11/E12/E13/-sim results as JSON to this file")
 	simMode := flag.Bool("sim", false, "run the deterministic-simulation torture campaign (E14) instead of the experiment tables")
@@ -149,6 +155,7 @@ func run() int {
 		{"E16", func() error { return e16(*out) }},
 		{"E17", func() error { return e17(*seed, *out) }},
 		{"E18", func() error { return e18(*seed, *out) }},
+		{"E19", func() error { return e19(*out) }},
 	}
 	ran := false
 	for _, e := range all {
@@ -714,5 +721,81 @@ func e8(seed int64) error {
 			fmt.Sprintf("%.1f", r.CombinedNsPerEvent),
 			fmt.Sprintf("%.1fx", r.SeparateNsPerEvent/r.CombinedNsPerEvent),
 		}})
+	return nil
+}
+
+func e19(out string) error {
+	res, err := workload.RunE19(20000, 131072, []int{64, 256}, 50000)
+	if err != nil {
+		return err
+	}
+	gomaxprocs, numCPU := workload.E11CPUs()
+	fmt.Printf("E19 — egress overhead: hot paths with the durable firing feed on vs off, plus delivery throughput (GOMAXPROCS=%d, NumCPU=%d)\n",
+		gomaxprocs, numCPU)
+
+	tbl := make([][]string, 0, len(res.Hot))
+	for _, r := range res.Hot {
+		over := ""
+		if r.Egress == "on" {
+			over = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		tbl = append(tbl, []string{
+			r.Scenario, r.Egress,
+			fmt.Sprintf("%.1f", r.NsPerOp),
+			fmt.Sprintf("%.3f", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.Firings),
+			over,
+		})
+	}
+	table("single-post hot path (E12 rerun)",
+		[]string{"scenario", "egress", "ns/op", "allocs/op", "firings", "overhead"}, tbl)
+
+	tbl = tbl[:0]
+	for _, r := range res.Batch {
+		over := ""
+		if r.Egress == "on" {
+			over = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		tbl = append(tbl, []string{
+			r.Scenario,
+			fmt.Sprintf("%d", r.BatchSize),
+			r.Egress,
+			fmt.Sprintf("%.1f", r.NsPerH),
+			fmt.Sprintf("%.3f", r.AllocsPerH),
+			over,
+		})
+	}
+	table("batch posting (E16 rerun)",
+		[]string{"scenario", "batch", "egress", "ns/happening", "allocs/happening", "overhead"}, tbl)
+
+	tbl = tbl[:0]
+	for _, r := range res.Delivery {
+		tbl = append(tbl, []string{
+			r.Mode,
+			fmt.Sprintf("%d", r.Records),
+			fmt.Sprintf("%.1f", r.NsPerRecord),
+			fmt.Sprintf("%.0f", r.RecordsPerSec),
+			fmt.Sprintf("%d", r.CursorSaves),
+		})
+	}
+	table("deliverer drain", []string{"mode", "records", "ns/record", "records/sec", "cursor saves"}, tbl)
+
+	if out == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(struct {
+		Experiment string             `json:"experiment"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		NumCPU     int                `json:"num_cpu"`
+		Egress     workload.E19Result `json:"egress"`
+	}{"E19", gomaxprocs, numCPU, res}, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", out)
 	return nil
 }

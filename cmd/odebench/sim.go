@@ -11,7 +11,8 @@ import (
 )
 
 // runSim is the -sim torture mode: many independent seeded simulation
-// runs (persistent store, fault injection, all three oracles), one
+// runs (persistent store, fault injection, all oracles including the
+// exactly-once egress ledger), one
 // line of progress per chunk, and a final summary. Every failure
 // prints its seed and a minimized reproduction script; the exit code
 // is nonzero if any iteration failed, so CI can gate on it. With -out
@@ -23,9 +24,10 @@ func runSim(iters int, seed int64, volatile bool, out string) int {
 	cfg := sim.Defaults(seed)
 	cfg.Persistent = !volatile
 	cfg.Faults = true
-	mode := "persistent store + WAL/lock fault injection"
+	cfg.Egress = true
+	mode := "persistent store + WAL/lock/egress fault injection"
 	if volatile {
-		mode = "volatile store + lock fault injection"
+		mode = "volatile store + lock/egress fault injection"
 	}
 	fmt.Printf("sim torture: %d iterations from seed %d (%s)\n", iters, seed, mode)
 
@@ -45,7 +47,7 @@ func runSim(iters int, seed int64, volatile bool, out string) int {
 		},
 	})
 
-	table("", []string{"iterations", "failures", "crashes", "recoveries", "torn tails", "faults injected", "firings", "happenings"},
+	table("", []string{"iterations", "failures", "crashes", "recoveries", "torn tails", "faults injected", "firings", "happenings", "effects", "redelivered", "gave up", "delv crashes"},
 		[][]string{{
 			fmt.Sprintf("%d", sum.Iters),
 			fmt.Sprintf("%d", sum.Failures),
@@ -55,6 +57,10 @@ func runSim(iters int, seed int64, volatile bool, out string) int {
 			fmt.Sprintf("%d", sum.Injected),
 			fmt.Sprintf("%d", sum.Firings),
 			fmt.Sprintf("%d", sum.Happenings),
+			fmt.Sprintf("%d", sum.EgressEffects),
+			fmt.Sprintf("%d", sum.Redelivered),
+			fmt.Sprintf("%d", sum.GaveUp),
+			fmt.Sprintf("%d", sum.DelivererCrashes),
 		}})
 	for _, f := range fails {
 		fmt.Fprintf(os.Stderr, "\n%v\n", f)

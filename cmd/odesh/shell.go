@@ -150,6 +150,8 @@ func (sh *shell) exec(line string) error {
 		return sh.stats()
 	case ".why":
 		return sh.why(rest)
+	case ".feed":
+		return sh.feed(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -188,6 +190,8 @@ func (sh *shell) help() {
   .stats                     engine counters and per-trigger metrics
   .why @oid TRIGGER          firing provenance: the happening chain behind the
                              trigger's current state / most recent firing
+  .feed [after [max]]        durable firing-egress feed (records after the
+                             given position; max defaults to 20)
   quit
 `)
 }
@@ -643,6 +647,37 @@ func (sh *shell) why(rest string) error {
 			fmt.Fprint(sh.out, "  ** fires")
 		}
 		fmt.Fprintln(sh.out)
+	}
+	return nil
+}
+
+func (sh *shell) feed(rest string) error {
+	fields := strings.Fields(rest)
+	var after uint64
+	max := 20
+	if len(fields) > 2 {
+		return fmt.Errorf("usage: .feed [after [max]]")
+	}
+	if len(fields) >= 1 {
+		n, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad after position %q", fields[0])
+		}
+		after = n
+	}
+	if len(fields) == 2 {
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad max %q", fields[1])
+		}
+		max = n
+	}
+	recs, head := sh.db.Firings(after, max)
+	fmt.Fprintf(sh.out, "feed head: %d\n", head)
+	for _, r := range recs {
+		fmt.Fprintf(sh.out, "  %6d  %s.%s @%d %-10s tx=%d part=%d at=%s\n",
+			r.Seq, r.Class, r.Trigger, r.OID, r.Kind, r.TxID, r.Part,
+			time.Unix(0, r.AtNs).UTC().Format(time.RFC3339))
 	}
 	return nil
 }

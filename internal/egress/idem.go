@@ -1,0 +1,40 @@
+package egress
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"ode/internal/store"
+)
+
+// idemDomain separates this key family from any other SHA-256 use a
+// receiver might share a dedupe table with. Bump the version if the
+// key derivation ever changes.
+const idemDomain = "ode/egress/v1"
+
+// IdempotencyKey derives the delivery dedupe key for one firing:
+// hash(trigger, object, firing-seq), domain-separated. The sequence
+// number is assigned before the WAL write and recovered verbatim, so
+// the key is stable across crash, retry and resume — a receiver that
+// stores seen keys observes each firing's effect exactly once no
+// matter how many times delivery is attempted. OIDs are unique across
+// partitions (residue-class allocation), so the partition id is not
+// part of the key.
+func IdempotencyKey(trigger string, oid store.OID, seq uint64) string {
+	h := sha256.New()
+	h.Write([]byte(idemDomain))
+	h.Write([]byte{0})
+	h.Write([]byte(trigger))
+	h.Write([]byte{0})
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(oid))
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	h.Write(b[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyFor is IdempotencyKey applied to a record.
+func KeyFor(rec store.FiringRecord) string {
+	return IdempotencyKey(rec.Trigger, rec.OID, rec.Seq)
+}

@@ -30,6 +30,7 @@ var debugEngineSeq atomic.Uint64
 //	/debug/metrics     Prometheus/OpenMetrics text exposition
 //	/debug/why?trigger=T&oid=N  firing provenance of one instance (JSON)
 //	/debug/flight?last=N  flight-recorder dump (JSON)
+//	/debug/feed?after=N&max=M  durable firing-egress feed records (JSON)
 //	/debug/vars        expvar (includes this engine's stats)
 //	/debug/pprof/...   the standard runtime profiles
 //
@@ -45,6 +46,7 @@ func (e *Engine) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/metrics", e.handleDebugMetrics)
 	mux.HandleFunc("/debug/why", e.handleDebugWhy)
 	mux.HandleFunc("/debug/flight", e.handleDebugFlight)
+	mux.HandleFunc("/debug/feed", e.handleDebugFeed)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -134,7 +136,41 @@ func PromExtras(s Stats) []obs.PromMetric {
 		{Name: "ode_engine_automaton_table_bytes", Help: "Resident automaton table bytes.", Type: "gauge", Value: float64(s.AutomatonTableBytes)},
 		{Name: "ode_engine_compile_cache_hits_total", Help: "Process-wide automaton compile-cache hits.", Value: float64(s.CompileCacheHits)},
 		{Name: "ode_engine_compile_cache_misses_total", Help: "Process-wide automaton compile-cache misses.", Value: float64(s.CompileCacheMisses)},
+		{Name: "ode_engine_egress_appended_total", Help: "Firing records made durable on the egress feed.", Value: float64(s.EgressAppended)},
+		{Name: "ode_engine_egress_seq", Help: "Egress feed head (highest visible firing sequence number).", Type: "gauge", Value: float64(s.EgressSeq)},
 	}
+}
+
+// handleDebugFeed serves the durable firing-egress feed:
+// /debug/feed?after=N&max=M returns up to M records with Seq > N
+// (after defaults to 0, max to 1000).
+func (e *Engine) handleDebugFeed(w http.ResponseWriter, r *http.Request) {
+	var after uint64
+	if s := r.URL.Query().Get("after"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	max := 1000
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad max parameter", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	recs, head := e.Firings(after, max)
+	if recs == nil {
+		recs = []store.FiringRecord{}
+	}
+	writeJSON(w, struct {
+		Head    uint64               `json:"head"`
+		Records []store.FiringRecord `json:"records"`
+	}{Head: head, Records: recs})
 }
 
 func (e *Engine) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {

@@ -156,6 +156,8 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 		"ode_engine_flight_events_total":    s.FlightEvents,
 		"ode_engine_provenance_steps_total": s.ProvenanceSteps,
 		"ode_engine_automaton_triggers":     s.AutomatonTriggers,
+		"ode_engine_egress_appended_total":  s.EgressAppended,
+		"ode_engine_egress_seq":             s.EgressSeq,
 	} {
 		got, ok := samples[name]
 		if !ok {

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"ode/internal/store"
+)
+
+// The durable firing egress feed, engine side. Firings are captured
+// inside the posting transaction (fire(), post.go) and appended to the
+// WAL atomically with the transaction's commit (store.LogCommit); the
+// engine surfaces the feed for consumers (internal/egress) and relays
+// newly durable batches to an optional live sink.
+
+// EgressEnabled reports whether commit-time firing capture is on.
+func (e *Engine) EgressEnabled() bool { return !e.egressOff }
+
+// Firings returns up to max durable firing records with Seq > after,
+// plus the feed head (the highest sequence number a reader may see).
+// max <= 0 means no limit. Records belong to committed transactions
+// only, in strict sequence order.
+func (e *Engine) Firings(after uint64, max int) ([]store.FiringRecord, uint64) {
+	return e.st.FiringsFrom(after, max)
+}
+
+// FiringsAfter implements egress.Source over the engine's feed: the
+// cursor is the record sequence number itself.
+func (e *Engine) FiringsAfter(after uint64, max int) ([]store.FiringRecord, uint64) {
+	return e.st.FiringsFrom(after, max)
+}
+
+// FiringHead implements egress.Source: the feed's visibility frontier.
+func (e *Engine) FiringHead() uint64 { return e.st.FiringSeq() }
+
+// FiringPos implements egress.Source: on a single engine the cursor
+// position of a record is its sequence number.
+func (e *Engine) FiringPos(rec store.FiringRecord) uint64 { return rec.Seq }
+
+// SetFiringSink installs fn as the live-feed callback: it is invoked
+// with each batch of newly durable firing records, in sequence order,
+// from the committing goroutine (keep it fast; hand off to a channel
+// for slow consumers). Installing replaces the previous sink; nil
+// uninstalls.
+func (e *Engine) SetFiringSink(fn func([]store.FiringRecord)) {
+	if fn == nil {
+		e.firingSink.Store(nil)
+		return
+	}
+	e.firingSink.Store(&fn)
+}
+
+// egressPublish is the store-level sink: every batch of newly durable
+// firing records lands here, already in sequence order. It records a
+// flight-recorder event per batch and relays to the user sink.
+func (e *Engine) egressPublish(recs []store.FiringRecord) {
+	if len(recs) > 0 {
+		e.flightEgress(recs[0].Seq, recs[len(recs)-1].Seq, len(recs))
+	}
+	if fn := e.firingSink.Load(); fn != nil {
+		(*fn)(recs)
+	}
+}

@@ -159,6 +159,11 @@ type Options struct {
 	// Partition is this engine's partition id, stamped onto flight-
 	// recorder dumps and debug output. 0 for unpartitioned engines.
 	Partition int
+	// DisableEgress turns off commit-time capture of trigger firings
+	// for the durable egress feed (see internal/egress). The default —
+	// egress on — costs nothing on the masked non-firing hot path: the
+	// capture happens only when a trigger actually fires.
+	DisableEgress bool
 }
 
 // Engine is an active object database.
@@ -187,8 +192,14 @@ type Engine struct {
 	shadowOracle   bool
 	combined       bool
 	interpretMasks bool
+	egressOff      bool            // Options.DisableEgress: skip firing capture
 	partition      int             // partition id (0 for unpartitioned engines)
 	faults         *fault.Registry // nil outside the simulation harness
+
+	// firingSink is the optional live-feed callback (SetFiringSink):
+	// invoked with each batch of newly durable firing records, in
+	// sequence order, from the committing goroutine.
+	firingSink atomic.Pointer[func([]store.FiringRecord)]
 
 	timers *timerTable
 
@@ -329,6 +340,7 @@ func New(opts Options) (*Engine, error) {
 		shadowOracle:   opts.ShadowOracle,
 		combined:       opts.CombinedAutomata && !opts.ShadowOracle,
 		interpretMasks: opts.InterpretedMasks,
+		egressOff:      opts.DisableEgress,
 		faults:         opts.Faults,
 		metrics:        obs.NewRegistry(),
 		names:          obs.NewInterner(),
@@ -341,6 +353,9 @@ func New(opts Options) (*Engine, error) {
 	e.flight = obs.NewFlight(opts.FlightBuffer, e.names)
 	e.txUserID = e.names.Intern("user")
 	e.txSysID = e.names.Intern("system")
+	if !e.egressOff {
+		st.SetFiringSink(e.egressPublish)
+	}
 	e.timers = newTimerTable(e, opts.PerObjectTimers)
 	switch {
 	case opts.RecordHistories > 0:

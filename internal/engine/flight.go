@@ -65,6 +65,14 @@ func (e *Engine) flightTimer(oid store.OID, key, onlyTrigger string) {
 		0, trigID, e.names.Intern(key), 0, 0, true, 0)
 }
 
+// flightEgress records one batch of firing records becoming visible on
+// the durable egress feed: from/to carry the batch's first and last
+// sequence numbers, the oid slot its size.
+func (e *Engine) flightEgress(first, last uint64, n int) {
+	e.flight.Record(obs.StageEgress, e.clk.Now().UnixNano(), 0, uint64(n),
+		0, 0, 0, int(first), int(last), true, 0)
+}
+
 // flightTx records a transaction lifecycle stage; the kind slot
 // carries the interned "user" / "system" marker.
 func (e *Engine) flightTx(stage obs.Stage, txid uint64, system bool) {

@@ -220,6 +220,10 @@ func (tx *Tx) step(oid store.OID, rec *store.Record, h event.Happening, onlyTrig
 // when enabled). The first action error stops the run — the engine's
 // pre-existing semantics: a failing action aborts the posting.
 func (tx *Tx) fire(oid store.OID, c *Class, h event.Happening, fired []firedTrigger) error {
+	if len(fired) == 0 {
+		return nil
+	}
+	kind := h.Kind.String()
 	for _, f := range fired {
 		// The ActionCtx lives on the Tx and is reused across firings;
 		// save/restore by value keeps nested firings (an action whose
@@ -228,7 +232,7 @@ func (tx *Tx) fire(oid store.OID, c *Class, h event.Happening, fired []firedTrig
 		saved := tx.actCtx
 		tx.actCtx = ActionCtx{
 			Tx: tx, Self: oid, Trigger: f.t.Res.Name, Params: f.act.Params,
-			EventKind: h.Kind.String(), EventParams: h.Params,
+			EventKind: kind, EventParams: h.Params,
 		}
 		tx.e.stats.firings.Add(1)
 		start := time.Now()
@@ -240,6 +244,20 @@ func (tx *Tx) fire(oid store.OID, c *Class, h event.Happening, fired []firedTrig
 		tx.e.traceFire(tx.tx.ID(), oid, c.Schema.Name, f.t.Res.Name, d, err)
 		if err != nil {
 			return err
+		}
+		// Capture the firing for the durable egress feed. Only
+		// successful actions are captured — a failed action aborts the
+		// posting transaction, and the feed carries committed firings
+		// only. Seq and TxID are stamped by the store at commit.
+		if !tx.e.egressOff {
+			tx.tx.AddFiring(store.FiringRecord{
+				OID:     oid,
+				Part:    tx.e.partition,
+				Class:   c.Schema.Name,
+				Trigger: f.t.Res.Name,
+				Kind:    kind,
+				AtNs:    h.At.UnixNano(),
+			})
 		}
 	}
 	return nil

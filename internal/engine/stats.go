@@ -61,6 +61,12 @@ type Stats struct {
 	// rings — state-changing or accepting steps only; non-accepting
 	// self-loops are skipped by design.
 	ProvenanceSteps uint64
+	// EgressAppended counts firing records made durable on the egress
+	// feed since open (including records recovered from disk).
+	// EgressSeq gauges the feed head — the highest firing sequence
+	// number visible to consumers.
+	EgressAppended uint64
+	EgressSeq      uint64
 
 	// AutomatonTriggers counts registered triggers stepping a compact
 	// table; AutomatonTables counts the distinct hash-consed tables they
@@ -127,6 +133,8 @@ func (e *Engine) Stats() Stats {
 		FaultsInjected:      e.faults.Injected(),
 		FlightEvents:        e.flight.Total(),
 		ProvenanceSteps:     e.stats.provSteps.Load(),
+		EgressAppended:      e.st.FiringsAppended(),
+		EgressSeq:           e.st.FiringSeq(),
 	}
 }
 
@@ -136,23 +144,25 @@ func (e *Engine) Stats() Stats {
 // operations counted between the two per-field load instants.
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
-		TxBegun:         s.TxBegun - prev.TxBegun,
-		TxCommitted:     s.TxCommitted - prev.TxCommitted,
-		TxAborted:       s.TxAborted - prev.TxAborted,
-		SystemTx:        s.SystemTx - prev.SystemTx,
-		Happenings:      s.Happenings - prev.Happenings,
-		Steps:           s.Steps - prev.Steps,
-		MaskEvals:       s.MaskEvals - prev.MaskEvals,
-		Firings:         s.Firings - prev.Firings,
+		TxBegun:          s.TxBegun - prev.TxBegun,
+		TxCommitted:      s.TxCommitted - prev.TxCommitted,
+		TxAborted:        s.TxAborted - prev.TxAborted,
+		SystemTx:         s.SystemTx - prev.SystemTx,
+		Happenings:       s.Happenings - prev.Happenings,
+		Steps:            s.Steps - prev.Steps,
+		MaskEvals:        s.MaskEvals - prev.MaskEvals,
+		Firings:          s.Firings - prev.Firings,
 		TimerPosts:       s.TimerPosts - prev.TimerPosts,
 		TimerErrsDropped: s.TimerErrsDropped - prev.TimerErrsDropped,
 		TimersPending:    s.TimersPending - prev.TimersPending,
 		TimerCohorts:     s.TimerCohorts - prev.TimerCohorts,
 		TcompleteRounds:  s.TcompleteRounds - prev.TcompleteRounds,
-		ShadowChecks:    s.ShadowChecks - prev.ShadowChecks,
-		FaultsInjected:  s.FaultsInjected - prev.FaultsInjected,
-		FlightEvents:    s.FlightEvents - prev.FlightEvents,
-		ProvenanceSteps: s.ProvenanceSteps - prev.ProvenanceSteps,
+		ShadowChecks:     s.ShadowChecks - prev.ShadowChecks,
+		FaultsInjected:   s.FaultsInjected - prev.FaultsInjected,
+		FlightEvents:     s.FlightEvents - prev.FlightEvents,
+		ProvenanceSteps:  s.ProvenanceSteps - prev.ProvenanceSteps,
+		EgressAppended:   s.EgressAppended - prev.EgressAppended,
+		EgressSeq:        s.EgressSeq - prev.EgressSeq,
 
 		AutomatonTriggers:   s.AutomatonTriggers - prev.AutomatonTriggers,
 		AutomatonTables:     s.AutomatonTables - prev.AutomatonTables,

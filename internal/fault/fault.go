@@ -52,16 +52,34 @@ const (
 	// lock-acquire timeout: the requesting transaction sees an error
 	// and must abort, exactly like a deadlock victim.
 	LockAcquire
+	// EgressAppend is consulted in LogCommit before firing records are
+	// stamped with sequence numbers: an armed plan fails the commit
+	// cleanly, before any egress state changes — the committer must
+	// abort and nothing reaches the feed.
+	EgressAppend
+	// EgressCursor is consulted when a delivery cursor persists its
+	// position. Plain plans fail before any byte is written; ArmTear
+	// plans write a torn prefix of the cursor frame, which the next
+	// open must detect and discard.
+	EgressCursor
+	// EgressDeliver is consulted before the deliverer hands a firing
+	// record to the sender, modeling a webhook endpoint failure: the
+	// deliverer must retry with backoff and never advance its cursor
+	// past the undelivered record.
+	EgressDeliver
 
 	// NumPoints bounds the Point space.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	WALWrite:     "wal-write",
-	WALSync:      "wal-sync",
-	WALAfterSync: "wal-after-sync",
-	LockAcquire:  "lock-acquire",
+	WALWrite:      "wal-write",
+	WALSync:       "wal-sync",
+	WALAfterSync:  "wal-after-sync",
+	LockAcquire:   "lock-acquire",
+	EgressAppend:  "egress-append",
+	EgressCursor:  "egress-cursor",
+	EgressDeliver: "egress-deliver",
 }
 
 func (p Point) String() string {

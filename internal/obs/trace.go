@@ -58,6 +58,10 @@ const (
 	// dominant cost of an otherwise tight loop. Firings within the batch
 	// still record individual StageFire events.
 	StageBatch
+	// StageEgress: a batch of firing records became visible on the
+	// durable egress feed; From holds the first sequence number of the
+	// batch, To the last.
+	StageEgress
 )
 
 var stageNames = [...]string{
@@ -71,6 +75,7 @@ var stageNames = [...]string{
 	StageTxAbort:   "tx-abort",
 	StageTcomplete: "tcomplete",
 	StageBatch:     "batch",
+	StageEgress:    "egress",
 }
 
 func (s Stage) String() string {

@@ -1,0 +1,135 @@
+package part
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"ode/internal/store"
+)
+
+// The partitioned firing feed: each partition's engine produces its
+// own durable, per-partition-sequenced egress log (riding that
+// partition's WAL); the DB merges them into one total-order feed.
+//
+// Two kinds of stability are on offer and it matters which is which:
+//
+//   - Record identity — (Part, Seq) and the idempotency key derived
+//     from (trigger, object, seq) — is durable and absolute: assigned
+//     before the partition's WAL write, recovered verbatim, identical
+//     across any crash/restart schedule.
+//
+//   - Global feed positions are process-lifetime stable: live batches
+//     append in durable-commit arrival order, and at Open the
+//     recovered per-partition logs are merged deterministically by
+//     (AtNs, Part, Seq) — the same tie-break the flight-recorder
+//     merge uses — so replaying from position 0 after a restart is
+//     reproducible. Across a restart, positions of records that were
+//     racing commits at crash time may renumber; durable delivery
+//     cursors therefore store records (identity), not positions, and
+//     re-derive the position at resume via FiringPos.
+type feedKey struct {
+	part int
+	seq  uint64
+}
+
+// appendFeed adds one partition's newly durable batch to the merged
+// feed (the engine sink calls it from the committing goroutine).
+func (db *DB) appendFeed(recs []store.FiringRecord) {
+	db.feedMu.Lock()
+	for _, r := range recs {
+		db.feed = append(db.feed, r)
+		db.feedPos[feedKey{r.Part, r.Seq}] = uint64(len(db.feed))
+	}
+	db.feedMu.Unlock()
+}
+
+// seedFeed installs the recovered per-partition logs at Open, merged
+// by (AtNs, Part, Seq). Runs before the partition loops start.
+func (db *DB) seedFeed() {
+	var all []store.FiringRecord
+	for _, pt := range db.parts {
+		recs, _ := pt.eng.Firings(0, 0)
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.AtNs != b.AtNs {
+			return a.AtNs < b.AtNs
+		}
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		return a.Seq < b.Seq
+	})
+	db.feed = all
+	db.feedPos = make(map[feedKey]uint64, len(all))
+	for i, r := range all {
+		db.feedPos[feedKey{r.Part, r.Seq}] = uint64(i + 1)
+	}
+}
+
+// FiringsAfter implements egress.Source over the merged feed:
+// positions are 1-based indexes into it. max <= 0 means no limit.
+func (db *DB) FiringsAfter(after uint64, max int) ([]store.FiringRecord, uint64) {
+	db.feedMu.Lock()
+	defer db.feedMu.Unlock()
+	head := uint64(len(db.feed))
+	if after >= head {
+		return nil, head
+	}
+	end := head
+	if max > 0 && after+uint64(max) < end {
+		end = after + uint64(max)
+	}
+	out := make([]store.FiringRecord, end-after)
+	copy(out, db.feed[after:end])
+	return out, head
+}
+
+// FiringHead implements egress.Source: the merged feed length.
+func (db *DB) FiringHead() uint64 {
+	db.feedMu.Lock()
+	defer db.feedMu.Unlock()
+	return uint64(len(db.feed))
+}
+
+// FiringPos implements egress.Source: the merged-feed position of the
+// record with rec's (Part, Seq) identity, 0 if absent.
+func (db *DB) FiringPos(rec store.FiringRecord) uint64 {
+	db.feedMu.Lock()
+	defer db.feedMu.Unlock()
+	return db.feedPos[feedKey{rec.Part, rec.Seq}]
+}
+
+// handleDebugFeed serves the merged feed:
+// /debug/feed?after=N&max=M (after defaults to 0, max to 1000).
+func (db *DB) handleDebugFeed(w http.ResponseWriter, r *http.Request) {
+	var after uint64
+	if s := r.URL.Query().Get("after"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		after = n
+	}
+	max := 1000
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad max parameter", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	recs, head := db.FiringsAfter(after, max)
+	if recs == nil {
+		recs = []store.FiringRecord{}
+	}
+	writeJSON(w, struct {
+		Partitions int                  `json:"partitions"`
+		Head       uint64               `json:"head"`
+		Records    []store.FiringRecord `json:"records"`
+	}{len(db.parts), head, recs})
+}

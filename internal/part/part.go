@@ -115,6 +115,13 @@ type DB struct {
 
 	debugMu   sync.Mutex
 	debugSrvs []*http.Server
+
+	// Merged total-order firing feed (egress.go): every partition's
+	// durable egress batches appended in commit order, with a
+	// (Part, Seq) → position index for cursor resume.
+	feedMu  sync.Mutex
+	feed    []store.FiringRecord
+	feedPos map[feedKey]uint64
 }
 
 // Open starts a partitioned database: each partition opens (and, when
@@ -158,6 +165,12 @@ func Open(opts Options) (*DB, error) {
 			stopped: make(chan struct{}),
 		}
 		db.parts = append(db.parts, pt)
+	}
+	// Merge the recovered per-partition egress logs into the global
+	// feed and hook live batches in, before any loop can commit.
+	db.seedFeed()
+	for _, pt := range db.parts {
+		pt.eng.SetFiringSink(db.appendFeed)
 	}
 	for _, pt := range db.parts {
 		go pt.loop()

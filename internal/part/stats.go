@@ -45,23 +45,25 @@ func (db *DB) PartitionStats() []engine.Stats {
 // addStats sums two snapshots field-wise (Delta's inverse).
 func addStats(a, b engine.Stats) engine.Stats {
 	return engine.Stats{
-		TxBegun:         a.TxBegun + b.TxBegun,
-		TxCommitted:     a.TxCommitted + b.TxCommitted,
-		TxAborted:       a.TxAborted + b.TxAborted,
-		SystemTx:        a.SystemTx + b.SystemTx,
-		Happenings:      a.Happenings + b.Happenings,
-		Steps:           a.Steps + b.Steps,
-		MaskEvals:       a.MaskEvals + b.MaskEvals,
-		Firings:         a.Firings + b.Firings,
+		TxBegun:          a.TxBegun + b.TxBegun,
+		TxCommitted:      a.TxCommitted + b.TxCommitted,
+		TxAborted:        a.TxAborted + b.TxAborted,
+		SystemTx:         a.SystemTx + b.SystemTx,
+		Happenings:       a.Happenings + b.Happenings,
+		Steps:            a.Steps + b.Steps,
+		MaskEvals:        a.MaskEvals + b.MaskEvals,
+		Firings:          a.Firings + b.Firings,
 		TimerPosts:       a.TimerPosts + b.TimerPosts,
 		TimerErrsDropped: a.TimerErrsDropped + b.TimerErrsDropped,
 		TimersPending:    a.TimersPending + b.TimersPending,
 		TimerCohorts:     a.TimerCohorts + b.TimerCohorts,
 		TcompleteRounds:  a.TcompleteRounds + b.TcompleteRounds,
-		ShadowChecks:    a.ShadowChecks + b.ShadowChecks,
-		FaultsInjected:  a.FaultsInjected + b.FaultsInjected,
-		FlightEvents:    a.FlightEvents + b.FlightEvents,
-		ProvenanceSteps: a.ProvenanceSteps + b.ProvenanceSteps,
+		ShadowChecks:     a.ShadowChecks + b.ShadowChecks,
+		FaultsInjected:   a.FaultsInjected + b.FaultsInjected,
+		FlightEvents:     a.FlightEvents + b.FlightEvents,
+		ProvenanceSteps:  a.ProvenanceSteps + b.ProvenanceSteps,
+		EgressAppended:   a.EgressAppended + b.EgressAppended,
+		EgressSeq:        a.EgressSeq + b.EgressSeq,
 
 		AutomatonTriggers:   a.AutomatonTriggers + b.AutomatonTriggers,
 		AutomatonTables:     a.AutomatonTables + b.AutomatonTables,
@@ -124,6 +126,7 @@ func (db *DB) ExpvarNames() []string {
 //	/debug/metrics        aggregate OpenMetrics exposition (merged
 //	                      registries + summed ode_engine_* series)
 //	/debug/flight?last=N  merged flight dump with partition ids
+//	/debug/feed?after=N&max=M  merged durable firing-egress feed
 //	/debug/partition/<p>/debug/...  partition p's own engine handler
 func (db *DB) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -157,6 +160,7 @@ func (db *DB) DebugHandler() http.Handler {
 			Events     []obs.FlightEvent `json:"events"`
 		}{len(db.parts), events})
 	})
+	mux.HandleFunc("/debug/feed", db.handleDebugFeed)
 	for p, pt := range db.parts {
 		prefix := fmt.Sprintf("/debug/partition/%d", p)
 		mux.Handle(prefix+"/", http.StripPrefix(prefix, pt.eng.DebugHandler()))

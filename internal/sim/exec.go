@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"ode/internal/egress"
 	"ode/internal/engine"
 	"ode/internal/evlang"
 	"ode/internal/fault"
@@ -31,6 +32,20 @@ type Result struct {
 	InjectedFaults    uint64
 	InjectedTimerErrs int
 	Fingerprint       string
+
+	// Egress summary (populated for Script.Egress runs): the final
+	// durable feed length, the distinct effects the ledger receiver
+	// applied (== EgressFeed when the exactly-once oracle held), and
+	// the delivery churn behind them.
+	EgressFeed        int
+	EgressEffects     int
+	EgressDelivered   uint64
+	EgressRedelivered uint64
+	EgressGaveUp      uint64
+	EgressCursorSaves uint64
+	EgressCursorErrs  uint64
+	DelivererCrashes  int
+	DelivererResumes  int
 }
 
 // Failure is a detected divergence (oracle mismatch, non-atomic
@@ -115,6 +130,21 @@ type exec struct {
 	recoveries        int
 	tornTails         int
 	injectedTimerErrs int
+
+	// egress harness state (sc.Egress; see egress.go)
+	delv        *egress.Deliverer
+	delvCursor  *egress.Cursor
+	effects     map[string]string // idempotency key -> record fingerprint
+	feedSeen    []store.FiringRecord
+	egressErr   error  // receiver-side failure (key collision)
+	redelivered uint64 // dedupe-absorbed duplicate deliveries
+	// deliverer counters folded across incarnations
+	delivered   uint64
+	gaveUp      uint64
+	cursorSaves uint64
+	cursorErrs  uint64
+	delvCrashes int
+	delvResumes int
 }
 
 func (x *exec) slot(i int) *objState {
@@ -143,6 +173,12 @@ func Execute(sc *Script, dir string) (res *Result, err error) {
 		return nil, fmt.Errorf("sim: open: %w", err)
 	}
 	defer func() { x.eng.Close() }()
+	if sc.Egress {
+		if err := x.openDeliverer(); err != nil {
+			return nil, fmt.Errorf("sim: open deliverer: %w", err)
+		}
+	}
+	defer x.teardownDeliverer()
 	// A panic anywhere in the run becomes a Failure carrying the flight
 	// recorder: the crash dump that makes the aftermath debuggable.
 	defer func() {
@@ -158,9 +194,15 @@ func Execute(sc *Script, dir string) (res *Result, err error) {
 		if err := x.runStep(st); err != nil {
 			return nil, &Failure{Seed: sc.Seed, Step: i, Script: sc, Err: err, Flight: x.failFlight()}
 		}
+		if err := x.pumpEgress(); err != nil {
+			return nil, &Failure{Seed: sc.Seed, Step: i, Script: sc, Err: err, Flight: x.failFlight()}
+		}
 	}
 	final := len(sc.Steps)
 	x.flight = nil
+	if err := x.egressFinalErr(); err != nil {
+		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
+	}
 	if err := x.stateErr(nil, false); err != nil {
 		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
@@ -170,6 +212,7 @@ func Execute(sc *Script, dir string) (res *Result, err error) {
 	if err := timerScheduleErr(x.eng); err != nil {
 		return nil, &Failure{Seed: sc.Seed, Step: final, Script: sc, Err: err, Flight: x.failFlight()}
 	}
+	x.teardownDeliverer() // fold the final incarnation's delivery counters
 	x.collectStats()
 	x.stats.FaultsInjected = x.reg.Injected()
 
@@ -182,6 +225,15 @@ func Execute(sc *Script, dir string) (res *Result, err error) {
 		TornTails:         x.tornTails,
 		InjectedFaults:    x.reg.Injected(),
 		InjectedTimerErrs: x.injectedTimerErrs,
+		EgressFeed:        len(x.feedSeen),
+		EgressEffects:     len(x.effects),
+		EgressDelivered:   x.delivered,
+		EgressRedelivered: x.redelivered,
+		EgressGaveUp:      x.gaveUp,
+		EgressCursorSaves: x.cursorSaves,
+		EgressCursorErrs:  x.cursorErrs,
+		DelivererCrashes:  x.delvCrashes,
+		DelivererResumes:  x.delvResumes,
 	}
 	res.Fingerprint = x.fingerprint()
 	return res, nil
@@ -248,10 +300,46 @@ func (x *exec) runFault(st Step) error {
 		} else {
 			x.reg.ArmNext(st.Fault.Point)
 		}
+	case fault.EgressAppend:
+		// Fires inside the victim's LogCommit, before anything reaches
+		// the WAL; the executor escalates it to a simulated crash whose
+		// recovery must land on the pre state with no feed extras.
+		if !x.sc.Persistent {
+			return fmt.Errorf("egress-append fault in a volatile script")
+		}
+		x.reg.ArmNext(fault.EgressAppend)
+	case fault.EgressCursor:
+		// Fires at the deliverer's cursor save during this step's pump;
+		// an ArmTear plan leaves a torn prefix on disk for the next
+		// OpenCursor to detect and discard.
+		if !x.sc.Egress || !x.sc.Persistent {
+			return fmt.Errorf("egress-cursor fault needs a persistent egress script")
+		}
+		if st.Fault.Tear >= 0 {
+			x.reg.ArmNextTear(fault.EgressCursor, st.Fault.Tear)
+		} else {
+			x.reg.ArmNext(fault.EgressCursor)
+		}
+	case fault.EgressDeliver:
+		// Fail the next 1+Delay consecutive send attempts (see
+		// FaultSpec.Delay); past MaxAttempts-1 the deliverer gives up
+		// and stalls until a later pump.
+		if !x.sc.Egress {
+			return fmt.Errorf("egress-deliver fault in a non-egress script")
+		}
+		base := x.reg.Consults(fault.EgressDeliver)
+		for i := uint64(0); i <= st.Fault.Delay; i++ {
+			x.reg.ArmAt(fault.EgressDeliver, base+1+i)
+		}
 	default:
 		return fmt.Errorf("unknown fault point %v", st.Fault.Point)
 	}
 	err := x.runTx(st.Ops, false)
+	if err == nil && (st.Fault.Point == fault.EgressCursor || st.Fault.Point == fault.EgressDeliver) {
+		// Consume the armed plans deterministically inside this fault
+		// step: the delivery pump is where these points are consulted.
+		err = x.pumpEgress()
+	}
 	// A WAL plan must never outlive its fault step: the victim always
 	// dirties slot 0 so the plan fires at its commit, but a minimized
 	// script may have emptied the victim — firing later (e.g. inside a
@@ -316,13 +404,22 @@ func (x *exec) runTx(ops []Op, abort bool) error {
 			}
 			return x.checkTimerErrs()
 		}
-		return x.crashCycle(stage, fe, committed)
+		return x.crashCycle(stage, fe, committed, tx.Underlying().ID())
 	default:
 		return fmt.Errorf("commit: %w", err)
 	}
 }
 
 func (x *exec) applyOp(tx *engine.Tx, stage *txStage, op Op) error {
+	switch op.Kind {
+	// Deliverer lifecycle ops act on harness state, not the engine;
+	// they ride inside transaction steps but are not transactional.
+	case OpCrashDeliverer:
+		x.crashDeliverer()
+		return nil
+	case OpResumeConsumer:
+		return x.resumeConsumer()
+	}
 	return applyOpTx(tx, stage.view, stage.put, op)
 }
 
@@ -438,14 +535,19 @@ func applyOpTx(tx *engine.Tx, view func(int) *objState, put func(int, *objState)
 // against what recovery produced. fe is the injected fault;
 // committed reports whether the engine had already acknowledged the
 // commit (the fault then hit outcome delivery, so durability is
-// non-negotiable).
-func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error {
+// non-negotiable). victimTx is the crashed transaction's id — the only
+// id recovery may surface new egress feed records under.
+func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool, victimTx uint64) error {
 	now := x.eng.Clock().Now()
 	x.collectStats()
 	// The doomed incarnation's recorder dies with it; save the capture
 	// so a failure diagnosed after recovery still shows the pipeline
 	// events leading into the crash.
 	x.flight = x.eng.FlightEvents(0)
+	// Capture the dying engine's published feed and fold the deliverer
+	// (it dies with the process; its durable cursor survives).
+	x.pollFeed()
+	x.teardownDeliverer()
 	x.eng.Close()
 	x.reg.Disarm()
 	x.crashes++
@@ -473,12 +575,24 @@ func (x *exec) crashCycle(stage *txStage, fe *fault.Error, committed bool) error
 		return fmt.Errorf("crash after WAL sync lost a durable commit: %v", postErr)
 	case fe.Point == fault.WALWrite && fe.Tear < 0 && !pre:
 		return fmt.Errorf("crash before WAL write surfaced transaction effects: %v", preErr)
+	case fe.Point == fault.EgressAppend && !pre:
+		return fmt.Errorf("crash at egress append surfaced transaction effects: %v", preErr)
 	case post:
 		stage.commit()
 	case pre:
 		// transaction cleanly rolled away by recovery
 	default:
 		return fmt.Errorf("non-atomic recovery at %v: not post (%v) and not pre (%v)", fe, postErr, preErr)
+	}
+
+	if x.sc.Egress {
+		if err := x.feedRecoveryErr(fe, post, victimTx); err != nil {
+			return err
+		}
+		if err := x.openDeliverer(); err != nil {
+			return fmt.Errorf("reopen deliverer after %v: %w", fe, err)
+		}
+		x.delvResumes++
 	}
 
 	if err := x.eng.VerifyOracle(); err != nil {
@@ -670,6 +784,11 @@ func (x *exec) fingerprint() string {
 	fmt.Fprintf(h, "%+v\n", x.stats)
 	fmt.Fprintf(h, "crashes=%d recoveries=%d torn=%d timererrs=%d\n",
 		x.crashes, x.recoveries, x.tornTails, x.injectedTimerErrs)
+	if x.sc.Egress {
+		fmt.Fprintf(h, "egress: feed=%d effects=%d delivered=%d redelivered=%d gaveup=%d cursorerrs=%d dcrash=%d dresume=%d\n",
+			len(x.feedSeen), len(x.effects), x.delivered, x.redelivered,
+			x.gaveUp, x.cursorErrs, x.delvCrashes, x.delvResumes)
+	}
 	fmt.Fprintf(h, "%+v\n", x.eng.Metrics().Snapshot().Canonical())
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -28,6 +28,10 @@ type Config struct {
 	RandTriggers int
 	// Depth bounds generated event-spec nesting.
 	Depth int
+	// Egress runs the durable-egress consumer and its exactly-once
+	// oracle alongside the script; with Faults it also injects at the
+	// egress fault points and crashes/resumes the deliverer.
+	Egress bool
 }
 
 // Defaults returns a modest configuration suitable for test budgets.
@@ -64,7 +68,7 @@ func Generate(cfg Config) *Script {
 		cfg.Depth = 2
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	sc := &Script{Seed: cfg.Seed, Persistent: cfg.Persistent}
+	sc := &Script{Seed: cfg.Seed, Persistent: cfg.Persistent, Egress: cfg.Egress}
 
 	sc.RandTriggers = make([][]RandTrigger, len(classDefs))
 	for ci := range classDefs {
@@ -102,6 +106,15 @@ func Generate(cfg Config) *Script {
 				Advance: time.Duration(1+rng.Intn(30)) * time.Hour})
 		case r < 8 && cfg.Persistent:
 			sc.Steps = append(sc.Steps, Step{Kind: StepCheckpoint})
+		case r < 11 && cfg.Egress:
+			// Crash or resume the egress consumer mid-run; crashes stall
+			// delivery until a resume (or the end-of-run drain) and force
+			// a cursor-based restart with redelivery.
+			op := Op{Kind: OpCrashDeliverer}
+			if rng.Intn(2) == 0 {
+				op = Op{Kind: OpResumeConsumer}
+			}
+			sc.Steps = append(sc.Steps, Step{Kind: StepTx, Ops: []Op{op}})
 		case r < 16 && cfg.Faults:
 			sc.Steps = append(sc.Steps, genFaultStep(rng, cfg))
 		case r < 24:
@@ -242,7 +255,15 @@ func genFaultStep(rng *rand.Rand, cfg Config) Step {
 		return Step{Kind: StepFault, Ops: victim,
 			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}
 	}
-	switch rng.Intn(6) {
+	// Egress victims withdraw >50 so the perpetual Masked trigger fires
+	// and the commit is guaranteed to carry a feed record (staying
+	// below AbortBig's n > 900 threshold).
+	fireVictim := []Op{{Kind: OpCall, Obj: 0, Method: "wdr", HasArg: true, Arg: int64(60 + rng.Intn(700))}}
+	points := 6
+	if cfg.Egress {
+		points = 9
+	}
+	switch rng.Intn(points) {
 	case 0:
 		// Crash before anything reaches the log.
 		return Step{Kind: StepFault, Ops: victim, Fault: FaultSpec{Point: fault.WALWrite, Tear: -1}}
@@ -277,6 +298,25 @@ func genFaultStep(rng *rand.Rand, cfg Config) Step {
 		return Step{Kind: StepFault,
 			Ops:   []Op{{Kind: OpBatch, Class: classAcct, Batch: batch}},
 			Fault: FaultSpec{Point: fault.WALWrite, Tear: 1 + rng.Intn(256)}}
+	case 6:
+		// Egress append fails before the WAL sees anything: simulated
+		// crash, recovery must land pre with no feed extras.
+		return Step{Kind: StepFault, Ops: fireVictim,
+			Fault: FaultSpec{Point: fault.EgressAppend, Tear: -1}}
+	case 7:
+		// Cursor save fails (or tears); delivery proceeds and a later
+		// restart redelivers from the last intact entry.
+		tear := -1
+		if rng.Intn(2) == 0 {
+			tear = 1 + rng.Intn(10)
+		}
+		return Step{Kind: StepFault, Ops: fireVictim,
+			Fault: FaultSpec{Point: fault.EgressCursor, Tear: tear}}
+	case 8:
+		// Endpoint rejects 1+Delay consecutive sends: retries inside the
+		// pass, or a bounded-retry stall retried by a later pump.
+		return Step{Kind: StepFault, Ops: fireVictim,
+			Fault: FaultSpec{Point: fault.EgressDeliver, Tear: -1, Delay: uint64(rng.Intn(6))}}
 	default:
 		return Step{Kind: StepFault, Ops: victim,
 			Fault: FaultSpec{Point: fault.LockAcquire, Tear: -1, Delay: uint64(rng.Intn(5))}}

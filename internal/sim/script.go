@@ -26,6 +26,16 @@ const (
 	// cohorts mid-run. Activation is idempotent, so re-arming an
 	// already-armed instance keeps its original schedule (§3.1 sharing).
 	OpArmTimers
+	// OpCrashDeliverer simulates the egress consumer process dying:
+	// the deliverer is dropped with no graceful shutdown, keeping only
+	// what its durable cursor already holds. Deliveries stall until an
+	// OpResumeConsumer (or the end-of-run drain) restarts it.
+	OpCrashDeliverer
+	// OpResumeConsumer restarts a crashed deliverer from its durable
+	// cursor, redelivering anything past the last saved entry (the
+	// ledger receiver's idempotency-key dedupe absorbs the overlap).
+	// No-op while the deliverer is running.
+	OpResumeConsumer
 )
 
 // BatchCall is one entry of an OpBatch.
@@ -81,7 +91,9 @@ type FaultSpec struct {
 	Tear int
 	// Delay, for LockAcquire: fire on the (1+Delay)-th consult after
 	// arming, letting the fault land in a later transaction, a mask
-	// evaluation, or a timer delivery.
+	// evaluation, or a timer delivery. For EgressDeliver: fail the next
+	// 1+Delay consecutive send attempts — Delay >= MaxAttempts-1 makes
+	// the deliverer exhaust its retries and stall at the record.
 	Delay uint64
 }
 
@@ -107,6 +119,11 @@ type RandTrigger struct {
 type Script struct {
 	Seed       int64
 	Persistent bool
+	// Egress runs a durable-egress consumer alongside the script: a
+	// ledger receiver fed by a cursor-backed deliverer, checked for
+	// exactly-once effects against the final feed at the end of the
+	// run (see egress.go).
+	Egress bool
 	// RandTriggers holds the generated (always non-perpetual) triggers
 	// per class, indexed like classDefs.
 	RandTriggers [][]RandTrigger
@@ -117,7 +134,7 @@ type Script struct {
 // failures embed it next to the seed.
 func (sc *Script) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# sim script seed=%d persistent=%v\n", sc.Seed, sc.Persistent)
+	fmt.Fprintf(&b, "# sim script seed=%d persistent=%v egress=%v\n", sc.Seed, sc.Persistent, sc.Egress)
 	for ci, trs := range sc.RandTriggers {
 		for _, tr := range trs {
 			fmt.Fprintf(&b, "trigger %s.%s: %s\n", classDefs[ci].name, tr.Name, tr.Event)
@@ -185,6 +202,10 @@ func (op Op) String() string {
 		return fmt.Sprintf("batch %s [%s]", classDefs[op.Class].name, strings.Join(parts, " "))
 	case OpArmTimers:
 		return fmt.Sprintf("o%d.arm-timers", op.Obj)
+	case OpCrashDeliverer:
+		return "crash-deliverer"
+	case OpResumeConsumer:
+		return "resume-consumer"
 	default:
 		return "?"
 	}

@@ -154,6 +154,13 @@ type TortureSummary struct {
 	Firings     uint64
 	Happenings  uint64
 	FailedSeeds []int64
+	// Egress aggregates (runs with Config.Egress): ledger effects
+	// applied, dedupe-absorbed redeliveries, bounded-retry stalls, and
+	// scripted deliverer crashes across the campaign.
+	EgressEffects    uint64
+	Redelivered      uint64
+	GaveUp           uint64
+	DelivererCrashes int
 }
 
 // Torture runs Iters independent seeded simulations and aggregates
@@ -186,6 +193,10 @@ func Torture(o TortureOpts) (TortureSummary, []*Failure) {
 			sum.Injected += res.InjectedFaults
 			sum.Firings += res.Stats.Firings
 			sum.Happenings += res.Stats.Happenings
+			sum.EgressEffects += uint64(res.EgressEffects)
+			sum.Redelivered += res.EgressRedelivered
+			sum.GaveUp += res.EgressGaveUp
+			sum.DelivererCrashes += res.DelivererCrashes
 		}
 		if o.Progress != nil {
 			o.Progress(sum.Iters, sum.Failures)

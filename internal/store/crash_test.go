@@ -34,14 +34,14 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			"v":   value.Int(0),
 			"sum": value.Int(0),
 		})
-		if err := s.LogCommit(1, []OID{rec.OID}, nil); err != nil {
+		if err := s.LogCommit(1, []OID{rec.OID}, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		const txs = 8
 		for k := 1; k <= txs; k++ {
 			rec.Fields["v"] = value.Int(int64(k))
 			rec.Fields["sum"] = value.Int(rec.Fields["sum"].AsInt() + int64(k))
-			if err := s.LogCommit(uint64(k+1), []OID{rec.OID}, nil); err != nil {
+			if err := s.LogCommit(uint64(k+1), []OID{rec.OID}, nil, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -82,12 +82,12 @@ func TestCrashAfterCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir)
 	rec := s.Create("x", map[string]value.Value{"v": value.Int(1)})
-	s.LogCommit(1, []OID{rec.OID}, nil)
+	s.LogCommit(1, []OID{rec.OID}, nil, nil)
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	rec.Fields["v"] = value.Int(2)
-	s.LogCommit(2, []OID{rec.OID}, nil)
+	s.LogCommit(2, []OID{rec.OID}, nil, nil)
 	s.Close()
 
 	// Destroy the whole post-checkpoint WAL.
@@ -121,7 +121,7 @@ func TestCrashBetweenSyncAndAck(t *testing.T) {
 	}
 	rec := s.Create("acct", map[string]value.Value{"bal": value.Int(7)})
 	reg.ArmNext(fault.WALAfterSync)
-	err = s.LogCommit(1, []OID{rec.OID}, nil)
+	err = s.LogCommit(1, []OID{rec.OID}, nil, nil)
 	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("LogCommit: got %v, want injected ack failure", err)
 	}
@@ -177,7 +177,7 @@ func TestGroupCommitAckCrashFollowersDurable(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = s.LogCommit(uint64(i+1), []OID{recs[i].OID}, nil)
+			errs[i] = s.LogCommit(uint64(i+1), []OID{recs[i].OID}, nil, nil)
 		}(i)
 	}
 	wg.Wait()

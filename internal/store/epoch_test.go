@@ -22,7 +22,7 @@ func TestEpochViewSeededFromRecovery(t *testing.T) {
 		r := s.Create("acct", map[string]value.Value{"bal": value.Int(i * 100)})
 		oids = append(oids, r.OID)
 	}
-	if err := s.LogCommit(1, oids, nil); err != nil {
+	if err := s.LogCommit(1, oids, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

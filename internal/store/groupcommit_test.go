@@ -30,7 +30,7 @@ func TestGroupCommitConcurrentDurability(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil); err != nil {
+			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil, nil); err != nil {
 				t.Errorf("commit %d: %v", i, err)
 			}
 		}(i)
@@ -75,7 +75,7 @@ func TestCrashMidBatchRecovery(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil); err != nil {
+			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil, nil); err != nil {
 				t.Errorf("commit %d: %v", i, err)
 			}
 		}(i)
@@ -154,7 +154,7 @@ func TestDisableGroupCommit(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil); err != nil {
+			if err := s.LogCommit(uint64(i+1), []OID{oids[i]}, nil, nil); err != nil {
 				t.Errorf("commit %d: %v", i, err)
 			}
 		}(i)

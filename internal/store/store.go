@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -285,6 +286,11 @@ type Store struct {
 	// lock-free read-committed access for queries and introspection.
 	epochs [numStripes]epochStripe
 	epoch  atomic.Uint64
+
+	// egress is the durable firing feed (see egress.go): records are
+	// reserved sequence numbers before the WAL write and resolved after
+	// it, recovered alongside the object heap at Open.
+	egress egressLog
 }
 
 func (s *Store) stripeOf(oid OID) *stripe {
@@ -464,16 +470,42 @@ func (s *Store) OIDs() []OID {
 // posting path), one Delete frame per deleted object, then a Commit
 // frame. The frames are encoded into one contiguous buffer and handed
 // to the WAL's group committer, which coalesces concurrent commits
-// into a single write and Sync. It is a no-op for volatile stores.
-func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
+// into a single write and Sync. For volatile stores only the egress
+// feed is updated (nothing is logged).
+//
+// firings, when non-empty, are the trigger firings the transaction
+// captured: they are stamped with consecutive feed sequence numbers
+// here — before the WAL write, so the numbers are inside the durable
+// opFirings frame and survive recovery unchanged — and become visible
+// on the feed only if the commit succeeds.
+func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID, firings []FiringRecord) error {
 	s.walMu.RLock()
 	defer s.walMu.RUnlock()
+	var lo uint64
+	if len(firings) > 0 {
+		// Fault point before any egress state changes: an injected
+		// failure here aborts the commit cleanly — no sequence numbers
+		// reserved, no gap in the feed.
+		if s.opts.Faults != nil {
+			if err := s.opts.Faults.Check(fault.EgressAppend); err != nil {
+				return fmt.Errorf("store: egress append: %w", err)
+			}
+		}
+		lo = s.egress.reserve(len(firings))
+		for i := range firings {
+			firings[i].Seq = lo + uint64(i)
+			firings[i].TxID = txID
+		}
+	}
 	if s.wal == nil {
+		if len(firings) > 0 {
+			s.egress.resolveOK(lo, firings)
+		}
 		return nil
 	}
 	var buf bytes.Buffer
 	if err := encodeFrame(&buf, frame{Op: opBegin, TxID: txID}); err != nil {
-		return err
+		return s.egressAbort(lo, firings, err)
 	}
 	var recs []*Record
 	for _, oid := range dirty {
@@ -491,22 +523,53 @@ func (s *Store) LogCommit(txID uint64, dirty []OID, deleted []OID) error {
 	switch {
 	case len(recs) == 1:
 		if err := encodeFrame(&buf, frame{Op: opPut, TxID: txID, Rec: recs[0]}); err != nil {
-			return err
+			return s.egressAbort(lo, firings, err)
 		}
 	case len(recs) > 1:
 		if err := encodeFrame(&buf, frame{Op: opPutN, TxID: txID, Recs: recs}); err != nil {
-			return err
+			return s.egressAbort(lo, firings, err)
 		}
 	}
 	for _, oid := range deleted {
 		if err := encodeFrame(&buf, frame{Op: opDelete, TxID: txID, OID: oid}); err != nil {
-			return err
+			return s.egressAbort(lo, firings, err)
+		}
+	}
+	if len(firings) > 0 {
+		if err := encodeFrame(&buf, frame{Op: opFirings, TxID: txID, Firings: firings}); err != nil {
+			return s.egressAbort(lo, firings, err)
 		}
 	}
 	if err := encodeFrame(&buf, frame{Op: opCommit, TxID: txID}); err != nil {
-		return err
+		return s.egressAbort(lo, firings, err)
 	}
-	return s.wal.commit(buf.Bytes())
+	err := s.wal.commit(buf.Bytes())
+	if len(firings) > 0 {
+		if err == nil {
+			s.egress.resolveOK(lo, firings)
+		} else {
+			// Reclaim the sequence numbers only when no byte of the
+			// batch can have reached the file (an injected WALWrite
+			// fault with Tear < 0). Any other failure is indeterminate
+			// — the frame may be durable and recovery may resurrect it
+			// — so the numbers are burned and the feed keeps a gap
+			// rather than ever reusing a seq for a different firing.
+			var fe *fault.Error
+			reclaim := errors.As(err, &fe) && fe.Point == fault.WALWrite && fe.Tear < 0
+			s.egress.resolveFail(lo, reclaim)
+		}
+	}
+	return err
+}
+
+// egressAbort abandons an egress reservation after a pre-write encode
+// failure (nothing reached the file, so the numbers are reclaimed) and
+// passes the error through.
+func (s *Store) egressAbort(lo uint64, firings []FiringRecord, err error) error {
+	if len(firings) > 0 {
+		s.egress.resolveFail(lo, true)
+	}
+	return err
 }
 
 // Checkpoint writes a full snapshot and truncates the WAL. It is a
@@ -529,7 +592,11 @@ func (s *Store) Checkpoint() error {
 			merged[oid] = r
 		}
 	}
-	err := writeSnapshot(s.dir, OID(s.nextOID.Load()), merged)
+	// walMu is held exclusively, so no commit is in flight and the
+	// egress log has no pending reservation: the snapshot captures the
+	// complete feed, and the WAL reset below may discard its frames.
+	firings, firingSeq := s.egress.snapshotState()
+	err := writeSnapshot(s.dir, OID(s.nextOID.Load()), merged, firings, firingSeq)
 	for i := len(s.stripes) - 1; i >= 0; i-- {
 		s.stripes[i].mu.Unlock()
 	}
@@ -547,14 +614,14 @@ func (s *Store) Checkpoint() error {
 // recovery would then silently stop at the tear and drop every later
 // committed transaction.
 func (s *Store) recover() error {
-	next, objects, err := readSnapshot(s.dir)
+	img, err := readSnapshot(s.dir)
 	if err != nil {
 		return err
 	}
-	if objects != nil {
+	if img.Objects != nil {
 		s.recovery.SnapshotLoaded = true
-		s.nextOID.Store(uint64(next))
-		for oid, r := range objects {
+		s.nextOID.Store(uint64(img.Next))
+		for oid, r := range img.Objects {
 			s.stripeOf(oid).objects[oid] = r
 		}
 	}
@@ -578,6 +645,12 @@ func (s *Store) recover() error {
 		}
 	}
 	s.recovery.TxApplied = len(committed)
+	// Rebuild the egress feed: the snapshot's records plus committed
+	// opFirings frames. A crash between writeSnapshot and the WAL reset
+	// leaves frames the snapshot already absorbed, so frames at or
+	// below the snapshot's FiringSeq are duplicates and dropped.
+	firings := img.Firings
+	firingSeq := img.FiringSeq
 	for _, f := range frames {
 		if !committed[f.TxID] {
 			continue
@@ -591,8 +664,23 @@ func (s *Store) recover() error {
 			}
 		case opDelete:
 			delete(s.stripeOf(f.OID).objects, f.OID)
+		case opFirings:
+			for _, fr := range f.Firings {
+				if fr.Seq <= img.FiringSeq {
+					continue
+				}
+				firings = append(firings, fr)
+				if fr.Seq > firingSeq {
+					firingSeq = fr.Seq
+				}
+			}
 		}
 	}
+	// Group commit can interleave transactions in the log in an order
+	// that differs from sequence order; the feed is strictly
+	// seq-ordered.
+	sort.Slice(firings, func(i, j int) bool { return firings[i].Seq < firings[j].Seq })
+	s.egress.load(firings, firingSeq)
 	return nil
 }
 

@@ -92,13 +92,13 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	}
 	a := s.Create("account", map[string]value.Value{"balance": value.Int(7)})
 	b := s.Create("account", map[string]value.Value{"balance": value.Int(8)})
-	if err := s.LogCommit(1, []OID{a.OID, b.OID}, nil); err != nil {
+	if err := s.LogCommit(1, []OID{a.OID, b.OID}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Second transaction updates a and deletes b.
 	a.Fields["balance"] = value.Int(70)
 	s.Delete(b.OID)
-	if err := s.LogCommit(2, []OID{a.OID}, []OID{b.OID}); err != nil {
+	if err := s.LogCommit(2, []OID{a.OID}, []OID{b.OID}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -131,7 +131,7 @@ func TestUncommittedFramesIgnored(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir)
 	a := s.Create("x", map[string]value.Value{"v": value.Int(1)})
-	s.LogCommit(1, []OID{a.OID}, nil)
+	s.LogCommit(1, []OID{a.OID}, nil, nil)
 	// Simulate a crash mid-commit: Begin+Put without Commit.
 	rec := a.clone()
 	rec.Fields["v"] = value.Int(999)
@@ -162,7 +162,7 @@ func TestTornFrameIgnored(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir)
 	a := s.Create("x", map[string]value.Value{"v": value.Int(1)})
-	s.LogCommit(1, []OID{a.OID}, nil)
+	s.LogCommit(1, []OID{a.OID}, nil, nil)
 	s.Close()
 
 	// Append garbage: a length prefix promising more bytes than exist.
@@ -188,7 +188,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir)
 	a := s.Create("x", map[string]value.Value{"v": value.Int(5)})
-	s.LogCommit(1, []OID{a.OID}, nil)
+	s.LogCommit(1, []OID{a.OID}, nil, nil)
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	// A post-checkpoint commit lands in the fresh WAL and both layers
 	// recover together.
 	ra.Fields["v"] = value.Int(6)
-	s2.LogCommit(2, []OID{a.OID}, nil)
+	s2.LogCommit(2, []OID{a.OID}, nil, nil)
 	s2.Close()
 	s3, err := Open(dir)
 	if err != nil {
@@ -226,7 +226,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 func TestVolatileStoreNoFiles(t *testing.T) {
 	s, _ := Open("")
 	a := s.Create("x", nil)
-	if err := s.LogCommit(1, []OID{a.OID}, nil); err != nil {
+	if err := s.LogCommit(1, []OID{a.OID}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Checkpoint(); err != nil {
@@ -245,7 +245,7 @@ func TestTrigStatePersisted(t *testing.T) {
 	act.Active = true
 	act.State = 4
 	act.Params = map[string]value.Value{"lvl": value.Int(7)}
-	s.LogCommit(1, []OID{a.OID}, nil)
+	s.LogCommit(1, []OID{a.OID}, nil, nil)
 	s.Close()
 
 	s2, err := Open(dir)

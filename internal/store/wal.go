@@ -26,17 +26,24 @@ const (
 	// header, one length prefix — and a torn tail can only lose the
 	// whole record set, never a prefix of it.
 	opPutN
+	// opFirings carries the trigger-firing records captured by one
+	// transaction (frame.Firings), appended between the transaction's
+	// record frames and its opCommit. Riding the same commit batch makes
+	// the firings exactly as durable as the transaction itself: a crash
+	// either preserves both or neither.
+	opFirings
 )
 
 // frame is one WAL record. Frames are length-prefixed independent gob
 // blobs, so a torn final frame is detected and discarded on recovery
 // and appending after reopen needs no encoder state.
 type frame struct {
-	Op   byte
-	TxID uint64
-	OID  OID
-	Rec  *Record
-	Recs []*Record // opPutN only; absent (nil) in all other frames
+	Op      byte
+	TxID    uint64
+	OID     OID
+	Rec     *Record
+	Recs    []*Record      // opPutN only; absent (nil) in all other frames
+	Firings []FiringRecord // opFirings only; absent (nil) in all other frames
 }
 
 const (
@@ -260,13 +267,18 @@ func readWAL(dir string) ([]frame, walScan, error) {
 	return frames, sc, nil
 }
 
-// snapshotImage is the gob payload of a checkpoint.
+// snapshotImage is the gob payload of a checkpoint. Firings and
+// FiringSeq persist the egress feed across the WAL reset that follows
+// a checkpoint: the feed's records live in the WAL only until the next
+// checkpoint folds them into the snapshot.
 type snapshotImage struct {
-	Next    OID
-	Objects map[OID]*Record
+	Next      OID
+	Objects   map[OID]*Record
+	Firings   []FiringRecord
+	FiringSeq uint64
 }
 
-func writeSnapshot(dir string, next OID, objects map[OID]*Record) error {
+func writeSnapshot(dir string, next OID, objects map[OID]*Record, firings []FiringRecord, firingSeq uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: create dir: %w", err)
 	}
@@ -275,7 +287,7 @@ func writeSnapshot(dir string, next OID, objects map[OID]*Record) error {
 		return fmt.Errorf("store: snapshot temp: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	img := snapshotImage{Next: next, Objects: objects}
+	img := snapshotImage{Next: next, Objects: objects, Firings: firings, FiringSeq: firingSeq}
 	if err := gob.NewEncoder(tmp).Encode(&img); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: encode snapshot: %w", err)
@@ -294,18 +306,18 @@ func writeSnapshot(dir string, next OID, objects map[OID]*Record) error {
 	return nil
 }
 
-func readSnapshot(dir string) (OID, map[OID]*Record, error) {
+func readSnapshot(dir string) (snapshotImage, error) {
+	var img snapshotImage
 	f, err := os.Open(filepath.Join(dir, snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil, nil
+		return img, nil
 	}
 	if err != nil {
-		return 0, nil, fmt.Errorf("store: open snapshot: %w", err)
+		return img, fmt.Errorf("store: open snapshot: %w", err)
 	}
 	defer f.Close()
-	var img snapshotImage
 	if err := gob.NewDecoder(f).Decode(&img); err != nil {
-		return 0, nil, fmt.Errorf("store: decode snapshot: %w", err)
+		return img, fmt.Errorf("store: decode snapshot: %w", err)
 	}
-	return img.Next, img.Objects, nil
+	return img, nil
 }

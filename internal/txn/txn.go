@@ -129,6 +129,12 @@ type Tx struct {
 	narrowSeen map[store.OID]bool
 	actImgs    []store.ActImage
 	promoUndo  []undoEntry
+
+	// firings are the trigger firings captured by the engine during
+	// this transaction (AddFiring); Commit hands them to LogCommit so
+	// they ride the transaction's own WAL batch. Rollback discards
+	// them with everything else.
+	firings []store.FiringRecord
 }
 
 type undoEntry struct {
@@ -342,6 +348,17 @@ func (tx *Tx) Accessed() []store.OID {
 // Created reports whether the transaction created oid.
 func (tx *Tx) Created(oid store.OID) bool { return tx.created[oid] }
 
+// AddFiring records one trigger firing for the durable egress feed.
+// The record's Seq and TxID are stamped by the store at commit time;
+// if the transaction aborts the record is dropped, so the feed only
+// ever carries firings of committed transactions.
+func (tx *Tx) AddFiring(fr store.FiringRecord) {
+	tx.firings = append(tx.firings, fr)
+}
+
+// Firings returns the firings captured so far (engine introspection).
+func (tx *Tx) Firings() []store.FiringRecord { return tx.firings }
+
 // Commit makes the transaction's effects durable and releases its
 // locks. If a commit dependency aborted, the transaction aborts
 // instead and ErrDependencyAborted is returned.
@@ -361,7 +378,7 @@ func (tx *Tx) Commit() error {
 			dirty = append(dirty, oid)
 		}
 	}
-	if err := tx.mgr.store.LogCommit(tx.id, dirty, deleted); err != nil {
+	if err := tx.mgr.store.LogCommit(tx.id, dirty, deleted, tx.firings); err != nil {
 		tx.rollback()
 		return fmt.Errorf("txn: commit logging failed: %w", err)
 	}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"ode/internal/egress"
+	"ode/internal/engine"
+	"ode/internal/schema"
+	"ode/internal/store"
+	"ode/internal/value"
+)
+
+// E19 — egress overhead and delivery throughput. Three questions:
+//
+//  1. does commit-time firing capture cost the E12 single-post hot
+//     path anything (masked non-firing must stay zero-alloc, firing
+//     pays only the capture append)?
+//  2. does it cost the E16 batch-posting path anything?
+//  3. how fast does the cursor-backed deliverer drain a feed, with and
+//     without durable cursor persistence?
+//
+// Rows come in on/off pairs per scenario so the overhead is read
+// directly; the "off" engine runs with Options.DisableEgress.
+
+// E19HotRow is one E12-style hot-path measurement with egress on or
+// off.
+type E19HotRow struct {
+	Scenario    string  `json:"scenario"`
+	Egress      string  `json:"egress"` // "on" or "off"
+	Calls       int     `json:"calls"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Firings     uint64  `json:"firings"`
+	// OverheadPct is (on-off)/off in percent, carried on the "on" row.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// E19BatchRow is one E16-style batch measurement with egress on or
+// off.
+type E19BatchRow struct {
+	Scenario    string  `json:"scenario"`
+	BatchSize   int     `json:"batch_size"`
+	Egress      string  `json:"egress"`
+	Happenings  int     `json:"happenings"`
+	NsPerH      float64 `json:"ns_per_happening"`
+	AllocsPerH  float64 `json:"allocs_per_happening"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// E19DeliveryRow is one deliverer drain: a committed feed pumped
+// through a no-op sender, with or without a durable cursor.
+type E19DeliveryRow struct {
+	Mode          string  `json:"mode"` // "memory-cursor" or "durable-cursor"
+	Records       int     `json:"records"`
+	NsPerRecord   float64 `json:"ns_per_record"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	CursorSaves   uint64  `json:"cursor_saves"`
+}
+
+// E19Result aggregates the experiment.
+type E19Result struct {
+	Hot      []E19HotRow      `json:"hot_path"`
+	Batch    []E19BatchRow    `json:"batch"`
+	Delivery []E19DeliveryRow `json:"delivery"`
+}
+
+// e19Class is the shared bank class with one trigger.
+func e19Class(tr schema.Trigger) (*schema.Class, engine.ClassImpl) {
+	cls := &schema.Class{
+		Name:   "account",
+		Fields: []schema.Field{{Name: "balance", Kind: value.KindInt, Default: value.Int(1000)}},
+		Methods: []schema.Method{
+			{Name: "deposit", Params: []schema.Param{{Name: "n", Kind: value.KindInt}}, Mode: schema.ModeUpdate},
+		},
+		Triggers: []schema.Trigger{tr},
+	}
+	impl := engine.ClassImpl{
+		Methods: map[string]engine.MethodImpl{
+			"deposit": func(ctx *engine.MethodCtx) (value.Value, error) {
+				b, _ := ctx.Get("balance")
+				return value.Null(), ctx.Set("balance", value.Int(b.AsInt()+ctx.Arg("n").AsInt()))
+			},
+		},
+		Actions: map[string]engine.ActionFunc{
+			tr.Name: func(*engine.ActionCtx) error { return nil },
+		},
+	}
+	return cls, impl
+}
+
+// RunE19 measures egress overhead on the E12 and E16 paths and the
+// deliverer's drain throughput. calls sizes the single-post loops,
+// happenings the batch loops (batch size from batchSizes), deliverRecs
+// the delivery drain.
+func RunE19(calls, happenings int, batchSizes []int, deliverRecs int) (E19Result, error) {
+	var res E19Result
+	// Same masked non-firing / firing scenario pair E16 uses.
+	for _, sc := range e16Scenarios() {
+		var off E19HotRow
+		for _, disabled := range []bool{true, false} {
+			r, err := e19HotMeasure(sc, disabled, calls)
+			if err != nil {
+				return res, err
+			}
+			if disabled {
+				off = r
+			} else if off.NsPerOp > 0 {
+				r.OverheadPct = (r.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+			}
+			res.Hot = append(res.Hot, r)
+		}
+	}
+	for _, sc := range e16Scenarios() {
+		for _, bs := range batchSizes {
+			var off E19BatchRow
+			for _, disabled := range []bool{true, false} {
+				r, err := e19BatchMeasure(sc, disabled, bs, happenings)
+				if err != nil {
+					return res, err
+				}
+				if disabled {
+					off = r
+				} else if off.NsPerH > 0 {
+					r.OverheadPct = (r.NsPerH - off.NsPerH) / off.NsPerH * 100
+				}
+				res.Batch = append(res.Batch, r)
+			}
+		}
+	}
+	for _, durable := range []bool{false, true} {
+		r, err := e19DeliveryMeasure(deliverRecs, durable)
+		if err != nil {
+			return res, err
+		}
+		res.Delivery = append(res.Delivery, r)
+	}
+	return res, nil
+}
+
+// e19HotMeasure is e12Measure with the egress toggle: one long-lived
+// transaction posting single calls.
+func e19HotMeasure(sc e16Scenario, disabled bool, calls int) (E19HotRow, error) {
+	eng, err := engine.New(engine.Options{DisableEgress: disabled})
+	if err != nil {
+		return E19HotRow{}, err
+	}
+	defer eng.Close()
+	cls, impl := e19Class(sc.trigger)
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E19HotRow{}, err
+	}
+	var oid store.OID
+	err = eng.Transact(func(tx *engine.Tx) error {
+		var err error
+		if oid, err = tx.NewObject("account", nil); err != nil {
+			return err
+		}
+		return tx.Activate(oid, sc.trigger.Name)
+	})
+	if err != nil {
+		return E19HotRow{}, err
+	}
+
+	tx := eng.Begin()
+	defer tx.Abort()
+	arg := value.Int(sc.arg)
+	for i := 0; i < 128; i++ {
+		if _, err := tx.Call(oid, sc.method, arg); err != nil {
+			return E19HotRow{}, err
+		}
+	}
+	bestNs, bestAllocs := 0.0, 0.0
+	var before, after runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			if _, err := tx.Call(oid, sc.method, arg); err != nil {
+				return E19HotRow{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(calls)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(calls)
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	mode := "on"
+	if disabled {
+		mode = "off"
+	}
+	return E19HotRow{
+		Scenario:    sc.name,
+		Egress:      mode,
+		Calls:       calls,
+		NsPerOp:     bestNs,
+		AllocsPerOp: bestAllocs,
+		Firings:     eng.Stats().Firings,
+	}, nil
+}
+
+// e19BatchMeasure is e16Measure with the egress toggle: PostBatch at
+// one batch size.
+func e19BatchMeasure(sc e16Scenario, disabled bool, batchSize, happenings int) (E19BatchRow, error) {
+	eng, err := engine.New(engine.Options{DisableEgress: disabled})
+	if err != nil {
+		return E19BatchRow{}, err
+	}
+	defer eng.Close()
+	cls, impl := e19Class(sc.trigger)
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E19BatchRow{}, err
+	}
+	var oid store.OID
+	err = eng.Transact(func(tx *engine.Tx) error {
+		var err error
+		if oid, err = tx.NewObject("account", nil); err != nil {
+			return err
+		}
+		return tx.Activate(oid, sc.trigger.Name)
+	})
+	if err != nil {
+		return E19BatchRow{}, err
+	}
+
+	tx := eng.Begin()
+	defer tx.Abort()
+	arg := value.Int(sc.arg)
+	b := engine.NewBatch("account", batchSize)
+	for i := 0; i < batchSize; i++ {
+		b.Call(oid, sc.method, arg)
+	}
+	iters := happenings / batchSize
+	for i := 0; i < 8; i++ {
+		if err := tx.PostBatch(b); err != nil {
+			return E19BatchRow{}, err
+		}
+	}
+	bestNs, bestAllocs := 0.0, 0.0
+	var before, after runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := tx.PostBatch(b); err != nil {
+				return E19BatchRow{}, err
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(iters*batchSize)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(iters*batchSize)
+		if rep == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if rep == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	mode := "on"
+	if disabled {
+		mode = "off"
+	}
+	return E19BatchRow{
+		Scenario:   sc.name,
+		BatchSize:  batchSize,
+		Egress:     mode,
+		Happenings: iters * batchSize,
+		NsPerH:     bestNs,
+		AllocsPerH: bestAllocs,
+	}, nil
+}
+
+// e19DeliveryMeasure commits a feed of `records` firings and drains it
+// through a no-op sender, timing the pump.
+func e19DeliveryMeasure(records int, durable bool) (E19DeliveryRow, error) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		return E19DeliveryRow{}, err
+	}
+	defer eng.Close()
+	cls, impl := e19Class(schema.Trigger{Name: "Any", Perpetual: true, Event: "after deposit(n) && n >= 0"})
+	if _, err := eng.RegisterClass(cls, impl, nil); err != nil {
+		return E19DeliveryRow{}, err
+	}
+	var oid store.OID
+	err = eng.Transact(func(tx *engine.Tx) error {
+		var err error
+		if oid, err = tx.NewObject("account", nil); err != nil {
+			return err
+		}
+		return tx.Activate(oid, "Any")
+	})
+	if err != nil {
+		return E19DeliveryRow{}, err
+	}
+	// Commit the feed in transactions of 100 firings each.
+	const per = 100
+	arg := value.Int(1)
+	for done := 0; done < records; done += per {
+		n := per
+		if records-done < n {
+			n = records - done
+		}
+		err := eng.Transact(func(tx *engine.Tx) error {
+			for i := 0; i < n; i++ {
+				if _, err := tx.Call(oid, "deposit", arg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return E19DeliveryRow{}, err
+		}
+	}
+
+	var cur *egress.Cursor
+	mode := "memory-cursor"
+	if durable {
+		dir, err := os.MkdirTemp("", "ode-e19-*")
+		if err != nil {
+			return E19DeliveryRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		cur, err = egress.OpenCursor(filepath.Join(dir, "cursor"), nil)
+		if err != nil {
+			return E19DeliveryRow{}, err
+		}
+		defer cur.Close()
+		mode = "durable-cursor"
+	}
+	d := egress.NewDeliverer(eng, egress.SenderFunc(func(store.FiringRecord, string) error { return nil }),
+		egress.DelivererOptions{Cursor: cur})
+	start := time.Now()
+	n, err := d.Pump(0)
+	elapsed := time.Since(start)
+	if err != nil {
+		return E19DeliveryRow{}, err
+	}
+	if n != records {
+		return E19DeliveryRow{}, fmt.Errorf("e19: drained %d of %d records", n, records)
+	}
+	if lag := d.Stats().Lag; lag != 0 {
+		return E19DeliveryRow{}, fmt.Errorf("e19: deliverer still lags %d after drain", lag)
+	}
+	row := E19DeliveryRow{
+		Mode:        mode,
+		Records:     records,
+		NsPerRecord: float64(elapsed.Nanoseconds()) / float64(records),
+		CursorSaves: d.Stats().CursorSaves,
+	}
+	if elapsed > 0 {
+		row.RecordsPerSec = float64(records) / elapsed.Seconds()
+	}
+	return row, nil
+}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"ode/internal/clock"
+	"ode/internal/egress"
 	"ode/internal/engine"
 	"ode/internal/evlang"
 	"ode/internal/history"
@@ -101,6 +102,8 @@ type (
 	ProvStep = obs.ProvStep
 	// FlightEvent is one entry of the always-on flight recorder.
 	FlightEvent = obs.FlightEvent
+	// FiringRecord is one entry of the durable firing-egress feed.
+	FiringRecord = store.FiringRecord
 )
 
 // Value kinds.
@@ -528,9 +531,33 @@ func (db *Database) FlightEvents(last int) []FlightEvent {
 	return db.eng.FlightEvents(last)
 }
 
+// Firings returns feed records with position > after from the durable
+// firing-egress feed (max <= 0 means no limit) plus the current feed
+// head. Positions are per-partition sequence numbers when
+// unpartitioned, 1-based merged-feed indexes when partitioned (see
+// FeedSource for the stability contract of each).
+func (db *Database) Firings(after uint64, max int) ([]FiringRecord, uint64) {
+	if db.parts != nil {
+		return db.parts.FiringsAfter(after, max)
+	}
+	return db.eng.Firings(after, max)
+}
+
+// FeedSource returns the database's firing feed as an egress.Source —
+// the handle Subscribe and NewDeliverer consume. Unpartitioned, it is
+// the engine's own durable log (positions are firing sequence
+// numbers); partitioned, the merged total-order feed.
+func (db *Database) FeedSource() egress.Source {
+	if db.parts != nil {
+		return db.parts
+	}
+	return db.eng
+}
+
 // DebugHandler returns the live introspection HTTP handler serving
 // /debug/stats, /debug/triggers, /debug/trace?last=N, /debug/why,
-// /debug/metrics, /debug/flight, /debug/vars and /debug/pprof/. A
+// /debug/metrics, /debug/flight, /debug/feed, /debug/vars and
+// /debug/pprof/. A
 // partitioned database serves aggregate /debug/stats, /debug/metrics
 // and /debug/flight, with each partition's full handler mounted under
 // /debug/partition/<p>/.
